@@ -1,0 +1,31 @@
+//! Figure 2 — performance under nominal conditions.
+//!
+//! Prints the Fair-normalized geomean performance of SLURM and Penelope per
+//! initial powercap (paper: near-equivalent, SLURM +1.8 % mean, ≤3 % ever),
+//! then times one (system, cap, pair) cell as the criterion kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use penelope_experiments::nominal;
+use penelope_sim::SystemKind;
+use penelope_workload::npb;
+
+fn bench(c: &mut Criterion) {
+    if penelope_bench::should_print() {
+        let result = nominal::run(penelope_bench::effort());
+        println!("\n{}", result.render());
+    }
+    let pair = (npb::dc(), npb::ep());
+    let mut g = c.benchmark_group("fig2_nominal");
+    g.sample_size(10);
+    for system in [SystemKind::Fair, SystemKind::Slurm, SystemKind::Penelope] {
+        g.bench_function(format!("cell_{}_dc_ep_70w", system.label()), |b| {
+            b.iter(|| {
+                std::hint::black_box(nominal::run_cell(system, 70, &pair, 20, 0.25, 42))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 3 — performance under faulty power management.
+//!
+//! Prints the Fair-normalized geomean performance with the coordinator
+//! killed mid-run (paper: SLURM falls below Fair; Penelope gains 8–15 %
+//! over SLURM), then times one faulty cell as the criterion kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use penelope_experiments::{faulty, nominal};
+use penelope_sim::SystemKind;
+use penelope_workload::npb;
+
+fn bench(c: &mut Criterion) {
+    if penelope_bench::should_print() {
+        let result = faulty::run(penelope_bench::effort());
+        println!("\n{}", result.render());
+    }
+    let pair = (npb::dc(), npb::ep());
+    let fair = nominal::run_cell(SystemKind::Fair, 70, &pair, 20, 0.25, 42);
+    let mut g = c.benchmark_group("fig3_faulty");
+    g.sample_size(10);
+    for system in [SystemKind::Slurm, SystemKind::Penelope] {
+        g.bench_function(format!("faulty_cell_{}_dc_ep_70w", system.label()), |b| {
+            b.iter(|| {
+                std::hint::black_box(faulty::run_faulty_cell(
+                    system, 70, &pair, 20, 0.25, 42, fair,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 7 — mean turnaround time vs decider frequency.
+//!
+//! Prints the paper series (set `PENELOPE_EFFORT=full` for the complete
+//! axes), then criterion-times a single representative scale point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use penelope_experiments::scale;
+use penelope_experiments::scenarios::ScaleScenario;
+use penelope_sim::SystemKind;
+use penelope_workload::npb;
+
+fn bench(c: &mut Criterion) {
+    if penelope_bench::should_print() {
+        let effort = penelope_bench::effort();
+        let rows = scale::frequency_sweep(effort, &penelope_bench::frequency_axis(effort));
+        println!("\n{}", scale::render_fig7(&rows));
+    }
+    let mut g = c.benchmark_group("fig7_turnaround_vs_frequency");
+    g.sample_size(10);
+    for system in [SystemKind::Slurm, SystemKind::Penelope] {
+        g.bench_function(format!("point_{}_264n_4hz", system.label()), |b| {
+            let scenario = ScaleScenario::for_pair(&npb::bt(), &npb::ep(), 264, 4.0, 11);
+            b.iter(|| std::hint::black_box(scale::run_point(system, &scenario)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

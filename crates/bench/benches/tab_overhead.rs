@@ -1,0 +1,27 @@
+//! §4.2 — Penelope's per-node overhead table.
+//!
+//! Prints the static-vs-Penelope runtime for every NPB application on one
+//! node (paper: 1.3 % mean slowdown), then times a single-application
+//! overhead measurement as the criterion kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use penelope_experiments::{overhead, Effort};
+
+fn bench(c: &mut Criterion) {
+    if penelope_bench::should_print() {
+        let result = overhead::run(penelope_bench::effort());
+        println!("\n{}", result.render());
+    }
+    let mut g = c.benchmark_group("tab_overhead");
+    g.sample_size(10);
+    g.bench_function("nine_apps_single_node", |b| {
+        b.iter(|| {
+            let r = overhead::run(Effort::Smoke);
+            std::hint::black_box(r.mean_overhead_pct())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

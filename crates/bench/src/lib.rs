@@ -1,0 +1,42 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench in `benches/` regenerates one of the paper's tables or
+//! figures: it first prints the rows/series (so `cargo bench` output can be
+//! diffed against `EXPERIMENTS.md`), then criterion-times a representative
+//! kernel of that experiment. Set `PENELOPE_EFFORT=full` to print the
+//! paper's complete matrices instead of the quick subsets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use penelope_experiments::Effort;
+
+/// Whether the harness should print figure series: suppressed when the
+/// bench binary is executed by `cargo test` (criterion's `--test` smoke
+/// mode), so the test suite stays fast.
+pub fn should_print() -> bool {
+    !std::env::args().any(|a| a == "--test")
+}
+
+/// The effort level for series printing (`PENELOPE_EFFORT`, default Quick).
+pub fn effort() -> Effort {
+    Effort::from_env()
+}
+
+/// The frequency axis used when printing Figs. 4/5/7 at each effort.
+pub fn frequency_axis(effort: Effort) -> Vec<f64> {
+    match effort {
+        Effort::Smoke => vec![1.0, 8.0],
+        Effort::Quick => vec![1.0, 4.0, 12.0, 20.0, 24.0],
+        Effort::Full => penelope_experiments::scale::PAPER_FREQUENCIES.to_vec(),
+    }
+}
+
+/// The scale axis used when printing Figs. 6/8 at each effort.
+pub fn scale_axis(effort: Effort) -> Vec<usize> {
+    match effort {
+        Effort::Smoke => vec![44, 96],
+        Effort::Quick => vec![44, 264, 1056],
+        Effort::Full => penelope_experiments::scale::PAPER_SCALES.to_vec(),
+    }
+}

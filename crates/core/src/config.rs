@@ -1,0 +1,180 @@
+//! Tunable parameters of the decider and pool.
+
+use penelope_units::{Power, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the power pool's transaction limiter (Algorithm 2).
+///
+/// A non-urgent request receives `min(pool, clamp(fraction × pool, lower,
+/// upper))`. The paper sets `fraction = 10 %`, `lower = 1 W`, `upper = 30 W`
+/// (§3.2): "if the pool size is over 300 it returns 30, and if below 10 it
+/// returns 1".
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PoolConfig {
+    /// Fraction of the pool offered per transaction.
+    pub fraction: f64,
+    /// `LOWER_LIMIT`: minimum transaction size (so grants are never
+    /// vanishingly small).
+    pub lower: Power,
+    /// `UPPER_LIMIT`: maximum transaction size (so one node can never drain
+    /// a huge pool in one transaction).
+    pub upper: Power,
+}
+
+impl PoolConfig {
+    /// Validate the configuration. Panics on nonsense values.
+    pub fn validated(self) -> Self {
+        assert!(
+            self.fraction.is_finite() && self.fraction > 0.0 && self.fraction <= 1.0,
+            "pool fraction must be in (0,1], got {}",
+            self.fraction
+        );
+        assert!(self.lower <= self.upper, "pool lower limit above upper limit");
+        assert!(!self.lower.is_zero(), "pool lower limit must be nonzero");
+        self
+    }
+
+    /// A limiter that never limits (grants the whole pool) — the
+    /// "unlimited" arm of the transaction-size ablation.
+    pub fn unlimited() -> Self {
+        PoolConfig {
+            fraction: 1.0,
+            lower: Power::from_milliwatts(1),
+            upper: Power::MAX,
+        }
+    }
+
+    /// A fixed transaction size regardless of pool size — the "fixed" arm
+    /// of the transaction-size ablation.
+    pub fn fixed(size: Power) -> Self {
+        assert!(!size.is_zero(), "fixed transaction size must be nonzero");
+        PoolConfig {
+            fraction: 1.0,
+            lower: size,
+            upper: size,
+        }
+    }
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            fraction: 0.10,
+            lower: Power::from_watts_u64(1),
+            upper: Power::from_watts_u64(30),
+        }
+    }
+}
+
+/// Parameters of the local decider (Algorithm 1).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeciderConfig {
+    /// The power margin ε: a reading within ε of the cap classifies the
+    /// node as power-hungry.
+    pub epsilon: Power,
+    /// The iteration period `T`. Both Penelope and SLURM iterate once per
+    /// second in the paper; the scale study sweeps this.
+    pub period: SimDuration,
+    /// How long to wait for a pool's response before giving up on a
+    /// request. A peer that died mid-transaction must not wedge the
+    /// decider. Defaults to one period.
+    pub response_timeout: SimDuration,
+    /// Enable the urgency mechanism (§3). Disabling it is the ablation arm
+    /// showing why unfairly throttled nodes need a fast path back to their
+    /// initial cap.
+    pub enable_urgency: bool,
+    /// When shedding excess, leave this much headroom above the reading
+    /// instead of capping exactly at `P` (Algorithm 1 sets `C = P`, which
+    /// leaves the node classified power-hungry forever after; a headroom of
+    /// ε parks it at the margin instead). Zero reproduces the paper
+    /// verbatim; nonzero is the oscillation-damping ablation arm.
+    pub shed_headroom: Power,
+}
+
+impl Default for DeciderConfig {
+    fn default() -> Self {
+        DeciderConfig {
+            epsilon: Power::from_watts_u64(5),
+            period: SimDuration::from_secs(1),
+            response_timeout: SimDuration::from_secs(1),
+            enable_urgency: true,
+            shed_headroom: Power::ZERO,
+        }
+    }
+}
+
+impl DeciderConfig {
+    /// A config iterating at `hz` iterations per second (the scale study's
+    /// frequency axis), with the timeout matched to the period.
+    pub fn at_frequency(hz: f64) -> Self {
+        assert!(hz.is_finite() && hz > 0.0, "frequency must be positive");
+        let period = SimDuration::from_secs_f64(1.0 / hz);
+        DeciderConfig {
+            period,
+            response_timeout: period,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let p = PoolConfig::default();
+        assert_eq!(p.lower, Power::from_watts_u64(1));
+        assert_eq!(p.upper, Power::from_watts_u64(30));
+        assert!((p.fraction - 0.10).abs() < 1e-12);
+        let d = DeciderConfig::default();
+        assert_eq!(d.period, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn at_frequency_sets_period() {
+        let d = DeciderConfig::at_frequency(20.0);
+        assert_eq!(d.period, SimDuration::from_millis(50));
+        assert_eq!(d.response_timeout, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn zero_frequency_rejected() {
+        let _ = DeciderConfig::at_frequency(0.0);
+    }
+
+    #[test]
+    fn validated_accepts_default() {
+        let _ = PoolConfig::default().validated();
+        let _ = PoolConfig::unlimited().validated();
+        let _ = PoolConfig::fixed(Power::from_watts_u64(5)).validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn validated_rejects_bad_fraction() {
+        let _ = PoolConfig {
+            fraction: 0.0,
+            ..Default::default()
+        }
+        .validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "lower limit above upper")]
+    fn validated_rejects_inverted_limits() {
+        let _ = PoolConfig {
+            lower: Power::from_watts_u64(40),
+            upper: Power::from_watts_u64(30),
+            ..Default::default()
+        }
+        .validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn fixed_zero_rejected() {
+        let _ = PoolConfig::fixed(Power::ZERO);
+    }
+}

@@ -1,0 +1,695 @@
+//! The local decider (Algorithm 1).
+
+use penelope_units::{NodeId, Power, PowerRange, SimTime};
+
+use crate::config::DeciderConfig;
+use crate::pool::PowerPool;
+
+/// The decider's per-iteration classification of its node (§3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Classification {
+    /// Reading more than ε below the cap: the node has excess power.
+    Excess,
+    /// Reading within ε of the cap: the node is power-hungry.
+    Hungry,
+    /// Reading exactly at `cap − ε` (Algorithm 1's strict comparisons leave
+    /// this point unclassified).
+    AtMargin,
+}
+
+/// Classify a reading against a cap with margin ε, exactly as Algorithm 1:
+/// `P < C − ε` → excess, `P > C − ε` → hungry, equality → neither.
+pub fn classify(reading: Power, cap: Power, epsilon: Power) -> Classification {
+    // Compare in added form to avoid unsigned underflow when ε > cap.
+    let lhs = reading + epsilon;
+    if lhs < cap {
+        Classification::Excess
+    } else if lhs > cap {
+        Classification::Hungry
+    } else {
+        Classification::AtMargin
+    }
+}
+
+/// What a decider iteration decided to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TickAction {
+    /// Excess: the cap was lowered and this much was deposited locally.
+    Deposited(Power),
+    /// Hungry with a non-empty local pool: withdrew this much locally.
+    TookLocal(Power),
+    /// Hungry with an empty local pool: send this request to `dst`'s pool.
+    Request {
+        /// The randomly chosen peer to query.
+        dst: NodeId,
+        /// Urgency of the request.
+        urgent: bool,
+        /// Power needed to return to the initial cap (urgent only).
+        alpha: Power,
+        /// Sequence number to match the grant against.
+        seq: u64,
+    },
+    /// Nothing to do: at the margin, no peer available, or still blocked on
+    /// an earlier request.
+    Idle,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Outstanding {
+    seq: u64,
+    sent_at: SimTime,
+}
+
+/// Per-decider lifetime counters, exposed for the metrics layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeciderStats {
+    /// Iterations executed.
+    pub ticks: u64,
+    /// Requests sent to peers.
+    pub requests_sent: u64,
+    /// Of which urgent.
+    pub urgent_sent: u64,
+    /// Requests abandoned after the response timeout.
+    pub timeouts: u64,
+    /// Total power deposited into the local pool.
+    pub deposited: Power,
+    /// Total power received in grants (applied + re-deposited overflow).
+    pub granted: Power,
+    /// Total power released due to a peer's urgent request (the
+    /// `localUrgency` inducement).
+    pub urgency_released: Power,
+}
+
+/// Algorithm 1: the per-node feedback controller.
+///
+/// The decider is substrate-agnostic: each period the host calls
+/// [`tick`](LocalDecider::tick) with the average power reading and a
+/// uniformly random peer, delivers any [`TickAction::Request`] it returns,
+/// and feeds the reply to [`on_grant`](LocalDecider::on_grant). After any
+/// call the host applies [`cap`](LocalDecider::cap) to the hardware.
+///
+/// While a request is outstanding the decider is *blocked* (the paper's
+/// implementation waits synchronously for the pool's reply); a tick that
+/// arrives first returns [`TickAction::Idle`], and the request is abandoned
+/// after [`DeciderConfig::response_timeout`] so a crashed peer cannot wedge
+/// the node.
+#[derive(Clone, Debug)]
+pub struct LocalDecider {
+    cfg: DeciderConfig,
+    initial_cap: Power,
+    cap: Power,
+    safe: PowerRange,
+    outstanding: Option<Outstanding>,
+    next_seq: u64,
+    stats: DeciderStats,
+}
+
+impl LocalDecider {
+    /// Create a decider with the given initial cap (clamped into `safe`).
+    pub fn new(cfg: DeciderConfig, initial_cap: Power, safe: PowerRange) -> Self {
+        let cap = safe.clamp(initial_cap);
+        LocalDecider {
+            cfg,
+            initial_cap: cap,
+            cap,
+            safe,
+            outstanding: None,
+            next_seq: 0,
+            stats: DeciderStats::default(),
+        }
+    }
+
+    /// The node-level cap the decider currently wants enforced (`C_t`).
+    pub fn cap(&self) -> Power {
+        self.cap
+    }
+
+    /// The initial assignment — the urgency threshold.
+    pub fn initial_cap(&self) -> Power {
+        self.initial_cap
+    }
+
+    /// The decider's configuration.
+    pub fn config(&self) -> &DeciderConfig {
+        &self.cfg
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> DeciderStats {
+        self.stats
+    }
+
+    /// True iff a request is in flight.
+    pub fn is_blocked(&self) -> bool {
+        self.outstanding.is_some()
+    }
+
+    /// Would a request sent right now be urgent? (Power-hungry is assumed;
+    /// urgency additionally requires being below the initial cap.)
+    pub fn is_below_initial(&self) -> bool {
+        self.cap < self.initial_cap
+    }
+
+    /// One iteration of Algorithm 1.
+    ///
+    /// * `now` — current virtual time.
+    /// * `reading` — average power since the previous tick.
+    /// * `pool` — the co-located power pool.
+    /// * `peer` — a peer chosen uniformly at random by the host (or `None`
+    ///   if no peer is reachable); consulted only if a request is needed.
+    pub fn tick(
+        &mut self,
+        now: SimTime,
+        reading: Power,
+        pool: &mut PowerPool,
+        peer: Option<NodeId>,
+    ) -> TickAction {
+        self.stats.ticks += 1;
+
+        // A decider blocked on an in-flight request does not iterate; the
+        // request is abandoned once the timeout passes.
+        if let Some(out) = self.outstanding {
+            if now.saturating_since(out.sent_at) >= self.cfg.response_timeout {
+                self.outstanding = None;
+                self.stats.timeouts += 1;
+            } else {
+                return TickAction::Idle;
+            }
+        }
+
+        let classification = classify(reading, self.cap, self.cfg.epsilon);
+        let action = match classification {
+            Classification::Excess => {
+                // Δ = C − P; lower the cap *before* exposing the power.
+                // The safe range floors the new cap; only what was actually
+                // shed is deposited, keeping the exchange zero-sum. An
+                // optional headroom parks the cap above the reading (never
+                // above the current cap).
+                let new_cap = (reading + self.cfg.shed_headroom)
+                    .min(self.cap)
+                    .max(self.safe.min());
+                let freed = self.cap.saturating_sub(new_cap);
+                self.cap = new_cap;
+                pool.deposit(freed);
+                self.stats.deposited += freed;
+                TickAction::Deposited(freed)
+            }
+            Classification::Hungry => {
+                if !pool.available().is_zero() {
+                    // Local pool first: Δ = min(Pool, getMaxSize(Pool)).
+                    let delta = pool.take_local();
+                    let applied = self.raise_cap(delta, pool);
+                    TickAction::TookLocal(applied)
+                } else if let Some(dst) = peer {
+                    let urgent = self.cfg.enable_urgency && self.cap < self.initial_cap;
+                    let alpha = if urgent {
+                        self.initial_cap - self.cap
+                    } else {
+                        Power::ZERO
+                    };
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.outstanding = Some(Outstanding { seq, sent_at: now });
+                    self.stats.requests_sent += 1;
+                    if urgent {
+                        self.stats.urgent_sent += 1;
+                    }
+                    TickAction::Request {
+                        dst,
+                        urgent,
+                        alpha,
+                        seq,
+                    }
+                } else {
+                    TickAction::Idle
+                }
+            }
+            Classification::AtMargin => TickAction::Idle,
+        };
+
+        self.finish_iteration(classification, pool);
+        action
+    }
+
+    /// Deliver a pool's grant. Returns the amount applied to the cap; any
+    /// surplus beyond the safe maximum is re-deposited locally so no budget
+    /// leaks. Grants arriving after the timeout are still honoured (the
+    /// power was already debited from the sender's pool).
+    pub fn on_grant(&mut self, seq: u64, amount: Power, pool: &mut PowerPool) -> Power {
+        if let Some(out) = self.outstanding {
+            if out.seq == seq {
+                self.outstanding = None;
+            }
+        }
+        self.stats.granted += amount;
+        self.raise_cap(amount, pool)
+    }
+
+    /// Raise the cap by `delta`, clamped to the safe maximum; overflow goes
+    /// back into the local pool.
+    fn raise_cap(&mut self, delta: Power, pool: &mut PowerPool) -> Power {
+        let new_cap = (self.cap + delta).min(self.safe.max());
+        let applied = new_cap - self.cap;
+        let overflow = delta - applied;
+        self.cap = new_cap;
+        if !overflow.is_zero() {
+            pool.deposit(overflow);
+        }
+        applied
+    }
+
+    /// Algorithm 1's final step: if the co-located pool served an urgent
+    /// request, release power down to the initial cap — unless this node is
+    /// itself urgent, in which case the flag persists until it is not.
+    fn finish_iteration(&mut self, classification: Classification, pool: &mut PowerPool) {
+        if !pool.local_urgency() {
+            return;
+        }
+        let self_urgent =
+            classification == Classification::Hungry && self.cap < self.initial_cap;
+        if self_urgent {
+            return;
+        }
+        let _ = pool.consume_local_urgency();
+        if self.cap > self.initial_cap {
+            let delta = self.cap - self.initial_cap;
+            self.cap = self.initial_cap;
+            pool.deposit(delta);
+            self.stats.urgency_released += delta;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use penelope_units::SimDuration;
+    use proptest::prelude::*;
+
+    fn w(x: u64) -> Power {
+        Power::from_watts_u64(x)
+    }
+
+    fn mw(x: u64) -> Power {
+        Power::from_milliwatts(x)
+    }
+
+    fn safe() -> PowerRange {
+        PowerRange::from_watts(80, 300)
+    }
+
+    fn decider(initial_w: u64) -> LocalDecider {
+        LocalDecider::new(DeciderConfig::default(), w(initial_w), safe())
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn classify_matches_algorithm_one() {
+        let eps = w(5);
+        assert_eq!(classify(w(100), w(150), eps), Classification::Excess);
+        assert_eq!(classify(w(146), w(150), eps), Classification::Hungry);
+        assert_eq!(classify(w(150), w(150), eps), Classification::Hungry);
+        assert_eq!(classify(w(145), w(150), eps), Classification::AtMargin);
+    }
+
+    #[test]
+    fn classify_handles_epsilon_larger_than_cap() {
+        // ε > C: P + ε > C for any P ≥ 0 unless... P + ε can equal C only
+        // if ε ≤ C. Here every reading is hungry.
+        assert_eq!(classify(Power::ZERO, w(3), w(5)), Classification::Hungry);
+    }
+
+    #[test]
+    fn excess_lowers_cap_to_reading_and_deposits() {
+        let mut d = decider(150);
+        let mut p = PowerPool::default();
+        let action = d.tick(t(1), w(100), &mut p, None);
+        assert_eq!(action, TickAction::Deposited(w(50)));
+        assert_eq!(d.cap(), w(100));
+        assert_eq!(p.available(), w(50));
+    }
+
+    #[test]
+    fn excess_respects_safe_floor() {
+        let mut d = decider(100);
+        let mut p = PowerPool::default();
+        // Reading 20 W but safe floor is 80 W: cap stops at 80, only 20 W freed.
+        let action = d.tick(t(1), w(20), &mut p, None);
+        assert_eq!(action, TickAction::Deposited(w(20)));
+        assert_eq!(d.cap(), w(80));
+        assert_eq!(p.available(), w(20));
+    }
+
+    #[test]
+    fn hungry_takes_from_local_pool_first() {
+        let mut d = decider(150);
+        let mut p = PowerPool::default();
+        p.deposit(w(200));
+        let action = d.tick(t(1), w(148), &mut p, Some(NodeId::new(9)));
+        // 10% of 200 = 20 W taken locally; no network request.
+        assert_eq!(action, TickAction::TookLocal(w(20)));
+        assert_eq!(d.cap(), w(170));
+        assert_eq!(p.available(), w(180));
+    }
+
+    #[test]
+    fn hungry_with_empty_pool_sends_request() {
+        let mut d = decider(150);
+        let mut p = PowerPool::default();
+        let action = d.tick(t(1), w(149), &mut p, Some(NodeId::new(4)));
+        match action {
+            TickAction::Request {
+                dst,
+                urgent,
+                alpha,
+                seq,
+            } => {
+                assert_eq!(dst, NodeId::new(4));
+                assert!(!urgent); // at initial cap, not below it
+                assert_eq!(alpha, Power::ZERO);
+                assert_eq!(seq, 0);
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+        assert!(d.is_blocked());
+    }
+
+    #[test]
+    fn below_initial_request_is_urgent_with_alpha() {
+        let mut d = decider(150);
+        let mut p = PowerPool::default();
+        // Drop the cap via an excess tick.
+        let _ = d.tick(t(1), w(100), &mut p, None);
+        p.drain(); // pretend another node took the excess
+        let action = d.tick(t(2), w(100), &mut p, Some(NodeId::new(2)));
+        match action {
+            TickAction::Request { urgent, alpha, .. } => {
+                assert!(urgent);
+                assert_eq!(alpha, w(50)); // 150 − 100
+            }
+            other => panic!("expected urgent request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hungry_with_no_peer_is_idle() {
+        let mut d = decider(150);
+        let mut p = PowerPool::default();
+        assert_eq!(d.tick(t(1), w(150), &mut p, None), TickAction::Idle);
+        assert!(!d.is_blocked());
+    }
+
+    #[test]
+    fn at_margin_is_idle() {
+        let mut d = decider(150);
+        let mut p = PowerPool::default();
+        assert_eq!(d.tick(t(1), w(145), &mut p, None), TickAction::Idle);
+        assert_eq!(d.cap(), w(150));
+    }
+
+    #[test]
+    fn blocked_decider_skips_iterations_until_timeout() {
+        let cfg = DeciderConfig {
+            response_timeout: SimDuration::from_secs(2),
+            ..Default::default()
+        };
+        let mut d = LocalDecider::new(cfg, w(150), safe());
+        let mut p = PowerPool::default();
+        let _ = d.tick(t(1), w(150), &mut p, Some(NodeId::new(1)));
+        assert!(d.is_blocked());
+        // One second later: still blocked.
+        assert_eq!(d.tick(t(2), w(150), &mut p, Some(NodeId::new(1))), TickAction::Idle);
+        // Two more seconds: timeout expired; decider resumes and re-requests.
+        let action = d.tick(t(3), w(150), &mut p, Some(NodeId::new(2)));
+        assert!(matches!(action, TickAction::Request { seq: 1, .. }), "{action:?}");
+        assert_eq!(d.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn grant_raises_cap_and_unblocks() {
+        let mut d = decider(150);
+        let mut p = PowerPool::default();
+        let TickAction::Request { seq, .. } = d.tick(t(1), w(150), &mut p, Some(NodeId::new(1)))
+        else {
+            panic!("expected request")
+        };
+        let applied = d.on_grant(seq, w(20), &mut p);
+        assert_eq!(applied, w(20));
+        assert_eq!(d.cap(), w(170));
+        assert!(!d.is_blocked());
+    }
+
+    #[test]
+    fn zero_grant_unblocks_without_cap_change() {
+        let mut d = decider(150);
+        let mut p = PowerPool::default();
+        let TickAction::Request { seq, .. } = d.tick(t(1), w(150), &mut p, Some(NodeId::new(1)))
+        else {
+            panic!("expected request")
+        };
+        assert_eq!(d.on_grant(seq, Power::ZERO, &mut p), Power::ZERO);
+        assert_eq!(d.cap(), w(150));
+        assert!(!d.is_blocked());
+    }
+
+    #[test]
+    fn grant_overflow_beyond_safe_max_is_redeposited() {
+        let mut d = decider(290);
+        let mut p = PowerPool::default();
+        let TickAction::Request { seq, .. } = d.tick(t(1), w(290), &mut p, Some(NodeId::new(1)))
+        else {
+            panic!("expected request")
+        };
+        let applied = d.on_grant(seq, w(30), &mut p);
+        assert_eq!(applied, w(10)); // 290 → 300 (safe max)
+        assert_eq!(d.cap(), w(300));
+        assert_eq!(p.available(), w(20)); // surplus conserved locally
+    }
+
+    #[test]
+    fn late_grant_after_timeout_still_applied() {
+        let mut d = decider(150);
+        let mut p = PowerPool::default();
+        let TickAction::Request { seq, .. } = d.tick(t(1), w(150), &mut p, Some(NodeId::new(1)))
+        else {
+            panic!("expected request")
+        };
+        // Timeout passes; decider re-iterates.
+        let _ = d.tick(t(3), w(100), &mut p, None);
+        let cap_before = d.cap();
+        let applied = d.on_grant(seq, w(7), &mut p);
+        assert_eq!(applied, w(7));
+        assert_eq!(d.cap(), cap_before + w(7));
+    }
+
+    #[test]
+    fn local_urgency_triggers_release_to_initial() {
+        let mut d = decider(150);
+        let mut p = PowerPool::default();
+        // Raise the cap above initial via a local take.
+        p.deposit(w(300));
+        let _ = d.tick(t(1), w(150), &mut p, None); // takes 30 W → cap 180
+        assert_eq!(d.cap(), w(180));
+        // A peer's urgent request hits our pool.
+        let _ = p.handle_request(true, w(50));
+        // Next iteration at the margin (reading = cap − ε = 175): the node
+        // is not itself urgent → must release down to 150.
+        let before_pool = p.available();
+        let _ = d.tick(t(2), w(175), &mut p, None);
+        assert_eq!(d.cap(), w(150));
+        assert_eq!(p.available(), before_pool + w(30));
+        assert_eq!(d.stats().urgency_released, w(30));
+        assert!(!p.local_urgency());
+    }
+
+    #[test]
+    fn urgent_node_does_not_release_and_flag_persists() {
+        let mut d = decider(150);
+        let mut p = PowerPool::default();
+        // Cap below initial: excess tick down to 100 W.
+        let _ = d.tick(t(1), w(100), &mut p, None);
+        p.drain();
+        // Peer urgent request sets our flag.
+        let _ = p.handle_request(true, w(10));
+        // We are hungry below initial (urgent ourselves): no release.
+        let action = d.tick(t(2), w(100), &mut p, Some(NodeId::new(1)));
+        assert!(matches!(action, TickAction::Request { urgent: true, .. }));
+        assert_eq!(d.cap(), w(100));
+        assert!(p.local_urgency(), "flag persists while self-urgent");
+    }
+
+    #[test]
+    fn release_noop_when_at_or_below_initial_clears_flag() {
+        let mut d = decider(150);
+        let mut p = PowerPool::default();
+        let _ = p.handle_request(true, w(10)); // sets flag, pool empty
+        let _ = d.tick(t(1), w(145), &mut p, None); // at margin, cap == initial
+        assert_eq!(d.cap(), w(150));
+        assert!(!p.local_urgency(), "flag cleared even though nothing to release");
+    }
+
+    #[test]
+    fn initial_cap_clamped_to_safe_range() {
+        let d = LocalDecider::new(DeciderConfig::default(), w(999), safe());
+        assert_eq!(d.cap(), w(300));
+        assert_eq!(d.initial_cap(), w(300));
+        let d = LocalDecider::new(DeciderConfig::default(), w(1), safe());
+        assert_eq!(d.initial_cap(), w(80));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = decider(150);
+        let mut p = PowerPool::default();
+        let _ = d.tick(t(1), w(100), &mut p, None); // deposit 50 → cap 100
+        let _ = d.tick(t(2), w(100), &mut p, Some(NodeId::new(1))); // hungry: local take (5 W) → cap 105
+        p.drain();
+        let a = d.tick(t(3), w(102), &mut p, Some(NodeId::new(1))); // hungry below initial → urgent request
+        assert!(matches!(a, TickAction::Request { urgent: true, .. }));
+        let s = d.stats();
+        assert_eq!(s.ticks, 3);
+        assert_eq!(s.deposited, w(50));
+        assert_eq!(s.requests_sent, 1);
+        assert_eq!(s.urgent_sent, 1);
+    }
+
+    /// Reference model for the proptest below: one decider + one pool,
+    /// arbitrary readings and grants, conservation must hold throughout.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Tick(u64),
+        Grant(u64),
+    }
+
+    proptest! {
+        #[test]
+        fn cap_plus_pool_conserved_locally(
+            ops in proptest::collection::vec(
+                prop_oneof![
+                    (0u64..400_000u64).prop_map(Op::Tick),
+                    (0u64..50_000u64).prop_map(Op::Grant),
+                ],
+                1..300,
+            )
+        ) {
+            // A closed single-node system where grants come from a budget
+            // ledger: cap + pool + ledger is invariant and the cap stays in
+            // the safe range.
+            let mut d = decider(150);
+            let mut p = PowerPool::default();
+            let mut ledger = Power::from_watts_u64(10_000);
+            let invariant = d.cap() + p.available() + ledger;
+            let mut now = 0u64;
+            let mut pending: Vec<(u64, Power)> = Vec::new();
+            for op in ops {
+                now += 1;
+                match op {
+                    Op::Tick(reading_mw) => {
+                        let action = d.tick(
+                            SimTime::from_secs(now),
+                            mw(reading_mw),
+                            &mut p,
+                            Some(NodeId::new(1)),
+                        );
+                        if let TickAction::Request { seq, urgent, alpha, .. } = action {
+                            // Serve from the ledger like a remote pool would.
+                            let give = if urgent { ledger.min(alpha) } else { ledger.min(w(3)) };
+                            ledger -= give;
+                            pending.push((seq, give));
+                        }
+                    }
+                    Op::Grant(extra_mw) => {
+                        if let Some((seq, give)) = pending.pop() {
+                            let _ = extra_mw;
+                            let _ = d.on_grant(seq, give, &mut p);
+                        }
+                    }
+                }
+                let in_flight: Power = pending.iter().map(|&(_, g)| g).sum();
+                prop_assert_eq!(d.cap() + p.available() + ledger + in_flight, invariant);
+                prop_assert!(safe().contains(d.cap()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod shed_headroom_tests {
+    use super::*;
+    use crate::config::DeciderConfig;
+    use penelope_units::{PowerRange, SimDuration};
+
+    fn w(x: u64) -> Power {
+        Power::from_watts_u64(x)
+    }
+
+    #[test]
+    fn headroom_parks_node_at_margin() {
+        // With shed_headroom = ε, an excess node lands exactly at the
+        // margin: next tick with the same reading classifies AtMargin, so
+        // it neither churns its own pool nor sends requests.
+        let cfg = DeciderConfig {
+            shed_headroom: w(5), // == default ε
+            ..Default::default()
+        };
+        let mut d = LocalDecider::new(cfg, w(160), PowerRange::from_watts(80, 300));
+        let mut p = PowerPool::default();
+        let a1 = d.tick(SimTime::from_secs(1), w(100), &mut p, None);
+        assert_eq!(a1, TickAction::Deposited(w(55))); // 160 - (100+5)
+        assert_eq!(d.cap(), w(105));
+        let a2 = d.tick(SimTime::from_secs(2), w(100), &mut p, None);
+        assert_eq!(a2, TickAction::Idle, "node should rest at the margin");
+        assert_eq!(d.cap(), w(105));
+    }
+
+    #[test]
+    fn zero_headroom_reproduces_algorithm_one() {
+        // The paper's verbatim behaviour: C = P, and the node is then
+        // power-hungry (P > C − ε), dipping into its own pool.
+        let mut d = LocalDecider::new(DeciderConfig::default(), w(160), PowerRange::from_watts(80, 300));
+        let mut p = PowerPool::default();
+        let _ = d.tick(SimTime::from_secs(1), w(100), &mut p, None);
+        assert_eq!(d.cap(), w(100));
+        let a = d.tick(SimTime::from_secs(2), w(100), &mut p, None);
+        assert!(matches!(a, TickAction::TookLocal(_)), "{a:?}");
+    }
+
+    #[test]
+    fn headroom_never_raises_cap() {
+        // Excess with a huge headroom cannot push the cap above its
+        // current value.
+        let cfg = DeciderConfig {
+            shed_headroom: w(500),
+            ..Default::default()
+        };
+        let mut d = LocalDecider::new(cfg, w(160), PowerRange::from_watts(80, 300));
+        let mut p = PowerPool::default();
+        let a = d.tick(SimTime::from_secs(1), w(100), &mut p, None);
+        assert_eq!(a, TickAction::Deposited(Power::ZERO));
+        assert_eq!(d.cap(), w(160));
+    }
+
+    #[test]
+    fn urgency_disabled_sends_plain_requests() {
+        let cfg = DeciderConfig {
+            enable_urgency: false,
+            response_timeout: SimDuration::from_secs(1),
+            ..Default::default()
+        };
+        let mut d = LocalDecider::new(cfg, w(160), PowerRange::from_watts(80, 300));
+        let mut p = PowerPool::default();
+        let _ = d.tick(SimTime::from_secs(1), w(100), &mut p, None); // cap → 100
+        p.drain();
+        let a = d.tick(SimTime::from_secs(2), w(100), &mut p, Some(NodeId::new(1)));
+        match a {
+            TickAction::Request { urgent, alpha, .. } => {
+                assert!(!urgent, "urgency disabled but request was urgent");
+                assert_eq!(alpha, Power::ZERO);
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+}

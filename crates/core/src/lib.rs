@@ -1,0 +1,49 @@
+//! The Penelope algorithm: peer-to-peer power management.
+//!
+//! This crate is the paper's contribution (§3). Each node runs two
+//! components:
+//!
+//! * a [`LocalDecider`] — Algorithm 1: a feedback controller that, once per
+//!   period `T`, classifies the node as *having excess* (reading more than
+//!   ε below its cap) or *power-hungry* (reading within ε of its cap),
+//!   releases excess into the local pool, and otherwise acquires power —
+//!   first locally, then by querying a peer chosen uniformly at random;
+//! * a [`PowerPool`] — Algorithm 2: a local cache of freed power that
+//!   answers peer requests, rate-limited to 10 % of the pool clamped into
+//!   `[LOWER_LIMIT, UPPER_LIMIT]` (1 W / 30 W in the paper) to prevent
+//!   hoarding and power oscillation (§3.2).
+//!
+//! **Urgency** (§3, adapted from Zhang & Hoffmann): a node that is both
+//! power-hungry *and* capped below its initial assignment sends *urgent*
+//! requests that (a) bypass the transaction limit up to the amount α needed
+//! to return to the initial cap, and (b) set the serving pool's
+//! `localUrgency` flag, inducing that node to release power down to *its*
+//! initial cap on its next iteration — artificially creating excess when
+//! the system has none.
+//!
+//! The decider is a pure state machine: the caller (the discrete-event
+//! simulator or the threaded runtime) supplies power readings, random peer
+//! choices and message delivery, and applies the cap the decider publishes
+//! via [`LocalDecider::cap`] to the hardware. This is what lets every
+//! experiment in the paper run the *same* algorithm code over different
+//! substrates.
+//!
+//! Everything is exact integer arithmetic over
+//! [`Power`](penelope_units::Power) (milliwatts), so a cluster-wide
+//! conservation invariant — Σ caps + Σ pools + in-flight grants = budget —
+//! holds as an equality and is asserted after every simulator event.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod decider;
+pub mod fair;
+pub mod pool;
+pub mod protocol;
+
+pub use config::{DeciderConfig, PoolConfig};
+pub use decider::{Classification, LocalDecider, TickAction};
+pub use fair::fair_assignment;
+pub use pool::PowerPool;
+pub use protocol::{PeerMsg, PowerGrant, PowerRequest};

@@ -1,0 +1,68 @@
+//! The peer-to-peer wire protocol.
+//!
+//! Two message types suffice (§3): a request from a power-hungry decider to
+//! a randomly chosen pool, and the pool's grant in response. A grant of
+//! zero power is still sent — the requester is blocked on the reply.
+
+use penelope_units::{NodeId, Power};
+use serde::{Deserialize, Serialize};
+
+/// A decider's request for power, addressed to another node's pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PowerRequest {
+    /// The requesting node (where the grant should be sent).
+    pub from: NodeId,
+    /// True iff the requester is power-hungry *and* below its initial cap.
+    pub urgent: bool,
+    /// For urgent requests: the power needed to return to the initial cap
+    /// (α in §3.2). Zero for non-urgent requests.
+    pub alpha: Power,
+    /// Requester-local sequence number, echoed in the grant.
+    pub seq: u64,
+}
+
+/// A pool's response to a [`PowerRequest`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PowerGrant {
+    /// Power transferred. The pool has already debited this amount, so the
+    /// recipient *must* either raise its cap by it or re-deposit it —
+    /// dropping it on the floor would leak budget.
+    pub amount: Power,
+    /// Echo of the request's sequence number.
+    pub seq: u64,
+}
+
+/// The Penelope peer protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PeerMsg {
+    /// Decider → pool.
+    Request(PowerRequest),
+    /// Pool → decider.
+    Grant(PowerGrant),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_small() {
+        // The protocol must stay cheap at scale: a few machine words.
+        assert!(std::mem::size_of::<PeerMsg>() <= 40);
+    }
+
+    #[test]
+    fn grant_echoes_sequence() {
+        let req = PowerRequest {
+            from: NodeId::new(3),
+            urgent: true,
+            alpha: Power::from_watts_u64(12),
+            seq: 77,
+        };
+        let grant = PowerGrant {
+            amount: Power::from_watts_u64(12),
+            seq: req.seq,
+        };
+        assert_eq!(grant.seq, 77);
+    }
+}

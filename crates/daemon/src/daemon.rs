@@ -1,0 +1,294 @@
+//! The daemon runtime: decider thread + network/pool thread over UDP.
+
+use std::io;
+use std::net::UdpSocket;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use penelope_core::decider::DeciderStats;
+use penelope_core::{LocalDecider, PowerPool, TickAction};
+use penelope_power::{CappedDevice, ConstantDevice, LinuxRapl, PowerInterface, SimulatedRapl};
+use penelope_units::{NodeId, Power, SimTime};
+use penelope_workload::WorkloadState;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::config::{DaemonConfig, PowerBackend};
+use crate::wire::{WireMsg, MAX_WIRE_LEN};
+
+/// One status sample, emitted every `status_every` iterations.
+#[derive(Clone, Copy, Debug)]
+pub struct DaemonStatus {
+    /// Decider iteration count.
+    pub iteration: u64,
+    /// Wall-clock seconds since the daemon started.
+    pub uptime_secs: f64,
+    /// Current node-level cap.
+    pub cap: Power,
+    /// The last power reading.
+    pub reading: Power,
+    /// Power cached in the local pool.
+    pub pool: Power,
+}
+
+impl DaemonStatus {
+    /// Render as the daemon's stdout status line.
+    pub fn render(&self) -> String {
+        format!(
+            "t={:8.2}s iter={:6} cap={} reading={} pool={}",
+            self.uptime_secs, self.iteration, self.cap, self.reading, self.pool
+        )
+    }
+}
+
+/// Final accounting when a daemon stops.
+#[derive(Clone, Copy, Debug)]
+pub struct DaemonSummary {
+    /// Decider iterations executed.
+    pub iterations: u64,
+    /// The cap at shutdown.
+    pub final_cap: Power,
+    /// Pool balance at shutdown.
+    pub final_pool: Power,
+    /// Decider counters.
+    pub decider: DeciderStats,
+    /// Power granted to peers by the local pool.
+    pub granted_to_peers: Power,
+    /// Peer requests served.
+    pub requests_served: u64,
+}
+
+/// A running daemon: stop it to get the summary.
+pub struct DaemonHandle {
+    shutdown: Arc<AtomicBool>,
+    decider_thread: JoinHandle<(LocalDecider, u64)>,
+    net_thread: JoinHandle<()>,
+    pool: Arc<Mutex<PowerPool>>,
+    /// Status samples (`status_every` > 0) arrive here.
+    pub status_rx: Receiver<DaemonStatus>,
+    /// The address the daemon actually bound (useful with port 0).
+    pub local_addr: std::net::SocketAddr,
+}
+
+impl DaemonHandle {
+    /// Signal shutdown and collect the final summary.
+    pub fn stop(self) -> DaemonSummary {
+        self.shutdown.store(true, Ordering::Relaxed);
+        let (decider, iterations) = self.decider_thread.join().expect("decider thread");
+        self.net_thread.join().expect("net thread");
+        let pool = self.pool.lock();
+        DaemonSummary {
+            iterations,
+            final_cap: decider.cap(),
+            final_pool: pool.available(),
+            decider: decider.stats(),
+            granted_to_peers: pool.total_granted(),
+            requests_served: pool.requests_served(),
+        }
+    }
+}
+
+/// The node's power hardware, simulated or real.
+enum Hardware {
+    Simulated {
+        rapl: SimulatedRapl<Box<dyn CappedDevice + Send>>,
+        origin: Instant,
+    },
+    Linux(Box<LinuxRapl>),
+}
+
+impl Hardware {
+    fn now(&self) -> SimTime {
+        match self {
+            Hardware::Simulated { origin, .. } => {
+                SimTime::from_nanos(origin.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+            }
+            Hardware::Linux(_) => {
+                // The Linux backend only needs a monotonically increasing
+                // clock for its read windows.
+                static START: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+                let origin = START.get_or_init(Instant::now);
+                SimTime::from_nanos(origin.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+            }
+        }
+    }
+
+    fn read_power(&mut self) -> Power {
+        let now = self.now();
+        match self {
+            Hardware::Simulated { rapl, .. } => rapl.read_power(now),
+            Hardware::Linux(rapl) => rapl.read_power(now),
+        }
+    }
+
+    fn set_cap(&mut self, cap: Power) {
+        let now = self.now();
+        match self {
+            Hardware::Simulated { rapl, .. } => rapl.set_cap(cap, now),
+            Hardware::Linux(rapl) => rapl.set_cap(cap, now),
+        }
+    }
+}
+
+fn build_hardware(cfg: &DaemonConfig) -> io::Result<Hardware> {
+    Ok(match &cfg.power {
+        PowerBackend::SimulatedConstant { demand } => {
+            let device: Box<dyn CappedDevice + Send> = Box::new(ConstantDevice::new(*demand));
+            Hardware::Simulated {
+                rapl: SimulatedRapl::new(device, cfg.initial_cap, cfg.rapl.clone()),
+                origin: Instant::now(),
+            }
+        }
+        PowerBackend::SimulatedProfile { profile } => {
+            let device: Box<dyn CappedDevice + Send> =
+                Box::new(WorkloadState::new(profile.clone()));
+            Hardware::Simulated {
+                rapl: SimulatedRapl::new(device, cfg.initial_cap, cfg.rapl.clone()),
+                origin: Instant::now(),
+            }
+        }
+        PowerBackend::LinuxRapl => Hardware::Linux(Box::new(
+            LinuxRapl::discover(cfg.safe_range)
+                .map_err(|e| io::Error::new(io::ErrorKind::NotFound, e.to_string()))?,
+        )),
+    })
+}
+
+/// Start a daemon, binding a fresh socket to `cfg.listen`.
+pub fn run_daemon(cfg: DaemonConfig) -> io::Result<DaemonHandle> {
+    let socket = UdpSocket::bind(cfg.listen)?;
+    run_daemon_with_socket(cfg, socket)
+}
+
+/// Start a daemon on a pre-bound socket (tests bind port 0 first so peers
+/// can learn each other's real ports before launch).
+pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Result<DaemonHandle> {
+    let local_addr = socket.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let pool = Arc::new(Mutex::new(PowerPool::new(cfg.pool)));
+    let (grant_tx, grant_rx): (Sender<WireMsg>, Receiver<WireMsg>) = unbounded();
+    let (status_tx, status_rx) = unbounded();
+
+    // --- Network thread: serves peer requests, forwards grants. ---------
+    let net_socket = socket.try_clone()?;
+    net_socket.set_read_timeout(Some(Duration::from_millis(10)))?;
+    let net_pool = Arc::clone(&pool);
+    let net_stop = Arc::clone(&shutdown);
+    let net_thread = thread::spawn(move || {
+        let mut buf = [0u8; MAX_WIRE_LEN + 16];
+        while !net_stop.load(Ordering::Relaxed) {
+            let (len, src) = match net_socket.recv_from(&mut buf) {
+                Ok(x) => x,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(_) => continue,
+            };
+            match WireMsg::decode(&buf[..len]) {
+                Ok(WireMsg::Request { seq, urgent, alpha }) => {
+                    // Algorithm 2, straight from the shared pool.
+                    let amount = net_pool.lock().handle_request(urgent, alpha);
+                    let reply = WireMsg::Grant { seq, amount }.encode();
+                    let _ = net_socket.send_to(&reply, src);
+                }
+                Ok(grant @ WireMsg::Grant { .. }) => {
+                    let _ = grant_tx.send(grant);
+                }
+                Err(_) => { /* garbage datagram: drop */ }
+            }
+        }
+    });
+
+    // --- Decider thread: the Algorithm 1 loop. ---------------------------
+    let mut hardware = build_hardware(&cfg)?;
+    let decider_socket = socket;
+    let decider_pool = Arc::clone(&pool);
+    let decider_stop = Arc::clone(&shutdown);
+    let peers = cfg.peers.clone();
+    let period = Duration::from_nanos(cfg.decider.period.as_nanos());
+    let timeout = Duration::from_nanos(cfg.decider.response_timeout.as_nanos());
+    let status_every = cfg.status_every;
+    let decider_cfg = cfg.decider;
+    let initial_cap = cfg.initial_cap;
+    let safe_range = cfg.safe_range;
+    let decider_thread = thread::spawn(move || {
+        let mut decider = LocalDecider::new(decider_cfg, initial_cap, safe_range);
+        let mut rng = ChaCha8Rng::seed_from_u64(local_addr.port() as u64 ^ 0xDAE0_0DAE);
+        let origin = Instant::now();
+        let mut iterations = 0u64;
+        hardware.set_cap(decider.cap());
+        while !decider_stop.load(Ordering::Relaxed) {
+            let iter_start = Instant::now();
+            iterations += 1;
+            let now = SimTime::from_nanos(origin.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            let reading = hardware.read_power();
+            // The decider asks for a *peer index*; it maps to a socket addr.
+            let peer = if peers.is_empty() {
+                None
+            } else {
+                Some(NodeId::new(rng.gen_range(0..peers.len()) as u32))
+            };
+            let action = decider.tick(now, reading, &mut decider_pool.lock(), peer);
+            hardware.set_cap(decider.cap());
+            if let TickAction::Request {
+                dst,
+                urgent,
+                alpha,
+                seq,
+            } = action
+            {
+                let msg = WireMsg::Request { seq, urgent, alpha }.encode();
+                let _ = decider_socket.send_to(&msg, peers[dst.index()]);
+                // Block for the grant, as the paper's decider does.
+                let deadline = Instant::now() + timeout;
+                loop {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        break;
+                    }
+                    match grant_rx.recv_timeout(remaining) {
+                        Ok(WireMsg::Grant { seq: gseq, amount }) => {
+                            let _ =
+                                decider.on_grant(gseq, amount, &mut decider_pool.lock());
+                            hardware.set_cap(decider.cap());
+                            if gseq == seq {
+                                break;
+                            }
+                            // A stale grant (from a timed-out request):
+                            // applied above, keep waiting for ours.
+                        }
+                        Ok(_) => {}
+                        Err(_) => break, // timeout: decider will retry next period
+                    }
+                }
+            }
+            if status_every > 0 && iterations.is_multiple_of(status_every) {
+                let _ = status_tx.send(DaemonStatus {
+                    iteration: iterations,
+                    uptime_secs: origin.elapsed().as_secs_f64(),
+                    cap: decider.cap(),
+                    reading,
+                    pool: decider_pool.lock().available(),
+                });
+            }
+            thread::sleep(period.saturating_sub(iter_start.elapsed()));
+        }
+        (decider, iterations)
+    });
+
+    Ok(DaemonHandle {
+        shutdown,
+        decider_thread,
+        net_thread,
+        pool,
+        status_rx,
+        local_addr,
+    })
+}

@@ -1,0 +1,36 @@
+//! The deployable Penelope daemon.
+//!
+//! Everything else in this workspace runs the algorithms against simulated
+//! substrates; this crate is the piece a cluster operator actually starts
+//! on every node:
+//!
+//! ```text
+//! penelope-daemon --listen 10.0.0.5:7700 \
+//!     --peers 10.0.0.6:7700,10.0.0.7:7700 \
+//!     --initial-cap-watts 160 --period-ms 1000
+//! ```
+//!
+//! Each daemon runs the paper's two per-node components over a UDP socket:
+//! the local decider iterates every period against the node's power
+//! interface (real Intel RAPL via `/sys/class/powercap`, or a simulated
+//! device for single-machine demos), and incoming peer requests are served
+//! from the locked local power pool — requests and grants travel as small
+//! versioned datagrams ([`wire`]).
+//!
+//! UDP matches the protocol's needs exactly: requests are idempotent-ish
+//! (a lost request simply times out and the decider re-asks next period),
+//! and a lost *grant* loses power in the safe direction — the budget can
+//! only shrink, never be exceeded, which is the same argument the paper
+//! makes for node failures. The decider's response timeout already handles
+//! both cases.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod daemon;
+pub mod wire;
+
+pub use config::{DaemonConfig, PowerBackend};
+pub use daemon::{run_daemon, run_daemon_with_socket, DaemonHandle, DaemonStatus, DaemonSummary};
+pub use wire::WireMsg;

@@ -1,0 +1,43 @@
+//! The `penelope-daemon` binary: run one node of a peer-to-peer
+//! power-management cluster.
+//!
+//! ```text
+//! penelope-daemon --listen 10.0.0.5:7700 \
+//!     --peers 10.0.0.6:7700,10.0.0.7:7700 \
+//!     --initial-cap-watts 160 --period-ms 1000 --rapl
+//!
+//! # single-machine demo without hardware access:
+//! penelope-daemon --listen 127.0.0.1:7700 --peers 127.0.0.1:7701 \
+//!     --simulate-demand-watts 250 --period-ms 100
+//! ```
+
+use penelope_daemon::{run_daemon, DaemonConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match DaemonConfig::from_args(&args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("penelope-daemon: {e}");
+            eprintln!(
+                "usage: penelope-daemon --listen <addr:port> --peers <addr:port,...> \
+                 (--rapl | --simulate-demand-watts <W>) [--initial-cap-watts <W>] \
+                 [--period-ms <ms>] [--safe-min-watts <W>] [--safe-max-watts <W>] \
+                 [--status-every <n>]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let handle = match run_daemon(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("penelope-daemon: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("penelope-daemon: listening on {}", handle.local_addr);
+    // Stream status lines until killed.
+    while let Ok(status) = handle.status_rx.recv() {
+        println!("{}", status.render());
+    }
+}

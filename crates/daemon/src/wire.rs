@@ -1,0 +1,242 @@
+//! The datagram wire format.
+//!
+//! Two message kinds, fixed little-endian layout, one version byte. The
+//! requester's identity is the datagram's source address (the pool replies
+//! to wherever the request came from), so no addressing fields are needed
+//! beyond the sequence number that pairs grants with requests.
+//!
+//! ```text
+//! Request: [0x01, 0x00, seq: u64, urgent: u8, alpha_mw: u64]   (19 bytes)
+//! Grant:   [0x01, 0x01, seq: u64, amount_mw: u64]              (18 bytes)
+//! ```
+
+use penelope_units::Power;
+
+/// Protocol version byte.
+pub const WIRE_VERSION: u8 = 0x01;
+
+const KIND_REQUEST: u8 = 0x00;
+const KIND_GRANT: u8 = 0x01;
+
+/// Maximum encoded size (for receive buffers).
+pub const MAX_WIRE_LEN: usize = 19;
+
+/// A message on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireMsg {
+    /// A power request addressed to a peer's pool.
+    Request {
+        /// Requester-local sequence number, echoed in the grant.
+        seq: u64,
+        /// Urgent flag (§3: hungry and below the initial cap).
+        urgent: bool,
+        /// Power needed to return to the initial cap (urgent only).
+        alpha: Power,
+    },
+    /// A pool's grant in response.
+    Grant {
+        /// Echo of the request's sequence number.
+        seq: u64,
+        /// Power transferred (already debited from the sender's pool).
+        amount: Power,
+    },
+}
+
+/// Decoding failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Datagram shorter than its layout requires.
+    Truncated,
+    /// Unknown version byte.
+    BadVersion(u8),
+    /// Unknown message kind.
+    BadKind(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated datagram"),
+            WireError::BadVersion(v) => write!(f, "unknown wire version {v:#x}"),
+            WireError::BadKind(k) => write!(f, "unknown message kind {k:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireMsg {
+    /// Encode into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(MAX_WIRE_LEN);
+        buf.push(WIRE_VERSION);
+        match *self {
+            WireMsg::Request { seq, urgent, alpha } => {
+                buf.push(KIND_REQUEST);
+                buf.extend_from_slice(&seq.to_le_bytes());
+                buf.push(u8::from(urgent));
+                buf.extend_from_slice(&alpha.milliwatts().to_le_bytes());
+            }
+            WireMsg::Grant { seq, amount } => {
+                buf.push(KIND_GRANT);
+                buf.extend_from_slice(&seq.to_le_bytes());
+                buf.extend_from_slice(&amount.milliwatts().to_le_bytes());
+            }
+        }
+        buf
+    }
+
+    /// Decode from a received datagram.
+    pub fn decode(buf: &[u8]) -> Result<WireMsg, WireError> {
+        if buf.len() < 2 {
+            return Err(WireError::Truncated);
+        }
+        if buf[0] != WIRE_VERSION {
+            return Err(WireError::BadVersion(buf[0]));
+        }
+        let u64_at = |off: usize| -> Result<u64, WireError> {
+            let bytes: [u8; 8] = buf
+                .get(off..off + 8)
+                .ok_or(WireError::Truncated)?
+                .try_into()
+                .expect("slice is 8 bytes");
+            Ok(u64::from_le_bytes(bytes))
+        };
+        match buf[1] {
+            KIND_REQUEST => {
+                let seq = u64_at(2)?;
+                let urgent = *buf.get(10).ok_or(WireError::Truncated)? != 0;
+                let alpha = Power::from_milliwatts(u64_at(11)?);
+                Ok(WireMsg::Request { seq, urgent, alpha })
+            }
+            KIND_GRANT => {
+                let seq = u64_at(2)?;
+                let amount = Power::from_milliwatts(u64_at(10)?);
+                Ok(WireMsg::Grant { seq, amount })
+            }
+            k => Err(WireError::BadKind(k)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(x: u64) -> Power {
+        Power::from_watts_u64(x)
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        for urgent in [false, true] {
+            let msg = WireMsg::Request {
+                seq: 0xDEAD_BEEF_0123,
+                urgent,
+                alpha: w(57),
+            };
+            let bytes = msg.encode();
+            assert_eq!(bytes.len(), 19);
+            assert_eq!(WireMsg::decode(&bytes), Ok(msg));
+        }
+    }
+
+    #[test]
+    fn grant_roundtrip() {
+        let msg = WireMsg::Grant {
+            seq: u64::MAX,
+            amount: Power::from_milliwatts(123_456),
+        };
+        let bytes = msg.encode();
+        assert_eq!(bytes.len(), 18);
+        assert_eq!(WireMsg::decode(&bytes), Ok(msg));
+    }
+
+    #[test]
+    fn zero_grant_roundtrip() {
+        let msg = WireMsg::Grant {
+            seq: 0,
+            amount: Power::ZERO,
+        };
+        assert_eq!(WireMsg::decode(&msg.encode()), Ok(msg));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(WireMsg::decode(&[]), Err(WireError::Truncated));
+        assert_eq!(WireMsg::decode(&[1]), Err(WireError::Truncated));
+        assert_eq!(WireMsg::decode(&[9, 0]), Err(WireError::BadVersion(9)));
+        assert_eq!(WireMsg::decode(&[1, 7]), Err(WireError::BadKind(7)));
+        // Truncated request body.
+        let mut bytes = WireMsg::Request {
+            seq: 1,
+            urgent: true,
+            alpha: w(1),
+        }
+        .encode();
+        bytes.truncate(12);
+        assert_eq!(WireMsg::decode(&bytes), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn buffers_fit_the_declared_max() {
+        let r = WireMsg::Request {
+            seq: u64::MAX,
+            urgent: true,
+            alpha: Power::MAX,
+        };
+        assert!(r.encode().len() <= MAX_WIRE_LEN);
+        let g = WireMsg::Grant {
+            seq: u64::MAX,
+            amount: Power::MAX,
+        };
+        assert!(g.encode().len() <= MAX_WIRE_LEN);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(WireError::Truncated.to_string().contains("truncated"));
+        assert!(WireError::BadVersion(3).to_string().contains("version"));
+        assert!(WireError::BadKind(3).to_string().contains("kind"));
+    }
+}
+
+#[cfg(test)]
+mod fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = WireMsg::decode(&bytes);
+        }
+
+        #[test]
+        fn arbitrary_messages_roundtrip(
+            seq in any::<u64>(),
+            urgent in any::<bool>(),
+            mw in any::<u64>(),
+            is_grant in any::<bool>(),
+        ) {
+            let msg = if is_grant {
+                WireMsg::Grant { seq, amount: Power::from_milliwatts(mw) }
+            } else {
+                WireMsg::Request { seq, urgent, alpha: Power::from_milliwatts(mw) }
+            };
+            prop_assert_eq!(WireMsg::decode(&msg.encode()), Ok(msg));
+        }
+
+        #[test]
+        fn decode_is_prefix_strict(
+            seq in any::<u64>(),
+            mw in any::<u64>(),
+            cut in 0usize..17,
+        ) {
+            // Any strict prefix of a valid grant fails cleanly.
+            let bytes = WireMsg::Grant { seq, amount: Power::from_milliwatts(mw) }.encode();
+            let truncated = &bytes[..cut.min(bytes.len() - 1)];
+            prop_assert!(WireMsg::decode(truncated).is_err());
+        }
+    }
+}

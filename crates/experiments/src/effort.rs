@@ -1,0 +1,83 @@
+//! Experiment sizing.
+
+/// How much of the paper's full experimental matrix to run.
+///
+/// The full matrix (36 pairs × 5 caps × 3 systems for Fig. 2; 1056
+/// simulated nodes for the scale study) takes minutes; tests and criterion
+/// benches use the smaller presets. All presets exercise the same code and
+/// the same qualitative comparisons — only sample counts shrink.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Effort {
+    /// A handful of pairs, small clusters; seconds. Used by unit tests.
+    Smoke,
+    /// Enough samples for stable shapes; used by the criterion benches.
+    Quick,
+    /// The paper's full matrix.
+    Full,
+}
+
+impl Effort {
+    /// How many of the 36 application pairs to sweep.
+    pub fn pairs(self) -> usize {
+        match self {
+            Effort::Smoke => 3,
+            Effort::Quick => 12,
+            Effort::Full => 36,
+        }
+    }
+
+    /// Time-compression factor applied to profile work (1.0 = class-D
+    /// length runs).
+    pub fn time_scale(self) -> f64 {
+        match self {
+            Effort::Smoke => 0.08,
+            Effort::Quick => 0.5,
+            Effort::Full => 1.0,
+        }
+    }
+
+    /// Client nodes for the real-cluster experiments (the paper uses 20).
+    pub fn cluster_nodes(self) -> usize {
+        match self {
+            Effort::Smoke => 6,
+            Effort::Quick => 20,
+            Effort::Full => 20,
+        }
+    }
+
+    /// The largest scale point in the scale study (the paper simulates up
+    /// to 1056 nodes).
+    pub fn max_scale_nodes(self) -> usize {
+        match self {
+            Effort::Smoke => 96,
+            Effort::Quick => 1056,
+            Effort::Full => 1056,
+        }
+    }
+
+    /// Parse from the `PENELOPE_EFFORT` environment variable
+    /// (`smoke|quick|full`), defaulting to `Quick`.
+    pub fn from_env() -> Self {
+        match std::env::var("PENELOPE_EFFORT").as_deref() {
+            Ok("smoke") => Effort::Smoke,
+            Ok("full") => Effort::Full,
+            _ => Effort::Quick,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        assert!(Effort::Smoke.pairs() < Effort::Quick.pairs());
+        assert!(Effort::Quick.pairs() < Effort::Full.pairs());
+        assert_eq!(Effort::Quick.max_scale_nodes(), 1056);
+        assert_eq!(Effort::Full.pairs(), 36);
+        assert_eq!(Effort::Full.cluster_nodes(), 20);
+        assert_eq!(Effort::Full.max_scale_nodes(), 1056);
+        assert_eq!(Effort::Full.time_scale(), 1.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Extension: SLURM with a standby coordinator (§4.4's future work).
+//!
+//! The paper acknowledges "centralized systems can use fallback servers to
+//! improve their fault-tolerance" but leaves the study for future work.
+//! Here it is: the same coordinator-kill scenario as Figure 3, with SLURM
+//! given a warm standby (empty cache) that clients fail over to once they
+//! notice the primary is gone. The question is how much of the gap to
+//! Penelope a fallback actually closes — and what it still costs (the
+//! primary's cached power dies with it, every client pays detection
+//! latency, and the cluster burns a second reserved node).
+
+use penelope_metrics::{geometric_mean, TextTable};
+use penelope_sim::{ClusterSim, FaultScript, SystemKind};
+use penelope_units::SimTime;
+
+use crate::effort::Effort;
+use crate::scenarios::{pair_subset, pair_workloads, paper_cluster_config};
+
+/// Geomean normalized performance (vs Fair) for the fault scenario.
+#[derive(Clone, Debug)]
+pub struct FailoverResult {
+    /// Plain SLURM with its server killed (the Fig. 3 arm).
+    pub slurm: f64,
+    /// SLURM with a standby, primary killed.
+    pub slurm_failover: f64,
+    /// Penelope with one client killed (the Fig. 3 arm).
+    pub penelope: f64,
+}
+
+impl FailoverResult {
+    /// Render as a table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["system", "normalized perf (server fault)"]);
+        t.row(vec!["SLURM".to_string(), format!("{:.3}", self.slurm)]);
+        t.row(vec![
+            "SLURM + standby".to_string(),
+            format!("{:.3}", self.slurm_failover),
+        ]);
+        t.row(vec!["Penelope".to_string(), format!("{:.3}", self.penelope)]);
+        format!(
+            "Extension (S4.4 future work): a fallback coordinator under the Fig. 3 fault\n{}",
+            t.render()
+        )
+    }
+}
+
+/// Run the comparison at one cap (70 W/socket) across the effort's pairs.
+pub fn run(effort: Effort) -> FailoverResult {
+    let pairs = pair_subset(effort.pairs());
+    let nodes = effort.cluster_nodes();
+    let ts = effort.time_scale();
+    let cap = 70u64;
+    let mut slurm_n = Vec::new();
+    let mut failover_n = Vec::new();
+    let mut pen_n = Vec::new();
+    for (pi, pair) in pairs.iter().enumerate() {
+        let seed = 0xFA11 ^ pi as u64;
+        let fair = crate::nominal::run_cell(SystemKind::Fair, cap, pair, nodes, ts, seed);
+        let fault_at = SimTime::from_nanos((fair * 0.25 * 1e9) as u64);
+        let horizon_secs = fair * 12.0 + 30.0;
+        let horizon = SimTime::from_nanos((horizon_secs * 1e9) as u64);
+
+        let run_slurm = |backup: bool| -> f64 {
+            let mut cfg = paper_cluster_config(SystemKind::Slurm, cap, nodes, seed);
+            cfg.backup_server = backup;
+            let workloads = pair_workloads(&pair.0, &pair.1, nodes, ts);
+            let mut sim = ClusterSim::new(cfg, workloads);
+            sim.install_faults(&FaultScript::kill_server_at(fault_at));
+            sim.run(horizon).runtime_secs().unwrap_or(horizon_secs)
+        };
+        slurm_n.push(fair / run_slurm(false));
+        failover_n.push(fair / run_slurm(true));
+        pen_n.push(
+            fair / crate::faulty::run_faulty_cell(
+                SystemKind::Penelope,
+                cap,
+                pair,
+                nodes,
+                ts,
+                seed,
+                fair,
+            ),
+        );
+    }
+    FailoverResult {
+        slurm: geometric_mean(&slurm_n),
+        slurm_failover: geometric_mean(&failover_n),
+        penelope: geometric_mean(&pen_n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standby_recovers_much_of_the_fault_damage() {
+        let r = run(Effort::Smoke);
+        assert!(
+            r.slurm_failover > r.slurm,
+            "the standby did not help: {:.3} vs {:.3}",
+            r.slurm_failover,
+            r.slurm
+        );
+        // But Penelope needs no standby node at all and still competes.
+        assert!(
+            r.penelope >= r.slurm,
+            "penelope {:.3} below plain faulty slurm {:.3}",
+            r.penelope,
+            r.slurm
+        );
+        assert!(r.render().contains("fallback coordinator"));
+    }
+}

@@ -1,0 +1,108 @@
+//! §4.5.2 — server service time and saturation extrapolation.
+//!
+//! The paper measures the central server's per-request processing time at
+//! 80–100 µs and, because the server is serial, extrapolates two saturation
+//! points: ~12 500 nodes at 1 iteration/s, and ~11.8 iterations/s at 1056
+//! nodes. This experiment measures the same quantity from the server-queue
+//! model under load and reproduces the arithmetic.
+
+use penelope_metrics::TextTable;
+use penelope_slurm::{ServerQueue, ServiceModel};
+use penelope_units::{SimDuration, SimTime};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The measured service characteristics and the paper's two extrapolations.
+#[derive(Clone, Debug)]
+pub struct ServiceResult {
+    /// Mean measured per-request service time (microseconds).
+    pub mean_service_us: f64,
+    /// Requests measured.
+    pub samples: u64,
+    /// Nodes at 1 iteration/s that saturate the serial server.
+    pub saturation_nodes_at_1hz: f64,
+    /// Iterations/s at 1056 nodes that saturate the server.
+    pub saturation_hz_at_1056: f64,
+}
+
+impl ServiceResult {
+    /// Render the §4.5.2 numbers.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(vec!["quantity", "value"]);
+        t.row(vec![
+            "mean service time".to_string(),
+            format!("{:.1} us", self.mean_service_us),
+        ]);
+        t.row(vec![
+            "requests measured".to_string(),
+            format!("{}", self.samples),
+        ]);
+        t.row(vec![
+            "saturation scale @ 1 Hz".to_string(),
+            format!("{:.0} nodes", self.saturation_nodes_at_1hz),
+        ]);
+        t.row(vec![
+            "saturation frequency @ 1056 nodes".to_string(),
+            format!("{:.1} Hz", self.saturation_hz_at_1056),
+        ]);
+        format!("S4.5.2: server service time and saturation\n{}", t.render())
+    }
+}
+
+/// Drive the server-queue model with a steady request stream and measure
+/// realized service times, then extrapolate as the paper does.
+pub fn run() -> ServiceResult {
+    let mut queue = ServerQueue::new(ServiceModel::default(), 300);
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5E41);
+    // Offered load: 2000 requests at 500/s — far below saturation so no
+    // queueing distorts the service-time measurement.
+    let n = 2000u64;
+    for i in 0..n {
+        let arrival = SimTime::from_nanos(i * 2_000_000);
+        let _ = queue.offer(arrival, &mut rng);
+    }
+    let stats = queue.stats();
+    let mean_service = SimDuration::from_nanos(stats.total_service.as_nanos() / stats.accepted);
+    let mean_us = mean_service.as_micros_f64();
+    let per_sec = 1.0 / mean_service.as_secs_f64();
+    ServiceResult {
+        mean_service_us: mean_us,
+        samples: stats.accepted,
+        saturation_nodes_at_1hz: per_sec,
+        saturation_hz_at_1056: per_sec / 1056.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_extrapolations() {
+        let r = run();
+        // Measured service time within the paper's 80-100 us band.
+        assert!(
+            (80.0..=100.0).contains(&r.mean_service_us),
+            "service {} us",
+            r.mean_service_us
+        );
+        // "a system of 12,500 nodes sending messages every second would
+        // force the server to take 1 second to process all requests" — the
+        // paper uses the 80 us bound; with the ~90 us mean the figure is
+        // ~11.1k. Accept the band.
+        assert!(
+            (10_000.0..=12_500.0).contains(&r.saturation_nodes_at_1hz),
+            "saturation scale {}",
+            r.saturation_nodes_at_1hz
+        );
+        // "at 1056 nodes, a frequency of about 11.8 iterations per second
+        // would be enough" (80 us); ~10.5 at the 90 us mean.
+        assert!(
+            (9.5..=11.9).contains(&r.saturation_hz_at_1056),
+            "saturation frequency {}",
+            r.saturation_hz_at_1056
+        );
+        assert_eq!(r.samples, 2000);
+        assert!(r.render().contains("S4.5.2"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Terminal sparklines for time series.
+//!
+//! The examples render Figure-1-style "power moving between nodes" pictures
+//! directly in the terminal; this is the tiny renderer behind them.
+
+/// Render `values` as a one-line unicode sparkline. Values are scaled into
+/// the `min..max` of the series; an empty slice renders as an empty string,
+/// and a constant series renders at mid height.
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    assert!(
+        values.iter().all(|v| v.is_finite()),
+        "sparkline values must be finite"
+    );
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    values
+        .iter()
+        .map(|&v| {
+            let idx = if span <= 0.0 {
+                3
+            } else {
+                (((v - min) / span) * 7.0).round() as usize
+            };
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Downsample `values` to at most `width` points by averaging buckets, so
+/// long traces fit a terminal line without aliasing away the shape.
+pub fn downsample(values: &[f64], width: usize) -> Vec<f64> {
+    assert!(width > 0, "width must be positive");
+    if values.len() <= width {
+        return values.to_vec();
+    }
+    let bucket = values.len() as f64 / width as f64;
+    (0..width)
+        .map(|i| {
+            let lo = (i as f64 * bucket) as usize;
+            let hi = (((i + 1) as f64 * bucket) as usize).min(values.len()).max(lo + 1);
+            let slice = &values[lo..hi];
+            slice.iter().sum::<f64>() / slice.len() as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramps_render_monotone() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(s, "▁▂▃▄▅▆▇█");
+    }
+
+    #[test]
+    fn constant_series_is_mid_height() {
+        let s = sparkline(&[5.0, 5.0, 5.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.chars().all(|c| c == '▄'));
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let _ = sparkline(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn downsample_preserves_length_bound_and_mean() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let d = downsample(&values, 40);
+        assert_eq!(d.len(), 40);
+        // Bucket means of a ramp are still a ramp.
+        assert!(d.windows(2).all(|w| w[0] < w[1]));
+        let mean_in = values.iter().sum::<f64>() / values.len() as f64;
+        let mean_out = d.iter().sum::<f64>() / d.len() as f64;
+        assert!((mean_in - mean_out).abs() < 1.0);
+    }
+
+    #[test]
+    fn downsample_short_input_is_identity() {
+        let values = vec![1.0, 2.0, 3.0];
+        assert_eq!(downsample(&values, 10), values);
+    }
+}

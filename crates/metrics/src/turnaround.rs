@@ -1,0 +1,144 @@
+//! Turnaround-time tracking (Figs. 7–8).
+
+use penelope_units::SimDuration;
+
+use crate::stats::SummaryStats;
+
+/// Collects the time deciders spend waiting for responses to power
+/// requests.
+///
+/// "For SLURM this is the server's average response time. For Penelope this
+/// is the average time needed to complete a transaction in the system"
+/// (§4.5). One sample per completed request; requests that never get a
+/// response (dropped packets) are counted separately — they are what drive
+/// SLURM off a cliff, so losing them silently would hide the effect.
+#[derive(Clone, Debug, Default)]
+pub struct TurnaroundStats {
+    samples_ns: Vec<u64>,
+    unanswered: u64,
+}
+
+impl TurnaroundStats {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a completed request↔response round trip.
+    pub fn record(&mut self, turnaround: SimDuration) {
+        self.samples_ns.push(turnaround.as_nanos());
+    }
+
+    /// Record a request that never received a response.
+    pub fn record_unanswered(&mut self) {
+        self.unanswered += 1;
+    }
+
+    /// Completed round trips.
+    pub fn count(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// Requests that never got a response.
+    pub fn unanswered(&self) -> u64 {
+        self.unanswered
+    }
+
+    /// Fraction of all requests that went unanswered.
+    pub fn unanswered_fraction(&self) -> f64 {
+        let total = self.samples_ns.len() as u64 + self.unanswered;
+        if total == 0 {
+            0.0
+        } else {
+            self.unanswered as f64 / total as f64
+        }
+    }
+
+    /// Mean turnaround. `None` with no completed samples.
+    pub fn mean(&self) -> Option<SimDuration> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let sum: u128 = self.samples_ns.iter().map(|&x| x as u128).sum();
+        Some(SimDuration::from_nanos(
+            (sum / self.samples_ns.len() as u128) as u64,
+        ))
+    }
+
+    /// Full summary statistics in milliseconds (the figures' unit).
+    /// `None` with no completed samples.
+    pub fn summary_ms(&self) -> Option<SummaryStats> {
+        if self.samples_ns.is_empty() {
+            return None;
+        }
+        let ms: Vec<f64> = self.samples_ns.iter().map(|&ns| ns as f64 / 1e6).collect();
+        Some(SummaryStats::from_samples(&ms))
+    }
+
+    /// Merge another collector into this one (per-node collectors are
+    /// merged into the cluster-wide figure).
+    pub fn merge(&mut self, other: &TurnaroundStats) {
+        self.samples_ns.extend_from_slice(&other.samples_ns);
+        self.unanswered += other.unanswered;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(x: u64) -> SimDuration {
+        SimDuration::from_micros(x)
+    }
+
+    #[test]
+    fn mean_of_samples() {
+        let mut t = TurnaroundStats::new();
+        t.record(us(100));
+        t.record(us(300));
+        assert_eq!(t.mean(), Some(us(200)));
+        assert_eq!(t.count(), 2);
+    }
+
+    #[test]
+    fn empty_has_no_mean() {
+        assert_eq!(TurnaroundStats::new().mean(), None);
+        assert!(TurnaroundStats::new().summary_ms().is_none());
+        assert_eq!(TurnaroundStats::new().unanswered_fraction(), 0.0);
+    }
+
+    #[test]
+    fn unanswered_tracked_separately() {
+        let mut t = TurnaroundStats::new();
+        t.record(us(100));
+        t.record_unanswered();
+        t.record_unanswered();
+        assert_eq!(t.unanswered(), 2);
+        assert!((t.unanswered_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        // Mean is over completed requests only.
+        assert_eq!(t.mean(), Some(us(100)));
+    }
+
+    #[test]
+    fn summary_in_milliseconds() {
+        let mut t = TurnaroundStats::new();
+        t.record(SimDuration::from_millis(10));
+        t.record(SimDuration::from_millis(30));
+        let s = t.summary_ms().unwrap();
+        assert!((s.mean() - 20.0).abs() < 1e-9);
+        assert!((s.max() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = TurnaroundStats::new();
+        a.record(us(10));
+        a.record_unanswered();
+        let mut b = TurnaroundStats::new();
+        b.record(us(30));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.unanswered(), 1);
+        assert_eq!(a.mean(), Some(us(20)));
+    }
+}

@@ -1,0 +1,198 @@
+//! Node-failure and network-partition state.
+
+use std::collections::HashSet;
+
+use penelope_units::NodeId;
+
+/// The cluster's current fault state: which nodes are dead, how the network
+/// is partitioned, and the background message-loss probability.
+///
+/// This is the substrate behind the paper's §4.4 experiment (killing the
+/// SLURM server mid-run) and the fault-injection integration tests. It is
+/// deliberately a plain value type: the DES mutates it through scripted
+/// fault events, the threaded runtime shares it behind a lock.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlane {
+    dead: HashSet<NodeId>,
+    /// Partition groups. Empty means fully connected. When non-empty, two
+    /// nodes can communicate iff some group contains both.
+    partitions: Vec<HashSet<NodeId>>,
+    /// Probability in `[0, 1]` that any given message is silently lost.
+    drop_rate: f64,
+}
+
+impl FaultPlane {
+    /// A healthy, fully connected network.
+    pub fn healthy() -> Self {
+        FaultPlane::default()
+    }
+
+    /// Mark a node as crashed. Crashed nodes neither send nor receive, and
+    /// their local state (cap, pool) is out of the system until revived.
+    pub fn kill(&mut self, node: NodeId) {
+        self.dead.insert(node);
+    }
+
+    /// Revive a crashed node.
+    pub fn revive(&mut self, node: NodeId) {
+        self.dead.remove(&node);
+    }
+
+    /// True iff `node` is alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        !self.dead.contains(&node)
+    }
+
+    /// Number of crashed nodes.
+    pub fn dead_count(&self) -> usize {
+        self.dead.len()
+    }
+
+    /// Iterate over crashed nodes.
+    pub fn dead_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.dead.iter().copied()
+    }
+
+    /// Split the network into disjoint groups; traffic only flows within a
+    /// group. Replaces any existing partition.
+    pub fn partition(&mut self, groups: Vec<HashSet<NodeId>>) {
+        self.partitions = groups;
+    }
+
+    /// Remove all partitions (the network is whole again).
+    pub fn heal_partitions(&mut self) {
+        self.partitions.clear();
+    }
+
+    /// True iff a partition is currently in force.
+    pub fn is_partitioned(&self) -> bool {
+        !self.partitions.is_empty()
+    }
+
+    /// Set the background drop probability (clamped into `[0, 1]`).
+    pub fn set_drop_rate(&mut self, p: f64) {
+        self.drop_rate = if p.is_finite() { p.clamp(0.0, 1.0) } else { 0.0 };
+    }
+
+    /// The background drop probability.
+    pub fn drop_rate(&self) -> f64 {
+        self.drop_rate
+    }
+
+    /// Can a message currently travel from `src` to `dst`?
+    ///
+    /// Requires both endpoints alive and, if partitioned, co-located in some
+    /// group. (The random drop rate is applied separately by the router so
+    /// it can consume randomness from the caller's RNG.)
+    pub fn can_communicate(&self, src: NodeId, dst: NodeId) -> bool {
+        if !self.is_alive(src) || !self.is_alive(dst) {
+            return false;
+        }
+        if self.partitions.is_empty() || src == dst {
+            return true;
+        }
+        self.partitions
+            .iter()
+            .any(|g| g.contains(&src) && g.contains(&dst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn healthy_network_connects_everyone() {
+        let f = FaultPlane::healthy();
+        assert!(f.can_communicate(n(0), n(1)));
+        assert!(f.is_alive(n(0)));
+        assert!(!f.is_partitioned());
+        assert_eq!(f.drop_rate(), 0.0);
+    }
+
+    #[test]
+    fn dead_node_cannot_send_or_receive() {
+        let mut f = FaultPlane::healthy();
+        f.kill(n(1));
+        assert!(!f.can_communicate(n(0), n(1)));
+        assert!(!f.can_communicate(n(1), n(0)));
+        assert!(f.can_communicate(n(0), n(2)));
+        assert_eq!(f.dead_count(), 1);
+        assert_eq!(f.dead_nodes().collect::<Vec<_>>(), vec![n(1)]);
+    }
+
+    #[test]
+    fn revive_restores_connectivity() {
+        let mut f = FaultPlane::healthy();
+        f.kill(n(1));
+        f.revive(n(1));
+        assert!(f.can_communicate(n(0), n(1)));
+        assert_eq!(f.dead_count(), 0);
+    }
+
+    #[test]
+    fn killing_the_server_identity_works() {
+        // The §4.4 scenario: the SLURM coordinator dies.
+        let mut f = FaultPlane::healthy();
+        f.kill(NodeId::server());
+        assert!(!f.can_communicate(n(0), NodeId::server()));
+        assert!(f.can_communicate(n(0), n(1))); // peers unaffected
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic() {
+        let mut f = FaultPlane::healthy();
+        f.partition(vec![
+            [n(0), n(1)].into_iter().collect(),
+            [n(2), n(3)].into_iter().collect(),
+        ]);
+        assert!(f.is_partitioned());
+        assert!(f.can_communicate(n(0), n(1)));
+        assert!(f.can_communicate(n(2), n(3)));
+        assert!(!f.can_communicate(n(0), n(2)));
+        assert!(!f.can_communicate(n(3), n(1)));
+    }
+
+    #[test]
+    fn node_outside_all_groups_is_isolated() {
+        let mut f = FaultPlane::healthy();
+        f.partition(vec![[n(0), n(1)].into_iter().collect()]);
+        assert!(!f.can_communicate(n(0), n(5)));
+        // ...but self-communication (local pool) always works.
+        assert!(f.can_communicate(n(5), n(5)));
+    }
+
+    #[test]
+    fn heal_partitions_restores_full_mesh() {
+        let mut f = FaultPlane::healthy();
+        f.partition(vec![[n(0)].into_iter().collect(), [n(1)].into_iter().collect()]);
+        assert!(!f.can_communicate(n(0), n(1)));
+        f.heal_partitions();
+        assert!(f.can_communicate(n(0), n(1)));
+    }
+
+    #[test]
+    fn partition_plus_death_compose() {
+        let mut f = FaultPlane::healthy();
+        f.partition(vec![[n(0), n(1)].into_iter().collect()]);
+        f.kill(n(1));
+        assert!(!f.can_communicate(n(0), n(1)));
+    }
+
+    #[test]
+    fn drop_rate_is_clamped() {
+        let mut f = FaultPlane::healthy();
+        f.set_drop_rate(1.7);
+        assert_eq!(f.drop_rate(), 1.0);
+        f.set_drop_rate(-0.3);
+        assert_eq!(f.drop_rate(), 0.0);
+        f.set_drop_rate(f64::NAN);
+        assert_eq!(f.drop_rate(), 0.0);
+        f.set_drop_rate(0.25);
+        assert_eq!(f.drop_rate(), 0.25);
+    }
+}

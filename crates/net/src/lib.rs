@@ -1,0 +1,34 @@
+//! Virtual cluster network.
+//!
+//! Penelope and the centralized baseline exchange small control messages
+//! (power requests, grants, excess reports). This crate supplies the network
+//! substrate those messages travel over, in two flavours:
+//!
+//! * [`SimNet`] — a routing model for the discrete-event simulator: samples a
+//!   delivery latency, consults the [`FaultPlane`] (node crashes, partitions,
+//!   random drops) and either produces a timestamped [`Envelope`] for the
+//!   event queue or reports the message lost.
+//! * [`ThreadNet`] — a crossbeam-channel transport for the threaded runtime
+//!   (`penelope-runtime`), with the same fault plane semantics enforced at
+//!   send time.
+//!
+//! Both are generic over the message type, so the Penelope peer protocol and
+//! the SLURM client/server protocol share one substrate — mirroring how both
+//! systems ran over the same Ethernet in the paper's testbed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod envelope;
+pub mod fault;
+pub mod latency;
+pub mod simnet;
+pub mod stats;
+pub mod threadnet;
+
+pub use envelope::Envelope;
+pub use fault::FaultPlane;
+pub use latency::LatencyModel;
+pub use simnet::{RouteOutcome, SimNet};
+pub use stats::NetStats;
+pub use threadnet::{ThreadEndpoint, ThreadNet};

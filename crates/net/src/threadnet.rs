@@ -1,0 +1,300 @@
+//! A channel-based transport for the threaded runtime.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::{Mutex, RwLock};
+use penelope_units::{NodeId, SimTime};
+
+use crate::envelope::Envelope;
+use crate::fault::FaultPlane;
+use crate::stats::NetStats;
+
+struct Inner<M> {
+    senders: Vec<Sender<Envelope<M>>>,
+    faults: RwLock<FaultPlane>,
+    stats: Mutex<NetStats>,
+    origin: Instant,
+}
+
+/// An in-process message network for `penelope-runtime`: one unbounded
+/// channel per node, with the same [`FaultPlane`] semantics as the simulated
+/// network enforced at send time.
+///
+/// Timestamps are wall-clock nanoseconds since the network was created,
+/// expressed as [`SimTime`] so metrics code is shared with the simulator.
+pub struct ThreadNet<M> {
+    inner: Arc<Inner<M>>,
+}
+
+impl<M> Clone for ThreadNet<M> {
+    fn clone(&self) -> Self {
+        ThreadNet {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// A node's handle on the [`ThreadNet`]: its receive queue plus the shared
+/// send side.
+pub struct ThreadEndpoint<M> {
+    id: NodeId,
+    net: ThreadNet<M>,
+    rx: Receiver<Envelope<M>>,
+}
+
+impl<M: Send> ThreadNet<M> {
+    /// Create a network of `n` nodes, returning the shared handle and one
+    /// endpoint per node (index = `NodeId`).
+    pub fn new(n: usize) -> (Self, Vec<ThreadEndpoint<M>>) {
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let net = ThreadNet {
+            inner: Arc::new(Inner {
+                senders,
+                faults: RwLock::new(FaultPlane::healthy()),
+                stats: Mutex::new(NetStats::default()),
+                origin: Instant::now(),
+            }),
+        };
+        let endpoints = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| ThreadEndpoint {
+                id: NodeId::new(i as u32),
+                net: net.clone(),
+                rx,
+            })
+            .collect();
+        (net, endpoints)
+    }
+
+    /// The current timestamp on this network's clock.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.inner.origin.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+    }
+
+    /// Send `msg` from `src` to `dst`. Returns `false` if the message was
+    /// refused (dead endpoint, partition, or unknown destination).
+    ///
+    /// In-process channel delivery is effectively instant, matching the
+    /// sub-millisecond LAN of the paper's testbed, so `deliver_at ==
+    /// sent_at` here.
+    pub fn send(&self, src: NodeId, dst: NodeId, msg: M) -> bool {
+        let faults = self.inner.faults.read();
+        if !faults.is_alive(src) || !faults.is_alive(dst) {
+            self.inner.stats.lock().dropped_dead += 1;
+            return false;
+        }
+        if !faults.can_communicate(src, dst) {
+            self.inner.stats.lock().dropped_partition += 1;
+            return false;
+        }
+        drop(faults);
+        let Some(tx) = self.inner.senders.get(dst.index()) else {
+            self.inner.stats.lock().dropped_dead += 1;
+            return false;
+        };
+        let now = self.now();
+        let env = Envelope {
+            src,
+            dst,
+            sent_at: now,
+            deliver_at: now,
+            msg,
+        };
+        if tx.send(env).is_ok() {
+            self.inner.stats.lock().delivered += 1;
+            true
+        } else {
+            self.inner.stats.lock().dropped_dead += 1;
+            false
+        }
+    }
+
+    /// Apply a mutation to the shared fault plane (kill/revive/partition).
+    pub fn with_faults<T>(&self, f: impl FnOnce(&mut FaultPlane) -> T) -> T {
+        f(&mut self.inner.faults.write())
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> NetStats {
+        *self.inner.stats.lock()
+    }
+
+    /// Number of endpoints.
+    pub fn len(&self) -> usize {
+        self.inner.senders.len()
+    }
+
+    /// True iff the network has no endpoints.
+    pub fn is_empty(&self) -> bool {
+        self.inner.senders.is_empty()
+    }
+}
+
+impl<M: Send> ThreadEndpoint<M> {
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The shared network handle (for sending).
+    pub fn net(&self) -> &ThreadNet<M> {
+        &self.net
+    }
+
+    /// Send from this endpoint.
+    pub fn send(&self, dst: NodeId, msg: M) -> bool {
+        self.net.send(self.id, dst, msg)
+    }
+
+    /// Non-blocking receive. Messages addressed to a node that has since
+    /// been killed are dropped here (a dead node must not act on traffic).
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        loop {
+            match self.rx.try_recv() {
+                Ok(env) => {
+                    if self.net.inner.faults.read().is_alive(self.id) {
+                        return Some(env);
+                    }
+                    // Drain silently while dead.
+                }
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => return None,
+            }
+        }
+    }
+
+    /// Blocking receive with a wall-clock timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope<M>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(remaining) {
+                Ok(env) => {
+                    if self.net.inner.faults.read().is_alive(self.id) {
+                        return Some(env);
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn point_to_point_delivery() {
+        let (net, eps) = ThreadNet::<u32>::new(3);
+        assert!(net.send(n(0), n(2), 42));
+        let env = eps[2].recv_timeout(Duration::from_secs(1)).expect("msg");
+        assert_eq!(env.msg, 42);
+        assert_eq!(env.src, n(0));
+        assert_eq!(net.stats().delivered, 1);
+    }
+
+    #[test]
+    fn try_recv_empty_is_none() {
+        let (_net, eps) = ThreadNet::<u32>::new(2);
+        assert!(eps[0].try_recv().is_none());
+    }
+
+    #[test]
+    fn dead_destination_refused() {
+        let (net, eps) = ThreadNet::<u32>::new(2);
+        net.with_faults(|f| f.kill(n(1)));
+        assert!(!net.send(n(0), n(1), 1));
+        assert!(eps[1].try_recv().is_none());
+        assert_eq!(net.stats().dropped_dead, 1);
+    }
+
+    #[test]
+    fn dead_receiver_drains_queued_traffic() {
+        let (net, eps) = ThreadNet::<u32>::new(2);
+        assert!(net.send(n(0), n(1), 7));
+        // The message is already queued when the node dies.
+        net.with_faults(|f| f.kill(n(1)));
+        assert!(eps[1].try_recv().is_none());
+    }
+
+    #[test]
+    fn unknown_destination_refused() {
+        let (net, _eps) = ThreadNet::<u32>::new(2);
+        assert!(!net.send(n(0), n(9), 1));
+    }
+
+    #[test]
+    fn partition_enforced() {
+        let (net, eps) = ThreadNet::<u32>::new(4);
+        net.with_faults(|f| {
+            f.partition(vec![
+                [n(0), n(1)].into_iter().collect(),
+                [n(2), n(3)].into_iter().collect(),
+            ])
+        });
+        assert!(!net.send(n(0), n(2), 1));
+        assert!(net.send(n(0), n(1), 2));
+        assert_eq!(eps[1].recv_timeout(Duration::from_secs(1)).unwrap().msg, 2);
+        assert_eq!(net.stats().dropped_partition, 1);
+    }
+
+    #[test]
+    fn concurrent_senders_all_arrive() {
+        let (net, mut eps) = ThreadNet::<u64>::new(9);
+        let sink = eps.pop().unwrap(); // node 8
+        let handles: Vec<_> = (0..8u32)
+            .map(|i| {
+                let net = net.clone();
+                thread::spawn(move || {
+                    for k in 0..100u64 {
+                        assert!(net.send(n(i), n(8), u64::from(i) * 1000 + k));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = 0;
+        while sink.try_recv().is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 800);
+        assert_eq!(net.stats().delivered, 800);
+    }
+
+    #[test]
+    fn timestamps_monotone() {
+        let (net, eps) = ThreadNet::<u32>::new(2);
+        net.send(n(0), n(1), 1);
+        thread::sleep(Duration::from_millis(2));
+        net.send(n(0), n(1), 2);
+        let a = eps[1].recv_timeout(Duration::from_secs(1)).unwrap();
+        let b = eps[1].recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(a.sent_at <= b.sent_at);
+        assert_eq!(a.latency(), penelope_units::SimDuration::ZERO);
+    }
+
+    #[test]
+    fn endpoint_send_uses_own_id() {
+        let (_net, eps) = ThreadNet::<u32>::new(2);
+        assert!(eps[0].send(n(1), 5));
+        let env = eps[1].recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.src, n(0));
+        assert_eq!(eps[0].id(), n(0));
+    }
+}

@@ -1,0 +1,35 @@
+//! The decider-facing power interface.
+
+use penelope_units::{Power, PowerRange, SimTime};
+
+/// Read power and set node-level powercaps — the full hardware contract a
+/// Penelope local decider needs (§3.3).
+///
+/// Implementations must uphold two properties the system-wide invariant
+/// depends on:
+///
+/// 1. **Caps bind.** The device never dissipates more than the cap in effect
+///    (after the implementation's actuation lag).
+/// 2. **Readings are averages.** [`read_power`](PowerInterface::read_power)
+///    reports the average power dissipated since the *previous* call, which
+///    is exactly the `getPowerReading()` of Algorithm 1.
+pub trait PowerInterface {
+    /// Average power dissipated since the previous `read_power` call
+    /// (or since construction, for the first call). `now` is the virtual
+    /// time of the call and must be monotonically non-decreasing.
+    fn read_power(&mut self, now: SimTime) -> Power;
+
+    /// Request a new node-level powercap. The cap is clamped into
+    /// [`safe_range`](PowerInterface::safe_range) by the implementation; the
+    /// *caller* (the decider) is responsible for accounting for any clamping
+    /// so the budget stays conserved, which is why deciders clamp before
+    /// calling this.
+    fn set_cap(&mut self, cap: Power, now: SimTime);
+
+    /// The most recently requested cap (the decider's `C_t`), regardless of
+    /// whether the hardware has finished converging to it.
+    fn cap(&self) -> Power;
+
+    /// The safe operating range for caps on this node.
+    fn safe_range(&self) -> PowerRange;
+}

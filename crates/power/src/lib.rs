@@ -1,0 +1,27 @@
+//! Power measurement and capping substrate.
+//!
+//! The paper's only hardware requirement (§3.3): *"Penelope only requires an
+//! interface through which power can be read and node-level powercaps can be
+//! set."* That interface is [`PowerInterface`]. The production system used
+//! Intel RAPL; this crate provides [`SimulatedRapl`], a faithful software
+//! model of the documented RAPL dynamics (averaged-power readings, bounded
+//! safe range, and an actuation lag — RAPL converges on a new cap in under
+//! half a second, §4.5), plus simple devices for tests.
+//!
+//! The device *under* the cap is abstracted as a [`CappedDevice`]: something
+//! that, given an effective cap over a time window, consumes energy and makes
+//! progress. `penelope-workload` implements it for NPB-like application
+//! profiles; this crate ships constant/stepped devices for unit testing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod iface;
+pub mod linux_rapl;
+pub mod rapl;
+
+pub use device::{CappedDevice, ConstantDevice, IdleDevice, StepDevice};
+pub use iface::PowerInterface;
+pub use linux_rapl::{LinuxRapl, RaplError};
+pub use rapl::{RaplConfig, SimulatedRapl};

@@ -1,0 +1,445 @@
+//! Thread orchestration for the three systems.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use penelope_core::{
+    fair_assignment, DeciderConfig, LocalDecider, PeerMsg, PoolConfig, PowerGrant, PowerPool,
+    PowerRequest, TickAction,
+};
+use penelope_net::{ThreadEndpoint, ThreadNet};
+use penelope_power::RaplConfig;
+use penelope_slurm::{ClientAction, PowerServer, SlurmClient, SlurmMsg};
+use penelope_units::{NodeId, Power, SimDuration};
+use penelope_workload::Profile;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::hardware::{NodeHardware, WallClock};
+use crate::report::ThreadedReport;
+
+/// Configuration for a threaded cluster run.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// System-wide budget, split evenly as the initial assignment.
+    pub budget: Power,
+    /// Decider parameters. Keep the period in the milliseconds for tests —
+    /// these are real sleeps.
+    pub decider: DeciderConfig,
+    /// Pool / server limiter.
+    pub pool: PoolConfig,
+    /// Simulated RAPL parameters.
+    pub rapl: RaplConfig,
+    /// Fractional daemon overhead on the workload (0 for Fair).
+    pub management_overhead: f64,
+    /// RNG seed for peer selection.
+    pub seed: u64,
+}
+
+impl RuntimeConfig {
+    /// Milliseconds-scale defaults for fast in-process runs.
+    pub fn fast(budget: Power) -> Self {
+        RuntimeConfig {
+            budget,
+            decider: DeciderConfig {
+                period: SimDuration::from_millis(10),
+                response_timeout: SimDuration::from_millis(10),
+                ..Default::default()
+            },
+            pool: PoolConfig::default(),
+            rapl: RaplConfig {
+                actuation_delay: SimDuration::ZERO,
+                ..Default::default()
+            },
+            management_overhead: 0.0,
+            seed: 1,
+        }
+    }
+
+    fn period(&self) -> Duration {
+        Duration::from_nanos(self.decider.period.as_nanos())
+    }
+
+    fn timeout(&self) -> Duration {
+        Duration::from_nanos(self.decider.response_timeout.as_nanos())
+    }
+}
+
+/// Entry points for running a whole cluster on real threads.
+pub struct ThreadedCluster;
+
+fn build_hardware(
+    cfg: &RuntimeConfig,
+    workloads: &[Profile],
+    caps: &[Power],
+    clock: &WallClock,
+) -> Vec<Arc<NodeHardware>> {
+    workloads
+        .iter()
+        .zip(caps)
+        .map(|(p, &cap)| {
+            NodeHardware::new(
+                p.clone(),
+                cap,
+                cfg.rapl.clone(),
+                cfg.management_overhead,
+                clock.clone(),
+            )
+        })
+        .collect()
+}
+
+fn await_completion(hw: &[Arc<NodeHardware>], deadline: Duration) {
+    let start = Instant::now();
+    loop {
+        if hw.iter().all(|h| h.is_finished()) {
+            return;
+        }
+        if start.elapsed() > deadline {
+            return;
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn finish_times(hw: &[Arc<NodeHardware>]) -> Vec<Option<f64>> {
+    hw.iter()
+        .map(|h| h.finished_at().map(|t| t.as_secs_f64()))
+        .collect()
+}
+
+impl ThreadedCluster {
+    /// Run the *Fair* baseline: static caps, no threads beyond the
+    /// workloads themselves.
+    pub fn run_fair(
+        cfg: RuntimeConfig,
+        workloads: Vec<Profile>,
+        deadline: Duration,
+    ) -> ThreadedReport {
+        let n = workloads.len();
+        let caps = fair_assignment(cfg.budget, n, cfg.rapl.safe_range);
+        let budget_assigned: Power = caps.iter().copied().sum();
+        let clock = WallClock::start();
+        let hw = build_hardware(&cfg, &workloads, &caps, &clock);
+        await_completion(&hw, deadline);
+        ThreadedReport {
+            finished_secs: finish_times(&hw),
+            net: penelope_net::NetStats::default(),
+            final_caps: hw.iter().map(|h| h.cap()).collect(),
+            final_pools: vec![Power::ZERO; n],
+            drained_in_flight: Power::ZERO,
+            server_cache: Power::ZERO,
+            budget_assigned,
+        }
+    }
+
+    /// Run Penelope: per node, a decider thread and a pool thread sharing
+    /// a locked [`PowerPool`] (§3.3: "a simple lock"). Pool endpoints are
+    /// node ids `0..n`; decider endpoints are `n..2n` so grants and
+    /// requests never share a queue.
+    pub fn run_penelope(
+        cfg: RuntimeConfig,
+        workloads: Vec<Profile>,
+        deadline: Duration,
+    ) -> ThreadedReport {
+        Self::run_penelope_with_fault(cfg, workloads, deadline, None)
+    }
+
+    /// Run Penelope with an optional client-node crash after a delay (the
+    /// fault Penelope is exposed to in §4.4): the victim's pool and decider
+    /// endpoints go dead, so it neither serves nor acquires power.
+    pub fn run_penelope_with_fault(
+        cfg: RuntimeConfig,
+        workloads: Vec<Profile>,
+        deadline: Duration,
+        kill_node_after: Option<(Duration, usize)>,
+    ) -> ThreadedReport {
+        let n = workloads.len();
+        let caps = fair_assignment(cfg.budget, n, cfg.rapl.safe_range);
+        let budget_assigned: Power = caps.iter().copied().sum();
+        let clock = WallClock::start();
+        let hw = build_hardware(&cfg, &workloads, &caps, &clock);
+        let (net, mut endpoints) = ThreadNet::<PeerMsg>::new(2 * n);
+        let decider_eps = endpoints.split_off(n);
+        let pool_eps = endpoints;
+        let pools: Vec<Arc<Mutex<PowerPool>>> = (0..n)
+            .map(|_| Arc::new(Mutex::new(PowerPool::new(cfg.pool))))
+            .collect();
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let mut pool_threads = Vec::with_capacity(n);
+        for (i, ep) in pool_eps.into_iter().enumerate() {
+            let pool = Arc::clone(&pools[i]);
+            let stop = Arc::clone(&shutdown);
+            pool_threads.push(thread::spawn(move || -> ThreadEndpoint<PeerMsg> {
+                while !stop.load(Ordering::Relaxed) {
+                    if let Some(env) = ep.recv_timeout(Duration::from_millis(5)) {
+                        if let PeerMsg::Request(req) = env.msg {
+                            let amount = pool.lock().handle_request(req.urgent, req.alpha);
+                            let _ = ep.send(
+                                req.from,
+                                PeerMsg::Grant(PowerGrant {
+                                    amount,
+                                    seq: req.seq,
+                                }),
+                            );
+                        }
+                    }
+                }
+                ep
+            }));
+        }
+
+        let mut decider_threads = Vec::with_capacity(n);
+        for (i, ep) in decider_eps.into_iter().enumerate() {
+            let pool = Arc::clone(&pools[i]);
+            let stop = Arc::clone(&shutdown);
+            let hw_i = Arc::clone(&hw[i]);
+            let clock = clock.clone();
+            let cfg = cfg.clone();
+            let initial = caps[i];
+            decider_threads.push(thread::spawn(move || -> ThreadEndpoint<PeerMsg> {
+                let mut decider = LocalDecider::new(cfg.decider, initial, hw_i.safe_range());
+                let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(i as u64));
+                let decider_addr = NodeId::new((n + i) as u32);
+                while !stop.load(Ordering::Relaxed) {
+                    let iter_start = Instant::now();
+                    let now = clock.now();
+                    let reading = hw_i.read_power();
+                    let peer = if n >= 2 {
+                        let r = rng.gen_range(0..n - 1);
+                        Some(NodeId::new(if r >= i { r as u32 + 1 } else { r as u32 }))
+                    } else {
+                        None
+                    };
+                    let action = decider.tick(now, reading, &mut pool.lock(), peer);
+                    hw_i.set_cap(decider.cap());
+                    if let TickAction::Request {
+                        dst,
+                        urgent,
+                        alpha,
+                        seq,
+                    } = action
+                    {
+                        let _ = ep.send(
+                            dst,
+                            PeerMsg::Request(PowerRequest {
+                                from: decider_addr,
+                                urgent,
+                                alpha,
+                                seq,
+                            }),
+                        );
+                        // Block for the pool's reply, as the paper's
+                        // decider does.
+                        if let Some(env) = ep.recv_timeout(cfg.timeout()) {
+                            if let PeerMsg::Grant(g) = env.msg {
+                                let _ = decider.on_grant(g.seq, g.amount, &mut pool.lock());
+                                hw_i.set_cap(decider.cap());
+                            }
+                        }
+                    }
+                    thread::sleep(cfg.period().saturating_sub(iter_start.elapsed()));
+                }
+                ep
+            }));
+        }
+
+        if let Some((after, victim)) = kill_node_after {
+            let net = net.clone();
+            let stop = Arc::clone(&shutdown);
+            thread::spawn(move || {
+                thread::sleep(after);
+                if !stop.load(Ordering::Relaxed) {
+                    net.with_faults(|f| {
+                        f.kill(NodeId::new(victim as u32)); // pool endpoint
+                        f.kill(NodeId::new((n + victim) as u32)); // decider endpoint
+                    });
+                }
+            });
+        }
+
+        // With a killed node, completion means "every other node finished".
+        let wait_on: Vec<Arc<NodeHardware>> = hw
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| kill_node_after.map(|(_, v)| v != *i).unwrap_or(true))
+            .map(|(_, h)| Arc::clone(h))
+            .collect();
+        await_completion(&wait_on, deadline);
+        shutdown.store(true, Ordering::Relaxed);
+        let pool_endpoints: Vec<_> = pool_threads.into_iter().map(|t| t.join().unwrap()).collect();
+        let decider_endpoints: Vec<_> = decider_threads
+            .into_iter()
+            .map(|t| t.join().unwrap())
+            .collect();
+
+        // Any grant still sitting in a queue is in-flight power.
+        let mut drained = Power::ZERO;
+        for ep in decider_endpoints.iter().chain(pool_endpoints.iter()) {
+            while let Some(env) = ep.try_recv() {
+                if let PeerMsg::Grant(g) = env.msg {
+                    drained += g.amount;
+                }
+            }
+        }
+
+        ThreadedReport {
+            finished_secs: finish_times(&hw),
+            net: net.stats(),
+            final_caps: hw.iter().map(|h| h.cap()).collect(),
+            final_pools: pools.iter().map(|p| p.lock().available()).collect(),
+            drained_in_flight: drained,
+            server_cache: Power::ZERO,
+            budget_assigned,
+        }
+    }
+
+    /// Run the SLURM baseline: client threads `0..n`, the central server on
+    /// endpoint `n`. Optionally kill the server after a delay (the §4.4
+    /// fault scenario).
+    pub fn run_slurm(
+        cfg: RuntimeConfig,
+        workloads: Vec<Profile>,
+        deadline: Duration,
+        kill_server_after: Option<Duration>,
+    ) -> ThreadedReport {
+        let n = workloads.len();
+        let caps = fair_assignment(cfg.budget, n, cfg.rapl.safe_range);
+        let budget_assigned: Power = caps.iter().copied().sum();
+        let clock = WallClock::start();
+        let hw = build_hardware(&cfg, &workloads, &caps, &clock);
+        let (net, mut endpoints) = ThreadNet::<SlurmMsg>::new(n + 1);
+        let server_ep = endpoints.pop().expect("server endpoint");
+        let server_addr = NodeId::new(n as u32);
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let server_limiter = cfg.pool;
+        let stop = Arc::clone(&shutdown);
+        let server_thread = thread::spawn(move || -> (PowerServer, ThreadEndpoint<SlurmMsg>) {
+            let mut policy = PowerServer::new(server_limiter);
+            while !stop.load(Ordering::Relaxed) {
+                if let Some(env) = server_ep.recv_timeout(Duration::from_millis(5)) {
+                    match env.msg {
+                        SlurmMsg::Report { excess, .. } => policy.on_report(excess),
+                        SlurmMsg::Request {
+                            from,
+                            urgent,
+                            alpha,
+                            seq,
+                        } => {
+                            let grant = policy.on_request(urgent, alpha, seq);
+                            let _ = server_ep.send(from, SlurmMsg::Grant(grant));
+                        }
+                        SlurmMsg::Grant(_) => {}
+                    }
+                }
+            }
+            (policy, server_ep)
+        });
+
+        let mut client_threads = Vec::with_capacity(n);
+        for (i, ep) in endpoints.into_iter().enumerate() {
+            let stop = Arc::clone(&shutdown);
+            let hw_i = Arc::clone(&hw[i]);
+            let clock = clock.clone();
+            let cfg = cfg.clone();
+            let initial = caps[i];
+            client_threads.push(thread::spawn(move || -> ThreadEndpoint<SlurmMsg> {
+                let mut client = SlurmClient::new(cfg.decider, initial, hw_i.safe_range());
+                let my_addr = NodeId::new(i as u32);
+                while !stop.load(Ordering::Relaxed) {
+                    let iter_start = Instant::now();
+                    let now = clock.now();
+                    let reading = hw_i.read_power();
+                    match client.tick(now, reading) {
+                        ClientAction::Report { excess } => {
+                            let _ = ep.send(
+                                server_addr,
+                                SlurmMsg::Report {
+                                    from: my_addr,
+                                    excess,
+                                },
+                            );
+                            hw_i.set_cap(client.cap());
+                        }
+                        ClientAction::Request { urgent, alpha, seq } => {
+                            let _ = ep.send(
+                                server_addr,
+                                SlurmMsg::Request {
+                                    from: my_addr,
+                                    urgent,
+                                    alpha,
+                                    seq,
+                                },
+                            );
+                            if let Some(env) = ep.recv_timeout(cfg.timeout()) {
+                                if let SlurmMsg::Grant(g) = env.msg {
+                                    let eff =
+                                        client.on_grant(g.seq, g.amount, g.release_to_initial);
+                                    hw_i.set_cap(client.cap());
+                                    if !eff.released.is_zero() {
+                                        let _ = ep.send(
+                                            server_addr,
+                                            SlurmMsg::Report {
+                                                from: my_addr,
+                                                excess: eff.released,
+                                            },
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        ClientAction::Idle => {}
+                    }
+                    hw_i.set_cap(client.cap());
+                    thread::sleep(cfg.period().saturating_sub(iter_start.elapsed()));
+                }
+                ep
+            }));
+        }
+
+        if let Some(after) = kill_server_after {
+            let net = net.clone();
+            let stop = Arc::clone(&shutdown);
+            thread::spawn(move || {
+                thread::sleep(after);
+                if !stop.load(Ordering::Relaxed) {
+                    net.with_faults(|f| f.kill(server_addr));
+                }
+            });
+        }
+
+        await_completion(&hw, deadline);
+        shutdown.store(true, Ordering::Relaxed);
+        let (policy, server_ep) = server_thread.join().unwrap();
+        let client_eps: Vec<_> = client_threads.into_iter().map(|t| t.join().unwrap()).collect();
+
+        let mut drained = Power::ZERO;
+        for env in std::iter::from_fn(|| server_ep.try_recv()) {
+            if let SlurmMsg::Report { excess, .. } = env.msg {
+                drained += excess;
+            }
+        }
+        for ep in &client_eps {
+            while let Some(env) = ep.try_recv() {
+                if let SlurmMsg::Grant(g) = env.msg {
+                    drained += g.amount;
+                }
+            }
+        }
+
+        ThreadedReport {
+            finished_secs: finish_times(&hw),
+            net: net.stats(),
+            final_caps: hw.iter().map(|h| h.cap()).collect(),
+            final_pools: vec![Power::ZERO; n],
+            drained_in_flight: drained,
+            server_cache: policy.cached(),
+            budget_assigned,
+        }
+    }
+}

@@ -1,0 +1,770 @@
+//! The cluster simulator.
+
+use penelope_core::{
+    fair_assignment, LocalDecider, PeerMsg, PowerGrant, PowerPool, PowerRequest, TickAction,
+};
+use penelope_metrics::{OscillationStats, RedistributionTracker};
+use penelope_net::{RouteOutcome, SimNet};
+use penelope_power::{PowerInterface, SimulatedRapl};
+use penelope_slurm::{ClientAction, PowerServer, ServerGrant, ServerQueue, SlurmClient, SlurmMsg};
+use penelope_units::{NodeId, Power, SimDuration, SimTime};
+use penelope_workload::{Profile, WorkloadState};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::config::{ClusterConfig, DiscoveryStrategy, SystemKind};
+use crate::event::{Event, EventQueue, Scheduled};
+use crate::faults::{FaultAction, FaultScript};
+use crate::ledger::Ledger;
+use crate::node::{Manager, SimNode};
+use crate::report::RunReport;
+use crate::trace::{ClusterTrace, TraceSample};
+
+/// The SLURM server side: policy + queue model, hosted on a dedicated node.
+struct ServerSide {
+    id: NodeId,
+    policy: PowerServer,
+    queue: ServerQueue,
+    rng: ChaCha8Rng,
+}
+
+/// A deterministic discrete-event simulation of one cluster running one
+/// power-management system over one set of workloads.
+///
+/// Build with [`ClusterSim::new`], optionally [install
+/// faults](ClusterSim::install_faults) and [redistribution
+/// tracking](ClusterSim::track_redistribution), then [`run`](ClusterSim::run).
+pub struct ClusterSim {
+    cfg: ClusterConfig,
+    now: SimTime,
+    queue: EventQueue,
+    net: SimNet,
+    net_rng: ChaCha8Rng,
+    nodes: Vec<SimNode>,
+    servers: Vec<ServerSide>,
+    ledger: Ledger,
+    redistribution: Option<(RedistributionTracker, std::collections::HashSet<NodeId>)>,
+    finished_count: usize,
+    dead: Vec<NodeId>,
+    dead_unfinished: usize,
+    conservation_ok: bool,
+    stop_on_full_redistribution: bool,
+    trace: Option<ClusterTrace>,
+}
+
+fn node_seed(master: u64, idx: u64) -> u64 {
+    // SplitMix-style stream separation.
+    master ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xD1B5_4A32_D192_ED03)
+}
+
+impl ClusterSim {
+    /// Build a cluster: one node per workload profile, caps assigned
+    /// evenly from the budget (all three systems start this way, §4.3).
+    pub fn new(cfg: ClusterConfig, workloads: Vec<Profile>) -> Self {
+        let n = workloads.len();
+        assert!(n > 0, "cluster needs at least one node");
+        let caps = fair_assignment(cfg.budget, n, cfg.safe_range);
+        Self::with_assignments(cfg, workloads, caps)
+    }
+
+    /// Build a cluster with explicit (possibly uneven) initial cap
+    /// assignments — the *power assignment* axis of §2.2.1. Every cap must
+    /// be within the safe range and their sum within the budget; the sum
+    /// becomes the conserved total.
+    pub fn with_assignments(
+        cfg: ClusterConfig,
+        workloads: Vec<Profile>,
+        caps: Vec<Power>,
+    ) -> Self {
+        let n = workloads.len();
+        assert!(n > 0, "cluster needs at least one node");
+        assert_eq!(caps.len(), n, "one cap per node");
+        for (i, c) in caps.iter().enumerate() {
+            assert!(
+                cfg.safe_range.contains(*c),
+                "cap {c} for node {i} outside the safe range"
+            );
+        }
+        let initial_total: Power = caps.iter().copied().sum();
+        assert!(
+            initial_total <= cfg.budget,
+            "assignments sum to {initial_total}, above the {} budget",
+            cfg.budget
+        );
+
+        let mut queue = EventQueue::new();
+        let mut nodes = Vec::with_capacity(n);
+        for (i, profile) in workloads.into_iter().enumerate() {
+            let id = NodeId::new(i as u32);
+            let mut rng = ChaCha8Rng::seed_from_u64(node_seed(cfg.seed, i as u64));
+            let overhead = match cfg.system {
+                SystemKind::Fair => 0.0,
+                _ => cfg.management_overhead,
+            };
+            let state = WorkloadState::with_overhead(profile, overhead);
+            let rapl = SimulatedRapl::new(state, caps[i], cfg.rapl.clone());
+            let manager = match cfg.system {
+                SystemKind::Fair => Manager::Fair,
+                SystemKind::Penelope => Manager::Penelope {
+                    decider: LocalDecider::new(cfg.decider, caps[i], cfg.safe_range),
+                    pool: PowerPool::new(cfg.pool),
+                    queue: ServerQueue::new(cfg.service, cfg.pool_queue_capacity),
+                },
+                SystemKind::Slurm => Manager::Slurm {
+                    client: SlurmClient::new(cfg.decider, caps[i], cfg.safe_range),
+                },
+            };
+            // First tick at a small random phase offset; every period after.
+            let jitter = if cfg.tick_jitter.is_zero() {
+                SimDuration::ZERO
+            } else {
+                SimDuration::from_nanos(rng.gen_range(0..=cfg.tick_jitter.as_nanos()))
+            };
+            queue.push(SimTime::ZERO + jitter, Event::Tick(id));
+            nodes.push(SimNode {
+                id,
+                rapl,
+                manager,
+                rng,
+                pending: Default::default(),
+                turnaround: Default::default(),
+                finished_seen: false,
+                initial_cap: caps[i],
+                rr_cursor: (i as u32 + 1) % n as u32,
+                last_success: None,
+                oscillation: OscillationStats::new(),
+                active_server: 0,
+                server_timeouts: 0,
+            });
+        }
+
+        let servers = match cfg.system {
+            SystemKind::Slurm => {
+                // Primary always; a backup when configured (the failover
+                // study the paper leaves as future work, §4.4).
+                let count = if cfg.backup_server { 2 } else { 1 };
+                (0..count)
+                    .map(|k| ServerSide {
+                        id: NodeId::new((n + k) as u32),
+                        policy: PowerServer::new(cfg.pool),
+                        queue: ServerQueue::new(cfg.service, cfg.server_queue_capacity),
+                        rng: ChaCha8Rng::seed_from_u64(node_seed(cfg.seed, u64::MAX - k as u64 * 2)),
+                    })
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
+
+        let net_rng = ChaCha8Rng::seed_from_u64(node_seed(cfg.seed, u64::MAX - 1));
+        ClusterSim {
+            net: SimNet::new(cfg.latency.clone()),
+            cfg,
+            now: SimTime::ZERO,
+            queue,
+            net_rng,
+            nodes,
+            servers,
+            ledger: Ledger::new(initial_total),
+            redistribution: None,
+            finished_count: 0,
+            dead: Vec::new(),
+            dead_unfinished: 0,
+            conservation_ok: true,
+            stop_on_full_redistribution: false,
+            trace: None,
+        }
+    }
+
+    /// Record per-node (cap, reading, pool) samples at every decider tick;
+    /// the trace comes back in the run report. Memory is O(nodes × ticks),
+    /// so enable it for runs you intend to plot.
+    pub fn record_traces(&mut self) {
+        self.trace = Some(ClusterTrace::new(self.nodes.len()));
+    }
+
+    /// Stop the run as soon as the redistribution tracker reaches 100 %
+    /// (the scale-study scenarios have perpetual workloads, so completion
+    /// of the *redistribution* is the natural end of the experiment).
+    pub fn stop_when_redistributed(&mut self) {
+        self.stop_on_full_redistribution = true;
+    }
+
+    /// Install a fault script (schedules its entries as events).
+    pub fn install_faults(&mut self, script: &FaultScript) {
+        for (at, action) in script.entries() {
+            self.queue.push(*at, Event::Fault(action.clone()));
+        }
+    }
+
+    /// Track redistribution of `total` excess toward the given hungry
+    /// nodes: every grant delivered to one of them is credited (clipped at
+    /// `total`, exactly as the paper counts power reaching power-hungry
+    /// nodes), with the clock starting at `from`.
+    pub fn track_redistribution(&mut self, total: Power, recipients: Vec<NodeId>, from: SimTime) {
+        self.redistribution = Some((
+            RedistributionTracker::new(total, from),
+            recipients.into_iter().collect(),
+        ));
+    }
+
+    /// Number of client nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Run until every live workload finishes or `horizon` passes,
+    /// whichever comes first.
+    pub fn run(mut self, horizon: SimTime) -> RunReport {
+        while let Some(next) = self.queue.next_time() {
+            if next > horizon {
+                break;
+            }
+            if self.finished_count + self.dead_unfinished >= self.nodes.len() {
+                break;
+            }
+            if self.stop_on_full_redistribution {
+                if let Some((tracker, _)) = &self.redistribution {
+                    if tracker.fraction_shifted() >= 1.0 {
+                        break;
+                    }
+                }
+            }
+            let Scheduled { at, event, .. } = self.queue.pop().expect("peeked");
+            self.now = at;
+            match event {
+                Event::Tick(id) => self.handle_tick(id),
+                Event::DeliverPeer(env) => self.handle_deliver_peer(env),
+                Event::PoolProcess(env) => self.handle_pool_process(env),
+                Event::DeliverSlurm(env) => self.handle_deliver_slurm(env),
+                Event::ServerProcess(env) => self.handle_server_process(env),
+                Event::Fault(action) => self.handle_fault(action),
+            }
+            if self.cfg.check_invariants {
+                self.check_conservation();
+            }
+        }
+        self.now = self.now.min(horizon);
+        self.into_report()
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn handle_tick(&mut self, id: NodeId) {
+        if !self.is_alive(id) {
+            return; // dead nodes stop iterating
+        }
+        let n = self.nodes.len();
+        let now = self.now;
+        let idx = id.index();
+
+        // Read power and advance the workload model.
+        let node = &mut self.nodes[idx];
+        let reading = node.rapl.read_power_with(now, &mut node.rng);
+        if !node.finished_seen && node.rapl.device().is_finished() {
+            node.finished_seen = true;
+            self.finished_count += 1;
+        }
+
+        // Run the manager.
+        enum Outgoing {
+            None,
+            PeerRequest { dst: NodeId, req: PowerRequest },
+            SlurmReport { excess: Power },
+            SlurmRequest { urgent: bool, alpha: Power, seq: u64 },
+        }
+        let mut outgoing = Outgoing::None;
+        match &mut node.manager {
+            Manager::Fair => {}
+            Manager::Penelope { decider, pool, .. } => {
+                let peer = if n >= 2 {
+                    match self.cfg.discovery {
+                        DiscoveryStrategy::UniformRandom => {
+                            // Uniform over the other client nodes; the
+                            // decider has no liveness oracle (§3.1: chosen
+                            // at random), so dead peers can be picked and
+                            // the request simply times out.
+                            let r = node.rng.gen_range(0..n - 1);
+                            let p = if r >= idx { r + 1 } else { r };
+                            Some(NodeId::new(p as u32))
+                        }
+                        DiscoveryStrategy::RoundRobin => {
+                            let p = node.rr_cursor;
+                            let mut next = (p + 1) % n as u32;
+                            if next as usize == idx {
+                                next = (next + 1) % n as u32;
+                            }
+                            node.rr_cursor = next;
+                            Some(NodeId::new(p))
+                        }
+                        DiscoveryStrategy::GossipHint { explore } => {
+                            let hint = node.last_success.filter(|h| h.index() != idx);
+                            match hint {
+                                Some(h) if !node.rng.gen_bool(explore.clamp(0.0, 1.0)) => Some(h),
+                                _ => {
+                                    let r = node.rng.gen_range(0..n - 1);
+                                    let p = if r >= idx { r + 1 } else { r };
+                                    Some(NodeId::new(p as u32))
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    None
+                };
+                match decider.tick(now, reading, pool, peer) {
+                    TickAction::Request {
+                        dst,
+                        urgent,
+                        alpha,
+                        seq,
+                    } => {
+                        node.pending.insert(seq, now);
+                        outgoing = Outgoing::PeerRequest {
+                            dst,
+                            req: PowerRequest {
+                                from: id,
+                                urgent,
+                                alpha,
+                                seq,
+                            },
+                        };
+                    }
+                    TickAction::Deposited(_) | TickAction::TookLocal(_) | TickAction::Idle => {}
+                }
+                node.rapl.set_cap(decider.cap(), now);
+            }
+            Manager::Slurm { client } => {
+                let had_unanswered = !node.pending.is_empty();
+                match client.tick(now, reading) {
+                    ClientAction::Report { excess } => outgoing = Outgoing::SlurmReport { excess },
+                    ClientAction::Request { urgent, alpha, seq } => {
+                        // Emitting a new request while an old one is still
+                        // pending means the server never answered: the
+                        // client's only liveness signal. Two in a row
+                        // triggers failover to the standby, if one exists.
+                        if had_unanswered {
+                            node.server_timeouts = node.server_timeouts.saturating_add(1);
+                            if node.server_timeouts >= 2 && node.active_server == 0 {
+                                node.active_server = 1;
+                            }
+                        }
+                        node.pending.insert(seq, now);
+                        outgoing = Outgoing::SlurmRequest { urgent, alpha, seq };
+                    }
+                    ClientAction::Idle => {}
+                }
+                node.rapl.set_cap(client.cap(), now);
+            }
+        }
+
+        // Per-tick telemetry.
+        let cap_now = node.cap();
+        let pool_now = node.pooled();
+        node.oscillation.record(cap_now);
+        if let Some(trace) = &mut self.trace {
+            trace.push(
+                id,
+                TraceSample {
+                    at: now,
+                    cap: cap_now,
+                    reading,
+                    pool: pool_now,
+                },
+            );
+        }
+
+        // Route any message (node borrow released).
+        match outgoing {
+            Outgoing::None => {}
+            Outgoing::PeerRequest { dst, req } => {
+                self.route_peer(id, dst, PeerMsg::Request(req), Power::ZERO);
+            }
+            Outgoing::SlurmReport { excess } => {
+                let mut server_id = self.active_server_for(id);
+                // Reports are connection-oriented in real SLURM: sending to
+                // a dead coordinator fails visibly, so a client with a
+                // standby configured fails over immediately instead of
+                // pouring freed power into the void.
+                if !self.is_alive(server_id) && self.servers.len() > 1 {
+                    self.nodes[idx].active_server = 1;
+                    server_id = self.active_server_for(id);
+                }
+                self.route_slurm(id, server_id, SlurmMsg::Report { from: id, excess }, excess);
+            }
+            Outgoing::SlurmRequest { urgent, alpha, seq } => {
+                let server_id = self.active_server_for(id);
+                self.route_slurm(
+                    id,
+                    server_id,
+                    SlurmMsg::Request {
+                        from: id,
+                        urgent,
+                        alpha,
+                        seq,
+                    },
+                    Power::ZERO,
+                );
+            }
+        }
+
+        // Next iteration.
+        self.queue
+            .push(now + self.cfg.decider.period, Event::Tick(id));
+    }
+
+    fn handle_deliver_peer(&mut self, env: penelope_net::Envelope<PeerMsg>) {
+        match env.msg {
+            PeerMsg::Request(_) => {
+                let dst = env.dst;
+                if !self.is_alive(dst) {
+                    return; // died with the request in flight; no power moves
+                }
+                let node = &mut self.nodes[dst.index()];
+                let Manager::Penelope { queue, .. } = &mut node.manager else {
+                    return; // stray message; ignore
+                };
+                if let Some(done) = queue.offer(self.now, &mut node.rng) {
+                    self.queue.push(done, Event::PoolProcess(env));
+                }
+                // else: pool overloaded, request dropped; requester times out.
+            }
+            PeerMsg::Grant(g) => {
+                let dst = env.dst;
+                self.ledger.land(g.amount);
+                if !self.is_alive(dst) {
+                    self.ledger.lose_direct(g.amount);
+                    return;
+                }
+                let now = self.now;
+                let node = &mut self.nodes[dst.index()];
+                let Manager::Penelope { decider, pool, .. } = &mut node.manager else {
+                    self.ledger.lose_direct(g.amount);
+                    return;
+                };
+                let _ = decider.on_grant(g.seq, g.amount, pool);
+                node.rapl.set_cap(decider.cap(), now);
+                if let Some(sent) = node.pending.remove(&g.seq) {
+                    node.turnaround.record(now.saturating_since(sent));
+                }
+                // Gossip-hint maintenance: remember productive pools,
+                // forget dry ones.
+                if g.amount.is_zero() {
+                    if node.last_success == Some(env.src) {
+                        node.last_success = None;
+                    }
+                } else {
+                    node.last_success = Some(env.src);
+                }
+                self.credit_redistribution(dst, g.amount);
+            }
+        }
+    }
+
+    fn handle_pool_process(&mut self, env: penelope_net::Envelope<PeerMsg>) {
+        let PeerMsg::Request(req) = env.msg else {
+            return;
+        };
+        let pool_node = env.dst;
+        if !self.is_alive(pool_node) {
+            return; // pool crashed before servicing; nothing was debited
+        }
+        let node = &mut self.nodes[pool_node.index()];
+        let Manager::Penelope { pool, .. } = &mut node.manager else {
+            return;
+        };
+        let amount = pool.handle_request(req.urgent, req.alpha);
+        self.route_peer(
+            pool_node,
+            req.from,
+            PeerMsg::Grant(PowerGrant {
+                amount,
+                seq: req.seq,
+            }),
+            amount,
+        );
+    }
+
+    fn handle_deliver_slurm(&mut self, env: penelope_net::Envelope<SlurmMsg>) {
+        let server_idx = self.servers.iter().position(|s| s.id == env.dst);
+        if let Some(k) = server_idx {
+            // Client → server: goes through the serial queue.
+            let carried = match env.msg {
+                SlurmMsg::Report { excess, .. } => excess,
+                _ => Power::ZERO,
+            };
+            if !self.is_alive(env.dst) {
+                if !carried.is_zero() {
+                    self.ledger.lose_in_flight(carried);
+                }
+                return;
+            }
+            let server = &mut self.servers[k];
+            match server.queue.offer(self.now, &mut server.rng) {
+                Some(done) => self.queue.push(done, Event::ServerProcess(env)),
+                None => {
+                    // Packet dropped at the overloaded server (§4.5.1).
+                    if !carried.is_zero() {
+                        self.ledger.lose_in_flight(carried);
+                    }
+                }
+            }
+        } else {
+            // Server → client grant.
+            let SlurmMsg::Grant(g) = env.msg else {
+                return;
+            };
+            let dst = env.dst;
+            self.ledger.land(g.amount);
+            if !self.is_alive(dst) {
+                self.ledger.lose_direct(g.amount);
+                return;
+            }
+            let now = self.now;
+            let node = &mut self.nodes[dst.index()];
+            let Manager::Slurm { client } = &mut node.manager else {
+                self.ledger.lose_direct(g.amount);
+                return;
+            };
+            let eff = client.on_grant(g.seq, g.amount, g.release_to_initial);
+            node.rapl.set_cap(client.cap(), now);
+            if let Some(sent) = node.pending.remove(&g.seq) {
+                node.turnaround.record(now.saturating_since(sent));
+            }
+            // A response arrived: the node's server is healthy again.
+            self.nodes[dst.index()].server_timeouts = 0;
+            let released = eff.released;
+            if !released.is_zero() {
+                let server_id = self.active_server_for(dst);
+                self.route_slurm(
+                    dst,
+                    server_id,
+                    SlurmMsg::Report {
+                        from: dst,
+                        excess: released,
+                    },
+                    released,
+                );
+            }
+            self.credit_redistribution(dst, g.amount);
+        }
+    }
+
+    fn handle_server_process(&mut self, env: penelope_net::Envelope<SlurmMsg>) {
+        let Some(k) = self.servers.iter().position(|s| s.id == env.dst) else {
+            return;
+        };
+        let alive = self.net.faults().is_alive(env.dst);
+        match env.msg {
+            SlurmMsg::Report { excess, .. } => {
+                self.ledger.land(excess);
+                if !alive {
+                    self.ledger.lose_direct(excess);
+                    return;
+                }
+                self.servers[k].policy.on_report(excess);
+            }
+            SlurmMsg::Request {
+                from,
+                urgent,
+                alpha,
+                seq,
+            } => {
+                if !alive {
+                    return;
+                }
+                let server = &mut self.servers[k];
+                let grant: ServerGrant = server.policy.on_request(urgent, alpha, seq);
+                let server_id = server.id;
+                self.route_slurm(server_id, from, SlurmMsg::Grant(grant), grant.amount);
+            }
+            SlurmMsg::Grant(_) => {}
+        }
+    }
+
+    fn handle_fault(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::Kill(id) => self.kill_node(id),
+            FaultAction::KillServer => {
+                if let Some(id) = self.servers.first().map(|s| s.id) {
+                    self.kill_node(id);
+                }
+            }
+            FaultAction::Partition(groups) => {
+                self.net.faults_mut().partition(
+                    groups
+                        .into_iter()
+                        .map(|g| g.into_iter().collect())
+                        .collect(),
+                );
+            }
+            FaultAction::Heal => self.net.faults_mut().heal_partitions(),
+            FaultAction::SetDropRate(p) => self.net.faults_mut().set_drop_rate(p),
+        }
+    }
+
+    fn kill_node(&mut self, id: NodeId) {
+        if !self.is_alive(id) {
+            return;
+        }
+        self.net.faults_mut().kill(id);
+        if let Some(server) = self.servers.iter_mut().find(|s| s.id == id) {
+            // The coordinator dies: its cached excess leaves the system.
+            let cached = server.policy.drain();
+            self.ledger.lose_direct(cached);
+            self.dead.push(id);
+            return;
+        }
+        let node = &mut self.nodes[id.index()];
+        let cap = node.cap();
+        let pooled = match &mut node.manager {
+            Manager::Penelope { pool, .. } => pool.drain(),
+            _ => Power::ZERO,
+        };
+        self.ledger.lose_direct(cap + pooled);
+        if !node.finished_seen {
+            self.dead_unfinished += 1;
+        }
+        self.dead.push(id);
+    }
+
+    // ------------------------------------------------------------------
+    // Routing
+    // ------------------------------------------------------------------
+
+    fn route_peer(&mut self, src: NodeId, dst: NodeId, msg: PeerMsg, carried: Power) {
+        if !carried.is_zero() {
+            self.ledger.depart(carried);
+        }
+        match self.net.route(src, dst, msg, self.now, &mut self.net_rng) {
+            RouteOutcome::Deliver(env) => {
+                self.queue.push(env.deliver_at, Event::DeliverPeer(env));
+            }
+            _ => {
+                if !carried.is_zero() {
+                    self.ledger.lose_in_flight(carried);
+                }
+            }
+        }
+    }
+
+    fn route_slurm(&mut self, src: NodeId, dst: NodeId, msg: SlurmMsg, carried: Power) {
+        if !carried.is_zero() {
+            self.ledger.depart(carried);
+        }
+        match self.net.route(src, dst, msg, self.now, &mut self.net_rng) {
+            RouteOutcome::Deliver(env) => {
+                self.queue.push(env.deliver_at, Event::DeliverSlurm(env));
+            }
+            _ => {
+                if !carried.is_zero() {
+                    self.ledger.lose_in_flight(carried);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accounting
+    // ------------------------------------------------------------------
+
+    fn is_alive(&self, id: NodeId) -> bool {
+        self.net.faults().is_alive(id)
+    }
+
+    /// The server a SLURM client currently addresses. With a backup
+    /// configured, a client fails over after two consecutive request
+    /// timeouts (it has no other liveness oracle) and stays there.
+    fn active_server_for(&self, node: NodeId) -> NodeId {
+        let idx = self.nodes[node.index()].active_server.min(self.servers.len() - 1);
+        self.servers[idx].id
+    }
+
+    fn credit_redistribution(&mut self, recipient: NodeId, amount: Power) {
+        let Some((tracker, recipients)) = &mut self.redistribution else {
+            return;
+        };
+        if recipients.contains(&recipient) {
+            tracker.record(self.now, amount);
+        }
+    }
+
+    fn live_total(&self) -> Power {
+        let nodes: Power = self
+            .nodes
+            .iter()
+            .filter(|n| self.net.faults().is_alive(n.id))
+            .map(|n| n.holdings())
+            .sum();
+        let servers: Power = self
+            .servers
+            .iter()
+            .filter(|s| self.net.faults().is_alive(s.id))
+            .map(|s| s.policy.cached())
+            .sum();
+        nodes + servers
+    }
+
+    fn check_conservation(&mut self) {
+        if let Err(e) = self.ledger.check(self.live_total()) {
+            self.conservation_ok = false;
+            panic!("at {}: {e}", self.now);
+        }
+        // The hardware-level safety property (§2.1 constraint 1): even with
+        // RAPL actuation lag, the caps the hardware is *currently enforcing*
+        // never sum above the assigned budget. This holds because a donor's
+        // cap drop is requested strictly before the recipient's raise and
+        // both see the same actuation delay.
+        let effective: Power = self
+            .nodes
+            .iter()
+            .filter(|n| self.net.faults().is_alive(n.id))
+            .map(|n| n.rapl.effective_cap(self.now))
+            .sum();
+        if effective > self.ledger.initial_total {
+            self.conservation_ok = false;
+            panic!(
+                "at {}: effective caps {} exceed the assigned budget {}",
+                self.now, effective, self.ledger.initial_total
+            );
+        }
+    }
+
+    fn into_report(self) -> RunReport {
+        let mut turnaround = penelope_metrics::TurnaroundStats::new();
+        let mut oscillation = penelope_metrics::OscillationStats::new();
+        let mut finished = Vec::with_capacity(self.nodes.len());
+        let mut final_caps = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            turnaround.merge(&node.turnaround);
+            oscillation.merge(&node.oscillation);
+            for _ in node.pending.iter() {
+                turnaround.record_unanswered();
+            }
+            finished.push(node.rapl.device().finished_at());
+            final_caps.push(node.cap());
+        }
+        RunReport {
+            system: self.cfg.system,
+            n_nodes: self.nodes.len(),
+            finished,
+            dead: self.dead,
+            ended_at: self.now,
+            turnaround,
+            redistribution: self.redistribution.map(|(t, _)| t),
+            net: self.net.stats(),
+            server_queue: self.servers.first().map(|s| s.queue.stats()),
+            lost: self.ledger.lost,
+            final_caps,
+            conservation_ok: self.conservation_ok,
+            oscillation,
+            trace: self.trace,
+        }
+    }
+}

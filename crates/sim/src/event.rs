@@ -1,0 +1,148 @@
+//! The event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use penelope_core::PeerMsg;
+use penelope_net::Envelope;
+use penelope_slurm::SlurmMsg;
+use penelope_units::{NodeId, SimTime};
+
+use crate::faults::FaultAction;
+
+/// Everything that can happen in the simulated cluster.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// A node's decider iteration.
+    Tick(NodeId),
+    /// A Penelope protocol message arrives at its destination.
+    DeliverPeer(Envelope<PeerMsg>),
+    /// A Penelope pool finishes servicing a request (emits the grant).
+    PoolProcess(Envelope<PeerMsg>),
+    /// A SLURM protocol message arrives (client→server or server→client).
+    DeliverSlurm(Envelope<SlurmMsg>),
+    /// The SLURM server finishes servicing a queued message.
+    ServerProcess(Envelope<SlurmMsg>),
+    /// A scripted fault fires.
+    Fault(FaultAction),
+}
+
+/// An event scheduled at a virtual time. Ties are broken by insertion
+/// sequence, which makes runs deterministic regardless of heap internals.
+#[derive(Clone, Debug)]
+pub struct Scheduled {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Insertion sequence number (tie-break).
+    pub seq: u64,
+    /// The event.
+    pub event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic min-time event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at `at`.
+    pub fn push(&mut self, at: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<Scheduled> {
+        self.heap.pop()
+    }
+
+    /// Peek at the earliest event's time.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True iff no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), Event::Tick(NodeId::new(3)));
+        q.push(t(10), Event::Tick(NodeId::new(1)));
+        q.push(t(20), Event::Tick(NodeId::new(2)));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|s| s.at.as_nanos() / 1_000_000)
+            .collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_broken_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(t(5), Event::Tick(NodeId::new(i)));
+        }
+        let ids: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|s| match s.event {
+                Event::Tick(n) => n.raw(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn next_time_peeks_without_popping() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_time(), None);
+        q.push(t(7), Event::Tick(NodeId::new(0)));
+        assert_eq!(q.next_time(), Some(t(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! Scripted fault injection.
+
+use penelope_units::{NodeId, SimTime};
+
+/// A fault (or repair) that can be injected into a running cluster.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultAction {
+    /// Crash a node: its workload freezes, its cap and pooled power leave
+    /// the system, and it neither sends nor receives messages. `KillServer`
+    /// via the server's node id reproduces §4.4.
+    Kill(NodeId),
+    /// Crash the SLURM server (whatever node hosts it).
+    KillServer,
+    /// Split the network into groups; traffic flows only within a group.
+    Partition(Vec<Vec<NodeId>>),
+    /// Remove all partitions.
+    Heal,
+    /// Set the background random message-loss probability.
+    SetDropRate(f64),
+}
+
+/// A time-ordered script of fault injections, installed into the simulator
+/// before the run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultScript {
+    entries: Vec<(SimTime, FaultAction)>,
+}
+
+impl FaultScript {
+    /// An empty (fault-free) script.
+    pub fn none() -> Self {
+        FaultScript::default()
+    }
+
+    /// Add an injection at `at`.
+    pub fn at(mut self, at: SimTime, action: FaultAction) -> Self {
+        self.entries.push((at, action));
+        self
+    }
+
+    /// The §4.4 scenario: kill the central server at `at`.
+    pub fn kill_server_at(at: SimTime) -> Self {
+        FaultScript::none().at(at, FaultAction::KillServer)
+    }
+
+    /// Kill one client node at `at` (the client-failure scenario Penelope
+    /// shrugs off).
+    pub fn kill_node_at(at: SimTime, node: NodeId) -> Self {
+        FaultScript::none().at(at, FaultAction::Kill(node))
+    }
+
+    /// The scripted entries, in insertion order.
+    pub fn entries(&self) -> &[(SimTime, FaultAction)] {
+        &self.entries
+    }
+
+    /// True iff the script injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_in_order() {
+        let s = FaultScript::none()
+            .at(SimTime::from_secs(10), FaultAction::Kill(NodeId::new(3)))
+            .at(SimTime::from_secs(20), FaultAction::Heal);
+        assert_eq!(s.entries().len(), 2);
+        assert_eq!(s.entries()[0].0, SimTime::from_secs(10));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn convenience_constructors() {
+        let s = FaultScript::kill_server_at(SimTime::from_secs(5));
+        assert_eq!(s.entries()[0].1, FaultAction::KillServer);
+        let s = FaultScript::kill_node_at(SimTime::from_secs(5), NodeId::new(7));
+        assert_eq!(s.entries()[0].1, FaultAction::Kill(NodeId::new(7)));
+        assert!(FaultScript::none().is_empty());
+    }
+}

@@ -1,0 +1,151 @@
+//! The power-conservation ledger.
+
+use penelope_units::Power;
+
+/// Tracks power that is neither on a node nor in the server cache: grants
+/// and reports in flight (including queued at the server), plus power
+/// permanently lost to crashes and drops.
+///
+/// The simulator's safety invariant is
+///
+/// ```text
+/// Σ caps(alive) + Σ pools(alive) + server cache + in_flight + lost
+///     == Σ initially assigned caps
+/// ```
+///
+/// which is exactly the paper's argument that atomic zero-sum transactions
+/// can never raise total allocated power above the system-wide cap (§3):
+/// power can be *lost* (a crashed node's cap, a dropped report) but never
+/// minted, so the left side never exceeds the budget.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Ledger {
+    /// Sum of the initial cap assignment.
+    pub initial_total: Power,
+    /// Power carried by messages in flight or queued.
+    pub in_flight: Power,
+    /// Power permanently out of the system.
+    pub lost: Power,
+}
+
+impl Ledger {
+    /// Start a ledger for a cluster whose initial caps sum to `total`.
+    pub fn new(initial_total: Power) -> Self {
+        Ledger {
+            initial_total,
+            in_flight: Power::ZERO,
+            lost: Power::ZERO,
+        }
+    }
+
+    /// A power-bearing message departed.
+    pub fn depart(&mut self, amount: Power) {
+        self.in_flight += amount;
+    }
+
+    /// A power-bearing message landed somewhere inside the system.
+    pub fn land(&mut self, amount: Power) {
+        self.in_flight = self
+            .in_flight
+            .checked_sub(amount)
+            .expect("ledger underflow: landing more power than is in flight");
+    }
+
+    /// A power-bearing message was destroyed in flight.
+    pub fn lose_in_flight(&mut self, amount: Power) {
+        self.land(amount);
+        self.lost += amount;
+    }
+
+    /// Power held by a crashed node (cap + pool) left the system.
+    pub fn lose_direct(&mut self, amount: Power) {
+        self.lost += amount;
+    }
+
+    /// Check the invariant against the live sums. Returns the discrepancy
+    /// (`Ok(())` when exact).
+    pub fn check(&self, live_total: Power) -> Result<(), LedgerError> {
+        let accounted = live_total + self.in_flight + self.lost;
+        if accounted == self.initial_total {
+            Ok(())
+        } else {
+            Err(LedgerError {
+                expected: self.initial_total,
+                accounted,
+            })
+        }
+    }
+}
+
+/// A conservation violation: the strongest possible bug signal in a power
+/// manager, so it carries both sides for the panic message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LedgerError {
+    /// The initially assigned total.
+    pub expected: Power,
+    /// What the live sums + in-flight + lost added up to.
+    pub accounted: Power,
+}
+
+impl std::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "power conservation violated: accounted {} != assigned {}",
+            self.accounted, self.expected
+        )
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(x: u64) -> Power {
+        Power::from_watts_u64(x)
+    }
+
+    #[test]
+    fn in_flight_roundtrip() {
+        let mut l = Ledger::new(w(100));
+        l.depart(w(10));
+        assert!(l.check(w(90)).is_ok());
+        l.land(w(10));
+        assert!(l.check(w(100)).is_ok());
+    }
+
+    #[test]
+    fn losses_accumulate() {
+        let mut l = Ledger::new(w(100));
+        l.depart(w(10));
+        l.lose_in_flight(w(10));
+        assert_eq!(l.lost, w(10));
+        assert_eq!(l.in_flight, Power::ZERO);
+        assert!(l.check(w(90)).is_ok());
+        l.lose_direct(w(5));
+        assert!(l.check(w(85)).is_ok());
+    }
+
+    #[test]
+    fn detects_minting() {
+        let l = Ledger::new(w(100));
+        let err = l.check(w(101)).unwrap_err();
+        assert_eq!(err.expected, w(100));
+        assert_eq!(err.accounted, w(101));
+        assert!(err.to_string().contains("conservation violated"));
+    }
+
+    #[test]
+    fn detects_leaks() {
+        let l = Ledger::new(w(100));
+        assert!(l.check(w(99)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "ledger underflow")]
+    fn landing_phantom_power_panics() {
+        let mut l = Ledger::new(w(100));
+        l.land(w(1));
+    }
+}

@@ -1,0 +1,176 @@
+//! Per-node simulation state.
+
+use std::collections::HashMap;
+
+use penelope_core::{LocalDecider, PowerPool};
+use penelope_metrics::{OscillationStats, TurnaroundStats};
+use penelope_power::{PowerInterface, SimulatedRapl};
+use penelope_slurm::{ServerQueue, SlurmClient};
+use penelope_units::{NodeId, Power, SimTime};
+use penelope_workload::WorkloadState;
+use rand_chacha::ChaCha8Rng;
+
+/// The power manager running on a node.
+#[derive(Debug)]
+pub enum Manager {
+    /// Static cap; no control loop.
+    Fair,
+    /// Penelope: decider + pool, plus the pool's request-service queue
+    /// (each pool is a miniature server with the same per-request service
+    /// time as SLURM's — the difference at scale is *load*, not speed).
+    Penelope {
+        /// The Algorithm 1 controller.
+        decider: LocalDecider,
+        /// The Algorithm 2 cache/server.
+        pool: PowerPool,
+        /// Service-time model for incoming requests.
+        queue: ServerQueue,
+    },
+    /// A SLURM client decider.
+    Slurm {
+        /// The centralized baseline's per-node client.
+        client: SlurmClient,
+    },
+}
+
+/// One simulated cluster node: hardware model + manager + RNG + metrics.
+#[derive(Debug)]
+pub struct SimNode {
+    /// The node's identity.
+    pub id: NodeId,
+    /// Simulated RAPL domain over the node's workload.
+    pub rapl: SimulatedRapl<WorkloadState>,
+    /// The power manager.
+    pub manager: Manager,
+    /// Per-node deterministic RNG stream.
+    pub rng: ChaCha8Rng,
+    /// Outstanding requests: seq → send time (for turnaround metrics).
+    pub pending: HashMap<u64, SimTime>,
+    /// Completed round-trip times.
+    pub turnaround: TurnaroundStats,
+    /// Whether the workload's completion has been observed.
+    pub finished_seen: bool,
+    /// The cap this node was initially assigned.
+    pub initial_cap: Power,
+    /// Round-robin discovery cursor (used when the cluster is configured
+    /// with `DiscoveryStrategy::RoundRobin`).
+    pub rr_cursor: u32,
+    /// Where this decider last found power (gossip-hint discovery).
+    pub last_success: Option<NodeId>,
+    /// Cap-trajectory oscillation collector (fed once per tick).
+    pub oscillation: OscillationStats,
+    /// Index of the server this SLURM client currently addresses
+    /// (failover bumps it; 0 = primary).
+    pub active_server: usize,
+    /// Consecutive unanswered requests to the current server.
+    pub server_timeouts: u8,
+}
+
+impl SimNode {
+    /// The cap the node's manager currently wants enforced.
+    pub fn cap(&self) -> Power {
+        match &self.manager {
+            Manager::Fair => self.rapl.cap(),
+            Manager::Penelope { decider, .. } => decider.cap(),
+            Manager::Slurm { client } => client.cap(),
+        }
+    }
+
+    /// Power cached in the node's local pool (zero for Fair/SLURM).
+    pub fn pooled(&self) -> Power {
+        match &self.manager {
+            Manager::Penelope { pool, .. } => pool.available(),
+            _ => Power::ZERO,
+        }
+    }
+
+    /// Power this node holds in total (cap + pool) — what leaves the
+    /// system if it crashes.
+    pub fn holdings(&self) -> Power {
+        self.cap() + self.pooled()
+    }
+
+    /// How far the node's cap sits above its initial assignment (the
+    /// redistribution level metric counts this on hungry nodes).
+    pub fn gain_over_initial(&self) -> Power {
+        self.cap().saturating_sub(self.initial_cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use penelope_core::{DeciderConfig, LocalDecider, PoolConfig};
+    use penelope_power::RaplConfig;
+    use penelope_slurm::{ServerQueue, ServiceModel};
+    use penelope_units::PowerRange;
+    use penelope_workload::{PerfModel, Phase, Profile};
+    use rand::SeedableRng;
+
+    fn w(x: u64) -> Power {
+        Power::from_watts_u64(x)
+    }
+
+    fn node(manager: Manager) -> SimNode {
+        let profile = Profile::new(
+            "t",
+            vec![Phase::new(w(100), 1.0)],
+            PerfModel::new(w(60), 1.0),
+        );
+        SimNode {
+            id: NodeId::new(0),
+            rapl: SimulatedRapl::new(
+                penelope_workload::WorkloadState::new(profile),
+                w(160),
+                RaplConfig::default(),
+            ),
+            manager,
+            rng: rand_chacha::ChaCha8Rng::seed_from_u64(0),
+            pending: Default::default(),
+            turnaround: Default::default(),
+            finished_seen: false,
+            initial_cap: w(160),
+            rr_cursor: 1,
+            last_success: None,
+            oscillation: OscillationStats::new(),
+            active_server: 0,
+            server_timeouts: 0,
+        }
+    }
+
+    #[test]
+    fn fair_node_reports_rapl_cap_and_no_pool() {
+        let n = node(Manager::Fair);
+        assert_eq!(n.cap(), w(160));
+        assert_eq!(n.pooled(), Power::ZERO);
+        assert_eq!(n.holdings(), w(160));
+        assert_eq!(n.gain_over_initial(), Power::ZERO);
+    }
+
+    #[test]
+    fn penelope_node_holdings_include_pool() {
+        let mut pool = penelope_core::PowerPool::new(PoolConfig::default());
+        pool.deposit(w(25));
+        let decider = LocalDecider::new(
+            DeciderConfig::default(),
+            w(160),
+            PowerRange::from_watts(80, 300),
+        );
+        let n = node(Manager::Penelope {
+            decider,
+            pool,
+            queue: ServerQueue::new(ServiceModel::default(), 16),
+        });
+        assert_eq!(n.pooled(), w(25));
+        assert_eq!(n.holdings(), w(185));
+    }
+
+    #[test]
+    fn gain_over_initial_saturates_at_zero() {
+        let mut n = node(Manager::Fair);
+        n.initial_cap = w(200); // cap (160) below initial
+        assert_eq!(n.gain_over_initial(), Power::ZERO);
+        n.initial_cap = w(100);
+        assert_eq!(n.gain_over_initial(), w(60));
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-node time-series recording.
+//!
+//! When enabled, the simulator samples every node at each decider iteration:
+//! the cap the manager wants, the power reading it acted on, and the local
+//! pool level. The traces power the Figure-1-style visualizations in the
+//! examples and export to CSV for external plotting.
+
+use penelope_units::{NodeId, Power, SimTime};
+
+/// One sample of one node's power state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceSample {
+    /// When the sample was taken (the node's tick).
+    pub at: SimTime,
+    /// The node-level cap after the iteration.
+    pub cap: Power,
+    /// The average power reading the iteration acted on.
+    pub reading: Power,
+    /// The local pool level after the iteration (zero for Fair/SLURM).
+    pub pool: Power,
+}
+
+/// All nodes' recorded samples.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterTrace {
+    /// Per node (indexed by `NodeId`), the tick-by-tick samples.
+    pub nodes: Vec<Vec<TraceSample>>,
+}
+
+impl ClusterTrace {
+    /// Create an empty trace for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        ClusterTrace {
+            nodes: vec![Vec::new(); n],
+        }
+    }
+
+    /// Append a sample for `node`.
+    pub fn push(&mut self, node: NodeId, sample: TraceSample) {
+        self.nodes[node.index()].push(sample);
+    }
+
+    /// The cap trajectory of one node, in watts (for sparklines).
+    pub fn cap_series_watts(&self, node: NodeId) -> Vec<f64> {
+        self.nodes[node.index()]
+            .iter()
+            .map(|s| s.cap.as_watts())
+            .collect()
+    }
+
+    /// The pool trajectory of one node, in watts.
+    pub fn pool_series_watts(&self, node: NodeId) -> Vec<f64> {
+        self.nodes[node.index()]
+            .iter()
+            .map(|s| s.pool.as_watts())
+            .collect()
+    }
+
+    /// Export every sample as CSV: `node,t_secs,cap_w,reading_w,pool_w`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("node,t_secs,cap_w,reading_w,pool_w\n");
+        for (i, samples) in self.nodes.iter().enumerate() {
+            for s in samples {
+                out.push_str(&format!(
+                    "{},{:.6},{:.3},{:.3},{:.3}\n",
+                    i,
+                    s.at.as_secs_f64(),
+                    s.cap.as_watts(),
+                    s.reading.as_watts(),
+                    s.pool.as_watts()
+                ));
+            }
+        }
+        out
+    }
+
+    /// Total number of samples across all nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.iter().map(Vec::len).sum()
+    }
+
+    /// True iff no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(secs: u64, cap_w: u64) -> TraceSample {
+        TraceSample {
+            at: SimTime::from_secs(secs),
+            cap: Power::from_watts_u64(cap_w),
+            reading: Power::from_watts_u64(cap_w - 10),
+            pool: Power::from_watts_u64(5),
+        }
+    }
+
+    #[test]
+    fn push_and_series() {
+        let mut t = ClusterTrace::new(2);
+        t.push(NodeId::new(0), sample(1, 100));
+        t.push(NodeId::new(0), sample(2, 120));
+        t.push(NodeId::new(1), sample(1, 90));
+        assert_eq!(t.cap_series_watts(NodeId::new(0)), vec![100.0, 120.0]);
+        assert_eq!(t.pool_series_watts(NodeId::new(1)), vec![5.0]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_layout() {
+        let mut t = ClusterTrace::new(1);
+        t.push(NodeId::new(0), sample(3, 150));
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("node,t_secs,cap_w,reading_w,pool_w"));
+        assert_eq!(lines.next(), Some("0,3.000000,150.000,140.000,5.000"));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = ClusterTrace::new(3);
+        assert!(t.is_empty());
+        assert_eq!(t.cap_series_watts(NodeId::new(2)), Vec::<f64>::new());
+    }
+}

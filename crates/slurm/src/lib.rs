@@ -1,0 +1,35 @@
+//! The centralized baseline: SLURM-style power management.
+//!
+//! The paper's comparator (§2.3.2, §4.1) is SLURM's dynamic power
+//! management: every node runs a local decider that reports excess to — and
+//! requests power from — a single central server, which holds the global
+//! cache of excess power. We implement it with the same period/ε parameters
+//! as Penelope, plus the paper's *centralized* adaptation of urgency: the
+//! server serves urgent nodes greedily up to their initial caps, and when it
+//! cannot, it piggybacks a "release down to your initial cap" directive on
+//! its responses to non-urgent nodes.
+//!
+//! Three pieces:
+//!
+//! * [`SlurmClient`] — the per-node decider (classification identical to
+//!   Penelope's; acquisition goes through the server instead of peers);
+//! * [`PowerServer`] — the central policy: global excess cache, rate-limited
+//!   grants (the same 10 %/1 W/30 W limiter, which is the "rate limiting
+//!   scheme modified to account for scale" of §4.5), centralized urgency;
+//! * [`ServerQueue`] — the performance model of the server process: a
+//!   serial queue with a measured 80–100 µs service time per request
+//!   (§4.5.2) and a bounded backlog that drops packets when full — the
+//!   mechanism behind every SLURM curve in Figures 4–8.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::{ClientAction, GrantEffect, SlurmClient};
+pub use protocol::{ServerGrant, SlurmMsg};
+pub use queue::{QueueStats, ServerQueue, ServiceModel};
+pub use server::{PowerServer, ServerStats};

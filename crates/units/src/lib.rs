@@ -1,0 +1,30 @@
+//! Shared fixed-point unit types for the Penelope workspace.
+//!
+//! Every quantity that participates in the system-wide power-cap invariant is
+//! stored as an integer so that peer-to-peer transactions are *exactly*
+//! zero-sum and the invariant `Σ caps + Σ pools + in-flight ≤ budget` can be
+//! checked as an integer equality after millions of simulated transactions.
+//!
+//! * [`Power`] — milliwatts in a `u64`.
+//! * [`Energy`] — microjoules in a `u128` (power × time products).
+//! * [`SimTime`] / [`SimDuration`] — nanoseconds in a `u64`.
+//! * [`NodeId`] — dense cluster node index.
+//! * [`PowerRange`] — a node's safe `[min, max]` cap range.
+//!
+//! Floating point appears only at API boundaries ([`Power::from_watts`],
+//! [`Power::as_watts`], [`SimDuration::from_secs_f64`], …).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod energy;
+pub mod node;
+pub mod power;
+pub mod range;
+pub mod time;
+
+pub use energy::Energy;
+pub use node::NodeId;
+pub use power::Power;
+pub use range::PowerRange;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,257 @@
+//! A small, self-contained text format for profiles.
+//!
+//! The scale study replays "curated profiles of power consumption over
+//! time" (§4.5); this codec lets profiles live as files without pulling a
+//! serialization format crate into the workspace. The format is line based:
+//!
+//! ```text
+//! profile EP
+//! idle_mw 60000
+//! alpha 0.7
+//! phase 245000 185.0
+//! end
+//! ```
+//!
+//! `phase` lines are `demand_milliwatts work_seconds`, in order.
+
+use std::fmt;
+
+use penelope_units::Power;
+
+use crate::perf::PerfModel;
+use crate::profile::{Phase, Profile};
+
+/// Errors from [`parse_profile`] / [`parse_profiles`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before `end` was seen.
+    UnexpectedEof,
+    /// A line did not match the grammar (1-based line number, content).
+    Malformed(usize, String),
+    /// A numeric field failed to parse (1-based line number, field).
+    BadNumber(usize, String),
+    /// Header fields were missing or the profile had no phases.
+    Incomplete(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::Malformed(n, l) => write!(f, "line {n}: malformed line {l:?}"),
+            CodecError::BadNumber(n, s) => write!(f, "line {n}: bad number {s:?}"),
+            CodecError::Incomplete(what) => write!(f, "incomplete profile: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Render one profile in the text format.
+pub fn format_profile(p: &Profile) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("profile {}\n", p.name));
+    out.push_str(&format!("idle_mw {}\n", p.perf.idle_power.milliwatts()));
+    out.push_str(&format!("alpha {}\n", p.perf.alpha));
+    for ph in &p.phases {
+        out.push_str(&format!("phase {} {}\n", ph.demand.milliwatts(), ph.work));
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Render many profiles back to back.
+pub fn format_profiles(profiles: &[Profile]) -> String {
+    profiles.iter().map(format_profile).collect()
+}
+
+/// Parse exactly one profile.
+pub fn parse_profile(text: &str) -> Result<Profile, CodecError> {
+    let profiles = parse_profiles(text)?;
+    match profiles.len() {
+        1 => Ok(profiles.into_iter().next().expect("len checked")),
+        n => Err(CodecError::Incomplete(format!("expected 1 profile, found {n}"))),
+    }
+}
+
+/// A profile under construction while parsing.
+type PartialProfile = (String, Option<u64>, Option<f64>, Vec<Phase>);
+
+/// Parse a concatenation of profiles.
+pub fn parse_profiles(text: &str) -> Result<Vec<Profile>, CodecError> {
+    let mut profiles = Vec::new();
+    let mut cur: Option<PartialProfile> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let key = parts.next().expect("non-empty line");
+        match (key, &mut cur) {
+            ("profile", slot @ None) => {
+                let name = parts.collect::<Vec<_>>().join(" ");
+                if name.is_empty() {
+                    return Err(CodecError::Malformed(lineno, raw.to_string()));
+                }
+                *slot = Some((name, None, None, Vec::new()));
+            }
+            ("idle_mw", Some((_, idle, _, _))) => {
+                let v = parts
+                    .next()
+                    .ok_or_else(|| CodecError::Malformed(lineno, raw.to_string()))?;
+                *idle = Some(
+                    v.parse()
+                        .map_err(|_| CodecError::BadNumber(lineno, v.to_string()))?,
+                );
+            }
+            ("alpha", Some((_, _, alpha, _))) => {
+                let v = parts
+                    .next()
+                    .ok_or_else(|| CodecError::Malformed(lineno, raw.to_string()))?;
+                *alpha = Some(
+                    v.parse()
+                        .map_err(|_| CodecError::BadNumber(lineno, v.to_string()))?,
+                );
+            }
+            ("phase", Some((_, _, _, phases))) => {
+                let d = parts
+                    .next()
+                    .ok_or_else(|| CodecError::Malformed(lineno, raw.to_string()))?;
+                let wk = parts
+                    .next()
+                    .ok_or_else(|| CodecError::Malformed(lineno, raw.to_string()))?;
+                let demand: u64 = d
+                    .parse()
+                    .map_err(|_| CodecError::BadNumber(lineno, d.to_string()))?;
+                let work: f64 = wk
+                    .parse()
+                    .map_err(|_| CodecError::BadNumber(lineno, wk.to_string()))?;
+                if !(work.is_finite() && work > 0.0) {
+                    return Err(CodecError::BadNumber(lineno, wk.to_string()));
+                }
+                phases.push(Phase::new(Power::from_milliwatts(demand), work));
+            }
+            ("end", slot @ Some(_)) => {
+                let (name, idle, alpha, phases) = slot.take().expect("checked Some");
+                let idle =
+                    idle.ok_or_else(|| CodecError::Incomplete(format!("{name}: missing idle_mw")))?;
+                let alpha =
+                    alpha.ok_or_else(|| CodecError::Incomplete(format!("{name}: missing alpha")))?;
+                if phases.is_empty() {
+                    return Err(CodecError::Incomplete(format!("{name}: no phases")));
+                }
+                if !(alpha > 0.0 && alpha <= 1.0) {
+                    return Err(CodecError::Incomplete(format!("{name}: alpha out of range")));
+                }
+                profiles.push(Profile::new(
+                    name,
+                    phases,
+                    PerfModel::new(Power::from_milliwatts(idle), alpha),
+                ));
+            }
+            _ => return Err(CodecError::Malformed(lineno, raw.to_string())),
+        }
+    }
+    if cur.is_some() {
+        return Err(CodecError::UnexpectedEof);
+    }
+    Ok(profiles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::npb;
+
+    #[test]
+    fn roundtrip_single() {
+        let p = npb::ep();
+        let text = format_profile(&p);
+        let back = parse_profile(&text).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn roundtrip_whole_suite() {
+        let suite = npb::all_profiles();
+        let text = format_profiles(&suite);
+        let back = parse_profiles(&text).unwrap();
+        assert_eq!(back, suite);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "\n# a comment\nprofile X\nidle_mw 60000\nalpha 0.5\n\nphase 100000 1.0\nend\n";
+        let p = parse_profile(text).unwrap();
+        assert_eq!(p.name, "X");
+        assert_eq!(p.phases.len(), 1);
+    }
+
+    #[test]
+    fn truncated_input_is_eof() {
+        let text = "profile X\nidle_mw 60000\nalpha 0.5\nphase 100000 1.0\n";
+        assert_eq!(parse_profiles(text), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn missing_header_fields_rejected() {
+        let text = "profile X\nalpha 0.5\nphase 100000 1.0\nend\n";
+        assert!(matches!(parse_profiles(text), Err(CodecError::Incomplete(_))));
+        let text = "profile X\nidle_mw 60000\nphase 100000 1.0\nend\n";
+        assert!(matches!(parse_profiles(text), Err(CodecError::Incomplete(_))));
+    }
+
+    #[test]
+    fn no_phases_rejected() {
+        let text = "profile X\nidle_mw 60000\nalpha 0.5\nend\n";
+        assert!(matches!(parse_profiles(text), Err(CodecError::Incomplete(_))));
+    }
+
+    #[test]
+    fn bad_numbers_rejected_with_line() {
+        let text = "profile X\nidle_mw sixty\nalpha 0.5\nphase 1 1.0\nend\n";
+        assert_eq!(
+            parse_profiles(text),
+            Err(CodecError::BadNumber(2, "sixty".into()))
+        );
+        let text = "profile X\nidle_mw 60000\nalpha 0.5\nphase 100 -3\nend\n";
+        assert_eq!(parse_profiles(text), Err(CodecError::BadNumber(4, "-3".into())));
+    }
+
+    #[test]
+    fn stray_lines_rejected() {
+        let text = "idle_mw 60000\n";
+        assert!(matches!(parse_profiles(text), Err(CodecError::Malformed(1, _))));
+        let text = "profile X\nidle_mw 1\nalpha 0.5\nphase 1 1.0\nend\nbogus line\n";
+        assert!(matches!(parse_profiles(text), Err(CodecError::Malformed(6, _))));
+    }
+
+    #[test]
+    fn alpha_out_of_range_rejected() {
+        let text = "profile X\nidle_mw 60000\nalpha 2.0\nphase 100000 1.0\nend\n";
+        assert!(matches!(parse_profiles(text), Err(CodecError::Incomplete(_))));
+    }
+
+    #[test]
+    fn profile_names_with_spaces() {
+        let text = "profile my long name\nidle_mw 1\nalpha 0.5\nphase 10 1.0\nend\n";
+        assert_eq!(parse_profile(text).unwrap().name, "my long name");
+    }
+
+    #[test]
+    fn parse_profile_rejects_multiple() {
+        let suite = npb::all_profiles();
+        let text = format_profiles(&suite[..2]);
+        assert!(matches!(parse_profile(&text), Err(CodecError::Incomplete(_))));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CodecError::BadNumber(3, "xyz".into());
+        assert!(e.to_string().contains("line 3"));
+        assert!(CodecError::UnexpectedEof.to_string().contains("end of input"));
+    }
+}

@@ -1,0 +1,56 @@
+//! The paper's scale study (Figures 4–8): power redistribution time and
+//! turnaround time against decider frequency and against cluster scale,
+//! for SLURM and Penelope.
+//!
+//! `PENELOPE_EFFORT=full` sweeps the paper's full axes (1056 simulated
+//! nodes, 36 pairs — expect many minutes); the default is a quick subset
+//! that shows the same shapes.
+//!
+//! ```text
+//! cargo run --release --example scale_study
+//! ```
+
+use penelope::experiments::{scale, service, Effort};
+
+fn main() {
+    let effort = Effort::from_env();
+    println!("effort: {effort:?} (max scale {} nodes)\n", effort.max_scale_nodes());
+
+    // §4.5.2 service-time numbers first: they explain every curve below.
+    print!("{}", service::run().render());
+    println!();
+
+    let frequencies: Vec<f64> = match effort {
+        Effort::Smoke => vec![1.0, 8.0],
+        Effort::Quick => vec![1.0, 4.0, 12.0, 20.0],
+        Effort::Full => scale::PAPER_FREQUENCIES.to_vec(),
+    };
+    let scales: Vec<usize> = match effort {
+        Effort::Smoke => vec![44, 96],
+        Effort::Quick => vec![44, 132, 264],
+        Effort::Full => scale::PAPER_SCALES.to_vec(),
+    };
+
+    println!("sweeping frequency at {} nodes...", effort.max_scale_nodes());
+    let freq_rows = scale::frequency_sweep(effort, &frequencies);
+    println!();
+    print!("{}", scale::render_fig4(&freq_rows));
+    println!();
+    print!("{}", scale::render_fig5(&freq_rows));
+    println!();
+    print!("{}", scale::render_fig7(&freq_rows));
+    println!();
+
+    println!("sweeping scale at 1 Hz...");
+    let scale_rows = scale::scale_sweep(effort, &scales);
+    println!();
+    print!("{}", scale::render_fig6(&scale_rows));
+    println!();
+    print!("{}", scale::render_fig8(&scale_rows));
+
+    println!();
+    println!("paper: Penelope's redistribution time improves rapidly with frequency");
+    println!("and converges toward SLURM's; SLURM's total redistribution blows up");
+    println!("near 20 Hz (dropped packets); SLURM turnaround grows with scale while");
+    println!("Penelope's stays flat.");
+}

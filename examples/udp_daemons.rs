@@ -1,0 +1,67 @@
+//! The real thing in miniature: four `penelope-daemon` instances exchanging
+//! actual UDP datagrams on localhost, shifting (simulated-hardware) power
+//! peer-to-peer with no coordinator anywhere. This is exactly what runs on
+//! a real cluster — point `--rapl` at `/sys/class/powercap` instead of the
+//! simulated backend and it manages real sockets.
+//!
+//! ```text
+//! cargo run --release --example udp_daemons
+//! ```
+
+use std::net::UdpSocket;
+use std::thread;
+use std::time::Duration;
+
+use penelope::daemon::{run_daemon_with_socket, DaemonConfig};
+use penelope::prelude::*;
+
+fn main() {
+    // One donor (100 W appetite), one modest node, two hungry nodes —
+    // all capped at 160 W initially.
+    let demands = [100u64, 150, 250, 250];
+    let sockets: Vec<UdpSocket> = (0..demands.len())
+        .map(|_| UdpSocket::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    let addrs: Vec<_> = sockets.iter().map(|s| s.local_addr().unwrap()).collect();
+    println!("launching {} daemons on {:?}\n", demands.len(), addrs);
+
+    let handles: Vec<_> = sockets
+        .into_iter()
+        .enumerate()
+        .map(|(i, socket)| {
+            let peers = addrs
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, a)| *a)
+                .collect();
+            let mut cfg = DaemonConfig::demo(addrs[i], peers, Power::from_watts_u64(demands[i]));
+            cfg.status_every = 10;
+            run_daemon_with_socket(cfg, socket).expect("daemon start")
+        })
+        .collect();
+
+    // Let the cluster trade for two seconds of 20 ms periods.
+    thread::sleep(Duration::from_secs(2));
+
+    println!("node  demand  final cap  pool      urgent reqs  granted to peers");
+    println!("------------------------------------------------------------------");
+    let mut total = Power::ZERO;
+    for (i, handle) in handles.into_iter().enumerate() {
+        let s = handle.stop();
+        total += s.final_cap + s.final_pool;
+        println!(
+            "{i:<5} {:<7} {:<10} {:<9} {:<12} {}",
+            format!("{}W", demands[i]),
+            s.final_cap.to_string(),
+            s.final_pool.to_string(),
+            s.decider.urgent_sent,
+            s.granted_to_peers
+        );
+    }
+    println!(
+        "\ncaps+pools total {total} <= assigned budget {} (grants in flight at\n\
+         shutdown can only make it smaller — power is never minted)",
+        Power::from_watts_u64(demands.len() as u64 * 160)
+    );
+}

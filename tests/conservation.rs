@@ -1,0 +1,152 @@
+//! Property tests of the system-wide safety invariant across the whole
+//! stack: for arbitrary workload mixes, budgets, seeds and fault schedules,
+//! no power-management system ever mints power — the conservation ledger
+//! holds after every event (asserted inside the simulator when
+//! `check_invariants` is on), and the budget is fully accounted at the end.
+
+use penelope::prelude::*;
+use penelope::sim::ClusterConfig;
+use proptest::prelude::*;
+
+fn workload_strategy(n: usize) -> impl Strategy<Value = Vec<Profile>> {
+    proptest::collection::vec(
+        (100u64..260, 5.0f64..40.0, 0usize..3),
+        n..=n,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (demand, work, shape))| {
+                let perf = PerfModel::new(Power::from_watts_u64(60), 0.7);
+                let phases = match shape {
+                    0 => vec![Phase::new(Power::from_watts_u64(demand), work)],
+                    1 => vec![
+                        Phase::new(Power::from_watts_u64(demand), work / 2.0),
+                        Phase::new(Power::from_watts_u64(demand.saturating_sub(40).max(70)), work / 2.0),
+                    ],
+                    _ => vec![
+                        Phase::new(Power::from_watts_u64(demand.saturating_sub(60).max(70)), work / 2.0),
+                        Phase::new(Power::from_watts_u64(demand), work / 2.0),
+                    ],
+                };
+                Profile::new(format!("w{i}"), phases, perf)
+            })
+            .collect()
+    })
+}
+
+fn check_run(
+    system: SystemKind,
+    workloads: Vec<Profile>,
+    seed: u64,
+    budget_per_node_w: u64,
+    faults: FaultScript,
+) {
+    check_run_noisy(system, workloads, seed, budget_per_node_w, faults, 0.0)
+}
+
+fn check_run_noisy(
+    system: SystemKind,
+    workloads: Vec<Profile>,
+    seed: u64,
+    budget_per_node_w: u64,
+    faults: FaultScript,
+    read_noise_std: f64,
+) {
+    let n = workloads.len();
+    let mut cfg = ClusterConfig::checked(
+        system,
+        Power::from_watts_u64(budget_per_node_w * n as u64),
+    );
+    cfg.rapl.read_noise_std = read_noise_std;
+    cfg.seed = seed;
+    let mut sim = ClusterSim::new(cfg, workloads);
+    sim.install_faults(&faults);
+    // `checked` configs panic inside the run on any ledger violation; the
+    // report flag is belt and braces.
+    let report = sim.run(SimTime::from_secs(600));
+    assert!(report.conservation_ok);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn penelope_conserves_power(
+        workloads in workload_strategy(6),
+        seed in any::<u64>(),
+        budget in 140u64..220,
+    ) {
+        check_run(SystemKind::Penelope, workloads, seed, budget, FaultScript::none());
+    }
+
+    #[test]
+    fn slurm_conserves_power(
+        workloads in workload_strategy(6),
+        seed in any::<u64>(),
+        budget in 140u64..220,
+    ) {
+        check_run(SystemKind::Slurm, workloads, seed, budget, FaultScript::none());
+    }
+
+    #[test]
+    fn penelope_conserves_power_under_faults(
+        workloads in workload_strategy(6),
+        seed in any::<u64>(),
+        kill_at in 1u64..60,
+        victim in 0u32..6,
+        drop_rate in 0.0f64..0.4,
+    ) {
+        let faults = FaultScript::none()
+            .at(SimTime::ZERO, FaultAction::SetDropRate(drop_rate))
+            .at(SimTime::from_secs(kill_at), FaultAction::Kill(NodeId::new(victim)));
+        check_run(SystemKind::Penelope, workloads, seed, 160, faults);
+    }
+
+    #[test]
+    fn slurm_conserves_power_under_server_and_client_faults(
+        workloads in workload_strategy(6),
+        seed in any::<u64>(),
+        kill_at in 1u64..60,
+        kill_client_too in any::<bool>(),
+    ) {
+        let mut faults = FaultScript::kill_server_at(SimTime::from_secs(kill_at));
+        if kill_client_too {
+            faults = faults.at(
+                SimTime::from_secs(kill_at + 5),
+                FaultAction::Kill(NodeId::new(2)),
+            );
+        }
+        check_run(SystemKind::Slurm, workloads, seed, 160, faults);
+    }
+
+    #[test]
+    fn conservation_survives_noisy_power_readings(
+        workloads in workload_strategy(6),
+        seed in any::<u64>(),
+        noise in 0.0f64..0.10,
+        slurm in any::<bool>(),
+    ) {
+        // Real RAPL readings are noisy; deciders then misjudge excess and
+        // hunger — but every action stays zero-sum, so the ledger must hold
+        // no matter how wrong the readings are.
+        let system = if slurm { SystemKind::Slurm } else { SystemKind::Penelope };
+        check_run_noisy(system, workloads, seed, 160, FaultScript::none(), noise);
+    }
+
+    #[test]
+    fn penelope_conserves_power_under_partitions(
+        workloads in workload_strategy(6),
+        seed in any::<u64>(),
+        split_at in 1u64..30,
+        heal_at in 31u64..90,
+    ) {
+        let left: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        let right: Vec<NodeId> = (3..6).map(NodeId::new).collect();
+        let faults = FaultScript::none()
+            .at(SimTime::from_secs(split_at), FaultAction::Partition(vec![left, right]))
+            .at(SimTime::from_secs(heal_at), FaultAction::Heal);
+        check_run(SystemKind::Penelope, workloads, seed, 160, faults);
+    }
+}

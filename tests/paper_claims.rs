@@ -1,0 +1,150 @@
+//! End-to-end checks of the paper's headline claims, at smoke effort.
+//! These run the same harness as the benches, so they guard the shapes the
+//! figures depend on: who wins, by roughly what factor, where the
+//! crossovers sit.
+
+use penelope::experiments::scenarios::ScaleScenario;
+use penelope::experiments::{faulty, nominal, overhead, scale, service, Effort};
+use penelope::prelude::*;
+
+#[test]
+fn claim_nominal_near_equivalence() {
+    // "SLURM and Penelope yield nearly the same mean performance gain over
+    // Fair, with SLURM achieving only a 1.8% speedup over Penelope on
+    // average" — and both beat Fair under tight caps.
+    let fig2 = nominal::run_with_caps(Effort::Smoke, &[60, 80]);
+    assert!(fig2.rows[0].slurm > 1.0);
+    assert!(fig2.rows[0].penelope > 1.0);
+    assert!(
+        fig2.slurm_advantage_pct().abs() < 8.0,
+        "not nearly-equivalent: {:+.2}%",
+        fig2.slurm_advantage_pct()
+    );
+}
+
+#[test]
+fn claim_fault_tolerance_advantage() {
+    // "In faulty environments Penelope improves mean application
+    // performance by 8-15% over SLURM" (full effort reaches that band; at
+    // smoke compression the gap shrinks but must stay clearly positive),
+    // and faulty SLURM falls to or below the Fair baseline.
+    let fig3 = faulty::run_with_caps(Effort::Smoke, &[60, 80]);
+    assert!(
+        fig3.penelope_advantage_pct() > 2.0,
+        "fault advantage only {:+.2}%",
+        fig3.penelope_advantage_pct()
+    );
+    assert!(
+        fig3.overall_slurm < 1.02,
+        "faulty SLURM should sit at/below Fair, got {}",
+        fig3.overall_slurm
+    );
+}
+
+#[test]
+fn claim_overhead_small() {
+    // "We observe an average of 1.3% overhead across all workloads."
+    let o = overhead::run(Effort::Smoke);
+    let mean = o.mean_overhead_pct();
+    assert!(mean > 0.0 && mean < 3.0, "mean overhead {mean}%");
+}
+
+#[test]
+fn claim_penelope_speeds_up_with_frequency() {
+    // Fig. 4: "a relatively small increase in frequency causes a major
+    // reduction in redistribution time for Penelope".
+    let rows = scale::frequency_sweep(Effort::Smoke, &[1.0, 8.0]);
+    assert!(
+        rows[1].penelope.median_redist_s < rows[0].penelope.median_redist_s * 0.5,
+        "no major reduction: {} -> {}",
+        rows[0].penelope.median_redist_s,
+        rows[1].penelope.median_redist_s
+    );
+}
+
+#[test]
+fn claim_slurm_server_saturates_at_high_frequency() {
+    // Fig. 5/7: sustained overload makes the server drop packets, so SLURM
+    // cannot finish redistributing while Penelope still does. At 96 nodes
+    // the onset frequency is ~11.1k/48 ≈ 230 Hz; test just beyond it.
+    let sc = ScaleScenario::for_pair(
+        &penelope::workload::npb::bt(),
+        &penelope::workload::npb::ep(),
+        96,
+        260.0,
+        5,
+    );
+    let slurm = scale::run_point(SystemKind::Slurm, &sc);
+    let pen = scale::run_point(SystemKind::Penelope, &sc);
+    assert!(
+        slurm.total_s.is_none(),
+        "SLURM completed despite saturation: {:?}",
+        slurm.total_s
+    );
+    assert!(slurm.unanswered > 0.05, "no dropped requests: {}", slurm.unanswered);
+    assert!(pen.total_s.is_some(), "Penelope failed to redistribute");
+    assert!(pen.unanswered < 0.01);
+}
+
+#[test]
+fn claim_service_time_extrapolations() {
+    // §4.5.2: 80-100 us per request; ~12,500-node saturation at 1 Hz.
+    let s = service::run();
+    assert!((80.0..=100.0).contains(&s.mean_service_us));
+    assert!(s.saturation_nodes_at_1hz > 10_000.0);
+    assert!((9.0..=12.0).contains(&s.saturation_hz_at_1056));
+}
+
+#[test]
+fn claim_penelope_load_is_distributed() {
+    // "although the number of messages increases at scale, these will be
+    // split among a growing number of nodes" — no Penelope pool queue ever
+    // builds up, so turnaround ≈ RTT + service at any scale.
+    for nodes in [44usize, 96] {
+        let sc = ScaleScenario::for_pair(
+            &penelope::workload::npb::cg(),
+            &penelope::workload::npb::ft(),
+            nodes,
+            1.0,
+            6,
+        );
+        let pen = scale::run_point(SystemKind::Penelope, &sc);
+        assert!(
+            pen.turnaround_ms < 1.0,
+            "Penelope turnaround {}ms at {} nodes",
+            pen.turnaround_ms,
+            nodes
+        );
+    }
+}
+
+#[test]
+fn conservation_holds_at_paper_scale() {
+    // The full 1056-node scale scenario with the ledger checked after
+    // every single event — the strongest safety statement in the repo.
+    use penelope::sim::ClusterSim;
+    let sc = ScaleScenario::for_pair(
+        &penelope::workload::npb::bt(),
+        &penelope::workload::npb::ep(),
+        1056,
+        1.0,
+        13,
+    );
+    for system in [SystemKind::Slurm, SystemKind::Penelope] {
+        let mut cfg = sc.config(system);
+        cfg.check_invariants = true;
+        // A short horizon keeps the O(n)-per-event checking affordable:
+        // donors finish and the first redistribution wave completes.
+        let horizon = sc.donor_finish + SimDuration::from_secs(10);
+        let mut sim = ClusterSim::new(cfg, sc.workloads(Power::from_watts_u64(5), horizon));
+        sim.track_redistribution(sc.total_excess(), sc.recipients(), sc.donor_finish);
+        let report = sim.run(horizon);
+        assert!(report.conservation_ok, "{system:?} at 1056 nodes");
+        let tracker = report.redistribution.as_ref().unwrap();
+        assert!(
+            tracker.fraction_shifted() > 0.1,
+            "{system:?} shifted almost nothing: {}",
+            tracker.fraction_shifted()
+        );
+    }
+}
