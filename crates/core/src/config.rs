@@ -1,7 +1,6 @@
 //! Tunable parameters of the decider and pool.
 
 use penelope_units::{Power, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the power pool's transaction limiter (Algorithm 2).
 ///
@@ -9,7 +8,8 @@ use serde::{Deserialize, Serialize};
 /// upper))`. The paper sets `fraction = 10 %`, `lower = 1 W`, `upper = 30 W`
 /// (§3.2): "if the pool size is over 300 it returns 30, and if below 10 it
 /// returns 1".
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PoolConfig {
     /// Fraction of the pool offered per transaction.
     pub fraction: f64,
@@ -67,7 +67,8 @@ impl Default for PoolConfig {
 }
 
 /// Parameters of the local decider (Algorithm 1).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DeciderConfig {
     /// The power margin ε: a reading within ε of the cap classifies the
     /// node as power-hungry.

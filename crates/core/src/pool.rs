@@ -22,6 +22,8 @@ pub struct PowerPool {
     // Lifetime counters for the metrics layer.
     total_deposited: Power,
     total_granted: Power,
+    total_taken_local: Power,
+    total_drained: Power,
     requests_served: u64,
     urgent_served: u64,
 }
@@ -35,6 +37,8 @@ impl PowerPool {
             local_urgency: false,
             total_deposited: Power::ZERO,
             total_granted: Power::ZERO,
+            total_taken_local: Power::ZERO,
+            total_drained: Power::ZERO,
             requests_served: 0,
             urgent_served: 0,
         }
@@ -67,6 +71,7 @@ impl PowerPool {
     pub fn take_local(&mut self) -> Power {
         let delta = self.available.min(self.get_max_size());
         self.available -= delta;
+        self.total_taken_local += delta;
         delta
     }
 
@@ -113,6 +118,27 @@ impl PowerPool {
         self.total_granted
     }
 
+    /// Lifetime power the co-located decider withdrew via [`take_local`].
+    ///
+    /// [`take_local`]: PowerPool::take_local
+    pub fn total_taken_local(&self) -> Power {
+        self.total_taken_local
+    }
+
+    /// Lifetime power removed by [`drain`] (crash / shutdown).
+    ///
+    /// [`drain`]: PowerPool::drain
+    pub fn total_drained(&self) -> Power {
+        self.total_drained
+    }
+
+    /// Lifetime power withdrawn through any path. The pool's conservation
+    /// law, checked by the conformance harness, is
+    /// `total_deposited == total_withdrawn + available`.
+    pub fn total_withdrawn(&self) -> Power {
+        self.total_granted + self.total_taken_local + self.total_drained
+    }
+
     /// Requests served (including empty-handed ones).
     pub fn requests_served(&self) -> u64 {
         self.requests_served
@@ -126,7 +152,9 @@ impl PowerPool {
     /// Drain the pool completely (used when a node crashes: its cached
     /// power leaves the system and is accounted as lost).
     pub fn drain(&mut self) -> Power {
-        std::mem::take(&mut self.available)
+        let drained = std::mem::take(&mut self.available);
+        self.total_drained += drained;
+        drained
     }
 }
 
@@ -263,6 +291,99 @@ mod tests {
         assert_eq!(p.drain(), w(70));
         assert_eq!(p.available(), Power::ZERO);
         assert_eq!(p.drain(), Power::ZERO);
+    }
+
+    #[test]
+    fn urgent_zero_alpha_grants_nothing_but_sets_urgency() {
+        // A hungry node whose cap already equals its initial assignment
+        // sends α = 0: the pool must not hand out power it wasn't asked
+        // for, yet the urgency signal must still propagate.
+        let mut p = pool_with(w(100));
+        assert_eq!(p.handle_request(true, Power::ZERO), Power::ZERO);
+        assert_eq!(p.available(), w(100));
+        assert_eq!(p.total_granted(), Power::ZERO);
+        assert!(p.local_urgency());
+        assert_eq!(p.requests_served(), 1);
+        assert_eq!(p.urgent_served(), 1);
+    }
+
+    #[test]
+    fn urgent_drains_pool_below_max_size_floor() {
+        // Urgent requests ignore getMaxSize entirely: a 29 W grant out of
+        // a 30 W pool leaves 1 W — less than the non-urgent limiter would
+        // ever leave — and the remainder is still servable.
+        let mut p = pool_with(w(30));
+        assert_eq!(p.handle_request(true, w(29)), w(29));
+        assert_eq!(p.available(), w(1));
+        assert!(p.available() < p.get_max_size().max(w(1)) + w(1));
+        // The 1 W stub goes out through the normal path (maxSize floor).
+        assert_eq!(p.handle_request(false, Power::ZERO), w(1));
+        assert_eq!(p.available(), Power::ZERO);
+    }
+
+    #[test]
+    fn consume_local_urgency_is_idempotent_until_reset() {
+        let mut p = pool_with(w(50));
+        p.handle_request(true, w(5));
+        assert!(p.consume_local_urgency());
+        // Re-consuming without a new urgent request stays false, any
+        // number of times.
+        assert!(!p.consume_local_urgency());
+        assert!(!p.consume_local_urgency());
+        // A new urgent request re-arms the flag exactly once.
+        p.handle_request(true, w(5));
+        assert!(p.consume_local_urgency());
+        assert!(!p.consume_local_urgency());
+    }
+
+    #[test]
+    fn drain_leaves_lifetime_counters_balanced() {
+        let mut p = PowerPool::default();
+        p.deposit(w(120));
+        let g = p.handle_request(false, Power::ZERO);
+        let t = p.take_local();
+        let drained = p.drain();
+        assert_eq!(p.available(), Power::ZERO);
+        assert_eq!(p.total_drained(), drained);
+        assert_eq!(p.total_withdrawn(), g + t + drained);
+        assert_eq!(p.total_deposited(), p.total_withdrawn() + p.available());
+        // A second drain is a no-op and must not disturb the ledger.
+        assert_eq!(p.drain(), Power::ZERO);
+        assert_eq!(p.total_deposited(), p.total_withdrawn() + p.available());
+    }
+
+    #[test]
+    fn conservation_under_testkit_harness() {
+        // The conservation property ported natively onto the testkit
+        // harness (the `proptest!` version above runs through the shim):
+        // same op encoding, deterministic seed, env-overridable via
+        // PENELOPE_PROP_SEED / PENELOPE_PROP_CASES.
+        use penelope_testkit::prop::{self, vec_of};
+        prop::check(
+            "pool conservation over arbitrary ops",
+            prop::Config::from_env(),
+            vec_of((0u8..4, 0u64..100_000u64), 1..200),
+            |ops| {
+                let mut p = PowerPool::default();
+                let mut deposited = Power::ZERO;
+                let mut withdrawn = Power::ZERO;
+                for (op, amt) in ops {
+                    let amt = Power::from_milliwatts(amt);
+                    match op {
+                        0 => {
+                            p.deposit(amt);
+                            deposited += amt;
+                        }
+                        1 => withdrawn += p.take_local(),
+                        2 => withdrawn += p.handle_request(false, Power::ZERO),
+                        _ => withdrawn += p.handle_request(true, amt),
+                    }
+                    assert_eq!(deposited - withdrawn, p.available());
+                    assert_eq!(p.total_deposited(), deposited);
+                    assert_eq!(p.total_withdrawn() + p.available(), deposited);
+                }
+            },
+        );
     }
 
     #[test]

@@ -5,10 +5,10 @@
 //! zero power is still sent — the requester is blocked on the reply.
 
 use penelope_units::{NodeId, Power};
-use serde::{Deserialize, Serialize};
 
 /// A decider's request for power, addressed to another node's pool.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PowerRequest {
     /// The requesting node (where the grant should be sent).
     pub from: NodeId,
@@ -22,7 +22,8 @@ pub struct PowerRequest {
 }
 
 /// A pool's response to a [`PowerRequest`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PowerGrant {
     /// Power transferred. The pool has already debited this amount, so the
     /// recipient *must* either raise its cap by it or re-deposit it —
@@ -33,7 +34,8 @@ pub struct PowerGrant {
 }
 
 /// The Penelope peer protocol.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PeerMsg {
     /// Decider → pool.
     Request(PowerRequest),

@@ -3,19 +3,17 @@
 use std::io;
 use std::net::UdpSocket;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 use penelope_core::decider::DeciderStats;
 use penelope_core::{LocalDecider, PowerPool, TickAction};
 use penelope_power::{CappedDevice, ConstantDevice, LinuxRapl, PowerInterface, SimulatedRapl};
 use penelope_units::{NodeId, Power, SimTime};
 use penelope_workload::WorkloadState;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use penelope_testkit::rng::{Rng, TestRng};
 
 use crate::config::{DaemonConfig, PowerBackend};
 use crate::wire::{WireMsg, MAX_WIRE_LEN};
@@ -33,6 +31,12 @@ pub struct DaemonStatus {
     pub reading: Power,
     /// Power cached in the local pool.
     pub pool: Power,
+    /// Lifetime power deposited into the pool.
+    pub pool_deposited: Power,
+    /// Lifetime power withdrawn to raise caps (peer grants + local takes).
+    pub pool_granted: Power,
+    /// Lifetime power drained out of the pool (shutdown).
+    pub pool_drained: Power,
 }
 
 impl DaemonStatus {
@@ -60,6 +64,12 @@ pub struct DaemonSummary {
     pub granted_to_peers: Power,
     /// Peer requests served.
     pub requests_served: u64,
+    /// Lifetime power deposited into the pool.
+    pub pool_deposited: Power,
+    /// Lifetime power the co-located decider took back locally.
+    pub taken_local: Power,
+    /// Lifetime power drained out of the pool.
+    pub pool_drained: Power,
 }
 
 /// A running daemon: stop it to get the summary.
@@ -80,7 +90,7 @@ impl DaemonHandle {
         self.shutdown.store(true, Ordering::Relaxed);
         let (decider, iterations) = self.decider_thread.join().expect("decider thread");
         self.net_thread.join().expect("net thread");
-        let pool = self.pool.lock();
+        let pool = self.pool.lock().unwrap();
         DaemonSummary {
             iterations,
             final_cap: decider.cap(),
@@ -88,6 +98,9 @@ impl DaemonHandle {
             decider: decider.stats(),
             granted_to_peers: pool.total_granted(),
             requests_served: pool.requests_served(),
+            pool_deposited: pool.total_deposited(),
+            taken_local: pool.total_taken_local(),
+            pool_drained: pool.total_drained(),
         }
     }
 }
@@ -170,8 +183,8 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
     let local_addr = socket.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let pool = Arc::new(Mutex::new(PowerPool::new(cfg.pool)));
-    let (grant_tx, grant_rx): (Sender<WireMsg>, Receiver<WireMsg>) = unbounded();
-    let (status_tx, status_rx) = unbounded();
+    let (grant_tx, grant_rx): (Sender<WireMsg>, Receiver<WireMsg>) = channel();
+    let (status_tx, status_rx) = channel();
 
     // --- Network thread: serves peer requests, forwards grants. ---------
     let net_socket = socket.try_clone()?;
@@ -194,7 +207,7 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
             match WireMsg::decode(&buf[..len]) {
                 Ok(WireMsg::Request { seq, urgent, alpha }) => {
                     // Algorithm 2, straight from the shared pool.
-                    let amount = net_pool.lock().handle_request(urgent, alpha);
+                    let amount = net_pool.lock().unwrap().handle_request(urgent, alpha);
                     let reply = WireMsg::Grant { seq, amount }.encode();
                     let _ = net_socket.send_to(&reply, src);
                 }
@@ -220,7 +233,7 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
     let safe_range = cfg.safe_range;
     let decider_thread = thread::spawn(move || {
         let mut decider = LocalDecider::new(decider_cfg, initial_cap, safe_range);
-        let mut rng = ChaCha8Rng::seed_from_u64(local_addr.port() as u64 ^ 0xDAE0_0DAE);
+        let mut rng = TestRng::seed_from_u64(local_addr.port() as u64 ^ 0xDAE0_0DAE);
         let origin = Instant::now();
         let mut iterations = 0u64;
         hardware.set_cap(decider.cap());
@@ -235,7 +248,7 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
             } else {
                 Some(NodeId::new(rng.gen_range(0..peers.len()) as u32))
             };
-            let action = decider.tick(now, reading, &mut decider_pool.lock(), peer);
+            let action = decider.tick(now, reading, &mut decider_pool.lock().unwrap(), peer);
             hardware.set_cap(decider.cap());
             if let TickAction::Request {
                 dst,
@@ -256,7 +269,7 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                     match grant_rx.recv_timeout(remaining) {
                         Ok(WireMsg::Grant { seq: gseq, amount }) => {
                             let _ =
-                                decider.on_grant(gseq, amount, &mut decider_pool.lock());
+                                decider.on_grant(gseq, amount, &mut decider_pool.lock().unwrap());
                             hardware.set_cap(decider.cap());
                             if gseq == seq {
                                 break;
@@ -270,12 +283,27 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                 }
             }
             if status_every > 0 && iterations.is_multiple_of(status_every) {
+                // One lock guard for all pool fields: the sample is an
+                // atomic per-node cut, so its lifetime counters always
+                // balance even while the net thread is granting.
+                let (pool, pool_deposited, pool_granted, pool_drained) = {
+                    let p = decider_pool.lock().unwrap();
+                    (
+                        p.available(),
+                        p.total_deposited(),
+                        p.total_granted() + p.total_taken_local(),
+                        p.total_drained(),
+                    )
+                };
                 let _ = status_tx.send(DaemonStatus {
                     iteration: iterations,
                     uptime_secs: origin.elapsed().as_secs_f64(),
                     cap: decider.cap(),
                     reading,
-                    pool: decider_pool.lock().available(),
+                    pool,
+                    pool_deposited,
+                    pool_granted,
+                    pool_drained,
                 });
             }
             thread::sleep(period.saturating_sub(iter_start.elapsed()));

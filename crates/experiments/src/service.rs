@@ -9,8 +9,7 @@
 use penelope_metrics::TextTable;
 use penelope_slurm::{ServerQueue, ServiceModel};
 use penelope_units::{SimDuration, SimTime};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use penelope_testkit::rng::TestRng;
 
 /// The measured service characteristics and the paper's two extrapolations.
 #[derive(Clone, Debug)]
@@ -53,7 +52,7 @@ impl ServiceResult {
 /// realized service times, then extrapolate as the paper does.
 pub fn run() -> ServiceResult {
     let mut queue = ServerQueue::new(ServiceModel::default(), 300);
-    let mut rng = ChaCha8Rng::seed_from_u64(0x5E41);
+    let mut rng = TestRng::seed_from_u64(0x5E41);
     // Offered load: 2000 requests at 500/s — far below saturation so no
     // queueing distorts the service-time measurement.
     let n = 2000u64;

@@ -1,14 +1,14 @@
 //! One-way latency models.
 
 use penelope_units::SimDuration;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use penelope_testkit::rng::Rng;
 
 /// Distribution of one-way message latency on the cluster interconnect.
 ///
 /// The paper's testbed is a LAN where round trips are well under a
 /// millisecond; the default models a 50 µs one-way latency with mild jitter.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum LatencyModel {
     /// Every message takes exactly this long.
     Constant(SimDuration),
@@ -60,13 +60,12 @@ impl Default for LatencyModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use penelope_testkit::rng::TestRng;
 
     #[test]
     fn constant_always_same() {
         let m = LatencyModel::Constant(SimDuration::from_micros(50));
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng = TestRng::seed_from_u64(0);
         for _ in 0..10 {
             assert_eq!(m.sample(&mut rng), SimDuration::from_micros(50));
         }
@@ -78,7 +77,7 @@ mod tests {
         let lo = SimDuration::from_micros(10);
         let hi = SimDuration::from_micros(100);
         let m = LatencyModel::Uniform { lo, hi };
-        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut rng = TestRng::seed_from_u64(7);
         for _ in 0..1000 {
             let s = m.sample(&mut rng);
             assert!(s >= lo && s <= hi);
@@ -90,7 +89,7 @@ mod tests {
     fn uniform_degenerate_bounds() {
         let d = SimDuration::from_micros(42);
         let m = LatencyModel::Uniform { lo: d, hi: d };
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = TestRng::seed_from_u64(1);
         assert_eq!(m.sample(&mut rng), d);
     }
 
@@ -100,7 +99,7 @@ mod tests {
             lo: SimDuration::from_micros(0),
             hi: SimDuration::from_micros(100),
         };
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = TestRng::seed_from_u64(3);
         let n = 20_000;
         let sum: u64 = (0..n).map(|_| m.sample(&mut rng).as_nanos()).sum();
         let mean_us = sum as f64 / n as f64 / 1000.0;
@@ -109,7 +108,7 @@ mod tests {
 
     #[test]
     fn default_is_lan_scale() {
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng = TestRng::seed_from_u64(0);
         let s = LatencyModel::default().sample(&mut rng);
         assert!(s < SimDuration::from_millis(1));
     }

@@ -1,7 +1,7 @@
 //! Message routing for the discrete-event simulator.
 
 use penelope_units::{NodeId, SimTime};
-use rand::Rng;
+use penelope_testkit::rng::Rng;
 
 use crate::envelope::Envelope;
 use crate::fault::FaultPlane;
@@ -110,8 +110,7 @@ impl SimNet {
 mod tests {
     use super::*;
     use penelope_units::SimDuration;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use penelope_testkit::rng::TestRng;
 
     fn n(i: u32) -> NodeId {
         NodeId::new(i)
@@ -124,7 +123,7 @@ mod tests {
     #[test]
     fn routes_with_sampled_latency() {
         let mut net = net_const(50);
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng = TestRng::seed_from_u64(0);
         let out = net.route(n(0), n(1), "hello", SimTime::from_secs(1), &mut rng);
         let env = out.delivered().expect("delivered");
         assert_eq!(env.src, n(0));
@@ -139,7 +138,7 @@ mod tests {
     fn dead_destination_drops() {
         let mut net = net_const(50);
         net.faults_mut().kill(n(1));
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng = TestRng::seed_from_u64(0);
         let out = net.route(n(0), n(1), (), SimTime::ZERO, &mut rng);
         assert_eq!(out, RouteOutcome::DroppedDead);
         assert_eq!(net.stats().dropped_dead, 1);
@@ -150,7 +149,7 @@ mod tests {
     fn dead_source_drops() {
         let mut net = net_const(50);
         net.faults_mut().kill(n(0));
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng = TestRng::seed_from_u64(0);
         let out = net.route(n(0), n(1), (), SimTime::ZERO, &mut rng);
         assert_eq!(out, RouteOutcome::DroppedDead);
     }
@@ -162,7 +161,7 @@ mod tests {
             [n(0), n(1)].into_iter().collect(),
             [n(2)].into_iter().collect(),
         ]);
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng = TestRng::seed_from_u64(0);
         assert_eq!(
             net.route(n(0), n(2), (), SimTime::ZERO, &mut rng),
             RouteOutcome::DroppedPartition
@@ -179,7 +178,7 @@ mod tests {
     fn random_drops_match_configured_rate() {
         let mut net = net_const(50);
         net.faults_mut().set_drop_rate(0.3);
-        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mut rng = TestRng::seed_from_u64(99);
         let total = 10_000;
         for _ in 0..total {
             let _ = net.route(n(0), n(1), (), SimTime::ZERO, &mut rng);
@@ -198,8 +197,8 @@ mod tests {
             hi: SimDuration::from_micros(90),
         };
         let mut net = SimNet::new(lat.clone());
-        let mut rng1 = ChaCha8Rng::seed_from_u64(5);
-        let mut rng2 = ChaCha8Rng::seed_from_u64(5);
+        let mut rng1 = TestRng::seed_from_u64(5);
+        let mut rng2 = TestRng::seed_from_u64(5);
         for _ in 0..100 {
             let e = net
                 .route(n(0), n(1), (), SimTime::ZERO, &mut rng1)
@@ -214,7 +213,7 @@ mod tests {
         let run = || {
             let mut net = SimNet::new(LatencyModel::default());
             net.faults_mut().set_drop_rate(0.1);
-            let mut rng = ChaCha8Rng::seed_from_u64(1234);
+            let mut rng = TestRng::seed_from_u64(1234);
             (0..1000)
                 .map(|i| {
                     match net.route(n(0), n(1), i, SimTime::from_millis(i), &mut rng) {

@@ -1,10 +1,9 @@
 //! A channel-based transport for the threaded runtime.
 
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
-use parking_lot::{Mutex, RwLock};
 use penelope_units::{NodeId, SimTime};
 
 use crate::envelope::Envelope;
@@ -12,7 +11,7 @@ use crate::fault::FaultPlane;
 use crate::stats::NetStats;
 
 struct Inner<M> {
-    senders: Vec<Sender<Envelope<M>>>,
+    senders: Vec<Mutex<Sender<Envelope<M>>>>,
     faults: RwLock<FaultPlane>,
     stats: Mutex<NetStats>,
     origin: Instant,
@@ -51,8 +50,8 @@ impl<M: Send> ThreadNet<M> {
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded();
-            senders.push(tx);
+            let (tx, rx) = channel();
+            senders.push(Mutex::new(tx));
             receivers.push(rx);
         }
         let net = ThreadNet {
@@ -87,18 +86,18 @@ impl<M: Send> ThreadNet<M> {
     /// sub-millisecond LAN of the paper's testbed, so `deliver_at ==
     /// sent_at` here.
     pub fn send(&self, src: NodeId, dst: NodeId, msg: M) -> bool {
-        let faults = self.inner.faults.read();
+        let faults = self.inner.faults.read().unwrap();
         if !faults.is_alive(src) || !faults.is_alive(dst) {
-            self.inner.stats.lock().dropped_dead += 1;
+            self.inner.stats.lock().unwrap().dropped_dead += 1;
             return false;
         }
         if !faults.can_communicate(src, dst) {
-            self.inner.stats.lock().dropped_partition += 1;
+            self.inner.stats.lock().unwrap().dropped_partition += 1;
             return false;
         }
         drop(faults);
         let Some(tx) = self.inner.senders.get(dst.index()) else {
-            self.inner.stats.lock().dropped_dead += 1;
+            self.inner.stats.lock().unwrap().dropped_dead += 1;
             return false;
         };
         let now = self.now();
@@ -109,23 +108,23 @@ impl<M: Send> ThreadNet<M> {
             deliver_at: now,
             msg,
         };
-        if tx.send(env).is_ok() {
-            self.inner.stats.lock().delivered += 1;
+        if tx.lock().unwrap().send(env).is_ok() {
+            self.inner.stats.lock().unwrap().delivered += 1;
             true
         } else {
-            self.inner.stats.lock().dropped_dead += 1;
+            self.inner.stats.lock().unwrap().dropped_dead += 1;
             false
         }
     }
 
     /// Apply a mutation to the shared fault plane (kill/revive/partition).
     pub fn with_faults<T>(&self, f: impl FnOnce(&mut FaultPlane) -> T) -> T {
-        f(&mut self.inner.faults.write())
+        f(&mut self.inner.faults.write().unwrap())
     }
 
     /// Traffic counters so far.
     pub fn stats(&self) -> NetStats {
-        *self.inner.stats.lock()
+        *self.inner.stats.lock().unwrap()
     }
 
     /// Number of endpoints.
@@ -161,7 +160,7 @@ impl<M: Send> ThreadEndpoint<M> {
         loop {
             match self.rx.try_recv() {
                 Ok(env) => {
-                    if self.net.inner.faults.read().is_alive(self.id) {
+                    if self.net.inner.faults.read().unwrap().is_alive(self.id) {
                         return Some(env);
                     }
                     // Drain silently while dead.
@@ -178,7 +177,7 @@ impl<M: Send> ThreadEndpoint<M> {
             let remaining = deadline.saturating_duration_since(Instant::now());
             match self.rx.recv_timeout(remaining) {
                 Ok(env) => {
-                    if self.net.inner.faults.read().is_alive(self.id) {
+                    if self.net.inner.faults.read().unwrap().is_alive(self.id) {
                         return Some(env);
                     }
                 }

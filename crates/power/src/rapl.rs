@@ -1,14 +1,14 @@
 //! A simulated RAPL power domain.
 
 use penelope_units::{Energy, Power, PowerRange, SimDuration, SimTime};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use penelope_testkit::rng::Rng;
 
 use crate::device::CappedDevice;
 use crate::iface::PowerInterface;
 
 /// Configuration of the simulated RAPL domain.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RaplConfig {
     /// Safe powercap range for the node.
     pub safe_range: PowerRange,
@@ -194,8 +194,7 @@ mod tests {
     use super::*;
     use crate::device::{ConstantDevice, StepDevice};
     use proptest::prelude::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use penelope_testkit::rng::TestRng;
 
     fn w(x: u64) -> Power {
         Power::from_watts_u64(x)
@@ -304,7 +303,7 @@ mod tests {
             ..cfg_no_lag()
         };
         let mut rapl = SimulatedRapl::new(ConstantDevice::new(w(100)), w(200), cfg);
-        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut rng = TestRng::seed_from_u64(42);
         let mut sum = 0.0;
         let n = 200;
         for i in 1..=n {
@@ -320,7 +319,7 @@ mod tests {
     #[test]
     fn noise_disabled_is_deterministic() {
         let mut rapl = SimulatedRapl::new(ConstantDevice::new(w(100)), w(200), cfg_no_lag());
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut rng = TestRng::seed_from_u64(1);
         assert_eq!(
             rapl.read_power_with(SimTime::from_secs(1), &mut rng),
             w(100)

@@ -1,11 +1,10 @@
 //! Thread orchestration for the three systems.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
 use penelope_core::{
     fair_assignment, DeciderConfig, LocalDecider, PeerMsg, PoolConfig, PowerGrant, PowerPool,
     PowerRequest, TickAction,
@@ -15,8 +14,7 @@ use penelope_power::RaplConfig;
 use penelope_slurm::{ClientAction, PowerServer, SlurmClient, SlurmMsg};
 use penelope_units::{NodeId, Power, SimDuration};
 use penelope_workload::Profile;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use penelope_testkit::rng::{Rng, TestRng};
 
 use crate::hardware::{NodeHardware, WallClock};
 use crate::report::ThreadedReport;
@@ -178,7 +176,7 @@ impl ThreadedCluster {
                 while !stop.load(Ordering::Relaxed) {
                     if let Some(env) = ep.recv_timeout(Duration::from_millis(5)) {
                         if let PeerMsg::Request(req) = env.msg {
-                            let amount = pool.lock().handle_request(req.urgent, req.alpha);
+                            let amount = pool.lock().unwrap().handle_request(req.urgent, req.alpha);
                             let _ = ep.send(
                                 req.from,
                                 PeerMsg::Grant(PowerGrant {
@@ -203,7 +201,7 @@ impl ThreadedCluster {
             let initial = caps[i];
             decider_threads.push(thread::spawn(move || -> ThreadEndpoint<PeerMsg> {
                 let mut decider = LocalDecider::new(cfg.decider, initial, hw_i.safe_range());
-                let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(i as u64));
+                let mut rng = TestRng::seed_from_u64(cfg.seed.wrapping_add(i as u64));
                 let decider_addr = NodeId::new((n + i) as u32);
                 while !stop.load(Ordering::Relaxed) {
                     let iter_start = Instant::now();
@@ -215,7 +213,7 @@ impl ThreadedCluster {
                     } else {
                         None
                     };
-                    let action = decider.tick(now, reading, &mut pool.lock(), peer);
+                    let action = decider.tick(now, reading, &mut pool.lock().unwrap(), peer);
                     hw_i.set_cap(decider.cap());
                     if let TickAction::Request {
                         dst,
@@ -237,7 +235,7 @@ impl ThreadedCluster {
                         // decider does.
                         if let Some(env) = ep.recv_timeout(cfg.timeout()) {
                             if let PeerMsg::Grant(g) = env.msg {
-                                let _ = decider.on_grant(g.seq, g.amount, &mut pool.lock());
+                                let _ = decider.on_grant(g.seq, g.amount, &mut pool.lock().unwrap());
                                 hw_i.set_cap(decider.cap());
                             }
                         }
@@ -291,7 +289,7 @@ impl ThreadedCluster {
             finished_secs: finish_times(&hw),
             net: net.stats(),
             final_caps: hw.iter().map(|h| h.cap()).collect(),
-            final_pools: pools.iter().map(|p| p.lock().available()).collect(),
+            final_pools: pools.iter().map(|p| p.lock().unwrap().available()).collect(),
             drained_in_flight: drained,
             server_cache: Power::ZERO,
             budget_assigned,

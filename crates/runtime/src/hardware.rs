@@ -1,9 +1,8 @@
 //! Wall-clock-driven node hardware.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use parking_lot::Mutex;
 use penelope_power::{PowerInterface, RaplConfig, SimulatedRapl};
 use penelope_units::{Power, PowerRange, SimTime};
 use penelope_workload::{Profile, WorkloadState};
@@ -63,17 +62,17 @@ impl NodeHardware {
 
     /// Average power since the previous read (the decider's sensor).
     pub fn read_power(&self) -> Power {
-        self.rapl.lock().read_power(self.clock.now())
+        self.rapl.lock().unwrap().read_power(self.clock.now())
     }
 
     /// Enforce a new node-level cap.
     pub fn set_cap(&self, cap: Power) {
-        self.rapl.lock().set_cap(cap, self.clock.now());
+        self.rapl.lock().unwrap().set_cap(cap, self.clock.now());
     }
 
     /// The currently requested cap.
     pub fn cap(&self) -> Power {
-        self.rapl.lock().cap()
+        self.rapl.lock().unwrap().cap()
     }
 
     /// The safe cap range.
@@ -83,7 +82,7 @@ impl NodeHardware {
 
     /// Advance the model to now and report whether the workload finished.
     pub fn is_finished(&self) -> bool {
-        let mut rapl = self.rapl.lock();
+        let mut rapl = self.rapl.lock().unwrap();
         let now = self.clock.now();
         let _ = rapl.effective_cap(now);
         // Advance by taking a (discarded) reading-free path: reading power
@@ -96,7 +95,7 @@ impl NodeHardware {
 
     /// When the workload finished, if it has.
     pub fn finished_at(&self) -> Option<SimTime> {
-        self.rapl.lock().device().finished_at()
+        self.rapl.lock().unwrap().device().finished_at()
     }
 }
 

@@ -9,8 +9,8 @@ use penelope_power::{PowerInterface, SimulatedRapl};
 use penelope_slurm::{ClientAction, PowerServer, ServerGrant, ServerQueue, SlurmClient, SlurmMsg};
 use penelope_units::{NodeId, Power, SimDuration, SimTime};
 use penelope_workload::{Profile, WorkloadState};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use penelope_testkit::rng::Rng;
+use penelope_testkit::rng::TestRng;
 
 use crate::config::{ClusterConfig, DiscoveryStrategy, SystemKind};
 use crate::event::{Event, EventQueue, Scheduled};
@@ -25,7 +25,7 @@ struct ServerSide {
     id: NodeId,
     policy: PowerServer,
     queue: ServerQueue,
-    rng: ChaCha8Rng,
+    rng: TestRng,
 }
 
 /// A deterministic discrete-event simulation of one cluster running one
@@ -39,7 +39,7 @@ pub struct ClusterSim {
     now: SimTime,
     queue: EventQueue,
     net: SimNet,
-    net_rng: ChaCha8Rng,
+    net_rng: TestRng,
     nodes: Vec<SimNode>,
     servers: Vec<ServerSide>,
     ledger: Ledger,
@@ -52,8 +52,12 @@ pub struct ClusterSim {
     trace: Option<ClusterTrace>,
 }
 
-fn node_seed(master: u64, idx: u64) -> u64 {
-    // SplitMix-style stream separation.
+/// Per-node RNG stream derivation (SplitMix-style stream separation).
+///
+/// Public so other substrates (the lockstep threaded runtime used by the
+/// conformance harness) can derive the *same* per-node streams from the
+/// same master seed, which keeps cross-substrate divergence small.
+pub fn node_seed(master: u64, idx: u64) -> u64 {
     master ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xD1B5_4A32_D192_ED03)
 }
 
@@ -96,7 +100,7 @@ impl ClusterSim {
         let mut nodes = Vec::with_capacity(n);
         for (i, profile) in workloads.into_iter().enumerate() {
             let id = NodeId::new(i as u32);
-            let mut rng = ChaCha8Rng::seed_from_u64(node_seed(cfg.seed, i as u64));
+            let mut rng = TestRng::seed_from_u64(node_seed(cfg.seed, i as u64));
             let overhead = match cfg.system {
                 SystemKind::Fair => 0.0,
                 _ => cfg.management_overhead,
@@ -148,14 +152,14 @@ impl ClusterSim {
                         id: NodeId::new((n + k) as u32),
                         policy: PowerServer::new(cfg.pool),
                         queue: ServerQueue::new(cfg.service, cfg.server_queue_capacity),
-                        rng: ChaCha8Rng::seed_from_u64(node_seed(cfg.seed, u64::MAX - k as u64 * 2)),
+                        rng: TestRng::seed_from_u64(node_seed(cfg.seed, u64::MAX - k as u64 * 2)),
                     })
                     .collect()
             }
             _ => Vec::new(),
         };
 
-        let net_rng = ChaCha8Rng::seed_from_u64(node_seed(cfg.seed, u64::MAX - 1));
+        let net_rng = TestRng::seed_from_u64(node_seed(cfg.seed, u64::MAX - 1));
         ClusterSim {
             net: SimNet::new(cfg.latency.clone()),
             cfg,
@@ -220,17 +224,29 @@ impl ClusterSim {
     /// Run until every live workload finishes or `horizon` passes,
     /// whichever comes first.
     pub fn run(mut self, horizon: SimTime) -> RunReport {
+        self.advance_to(horizon);
+        self.now = self.now.min(horizon);
+        self.into_report()
+    }
+
+    /// Process events up to and including `until`, leaving the simulator
+    /// usable — the incremental form of [`run`](ClusterSim::run), used by
+    /// the conformance harness to interleave execution with
+    /// [snapshots](ClusterSim::conformance_snapshot). Returns `false` once
+    /// the run has reached a stop condition (all workloads finished or
+    /// dead, or full redistribution when so configured).
+    pub fn advance_to(&mut self, until: SimTime) -> bool {
         while let Some(next) = self.queue.next_time() {
-            if next > horizon {
-                break;
+            if next > until {
+                return true;
             }
             if self.finished_count + self.dead_unfinished >= self.nodes.len() {
-                break;
+                return false;
             }
             if self.stop_on_full_redistribution {
                 if let Some((tracker, _)) = &self.redistribution {
                     if tracker.fraction_shifted() >= 1.0 {
-                        break;
+                        return false;
                     }
                 }
             }
@@ -248,8 +264,62 @@ impl ClusterSim {
                 self.check_conservation();
             }
         }
-        self.now = self.now.min(horizon);
+        false
+    }
+
+    /// Finish an [`advance_to`](ClusterSim::advance_to)-driven run and
+    /// produce the report.
+    pub fn finish(self) -> RunReport {
         self.into_report()
+    }
+
+    /// A consistent global cut of the cluster for the conformance harness:
+    /// the simulator is single-threaded, so every per-node row, the
+    /// in-flight total and the loss total are all observed at the same
+    /// virtual instant. `pool_granted` counts power granted to peers *and*
+    /// taken locally — every withdrawal that raised a cap. On SLURM
+    /// clusters the live server cache is folded into `in_flight` (power
+    /// held outside any client node), so zero-sum accounting holds for
+    /// every system kind.
+    pub fn conformance_snapshot(&self, period: u64) -> penelope_testkit::conformance::Snapshot {
+        use penelope_testkit::conformance::{NodeSnapshot, Snapshot};
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|node| {
+                let (available, deposited, granted, drained) = match &node.manager {
+                    Manager::Penelope { pool, .. } => (
+                        pool.available(),
+                        pool.total_deposited(),
+                        pool.total_granted() + pool.total_taken_local(),
+                        pool.total_drained(),
+                    ),
+                    _ => (Power::ZERO, Power::ZERO, Power::ZERO, Power::ZERO),
+                };
+                NodeSnapshot {
+                    node: node.id.index() as u32,
+                    alive: self.is_alive(node.id),
+                    cap: node.cap(),
+                    pool_available: available,
+                    pool_deposited: deposited,
+                    pool_granted: granted,
+                    pool_drained: drained,
+                }
+            })
+            .collect();
+        let server_cache: Power = self
+            .servers
+            .iter()
+            .filter(|s| self.is_alive(s.id))
+            .map(|s| s.policy.cached())
+            .sum();
+        Snapshot {
+            period,
+            consistent_cut: true,
+            in_flight: self.ledger.in_flight + server_cache,
+            lost: self.ledger.lost,
+            nodes,
+        }
     }
 
     // ------------------------------------------------------------------

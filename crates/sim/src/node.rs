@@ -8,7 +8,7 @@ use penelope_power::{PowerInterface, SimulatedRapl};
 use penelope_slurm::{ServerQueue, SlurmClient};
 use penelope_units::{NodeId, Power, SimTime};
 use penelope_workload::WorkloadState;
-use rand_chacha::ChaCha8Rng;
+use penelope_testkit::rng::TestRng;
 
 /// The power manager running on a node.
 #[derive(Debug)]
@@ -43,7 +43,7 @@ pub struct SimNode {
     /// The power manager.
     pub manager: Manager,
     /// Per-node deterministic RNG stream.
-    pub rng: ChaCha8Rng,
+    pub rng: TestRng,
     /// Outstanding requests: seq → send time (for turnaround metrics).
     pub pending: HashMap<u64, SimTime>,
     /// Completed round-trip times.
@@ -105,7 +105,6 @@ mod tests {
     use penelope_slurm::{ServerQueue, ServiceModel};
     use penelope_units::PowerRange;
     use penelope_workload::{PerfModel, Phase, Profile};
-    use rand::SeedableRng;
 
     fn w(x: u64) -> Power {
         Power::from_watts_u64(x)
@@ -125,7 +124,7 @@ mod tests {
                 RaplConfig::default(),
             ),
             manager,
-            rng: rand_chacha::ChaCha8Rng::seed_from_u64(0),
+            rng: TestRng::seed_from_u64(0),
             pending: Default::default(),
             turnaround: Default::default(),
             finished_seen: false,

@@ -1,10 +1,10 @@
 //! The client↔server wire protocol.
 
 use penelope_units::{NodeId, Power};
-use serde::{Deserialize, Serialize};
 
 /// The server's response to a client request.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ServerGrant {
     /// Power transferred from the global cache.
     pub amount: Power,
@@ -17,7 +17,8 @@ pub struct ServerGrant {
 }
 
 /// Messages exchanged between SLURM clients and the central server.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SlurmMsg {
     /// Client → server: the node freed this much power (its cap has
     /// already been lowered).

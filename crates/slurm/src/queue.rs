@@ -3,8 +3,7 @@
 use std::collections::VecDeque;
 
 use penelope_units::{SimDuration, SimTime};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use penelope_testkit::rng::Rng;
 
 /// Per-request service time at the central server.
 ///
@@ -12,7 +11,8 @@ use serde::{Deserialize, Serialize};
 /// server, which was about 80–100 microseconds" and notes "the server
 /// processes requests serially" (§4.5.2). The default samples uniformly
 /// from that measured band.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ServiceModel {
     /// Fastest observed service time.
     pub lo: SimDuration,
@@ -174,8 +174,7 @@ impl Default for ServerQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use penelope_testkit::rng::TestRng;
 
     fn fixed(us: u64) -> ServiceModel {
         ServiceModel {
@@ -187,7 +186,7 @@ mod tests {
     #[test]
     fn idle_server_serves_immediately() {
         let mut q = ServerQueue::new(fixed(100), 10);
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng = TestRng::seed_from_u64(0);
         let done = q.offer(SimTime::from_secs(1), &mut rng).unwrap();
         assert_eq!(done, SimTime::from_secs(1) + SimDuration::from_micros(100));
         assert_eq!(q.stats().mean_wait(), SimDuration::ZERO);
@@ -198,7 +197,7 @@ mod tests {
         // N simultaneous arrivals: completion times are spaced one service
         // time apart — the synchronized-round burst behind Fig. 8.
         let mut q = ServerQueue::new(fixed(100), 1000);
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng = TestRng::seed_from_u64(0);
         let t0 = SimTime::from_secs(1);
         let dones: Vec<_> = (0..10).map(|_| q.offer(t0, &mut rng).unwrap()).collect();
         for (i, done) in dones.iter().enumerate() {
@@ -211,7 +210,7 @@ mod tests {
     #[test]
     fn full_backlog_drops() {
         let mut q = ServerQueue::new(fixed(100), 3);
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng = TestRng::seed_from_u64(0);
         let t0 = SimTime::from_secs(1);
         for _ in 0..3 {
             assert!(q.offer(t0, &mut rng).is_some());
@@ -224,7 +223,7 @@ mod tests {
     #[test]
     fn backlog_drains_over_time() {
         let mut q = ServerQueue::new(fixed(100), 2);
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng = TestRng::seed_from_u64(0);
         let t0 = SimTime::from_secs(1);
         assert!(q.offer(t0, &mut rng).is_some());
         assert!(q.offer(t0, &mut rng).is_some());
@@ -240,7 +239,7 @@ mod tests {
         // The Fig. 8 mechanism in miniature.
         let mean_wait = |n: u64| {
             let mut q = ServerQueue::new(fixed(85), usize::MAX >> 1);
-            let mut rng = ChaCha8Rng::seed_from_u64(0);
+            let mut rng = TestRng::seed_from_u64(0);
             let t0 = SimTime::from_secs(1);
             for _ in 0..n {
                 q.offer(t0, &mut rng).unwrap();
@@ -272,7 +271,7 @@ mod tests {
     #[test]
     fn service_sampling_within_band() {
         let m = ServiceModel::default();
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = TestRng::seed_from_u64(3);
         for _ in 0..1000 {
             let s = m.sample(&mut rng);
             assert!(s >= SimDuration::from_micros(80));
@@ -284,7 +283,7 @@ mod tests {
     #[test]
     fn drop_fraction_reported() {
         let mut q = ServerQueue::new(fixed(100), 1);
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng = TestRng::seed_from_u64(0);
         let t0 = SimTime::ZERO;
         let _ = q.offer(t0, &mut rng);
         let _ = q.offer(t0, &mut rng);

@@ -33,12 +33,16 @@ pub struct ServerStats {
 /// §4.5). Urgent requests are served greedily up to α; if the cache cannot
 /// make an urgent node whole, the server enters a *deficit* state and
 /// attaches a release-to-initial directive to subsequent non-urgent
-/// responses until some urgent request is fully satisfied.
+/// responses. The deficit is the urgent shortfall itself, so solicitation
+/// stops as soon as the cache has re-collected enough to make the urgent
+/// node whole on its retry (or a later urgent request is fully served) —
+/// a sticky flag here would keep clawing back grants forever when the
+/// urgent node finishes its workload and never retries.
 #[derive(Clone, Debug)]
 pub struct PowerServer {
     excess: Power,
     limiter: PoolConfig,
-    urgent_deficit: bool,
+    urgent_deficit: Power,
     stats: ServerStats,
 }
 
@@ -48,7 +52,7 @@ impl PowerServer {
         PowerServer {
             excess: Power::ZERO,
             limiter: limiter.validated(),
-            urgent_deficit: false,
+            urgent_deficit: Power::ZERO,
             stats: ServerStats::default(),
         }
     }
@@ -61,7 +65,7 @@ impl PowerServer {
     /// True iff an urgent node could not be made whole and the server is
     /// soliciting releases.
     pub fn in_deficit(&self) -> bool {
-        self.urgent_deficit
+        !self.urgent_deficit.is_zero() && self.excess < self.urgent_deficit
     }
 
     /// Lifetime counters.
@@ -82,8 +86,9 @@ impl PowerServer {
         let amount = if urgent {
             self.stats.urgent_requests += 1;
             let give = self.excess.min(alpha);
-            // Deficit: the urgent node will still be below its initial cap.
-            self.urgent_deficit = give < alpha;
+            // Deficit: the urgent node is still below its initial cap by
+            // this much; solicit releases until the cache covers it.
+            self.urgent_deficit = alpha - give;
             give
         } else {
             let max = self
@@ -94,7 +99,7 @@ impl PowerServer {
         };
         self.excess -= amount;
         self.stats.granted += amount;
-        let release_to_initial = !urgent && self.urgent_deficit;
+        let release_to_initial = !urgent && self.in_deficit();
         if release_to_initial {
             self.stats.release_directives += 1;
         }
@@ -193,6 +198,21 @@ mod tests {
         let g = s.on_request(true, w(40), 1); // fully served now
         assert_eq!(g.amount, w(40));
         assert!(!s.in_deficit());
+        assert!(!s.on_request(false, Power::ZERO, 2).release_to_initial);
+    }
+
+    #[test]
+    fn deficit_does_not_outlive_its_shortfall() {
+        let mut s = server_with(w(10));
+        let _ = s.on_request(true, w(50), 0); // grants 10, shortfall 40
+        assert!(s.in_deficit());
+        assert!(s.on_request(false, Power::ZERO, 1).release_to_initial);
+        s.on_report(w(25)); // clawed-back release arrives
+        assert!(s.in_deficit()); // 25 < 40: keep soliciting
+        s.on_report(w(25)); // 50 >= 40: the urgent node can be made whole
+        assert!(!s.in_deficit());
+        // Directives stop even though no urgent retry ever arrived (the
+        // urgent node may have finished); power now flows normally.
         assert!(!s.on_request(false, Power::ZERO, 2).release_to_initial);
     }
 

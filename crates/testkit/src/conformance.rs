@@ -1,0 +1,742 @@
+//! Cross-substrate conformance checking.
+//!
+//! Penelope's core claim is that the *same* decider + pool algorithms
+//! (Alg. 1 & 2) behave correctly over any substrate providing power,
+//! transport and clock. This module pins that claim down: a [`Scenario`]
+//! describes one `(workloads, budget, seed, fault)` tuple in
+//! substrate-neutral terms; each substrate (DES simulator, threaded
+//! runtime, UDP daemon loopback) implements [`Substrate`] by running the
+//! scenario and reporting a per-period [`Snapshot`] stream; and
+//! [`check_run`] asserts the safety invariants every period:
+//!
+//! 1. **No minting** — live caps + pool balances + in-flight power never
+//!    exceed the cluster budget (minus power retired by faults).
+//! 2. **Safe caps** — every live node's cap stays inside the safe
+//!    [`PowerRange`].
+//! 3. **Pool accounting** — per node,
+//!    `total_deposited == total_granted + drained + available` exactly.
+//! 4. **Zero-sum** — on substrates that produce consistent cuts (the
+//!    DES simulator, the lockstep threaded runtime), the accounted total
+//!    equals the initial budget *exactly*, every period.
+//!
+//! Snapshots carry a [`Snapshot::consistent_cut`] flag because only some
+//! substrates can produce a consistent global state: the simulator
+//! trivially (single-threaded), the threaded runtime via a per-period
+//! barrier. The UDP daemons report per-node snapshots sampled
+//! asynchronously, so cross-node sums are only checked at quiescent
+//! start/end points there; per-node invariants (2) and (3) are still
+//! checked every period.
+//!
+//! [`check_divergence`] bounds how far two substrates may drift for the
+//! same seed, and [`oracle`] holds the differential Penelope/Fair/SLURM
+//! ordering checks from the paper's §4.2–§4.3.
+
+use penelope_units::{Power, PowerRange};
+use std::fmt;
+
+/// One phase of a synthetic workload: draw `demand` for `secs` seconds
+/// of work at full speed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhaseSpec {
+    /// Power the application wants during this phase.
+    pub demand: Power,
+    /// Seconds of work in the phase (at unthrottled speed).
+    pub secs: f64,
+}
+
+/// A per-node workload, expressed substrate-neutrally as a phase list.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Phases executed in order.
+    pub phases: Vec<PhaseSpec>,
+}
+
+/// Fault to inject, in substrate-neutral terms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// No faults: the nominal scenario.
+    None,
+    /// Hard-kill one node at the start of the given period. Its cap and
+    /// pool are retired (counted as `lost`), not redistributed.
+    KillNode {
+        /// Which node dies.
+        node: u32,
+        /// Period index at which it dies.
+        at_period: u64,
+    },
+}
+
+/// One conformance scenario: everything a substrate needs to reproduce
+/// the exact same logical run.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Human-readable name, used in failure reports.
+    pub name: String,
+    /// Master seed. **This is the reproducing seed reported on failure.**
+    pub seed: u64,
+    /// Node count.
+    pub nodes: usize,
+    /// Budget per node; cluster budget is `nodes * budget_per_node`.
+    pub budget_per_node: Power,
+    /// Safe cap range every node must respect.
+    pub safe: PowerRange,
+    /// Number of decision periods to run.
+    pub periods: u64,
+    /// One workload per node (cycled if shorter than the run).
+    pub workloads: Vec<WorkloadSpec>,
+    /// Fault to inject.
+    pub fault: FaultSpec,
+    /// Relative amplitude of power-meter read noise (0 = exact meters,
+    /// 0.05 = ±5% — the "noisy power" scenario).
+    pub read_noise: f64,
+}
+
+impl Scenario {
+    /// Total cluster budget.
+    pub fn cluster_budget(&self) -> Power {
+        Power::from_milliwatts(self.budget_per_node.milliwatts() * self.nodes as u64)
+    }
+}
+
+/// Per-node state at a period boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeSnapshot {
+    /// Node index.
+    pub node: u32,
+    /// False once the node has been killed by a fault.
+    pub alive: bool,
+    /// Current powercap.
+    pub cap: Power,
+    /// Power sitting in the node's pool right now.
+    pub pool_available: Power,
+    /// Lifetime power deposited into the pool.
+    pub pool_deposited: Power,
+    /// Lifetime power withdrawn from the pool to raise caps: grants to
+    /// peers plus local takes by the co-located decider.
+    pub pool_granted: Power,
+    /// Lifetime power drained out of the pool (node death / shutdown).
+    pub pool_drained: Power,
+}
+
+/// Cluster state at one period boundary, as reported by a substrate.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Period index (0-based).
+    pub period: u64,
+    /// True if this snapshot is a consistent global cut — all nodes
+    /// observed at the same logical instant with in-flight power known.
+    /// Cross-node sum invariants are only *exact* on consistent cuts;
+    /// on inconsistent cuts only per-node invariants are checked.
+    pub consistent_cut: bool,
+    /// Power in transit between nodes (debited from the sender, not yet
+    /// credited to the receiver). Zero if the substrate cannot observe it.
+    pub in_flight: Power,
+    /// Power retired by faults so far (dead caps + drained pools that
+    /// were deliberately lost rather than redistributed).
+    pub lost: Power,
+    /// Per-node rows.
+    pub nodes: Vec<NodeSnapshot>,
+}
+
+impl Snapshot {
+    /// Sum of live caps, live pool balances and known in-flight power.
+    pub fn accounted_live(&self) -> Power {
+        let mut total = self.in_flight;
+        for n in &self.nodes {
+            if n.alive {
+                total = total + n.cap + n.pool_available;
+            }
+        }
+        total
+    }
+}
+
+/// The result of running one scenario on one substrate.
+#[derive(Clone, Debug)]
+pub struct SubstrateRun {
+    /// Substrate name ("sim", "runtime", "daemon", ...).
+    pub substrate: String,
+    /// One snapshot per period boundary, in order.
+    pub snapshots: Vec<Snapshot>,
+    /// Final per-node caps (dead nodes report their cap at death).
+    pub final_caps: Vec<Power>,
+    /// Which nodes were still alive at the end.
+    pub final_alive: Vec<bool>,
+    /// Total power accounted at the end, including drained in-flight
+    /// remnants — the quantity that must equal the initial budget.
+    pub final_total: Power,
+}
+
+/// A substrate that can execute a conformance scenario.
+pub trait Substrate {
+    /// Substrate name for reports.
+    fn name(&self) -> &'static str;
+    /// Run the scenario to completion; `Err` for infrastructure
+    /// failures (socket exhaustion etc.), not invariant violations.
+    fn run(&self, scenario: &Scenario) -> Result<SubstrateRun, String>;
+}
+
+/// Which invariant a violation breaches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Invariant {
+    /// Live power exceeded the (fault-adjusted) cluster budget.
+    NoMinting,
+    /// A live cap left the safe range.
+    CapWithinSafe,
+    /// Pool lifetime accounting failed to balance.
+    PoolBalanced,
+    /// Consistent cut did not sum exactly to the initial budget.
+    ZeroSum,
+}
+
+/// One invariant violation, locatable and reproducible.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub invariant: Invariant,
+    /// Substrate that produced the snapshot.
+    pub substrate: String,
+    /// Scenario seed — rerunning with this seed reproduces the failure.
+    pub seed: u64,
+    /// Period at which it broke.
+    pub period: u64,
+    /// Node involved, if the invariant is per-node.
+    pub node: Option<u32>,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:?}] substrate={} seed={:#018x} period={}{}: {}",
+            self.invariant,
+            self.substrate,
+            self.seed,
+            self.period,
+            match self.node {
+                Some(n) => format!(" node={n}"),
+                None => String::new(),
+            },
+            self.detail
+        )
+    }
+}
+
+/// Check every per-period invariant over one substrate run.
+///
+/// Returns all violations found (empty = conformant). Exact zero-sum is
+/// only required on consistent cuts; the no-minting inequality is also
+/// only meaningful there (an inconsistent cut can double-count a
+/// transferred watt, so cross-node sums are skipped for those snapshots).
+pub fn check_run(scenario: &Scenario, run: &SubstrateRun) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let budget = scenario.cluster_budget();
+    let violation = |invariant, period, node, detail: String| Violation {
+        invariant,
+        substrate: run.substrate.clone(),
+        seed: scenario.seed,
+        period,
+        node,
+        detail,
+    };
+
+    for snap in &run.snapshots {
+        // Per-node invariants hold on every snapshot, consistent or not:
+        // each row was sampled atomically on its own node.
+        for n in &snap.nodes {
+            if n.alive && !scenario.safe.contains(n.cap) {
+                out.push(violation(
+                    Invariant::CapWithinSafe,
+                    snap.period,
+                    Some(n.node),
+                    format!(
+                        "cap {:?} outside safe [{:?}, {:?}]",
+                        n.cap,
+                        scenario.safe.min(),
+                        scenario.safe.max()
+                    ),
+                ));
+            }
+            let outgo = n.pool_granted + n.pool_drained + n.pool_available;
+            if n.pool_deposited != outgo {
+                out.push(violation(
+                    Invariant::PoolBalanced,
+                    snap.period,
+                    Some(n.node),
+                    format!(
+                        "pool unbalanced: deposited {:?} != granted {:?} + drained {:?} + available {:?}",
+                        n.pool_deposited, n.pool_granted, n.pool_drained, n.pool_available
+                    ),
+                ));
+            }
+        }
+
+        if snap.consistent_cut {
+            let live = snap.accounted_live();
+            let accounted = live + snap.lost;
+            if accounted > budget {
+                out.push(violation(
+                    Invariant::NoMinting,
+                    snap.period,
+                    None,
+                    format!(
+                        "accounted {:?} (live {:?} + lost {:?}) exceeds budget {:?}",
+                        accounted, live, snap.lost, budget
+                    ),
+                ));
+            }
+            if accounted != budget {
+                out.push(violation(
+                    Invariant::ZeroSum,
+                    snap.period,
+                    None,
+                    format!(
+                        "consistent cut accounts {:?} (live {:?} + lost {:?}), budget {:?}",
+                        accounted, live, snap.lost, budget
+                    ),
+                ));
+            }
+        }
+    }
+
+    // End state must balance on every substrate: after joining/stopping,
+    // all in-flight power has been drained somewhere observable.
+    if run.final_total > budget {
+        out.push(violation(
+            Invariant::NoMinting,
+            scenario.periods,
+            None,
+            format!(
+                "final accounted total {:?} exceeds budget {:?}",
+                run.final_total, budget
+            ),
+        ));
+    }
+
+    out
+}
+
+/// Allowed end-state drift between two substrates running the same seed.
+///
+/// The substrates share algorithms and seed derivation but not event
+/// interleaving, so bit-exact agreement is not expected; what is
+/// expected is that they land in the *same regime*: per-node caps within
+/// `max_cap_diff` and accounted totals within `max_total_diff`.
+#[derive(Clone, Copy, Debug)]
+pub struct DivergenceBound {
+    /// Max per-node final cap difference.
+    pub max_cap_diff: Power,
+    /// Max difference of final accounted totals.
+    pub max_total_diff: Power,
+}
+
+/// Compare the end states of two substrate runs under `bound`.
+pub fn check_divergence(
+    scenario: &Scenario,
+    a: &SubstrateRun,
+    b: &SubstrateRun,
+    bound: DivergenceBound,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    if a.final_caps.len() != b.final_caps.len() {
+        out.push(format!(
+            "seed {:#x}: node count mismatch: {} ({}) vs {} ({})",
+            scenario.seed,
+            a.final_caps.len(),
+            a.substrate,
+            b.final_caps.len(),
+            b.substrate
+        ));
+        return out;
+    }
+    for (i, (ca, cb)) in a.final_caps.iter().zip(&b.final_caps).enumerate() {
+        // Dead nodes hold their cap at death, which depends on timing;
+        // only live-live pairs are compared.
+        if !(a.final_alive[i] && b.final_alive[i]) {
+            continue;
+        }
+        let diff = ca.abs_diff(*cb);
+        if diff > bound.max_cap_diff {
+            out.push(format!(
+                "seed {:#x}: node {i} final cap diverges: {:?} ({}) vs {:?} ({}), |Δ|={:?} > {:?}",
+                scenario.seed, ca, a.substrate, cb, b.substrate, diff, bound.max_cap_diff
+            ));
+        }
+    }
+    let dt = a.final_total.abs_diff(b.final_total);
+    if dt > bound.max_total_diff {
+        out.push(format!(
+            "seed {:#x}: final totals diverge: {:?} ({}) vs {:?} ({}), |Δ|={:?} > {:?}",
+            scenario.seed, a.final_total, a.substrate, b.final_total, b.substrate, dt, bound.max_total_diff
+        ));
+    }
+    out
+}
+
+/// Full conformance outcome for one scenario across several substrates.
+#[derive(Clone, Debug)]
+pub struct ConformanceReport {
+    /// The scenario name.
+    pub scenario: String,
+    /// The reproducing seed.
+    pub seed: u64,
+    /// Invariant violations across all substrates.
+    pub violations: Vec<Violation>,
+    /// Divergence-bound breaches for compared substrate pairs.
+    pub divergence: Vec<String>,
+    /// Infrastructure errors (a substrate failed to run at all).
+    pub errors: Vec<String>,
+    /// Names of the substrates that ran.
+    pub substrates: Vec<String>,
+}
+
+impl ConformanceReport {
+    /// True when every substrate ran cleanly with no violations.
+    pub fn conformant(&self) -> bool {
+        self.violations.is_empty() && self.divergence.is_empty() && self.errors.is_empty()
+    }
+
+    /// Panic with a full report unless conformant.
+    pub fn assert_conformant(&self) {
+        assert!(
+            self.conformant(),
+            "conformance failed for scenario '{}' (reproducing seed {:#018x})\n{}",
+            self.scenario,
+            self.seed,
+            self.render()
+        );
+    }
+
+    /// Multi-line human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for e in &self.errors {
+            s.push_str(&format!("  error: {e}\n"));
+        }
+        for v in &self.violations {
+            s.push_str(&format!("  {v}\n"));
+        }
+        for d in &self.divergence {
+            s.push_str(&format!("  divergence: {d}\n"));
+        }
+        if s.is_empty() {
+            s.push_str("  conformant\n");
+        }
+        s
+    }
+}
+
+/// Run `scenario` on every substrate, check all invariants every period,
+/// and bound the divergence between the substrate pairs named in
+/// `compare` (indices into `substrates`).
+pub fn run_conformance(
+    scenario: &Scenario,
+    substrates: &[&dyn Substrate],
+    compare: &[(usize, usize)],
+    bound: DivergenceBound,
+) -> ConformanceReport {
+    let mut report = ConformanceReport {
+        scenario: scenario.name.clone(),
+        seed: scenario.seed,
+        violations: Vec::new(),
+        divergence: Vec::new(),
+        errors: Vec::new(),
+        substrates: Vec::new(),
+    };
+    let mut runs: Vec<Option<SubstrateRun>> = Vec::new();
+    for s in substrates {
+        report.substrates.push(s.name().to_string());
+        match s.run(scenario) {
+            Ok(run) => {
+                if run.snapshots.is_empty() {
+                    report
+                        .errors
+                        .push(format!("{}: produced no snapshots", s.name()));
+                }
+                report.violations.extend(check_run(scenario, &run));
+                runs.push(Some(run));
+            }
+            Err(e) => {
+                report.errors.push(format!("{}: {e}", s.name()));
+                runs.push(None);
+            }
+        }
+    }
+    for &(i, j) in compare {
+        if let (Some(a), Some(b)) = (&runs[i], &runs[j]) {
+            report
+                .divergence
+                .extend(check_divergence(scenario, a, b, bound));
+        }
+    }
+    report
+}
+
+/// Differential-oracle checks for the paper's ordering claims.
+pub mod oracle {
+    /// Performance triple for one scenario: Penelope vs the two baselines,
+    /// as normalized performance (higher is better; 1.0 = unconstrained).
+    #[derive(Clone, Copy, Debug)]
+    pub struct PerfTriple {
+        /// Penelope's normalized performance.
+        pub penelope: f64,
+        /// Static fair division baseline.
+        pub fair: f64,
+        /// Centralized SLURM-style manager.
+        pub slurm: f64,
+    }
+
+    fn finite(t: &PerfTriple) -> Result<(), String> {
+        for (name, v) in [
+            ("penelope", t.penelope),
+            ("fair", t.fair),
+            ("slurm", t.slurm),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} performance {v} is not a valid metric"));
+            }
+        }
+        Ok(())
+    }
+
+    /// §4.2 (nominal): with well-matched budgets and no faults, Penelope
+    /// must perform within `tol` (relative) of the Fair baseline — the
+    /// paper's Fig. 2 shows near-equivalence — and must not trail the
+    /// centralized manager by more than `tol` either.
+    pub fn check_nominal(t: PerfTriple, tol: f64) -> Result<(), String> {
+        finite(&t)?;
+        if t.penelope < t.fair * (1.0 - tol) {
+            return Err(format!(
+                "nominal: penelope {:.4} trails fair {:.4} by more than {:.0}%",
+                t.penelope,
+                t.fair,
+                tol * 100.0
+            ));
+        }
+        if t.penelope < t.slurm * (1.0 - tol) {
+            return Err(format!(
+                "nominal: penelope {:.4} trails slurm {:.4} by more than {:.0}%",
+                t.penelope,
+                t.slurm,
+                tol * 100.0
+            ));
+        }
+        Ok(())
+    }
+
+    /// §4.3 (faults): when nodes die and their power would otherwise be
+    /// stranded, Penelope's redistribution must beat the static Fair
+    /// baseline by at least `min_gain` (relative).
+    pub fn check_fault_advantage(t: PerfTriple, min_gain: f64) -> Result<(), String> {
+        finite(&t)?;
+        if t.penelope < t.fair * (1.0 + min_gain) {
+            return Err(format!(
+                "faulty: penelope {:.4} does not beat fair {:.4} by the required {:.0}%",
+                t.penelope,
+                t.fair,
+                min_gain * 100.0
+            ));
+        }
+        Ok(())
+    }
+
+    /// §4.3/§4.5: the centralized manager must never *beat* Penelope by
+    /// more than `tol` under faults (it has the same information but
+    /// serializes decisions); and under server loss Penelope keeps
+    /// working while SLURM cannot — expressed here as a floor on the
+    /// Penelope/SLURM ratio.
+    pub fn check_centralized_no_better(t: PerfTriple, tol: f64) -> Result<(), String> {
+        finite(&t)?;
+        if t.slurm > t.penelope * (1.0 + tol) {
+            return Err(format!(
+                "slurm {:.4} beats penelope {:.4} by more than {:.0}%",
+                t.slurm,
+                t.penelope,
+                tol * 100.0
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn watts(w: u64) -> Power {
+        Power::from_watts_u64(w)
+    }
+
+    fn scenario() -> Scenario {
+        Scenario {
+            name: "unit".into(),
+            seed: 0xABCD,
+            nodes: 2,
+            budget_per_node: watts(160),
+            safe: PowerRange::from_watts(80, 300),
+            periods: 2,
+            workloads: vec![
+                WorkloadSpec {
+                    phases: vec![PhaseSpec {
+                        demand: watts(200),
+                        secs: 10.0,
+                    }],
+                };
+                2
+            ],
+            fault: FaultSpec::None,
+            read_noise: 0.0,
+        }
+    }
+
+    fn node(n: u32, cap: u64, avail: u64, dep: u64, granted: u64) -> NodeSnapshot {
+        NodeSnapshot {
+            node: n,
+            alive: true,
+            cap: watts(cap),
+            pool_available: watts(avail),
+            pool_deposited: watts(dep),
+            pool_granted: watts(granted),
+            pool_drained: Power::ZERO,
+        }
+    }
+
+    fn run_of(snaps: Vec<Snapshot>, total: u64) -> SubstrateRun {
+        SubstrateRun {
+            substrate: "unit".into(),
+            snapshots: snaps,
+            final_caps: vec![watts(160), watts(160)],
+            final_alive: vec![true, true],
+            final_total: watts(total),
+        }
+    }
+
+    #[test]
+    fn balanced_snapshot_is_conformant() {
+        let snap = Snapshot {
+            period: 0,
+            consistent_cut: true,
+            in_flight: Power::ZERO,
+            lost: Power::ZERO,
+            nodes: vec![node(0, 150, 10, 30, 20), node(1, 160, 0, 0, 0)],
+        };
+        let run = run_of(vec![snap], 320);
+        assert!(check_run(&scenario(), &run).is_empty());
+    }
+
+    #[test]
+    fn minting_detected_on_consistent_cut() {
+        let snap = Snapshot {
+            period: 0,
+            consistent_cut: true,
+            in_flight: Power::ZERO,
+            lost: Power::ZERO,
+            // 200 + 160 > 320 budget: a watt was minted somewhere.
+            nodes: vec![node(0, 200, 0, 0, 0), node(1, 160, 0, 0, 0)],
+        };
+        let run = run_of(vec![snap], 320);
+        let v = check_run(&scenario(), &run);
+        assert!(v.iter().any(|v| v.invariant == Invariant::NoMinting), "{v:?}");
+        assert!(v.iter().all(|v| v.seed == 0xABCD));
+    }
+
+    #[test]
+    fn undercount_is_zero_sum_violation_but_not_minting() {
+        let snap = Snapshot {
+            period: 1,
+            consistent_cut: true,
+            in_flight: Power::ZERO,
+            lost: Power::ZERO,
+            nodes: vec![node(0, 150, 0, 0, 0), node(1, 160, 0, 0, 0)],
+        };
+        let run = run_of(vec![snap], 310);
+        let v = check_run(&scenario(), &run);
+        assert!(v.iter().any(|v| v.invariant == Invariant::ZeroSum));
+        assert!(!v.iter().any(|v| v.invariant == Invariant::NoMinting));
+    }
+
+    #[test]
+    fn inconsistent_cut_skips_cross_node_sums() {
+        let snap = Snapshot {
+            period: 0,
+            consistent_cut: false,
+            in_flight: Power::ZERO,
+            lost: Power::ZERO,
+            // Would be minting on a consistent cut; tolerated on an async one.
+            nodes: vec![node(0, 200, 0, 0, 0), node(1, 160, 0, 0, 0)],
+        };
+        let run = run_of(vec![snap], 320);
+        assert!(check_run(&scenario(), &run).is_empty());
+    }
+
+    #[test]
+    fn unsafe_cap_and_unbalanced_pool_detected_everywhere() {
+        let mut bad = node(0, 301, 0, 0, 0); // above safe max
+        let mut unbalanced = node(1, 160, 5, 10, 0); // 10 != 0 + 0 + 5
+        let snap = Snapshot {
+            period: 0,
+            consistent_cut: false,
+            in_flight: Power::ZERO,
+            lost: Power::ZERO,
+            nodes: vec![bad, unbalanced],
+        };
+        let run = run_of(vec![snap], 320);
+        let v = check_run(&scenario(), &run);
+        assert!(v.iter().any(|v| v.invariant == Invariant::CapWithinSafe));
+        assert!(v.iter().any(|v| v.invariant == Invariant::PoolBalanced));
+        // Keep the vars used without warnings.
+        bad.alive = true;
+        unbalanced.alive = true;
+    }
+
+    #[test]
+    fn divergence_bound_flags_drift() {
+        let a = run_of(vec![], 320);
+        let mut b = run_of(vec![], 320);
+        b.substrate = "other".into();
+        b.final_caps = vec![watts(160), watts(200)];
+        let bound = DivergenceBound {
+            max_cap_diff: watts(20),
+            max_total_diff: watts(1),
+        };
+        let d = check_divergence(&scenario(), &a, &b, bound);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].contains("node 1"));
+    }
+
+    #[test]
+    fn oracle_orderings() {
+        use super::oracle::*;
+        let nominal = PerfTriple {
+            penelope: 0.95,
+            fair: 0.96,
+            slurm: 0.94,
+        };
+        assert!(check_nominal(nominal, 0.05).is_ok());
+        assert!(check_nominal(
+            PerfTriple {
+                penelope: 0.5,
+                ..nominal
+            },
+            0.05
+        )
+        .is_err());
+        let faulty = PerfTriple {
+            penelope: 0.9,
+            fair: 0.6,
+            slurm: 0.8,
+        };
+        assert!(check_fault_advantage(faulty, 0.2).is_ok());
+        assert!(check_fault_advantage(
+            PerfTriple {
+                penelope: 0.61,
+                ..faulty
+            },
+            0.2
+        )
+        .is_err());
+        assert!(check_centralized_no_better(faulty, 0.05).is_ok());
+    }
+}

@@ -1,0 +1,31 @@
+//! # penelope-testkit
+//!
+//! Deterministic test infrastructure for the Penelope workspace, with no
+//! dependencies outside the repository:
+//!
+//! * [`rng`] — the workspace PRNG (SplitMix64-seeded xoshiro256**) with
+//!   the `gen_range`/`gen_bool`/`shuffle` surface the codebase uses.
+//!   Product crates use this directly; the `rand`/`rand_chacha` names
+//!   remain available to tests through in-tree compatibility shims under
+//!   the `ext-rand` feature.
+//! * [`prop`] — a fixed-iteration property-test harness with integer /
+//!   float / vec / tuple generators, binary-search shrinking and
+//!   seed-reporting failure output, replacing `proptest` for the
+//!   offline default build.
+//! * [`conformance`] — substrate-neutral scenario descriptions, the
+//!   per-period safety invariants (no minting, safe caps, balanced pool
+//!   accounting, zero-sum), bounded sim↔runtime divergence checking and
+//!   the Penelope/Fair/SLURM differential oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conformance;
+pub mod prop;
+pub mod rng;
+
+pub use conformance::{
+    ConformanceReport, DivergenceBound, FaultSpec, Invariant, NodeSnapshot, PhaseSpec, Scenario,
+    Snapshot, Substrate, SubstrateRun, Violation, WorkloadSpec,
+};
+pub use rng::{node_stream, Rng, TestRng};

@@ -4,7 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
 
 use crate::{Power, SimDuration};
 
@@ -14,7 +13,8 @@ use crate::{Power, SimDuration};
 /// keep nanojoules, which still resolves a 1 mW load over 1 µs. A `u128`
 /// of nanojoules covers ~10²² J — enough for any cluster-lifetime
 /// integration (an exascale 30 MW system for a century is ~10¹⁷ J).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Energy(u128);
 
 impl Energy {

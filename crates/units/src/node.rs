@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// A dense index identifying a node in the cluster.
 ///
@@ -10,7 +9,8 @@ use serde::{Deserialize, Serialize};
 /// produced by [`NodeId::server`] conventionally identifies the SLURM
 /// central server when one exists (the paper dedicates one physical node to
 /// it; clients never run workloads there).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(u32);
 
 impl NodeId {

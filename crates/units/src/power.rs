@@ -4,7 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
 
 /// A non-negative amount of electrical power, stored as integer milliwatts.
 ///
@@ -16,7 +15,8 @@ use serde::{Deserialize, Serialize};
 /// Arithmetic panics on overflow in debug builds (like ordinary integer
 /// arithmetic); the explicitly-checked and saturating variants are provided
 /// for protocol code that must be total.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Power(u64);
 
 impl Power {

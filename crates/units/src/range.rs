@@ -1,6 +1,5 @@
 //! Safe operating ranges for node powercaps.
 
-use serde::{Deserialize, Serialize};
 
 use crate::Power;
 
@@ -10,7 +9,8 @@ use crate::Power;
 /// stay within a range that is safe for the processor. Deciders clamp all
 /// cap changes into this range; any power that could not be applied because
 /// of clamping is returned to the local pool so the budget stays conserved.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PowerRange {
     min: Power,
     max: Power,

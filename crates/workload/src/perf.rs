@@ -1,7 +1,6 @@
 //! The cap→performance model.
 
 use penelope_units::Power;
-use serde::{Deserialize, Serialize};
 
 /// Relates a node-level powercap to application execution speed.
 ///
@@ -19,7 +18,8 @@ use serde::{Deserialize, Serialize};
 ///
 /// with `α ∈ (0, 1]`. `α = 1` is the linear model; the default `α = 0.7`
 /// gives the concave shape measured for hardware-enforced power bounds.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PerfModel {
     /// Package power at zero useful work (fans, uncore, leakage).
     pub idle_power: Power,

@@ -1,7 +1,6 @@
 //! Application power/work profiles.
 
 use penelope_units::Power;
-use serde::{Deserialize, Serialize};
 
 use crate::perf::PerfModel;
 
@@ -10,7 +9,8 @@ use crate::perf::PerfModel;
 ///
 /// `work` is expressed in seconds-at-full-speed: a phase with `work = 10.0`
 /// completes in 10 s when uncapped and in `10 / rate` seconds under a cap.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Phase {
     /// Node-level power the phase wants (both sockets).
     pub demand: Power,
@@ -34,7 +34,8 @@ impl Phase {
 ///
 /// These are the "curated profiles of power consumption over time" the
 /// paper's scale study replays in place of live hardware (§4.5).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Profile {
     /// Application name (e.g. `"EP"`).
     pub name: String,

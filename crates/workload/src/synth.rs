@@ -5,8 +5,8 @@
 //! profiles, and the multi-job experiments want random job sequences. All
 //! generation here is deterministic in the seed.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use penelope_testkit::rng::Rng;
+use penelope_testkit::rng::TestRng;
 
 use penelope_units::Power;
 
@@ -53,7 +53,7 @@ impl SynthConfig {
 /// Generate one profile, deterministically from `seed`.
 pub fn profile(cfg: &SynthConfig, seed: u64) -> Profile {
     cfg.validate();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = TestRng::seed_from_u64(seed);
     let n = rng.gen_range(cfg.phases.0..=cfg.phases.1);
     let phases = (0..n)
         .map(|_| {
@@ -80,7 +80,7 @@ pub fn cluster(cfg: &SynthConfig, seed: u64, nodes: usize) -> Vec<Profile> {
 /// one profile via [`Profile::then`].
 pub fn npb_sequence(seed: u64, jobs: usize) -> Profile {
     assert!(jobs >= 1, "need at least one job");
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = TestRng::seed_from_u64(seed);
     let apps = crate::npb::all_profiles();
     let mut it = (0..jobs).map(|_| apps[rng.gen_range(0..apps.len())].clone());
     let first = it.next().expect("jobs >= 1");

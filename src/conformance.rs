@@ -1,0 +1,612 @@
+//! The three [`Substrate`] implementations behind the cross-substrate
+//! conformance harness, plus the canned scenarios the test suite runs.
+//!
+//! The scenario vocabulary and the invariant checker live in
+//! `penelope_testkit::conformance`; this module supplies the adapters that
+//! execute a [`Scenario`] on each concrete execution substrate:
+//!
+//! * [`SimSubstrate`] — the deterministic discrete-event simulator.
+//!   Single-threaded, so every per-period snapshot is a consistent cut
+//!   with exact in-flight accounting.
+//! * [`LockstepRuntime`] — real OS threads (one per node) sharing
+//!   `PowerPool`s behind mutexes and exchanging `PeerMsg`s over a
+//!   [`ThreadNet`], driven in lockstep periods by barriers. The barrier
+//!   at each period boundary guarantees no message is in flight, so these
+//!   snapshots are consistent cuts too — from genuinely concurrent code.
+//! * [`UdpDaemonSubstrate`] — full `penelope-daemon` processes-in-threads
+//!   on UDP loopback sockets, free-running on the wall clock. Nodes are
+//!   sampled asynchronously, so snapshots are *not* consistent cuts;
+//!   per-node invariants are checked every period and the global sums
+//!   only at the quiescent end state.
+//!
+//! All three run the *same* decider and pool code; only power delivery,
+//! transport and clock differ. That is the paper's portability claim, and
+//! the conformance suite in `tests/conformance.rs` enforces it.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Duration;
+
+use penelope_core::{LocalDecider, PeerMsg, PowerGrant, PowerPool, PowerRequest, TickAction};
+use penelope_net::ThreadNet;
+use penelope_power::{PowerInterface, SimulatedRapl};
+use penelope_sim::{node_seed, ClusterConfig, ClusterSim, FaultScript, SystemKind};
+use penelope_testkit::conformance::{
+    FaultSpec, NodeSnapshot, PhaseSpec, Scenario, Snapshot, Substrate, SubstrateRun, WorkloadSpec,
+};
+use penelope_testkit::rng::{Rng, TestRng};
+use penelope_units::{NodeId, Power, PowerRange, SimDuration, SimTime};
+use penelope_workload::{PerfModel, Phase, Profile, WorkloadState};
+
+/// Logical decision period shared by the sim and lockstep substrates.
+const PERIOD: SimDuration = SimDuration::from_secs(1);
+
+fn watts(w: u64) -> Power {
+    Power::from_watts_u64(w)
+}
+
+/// Translate a substrate-neutral workload spec into a `Profile`.
+///
+/// Every node gets the same linear cap→performance model; what the
+/// conformance suite varies is the *demand trajectory*, which is what
+/// drives deposits, requests and urgency.
+pub fn profile_from_spec(spec: &WorkloadSpec, name: &str) -> Profile {
+    Profile::new(
+        name,
+        spec.phases
+            .iter()
+            .map(|p: &PhaseSpec| Phase::new(p.demand, p.secs))
+            .collect(),
+        PerfModel::new(watts(60), 1.0),
+    )
+}
+
+/// The workload list for a scenario: one profile per node, cycling the
+/// spec list if it is shorter than the node count.
+fn profiles_for(scenario: &Scenario) -> Vec<Profile> {
+    (0..scenario.nodes)
+        .map(|i| {
+            let spec = &scenario.workloads[i % scenario.workloads.len()];
+            profile_from_spec(spec, &format!("w{i}"))
+        })
+        .collect()
+}
+
+fn profile_from_spec_scaled(spec: &WorkloadSpec, name: &str, scale: f64) -> Profile {
+    profile_from_spec(spec, name).scaled(scale)
+}
+
+/// The simulator configuration a scenario maps to. The lockstep runtime
+/// reads its decider/pool/RAPL parameters from the same place so the two
+/// substrates agree on everything but the execution model.
+pub fn sim_config(scenario: &Scenario) -> ClusterConfig {
+    let mut cfg = ClusterConfig::checked(SystemKind::Penelope, scenario.cluster_budget());
+    cfg.seed = scenario.seed;
+    cfg.safe_range = scenario.safe;
+    cfg.rapl.safe_range = scenario.safe;
+    cfg.rapl.read_noise_std = scenario.read_noise;
+    cfg.decider.period = PERIOD;
+    // Jitterless ticks: all substrates tick at exact period boundaries,
+    // which keeps the per-node RNG streams aligned across substrates.
+    cfg.tick_jitter = SimDuration::ZERO;
+    cfg
+}
+
+// ---------------------------------------------------------------------
+// Substrate 1: the discrete-event simulator
+// ---------------------------------------------------------------------
+
+/// Conformance adapter for [`ClusterSim`].
+pub struct SimSubstrate;
+
+impl Substrate for SimSubstrate {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn run(&self, scenario: &Scenario) -> Result<SubstrateRun, String> {
+        let cfg = sim_config(scenario);
+        let mut sim = ClusterSim::new(cfg, profiles_for(scenario));
+        if let FaultSpec::KillNode { node, at_period } = scenario.fault {
+            sim.install_faults(&FaultScript::kill_node_at(
+                SimTime::ZERO + PERIOD * at_period,
+                NodeId::new(node),
+            ));
+        }
+        let mut snapshots = Vec::with_capacity(scenario.periods as usize);
+        for p in 0..scenario.periods {
+            sim.advance_to(SimTime::ZERO + PERIOD * (p + 1));
+            snapshots.push(sim.conformance_snapshot(p));
+        }
+        let end = sim.conformance_snapshot(scenario.periods);
+        let final_total = end.accounted_live() + end.lost;
+        let final_alive: Vec<bool> = end.nodes.iter().map(|n| n.alive).collect();
+        let report = sim.finish();
+        Ok(SubstrateRun {
+            substrate: "sim".into(),
+            snapshots,
+            final_caps: report.final_caps,
+            final_alive,
+            final_total,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Substrate 2: the lockstep threaded runtime
+// ---------------------------------------------------------------------
+
+/// Conformance adapter running one real thread per node.
+///
+/// Each period runs in three barrier-separated phases — tick (Alg. 1),
+/// serve (Alg. 2 on the destination pools), apply (grant delivery) — so
+/// that at the period boundary every message sent has been consumed.
+/// Between periods the coordinator thread injects faults and takes the
+/// snapshot; that instant is a consistent cut of truly concurrent state.
+pub struct LockstepRuntime;
+
+/// Everything the coordinator shares with the node threads.
+struct Shared {
+    pools: Vec<Mutex<PowerPool>>,
+    /// Caps mirrored out of each decider, in milliwatts.
+    caps_mw: Vec<AtomicU64>,
+    alive: Vec<AtomicBool>,
+    /// Power retired from the system (failed grant deliveries, killed
+    /// nodes), in milliwatts.
+    lost_mw: AtomicU64,
+    barrier: Barrier,
+}
+
+impl Substrate for LockstepRuntime {
+    fn name(&self) -> &'static str {
+        "runtime"
+    }
+
+    fn run(&self, scenario: &Scenario) -> Result<SubstrateRun, String> {
+        let n = scenario.nodes;
+        let cfg = sim_config(scenario);
+        let (net, endpoints) = ThreadNet::<PeerMsg>::new(n);
+        let shared = Arc::new(Shared {
+            pools: (0..n).map(|_| Mutex::new(PowerPool::new(cfg.pool))).collect(),
+            caps_mw: (0..n)
+                .map(|_| AtomicU64::new(scenario.budget_per_node.milliwatts()))
+                .collect(),
+            alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            lost_mw: AtomicU64::new(0),
+            barrier: Barrier::new(n + 1),
+        });
+        let profiles = profiles_for(scenario);
+
+        let mut threads = Vec::with_capacity(n);
+        for (i, endpoint) in endpoints.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let profile = profiles[i].clone();
+            let decider_cfg = cfg.decider;
+            let rapl_cfg = cfg.rapl.clone();
+            let overhead = cfg.management_overhead;
+            let initial_cap = scenario.budget_per_node;
+            let safe = scenario.safe;
+            let seed = node_seed(scenario.seed, i as u64);
+            let periods = scenario.periods;
+            threads.push(std::thread::spawn(move || {
+                node_loop(
+                    i, n, periods, endpoint, shared, decider_cfg, initial_cap, safe,
+                    SimulatedRapl::new(WorkloadState::with_overhead(profile, overhead), initial_cap, rapl_cfg),
+                    TestRng::seed_from_u64(seed),
+                )
+            }));
+        }
+
+        // Coordinator: inject faults at period starts, snapshot at period
+        // ends. Node threads are parked on the first barrier of period p
+        // while this runs, so the snapshot reads quiescent state.
+        let mut snapshots = Vec::with_capacity(scenario.periods as usize);
+        for p in 0..scenario.periods {
+            if let FaultSpec::KillNode { node, at_period } = scenario.fault {
+                let idx = node as usize;
+                if at_period == p && shared.alive[idx].swap(false, Ordering::SeqCst) {
+                    net.with_faults(|f| f.kill(NodeId::new(node)));
+                    let drained = shared.pools[idx].lock().unwrap().drain();
+                    let cap = shared.caps_mw[idx].load(Ordering::SeqCst);
+                    shared
+                        .lost_mw
+                        .fetch_add(cap + drained.milliwatts(), Ordering::SeqCst);
+                }
+            }
+            shared.barrier.wait(); // release into tick
+            shared.barrier.wait(); // tick done
+            shared.barrier.wait(); // serve done
+            shared.barrier.wait(); // apply done: channels drained
+            snapshots.push(snapshot_shared(&shared, p));
+        }
+        for t in threads {
+            t.join().map_err(|_| "node thread panicked".to_string())?;
+        }
+
+        let end = snapshot_shared(&shared, scenario.periods);
+        let final_total = end.accounted_live() + end.lost;
+        Ok(SubstrateRun {
+            substrate: "runtime".into(),
+            final_caps: end.nodes.iter().map(|r| r.cap).collect(),
+            final_alive: end.nodes.iter().map(|r| r.alive).collect(),
+            snapshots,
+            final_total,
+        })
+    }
+}
+
+/// One period-boundary consistent cut of the lockstep cluster.
+fn snapshot_shared(shared: &Shared, period: u64) -> Snapshot {
+    let nodes = shared
+        .pools
+        .iter()
+        .enumerate()
+        .map(|(i, pool)| {
+            let p = pool.lock().unwrap();
+            NodeSnapshot {
+                node: i as u32,
+                alive: shared.alive[i].load(Ordering::SeqCst),
+                cap: Power::from_milliwatts(shared.caps_mw[i].load(Ordering::SeqCst)),
+                pool_available: p.available(),
+                pool_deposited: p.total_deposited(),
+                pool_granted: p.total_granted() + p.total_taken_local(),
+                pool_drained: p.total_drained(),
+            }
+        })
+        .collect();
+    Snapshot {
+        period,
+        consistent_cut: true,
+        in_flight: Power::ZERO,
+        lost: Power::from_milliwatts(shared.lost_mw.load(Ordering::SeqCst)),
+        nodes,
+    }
+}
+
+/// The per-node thread body: the same Algorithm 1/2 calls as the
+/// simulator's tick handler, phased by barriers instead of an event queue.
+#[allow(clippy::too_many_arguments)]
+fn node_loop(
+    idx: usize,
+    n: usize,
+    periods: u64,
+    endpoint: penelope_net::ThreadEndpoint<PeerMsg>,
+    shared: Arc<Shared>,
+    decider_cfg: penelope_core::DeciderConfig,
+    initial_cap: Power,
+    safe: PowerRange,
+    mut rapl: SimulatedRapl<WorkloadState>,
+    mut rng: TestRng,
+) {
+    let id = NodeId::new(idx as u32);
+    let mut decider = LocalDecider::new(decider_cfg, initial_cap, safe);
+    let mut stashed_grants: Vec<PowerGrant> = Vec::new();
+    for p in 0..periods {
+        shared.barrier.wait(); // coordinator finished faults/snapshot
+        let now = SimTime::ZERO + PERIOD * p;
+        let me_alive = shared.alive[idx].load(Ordering::SeqCst);
+
+        // --- Tick phase -------------------------------------------------
+        if me_alive {
+            let reading = rapl.read_power_with(now, &mut rng);
+            // Uniform peer choice, same draw sequence as the simulator.
+            let peer = if n >= 2 {
+                let r = rng.gen_range(0..n - 1);
+                let p = if r >= idx { r + 1 } else { r };
+                Some(NodeId::new(p as u32))
+            } else {
+                None
+            };
+            let action = {
+                let mut pool = shared.pools[idx].lock().unwrap();
+                decider.tick(now, reading, &mut pool, peer)
+            };
+            rapl.set_cap(decider.cap(), now);
+            if let TickAction::Request {
+                dst,
+                urgent,
+                alpha,
+                seq,
+            } = action
+            {
+                // Requests carry no power; a refused send (dead peer) just
+                // means the decider times out and retries elsewhere.
+                let _ = endpoint.send(
+                    dst,
+                    PeerMsg::Request(PowerRequest {
+                        from: id,
+                        urgent,
+                        alpha,
+                        seq,
+                    }),
+                );
+            }
+            shared.caps_mw[idx].store(decider.cap().milliwatts(), Ordering::SeqCst);
+        }
+        shared.barrier.wait(); // tick done everywhere: all requests sent
+
+        // --- Serve phase ------------------------------------------------
+        // Drain this node's queue, answering requests from the local pool.
+        // Grants from other nodes' serve phases may interleave into the
+        // queue; stash them for the apply phase.
+        while let Some(env) = endpoint.try_recv() {
+            match env.msg {
+                PeerMsg::Request(req) if me_alive => {
+                    let amount = {
+                        let mut pool = shared.pools[idx].lock().unwrap();
+                        pool.handle_request(req.urgent, req.alpha)
+                    };
+                    let delivered = endpoint.send(
+                        req.from,
+                        PeerMsg::Grant(PowerGrant {
+                            amount,
+                            seq: req.seq,
+                        }),
+                    );
+                    if !delivered && !amount.is_zero() {
+                        // Power debited but undeliverable: retire it so the
+                        // budget stays conserved rather than minted back.
+                        shared
+                            .lost_mw
+                            .fetch_add(amount.milliwatts(), Ordering::SeqCst);
+                    }
+                }
+                PeerMsg::Request(_) => {} // dead node: request evaporates
+                PeerMsg::Grant(g) => stashed_grants.push(g),
+            }
+        }
+        shared.barrier.wait(); // serve done everywhere: all grants sent
+
+        // --- Apply phase ------------------------------------------------
+        if me_alive {
+            while let Some(env) = endpoint.try_recv() {
+                if let PeerMsg::Grant(g) = env.msg {
+                    stashed_grants.push(g);
+                }
+            }
+            for g in stashed_grants.drain(..) {
+                let mut pool = shared.pools[idx].lock().unwrap();
+                let _ = decider.on_grant(g.seq, g.amount, &mut pool);
+            }
+            rapl.set_cap(decider.cap(), now);
+            shared.caps_mw[idx].store(decider.cap().milliwatts(), Ordering::SeqCst);
+        }
+        shared.barrier.wait(); // apply done: nothing in flight
+    }
+}
+
+// ---------------------------------------------------------------------
+// Substrate 3: UDP daemons on loopback
+// ---------------------------------------------------------------------
+
+/// Wall-clock milliseconds per daemon decider period. One daemon
+/// iteration corresponds to one logical scenario period, so workload
+/// profiles are time-scaled by `DAEMON_PERIOD_MS / 1000`.
+const DAEMON_PERIOD_MS: u64 = 20;
+
+/// Conformance adapter spawning one real `penelope-daemon` per node on
+/// UDP loopback sockets.
+pub struct UdpDaemonSubstrate;
+
+impl Substrate for UdpDaemonSubstrate {
+    fn name(&self) -> &'static str {
+        "daemon"
+    }
+
+    fn run(&self, scenario: &Scenario) -> Result<SubstrateRun, String> {
+        use penelope_daemon::{run_daemon_with_socket, DaemonConfig, PowerBackend};
+        use std::net::UdpSocket;
+
+        let n = scenario.nodes;
+        let scale = DAEMON_PERIOD_MS as f64 / 1000.0;
+        // Bind first so every daemon can know every peer's real port.
+        let sockets: Vec<UdpSocket> = (0..n)
+            .map(|_| UdpSocket::bind("127.0.0.1:0"))
+            .collect::<std::io::Result<_>>()
+            .map_err(|e| format!("bind: {e}"))?;
+        let addrs: Vec<std::net::SocketAddr> = sockets
+            .iter()
+            .map(|s| s.local_addr())
+            .collect::<std::io::Result<_>>()
+            .map_err(|e| format!("local_addr: {e}"))?;
+
+        let mut handles = Vec::with_capacity(n);
+        for (i, socket) in sockets.into_iter().enumerate() {
+            let spec = &scenario.workloads[i % scenario.workloads.len()];
+            let peers: Vec<_> = addrs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, a)| *a)
+                .collect();
+            let cfg = DaemonConfig {
+                listen: addrs[i],
+                peers,
+                initial_cap: scenario.budget_per_node,
+                safe_range: scenario.safe,
+                decider: penelope_core::DeciderConfig {
+                    period: SimDuration::from_millis(DAEMON_PERIOD_MS),
+                    response_timeout: SimDuration::from_millis(DAEMON_PERIOD_MS / 2),
+                    ..Default::default()
+                },
+                pool: penelope_core::PoolConfig::default(),
+                power: PowerBackend::SimulatedProfile {
+                    profile: profile_from_spec_scaled(spec, &format!("w{i}"), scale),
+                },
+                rapl: penelope_power::RaplConfig {
+                    safe_range: scenario.safe,
+                    actuation_delay: SimDuration::ZERO,
+                    read_noise_std: scenario.read_noise,
+                },
+                status_every: 1,
+            };
+            handles.push(Some(
+                run_daemon_with_socket(cfg, socket).map_err(|e| format!("daemon {i}: {e}"))?,
+            ));
+        }
+
+        // Sample one status per node per period; kill on schedule. The
+        // cuts are asynchronous across nodes, hence `consistent_cut:
+        // false` — per-node invariants still hold on every sample.
+        let recv_deadline = Duration::from_millis(DAEMON_PERIOD_MS * 50);
+        let mut snapshots = Vec::with_capacity(scenario.periods as usize);
+        let mut dead_rows: Vec<Option<NodeSnapshot>> = vec![None; n];
+        let mut lost = Power::ZERO;
+        let mut final_caps: Vec<Power> = vec![Power::ZERO; n];
+        let mut final_alive = vec![true; n];
+        let mut final_total = Power::ZERO;
+        for p in 0..scenario.periods {
+            if let FaultSpec::KillNode { node, at_period } = scenario.fault {
+                let idx = node as usize;
+                if at_period == p && handles[idx].is_some() {
+                    let summary = handles[idx].take().expect("alive").stop();
+                    lost = lost + summary.final_cap + summary.final_pool;
+                    final_caps[idx] = summary.final_cap;
+                    final_alive[idx] = false;
+                    // The killed node's holdings are retired; its frozen
+                    // row keeps appearing (alive: false) so pool-balance
+                    // checks still cover its lifetime counters.
+                    dead_rows[idx] = Some(NodeSnapshot {
+                        node,
+                        alive: false,
+                        cap: summary.final_cap,
+                        pool_available: summary.final_pool,
+                        pool_deposited: summary.pool_deposited,
+                        pool_granted: summary.granted_to_peers + summary.taken_local,
+                        pool_drained: summary.pool_drained,
+                    });
+                }
+            }
+            let mut rows = Vec::with_capacity(n);
+            for i in 0..n {
+                match (&handles[i], &dead_rows[i]) {
+                    (Some(h), _) => {
+                        let s = h
+                            .status_rx
+                            .recv_timeout(recv_deadline)
+                            .map_err(|e| format!("daemon {i} status at period {p}: {e}"))?;
+                        rows.push(NodeSnapshot {
+                            node: i as u32,
+                            alive: true,
+                            cap: s.cap,
+                            pool_available: s.pool,
+                            pool_deposited: s.pool_deposited,
+                            pool_granted: s.pool_granted,
+                            pool_drained: s.pool_drained,
+                        });
+                    }
+                    (None, Some(row)) => rows.push(*row),
+                    (None, None) => unreachable!("stopped daemons leave a frozen row"),
+                }
+            }
+            snapshots.push(Snapshot {
+                period: p,
+                consistent_cut: false,
+                in_flight: Power::ZERO,
+                lost,
+                nodes: rows,
+            });
+        }
+
+        for (i, h) in handles.into_iter().enumerate() {
+            if let Some(h) = h {
+                let summary = h.stop();
+                final_caps[i] = summary.final_cap;
+                // Live holdings at the quiescent end.
+                final_total = final_total + summary.final_cap + summary.final_pool;
+            }
+        }
+        // Add what faults retired: the end state must not exceed the
+        // budget; UDP grants still in flight at shutdown only ever make
+        // it *under*count.
+        final_total += lost;
+
+        Ok(SubstrateRun {
+            substrate: "daemon".into(),
+            snapshots,
+            final_caps,
+            final_alive,
+            final_total,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Canned scenarios
+// ---------------------------------------------------------------------
+
+/// Two heavyweight + two lightweight synthetic workloads: the hungry
+/// nodes must pull power from the excess the light nodes deposit.
+fn mixed_workloads() -> Vec<WorkloadSpec> {
+    let hungry = WorkloadSpec {
+        phases: vec![PhaseSpec {
+            demand: watts(220),
+            secs: 60.0,
+        }],
+    };
+    // Light for six periods, then hungry: exercises deposit, take-local
+    // and peer-request paths in one run.
+    let ramp = WorkloadSpec {
+        phases: vec![
+            PhaseSpec {
+                demand: watts(100),
+                secs: 6.0,
+            },
+            PhaseSpec {
+                demand: watts(210),
+                secs: 60.0,
+            },
+        ],
+    };
+    vec![hungry, ramp]
+}
+
+/// Nominal scenario: no faults, exact power meters.
+pub fn nominal_scenario(seed: u64) -> Scenario {
+    Scenario {
+        name: "nominal".into(),
+        seed,
+        nodes: 4,
+        budget_per_node: watts(160),
+        safe: PowerRange::from_watts(80, 300),
+        periods: 10,
+        workloads: mixed_workloads(),
+        fault: FaultSpec::None,
+        read_noise: 0.0,
+    }
+}
+
+/// Node-fault scenario: node 1 is killed at the start of period 4; its
+/// cap and pooled power must be retired, never redistributed.
+pub fn node_fault_scenario(seed: u64) -> Scenario {
+    Scenario {
+        name: "node-fault".into(),
+        seed,
+        nodes: 5,
+        budget_per_node: watts(160),
+        safe: PowerRange::from_watts(80, 300),
+        periods: 12,
+        workloads: mixed_workloads(),
+        fault: FaultSpec::KillNode {
+            node: 1,
+            at_period: 4,
+        },
+        read_noise: 0.0,
+    }
+}
+
+/// Noisy-power scenario: ±5 % multiplicative Gaussian read noise on
+/// every power meter, no faults.
+pub fn noisy_power_scenario(seed: u64) -> Scenario {
+    Scenario {
+        name: "noisy-power".into(),
+        seed,
+        nodes: 4,
+        budget_per_node: watts(160),
+        safe: PowerRange::from_watts(80, 300),
+        periods: 10,
+        workloads: mixed_workloads(),
+        fault: FaultSpec::None,
+        read_noise: 0.05,
+    }
+}

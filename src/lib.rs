@@ -50,6 +50,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod conformance;
+
 pub use penelope_core as core;
 pub use penelope_daemon as daemon;
 pub use penelope_experiments as experiments;

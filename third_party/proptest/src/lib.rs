@@ -1,0 +1,355 @@
+//! Offline stand-in for `proptest` 1.x.
+//!
+//! Implements the slice of proptest this workspace's property suites
+//! use — `proptest!`, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`,
+//! `prop_oneof!`, `.prop_map`, `any::<T>()`, `collection::vec`,
+//! `ProptestConfig::with_cases` and the `Strategy` trait — on top of the
+//! deterministic `penelope-testkit` property harness. Failures therefore
+//! report a testkit seed/case pair instead of a proptest persistence
+//! file, and runs are bit-reproducible offline.
+//!
+//! Semantics intentionally preserved: fixed case counts, value
+//! generation from ranges/tuples/vectors, shrinking toward range lower
+//! bounds, `prop_assume!` skipping a case. Not implemented (unused in
+//! this tree): regression persistence, `#[derive(Arbitrary)]`, weighted
+//! `prop_oneof!` arms, `prop_flat_map`, string/regex strategies.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+
+/// Runtime re-exports used by the macros; not part of the public API.
+#[doc(hidden)]
+pub mod __rt {
+    pub use penelope_testkit::prop::{check, Config, Gen};
+    pub use penelope_testkit::TestRng;
+}
+
+/// The `Strategy` trait — an alias for the testkit [`Gen`] trait, so
+/// `impl Strategy<Value = T>` signatures compile unchanged.
+pub use penelope_testkit::prop::Gen as Strategy;
+
+/// Extension methods matching proptest's combinator names.
+/// (`prop_map` itself lives on [`Strategy`] — the testkit `Gen` trait —
+/// so it is not repeated here.)
+pub trait StrategyExt: Strategy + Sized {
+    /// Box the strategy for heterogeneous composition (`prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<T: Strategy> StrategyExt for T {}
+
+/// A type-erased strategy. (`Gen` is implemented for `Box<dyn Gen>` in
+/// the testkit, so this alias is itself a strategy.)
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+/// Uniform choice among boxed strategies — the engine behind
+/// [`prop_oneof!`].
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V: Clone + Debug> Union<V> {
+    /// Build from the already-boxed arms.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V: Clone + Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut penelope_testkit::TestRng) -> V {
+        use penelope_testkit::Rng;
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+    fn shrink(&self, value: &V) -> Vec<V> {
+        // Arms overlap in value space; give every arm a chance to shrink.
+        self.options
+            .iter()
+            .flat_map(|o| o.shrink(value))
+            .collect()
+    }
+}
+
+/// Types with a canonical strategy, for `any::<T>()`.
+pub trait Arbitrary: Sized {
+    /// The canonical full-domain strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = core::ops::RangeInclusive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    type Strategy = penelope_testkit::prop::AnyBool;
+    fn arbitrary() -> Self::Strategy {
+        penelope_testkit::prop::any_bool()
+    }
+}
+
+/// The canonical strategy for `T`, e.g. `any::<u64>()`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::Strategy;
+
+    /// Length specification accepted by [`vec`]: a `usize`, `a..b` or
+    /// `a..=b`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// `Vec` strategy over an element strategy and a length spec.
+    pub fn vec<G: Strategy, L: Into<SizeRange>>(
+        elem: G,
+        len: L,
+    ) -> penelope_testkit::prop::VecGen<G> {
+        let len = len.into();
+        penelope_testkit::prop::vec_of(elem, len.min..len.max_exclusive)
+    }
+}
+
+/// Runner configuration (`proptest::test_runner::Config`).
+pub mod test_runner {
+    /// Subset of proptest's `Config`: the case count.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// `cases` tests, defaults otherwise.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+
+        /// Convert to the testkit runner configuration, honouring the
+        /// `PENELOPE_PROP_SEED` environment override.
+        pub fn to_testkit(self) -> penelope_testkit::prop::Config {
+            let mut cfg = penelope_testkit::prop::Config::from_env();
+            cfg.cases = self.cases;
+            cfg
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: penelope_testkit::prop::Config::default().cases,
+            }
+        }
+    }
+}
+
+/// `proptest::prelude` — everything the suites import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, Arbitrary, BoxedStrategy, Strategy, StrategyExt};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert inside a property; failure reports the shrunken input + seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategy arms (unweighted form only).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(Box::new($arm) as $crate::BoxedStrategy<_>),+])
+    };
+}
+
+/// The `proptest!` block macro: each `fn name(arg in strategy, ...)`
+/// becomes a `#[test]` running the body over generated inputs through
+/// the deterministic testkit harness.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (
+        @funcs ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::Config = $cfg;
+            $crate::__rt::check(
+                stringify!($name),
+                cfg.to_testkit(),
+                ( $($strat,)+ ),
+                move |( $($arg,)+ )| $body,
+            );
+        }
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    ( @funcs ($cfg:expr) ) => {};
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@funcs ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_any(a in 0u64..100, b in any::<bool>(), c in -1e3f64..1e3) {
+            prop_assert!(a < 100);
+            let _ = b;
+            prop_assert!((-1e3..1e3).contains(&c));
+        }
+
+        #[test]
+        fn vec_and_tuple(ops in collection::vec((0u8..4, 0u64..1000), 1..50)) {
+            prop_assert!(!ops.is_empty() && ops.len() < 50);
+            for (op, amt) in ops {
+                prop_assert!(op < 4);
+                prop_assert!(amt < 1000);
+            }
+        }
+
+        #[test]
+        fn assume_skips(v in 0u64..10) {
+            prop_assume!(v % 2 == 0);
+            prop_assert!(v % 2 == 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn configured_case_count(v in 0u64..1000) {
+            prop_assert!(v < 1000);
+        }
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Op {
+        Tick(u64),
+        Grant(u64),
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_map(
+            ops in collection::vec(
+                prop_oneof![
+                    (0u64..400).prop_map(Op::Tick),
+                    (0u64..50).prop_map(Op::Grant),
+                ],
+                1..30,
+            )
+        ) {
+            for op in ops {
+                match op {
+                    Op::Tick(v) => prop_assert!(v < 400),
+                    Op::Grant(v) => prop_assert!(v < 50),
+                }
+            }
+        }
+    }
+}

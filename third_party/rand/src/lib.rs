@@ -1,0 +1,29 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Re-exports the `penelope-testkit` [`Rng`] trait (whose `gen_range` /
+//! `gen_bool` / `shuffle` surface matches the slice of `rand` this
+//! workspace uses) and provides a [`SeedableRng`] trait so existing
+//! `use rand::{Rng, SeedableRng}` imports compile unchanged. The actual
+//! generator type lives in the `rand_chacha` shim.
+
+#![forbid(unsafe_code)]
+
+pub use penelope_testkit::rng::{Rng, SampleRange};
+
+/// Stand-in for `rand::SeedableRng`, reduced to the one constructor the
+/// workspace uses.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for penelope_testkit::TestRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        penelope_testkit::TestRng::seed_from_u64(seed)
+    }
+}
+
+/// Stand-in for `rand::prelude`.
+pub mod prelude {
+    pub use super::{Rng, SeedableRng};
+}

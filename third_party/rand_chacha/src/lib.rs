@@ -1,0 +1,31 @@
+//! Offline stand-in for `rand_chacha` 0.3.
+//!
+//! [`ChaCha8Rng`] here is *not* ChaCha — it wraps the workspace's
+//! xoshiro256** generator. What tests depend on is determinism per seed
+//! and a `seed_from_u64` constructor, both preserved; the concrete
+//! stream values differ from the crates.io implementation.
+
+#![forbid(unsafe_code)]
+
+use penelope_testkit::rng::{Rng, TestRng};
+use rand::SeedableRng;
+
+/// Deterministic generator with the `rand_chacha::ChaCha8Rng` API shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaCha8Rng(TestRng);
+
+impl Rng for ChaCha8Rng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        ChaCha8Rng(TestRng::seed_from_u64(seed))
+    }
+}
+
+/// Alias matching `rand_chacha`'s other export.
+pub type ChaChaRng = ChaCha8Rng;

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public types
+//! but never serializes at runtime (there is no serde_json or bincode in
+//! the tree). This shim provides the two trait names and re-exports the
+//! no-op derive macros so `#[cfg_attr(feature = "serde", derive(...))]`
+//! attributes compile offline. Replacing the path dependency with real
+//! serde restores functional impls without touching any annotated type.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`. No derived type implements it
+/// here; it exists so `T: Serialize` bounds written downstream resolve.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Nothing in this workspace serializes at runtime — the derives exist so
+//! downstream users can opt into wire formats later. This shim accepts
+//! `#[derive(Serialize, Deserialize)]` and expands to nothing, which
+//! keeps every annotated type compiling without the real proc-macro
+//! stack (syn/quote/proc-macro2) or any registry access.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
