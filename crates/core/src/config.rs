@@ -1,6 +1,6 @@
 //! Tunable parameters of the decider and pool.
 
-use penelope_units::{Power, SimDuration};
+use penelope_units::{Power, PowerRange, SimDuration};
 
 /// Parameters of the power pool's transaction limiter (Algorithm 2).
 ///
@@ -118,9 +118,55 @@ impl DeciderConfig {
     }
 }
 
+/// The per-node protocol knobs shared by every substrate.
+///
+/// The simulator's `ClusterConfig`, the threaded runtime's `RuntimeConfig`
+/// and the daemon's `DaemonConfig` all embed one of these, so the decider,
+/// pool and safe-range parameters cannot drift apart between deployments —
+/// a scenario tuned in simulation carries to real daemons verbatim.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeParams {
+    /// Local decider parameters (Algorithm 1).
+    pub decider: DeciderConfig,
+    /// Power-pool transaction limiter (Algorithm 2).
+    pub pool: PoolConfig,
+    /// Safe powercap range enforced by the node's power interface.
+    pub safe_range: PowerRange,
+}
+
+impl NodeParams {
+    /// Validate the parameters. Panics on nonsense values.
+    pub fn validated(self) -> Self {
+        let _ = self.pool.validated();
+        assert!(
+            self.safe_range.min() <= self.safe_range.max(),
+            "safe range inverted"
+        );
+        self
+    }
+
+    /// Parameters iterating at `hz` decider iterations per second.
+    pub fn at_frequency(hz: f64) -> Self {
+        NodeParams {
+            decider: DeciderConfig::at_frequency(hz),
+            ..Default::default()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn node_params_defaults_are_valid() {
+        let p = NodeParams::default().validated();
+        assert_eq!(p.decider, DeciderConfig::default());
+        assert_eq!(p.pool, PoolConfig::default());
+        let fast = NodeParams::at_frequency(10.0);
+        assert_eq!(fast.decider.period, SimDuration::from_millis(100));
+    }
 
     #[test]
     fn default_matches_paper() {

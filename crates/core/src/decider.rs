@@ -1,5 +1,6 @@
 //! The local decider (Algorithm 1).
 
+use penelope_trace::{EventKind, NodeClass, SharedObserver, TraceEvent};
 use penelope_units::{NodeId, Power, PowerRange, SimTime};
 
 use crate::config::DeciderConfig;
@@ -28,6 +29,17 @@ pub fn classify(reading: Power, cap: Power, epsilon: Power) -> Classification {
         Classification::Hungry
     } else {
         Classification::AtMargin
+    }
+}
+
+impl Classification {
+    /// The trace-vocabulary equivalent of this classification.
+    pub fn as_trace(self) -> NodeClass {
+        match self {
+            Classification::Excess => NodeClass::Excess,
+            Classification::Hungry => NodeClass::Hungry,
+            Classification::AtMargin => NodeClass::AtMargin,
+        }
     }
 }
 
@@ -102,6 +114,8 @@ pub struct LocalDecider {
     outstanding: Option<Outstanding>,
     next_seq: u64,
     stats: DeciderStats,
+    node: NodeId,
+    obs: SharedObserver,
 }
 
 impl LocalDecider {
@@ -116,6 +130,34 @@ impl LocalDecider {
             outstanding: None,
             next_seq: 0,
             stats: DeciderStats::default(),
+            node: NodeId::new(0),
+            obs: SharedObserver::noop(),
+        }
+    }
+
+    /// Attach an observer, stamping every emitted event with `node`.
+    ///
+    /// The decider is where the protocol *decides*, so it is the single
+    /// emission site for classification, pool deposit/withdraw, request
+    /// sent/timeout, grant applied and urgency-cleared events — every
+    /// substrate gets the identical narrative by construction.
+    pub fn with_observer(mut self, node: NodeId, obs: SharedObserver) -> Self {
+        self.node = node;
+        self.obs = obs;
+        self
+    }
+
+    /// Stamp and deliver one protocol event (free when tracing is off).
+    #[inline]
+    fn emit(&self, now: SimTime, kind: impl FnOnce() -> EventKind) {
+        if self.obs.enabled() {
+            let period_ns = self.cfg.period.as_nanos().max(1);
+            self.obs.on_event(&TraceEvent {
+                at: now,
+                node: self.node,
+                period: now.as_nanos() / period_ns,
+                kind: kind(),
+            });
         }
     }
 
@@ -172,12 +214,19 @@ impl LocalDecider {
             if now.saturating_since(out.sent_at) >= self.cfg.response_timeout {
                 self.outstanding = None;
                 self.stats.timeouts += 1;
+                self.emit(now, || EventKind::RequestTimeout { seq: out.seq });
             } else {
                 return TickAction::Idle;
             }
         }
 
         let classification = classify(reading, self.cap, self.cfg.epsilon);
+        let cap_before = self.cap;
+        self.emit(now, || EventKind::Classified {
+            class: classification.as_trace(),
+            reading,
+            cap: cap_before,
+        });
         let action = match classification {
             Classification::Excess => {
                 // Δ = C − P; lower the cap *before* exposing the power.
@@ -192,13 +241,23 @@ impl LocalDecider {
                 self.cap = new_cap;
                 pool.deposit(freed);
                 self.stats.deposited += freed;
+                let pool_after = pool.available();
+                self.emit(now, || EventKind::PoolDeposit {
+                    amount: freed,
+                    pool: pool_after,
+                });
                 TickAction::Deposited(freed)
             }
             Classification::Hungry => {
                 if !pool.available().is_zero() {
                     // Local pool first: Δ = min(Pool, getMaxSize(Pool)).
                     let delta = pool.take_local();
-                    let applied = self.raise_cap(delta, pool);
+                    let pool_after = pool.available();
+                    self.emit(now, || EventKind::PoolWithdraw {
+                        amount: delta,
+                        pool: pool_after,
+                    });
+                    let applied = self.raise_cap(now, delta, pool);
                     TickAction::TookLocal(applied)
                 } else if let Some(dst) = peer {
                     let urgent = self.cfg.enable_urgency && self.cap < self.initial_cap;
@@ -214,6 +273,12 @@ impl LocalDecider {
                     if urgent {
                         self.stats.urgent_sent += 1;
                     }
+                    self.emit(now, || EventKind::RequestSent {
+                        dst,
+                        urgent,
+                        alpha,
+                        seq,
+                    });
                     TickAction::Request {
                         dst,
                         urgent,
@@ -227,7 +292,7 @@ impl LocalDecider {
             Classification::AtMargin => TickAction::Idle,
         };
 
-        self.finish_iteration(classification, pool);
+        self.finish_iteration(now, classification, pool);
         action
     }
 
@@ -235,25 +300,36 @@ impl LocalDecider {
     /// surplus beyond the safe maximum is re-deposited locally so no budget
     /// leaks. Grants arriving after the timeout are still honoured (the
     /// power was already debited from the sender's pool).
-    pub fn on_grant(&mut self, seq: u64, amount: Power, pool: &mut PowerPool) -> Power {
+    pub fn on_grant(&mut self, now: SimTime, seq: u64, amount: Power, pool: &mut PowerPool) -> Power {
         if let Some(out) = self.outstanding {
             if out.seq == seq {
                 self.outstanding = None;
             }
         }
         self.stats.granted += amount;
-        self.raise_cap(amount, pool)
+        let applied = self.raise_cap(now, amount, pool);
+        self.emit(now, || EventKind::GrantApplied {
+            seq,
+            granted: amount,
+            applied,
+        });
+        applied
     }
 
     /// Raise the cap by `delta`, clamped to the safe maximum; overflow goes
     /// back into the local pool.
-    fn raise_cap(&mut self, delta: Power, pool: &mut PowerPool) -> Power {
+    fn raise_cap(&mut self, now: SimTime, delta: Power, pool: &mut PowerPool) -> Power {
         let new_cap = (self.cap + delta).min(self.safe.max());
         let applied = new_cap - self.cap;
         let overflow = delta - applied;
         self.cap = new_cap;
         if !overflow.is_zero() {
             pool.deposit(overflow);
+            let pool_after = pool.available();
+            self.emit(now, || EventKind::PoolDeposit {
+                amount: overflow,
+                pool: pool_after,
+            });
         }
         applied
     }
@@ -261,7 +337,7 @@ impl LocalDecider {
     /// Algorithm 1's final step: if the co-located pool served an urgent
     /// request, release power down to the initial cap — unless this node is
     /// itself urgent, in which case the flag persists until it is not.
-    fn finish_iteration(&mut self, classification: Classification, pool: &mut PowerPool) {
+    fn finish_iteration(&mut self, now: SimTime, classification: Classification, pool: &mut PowerPool) {
         if !pool.local_urgency() {
             return;
         }
@@ -271,12 +347,20 @@ impl LocalDecider {
             return;
         }
         let _ = pool.consume_local_urgency();
+        let mut released = Power::ZERO;
         if self.cap > self.initial_cap {
             let delta = self.cap - self.initial_cap;
             self.cap = self.initial_cap;
             pool.deposit(delta);
             self.stats.urgency_released += delta;
+            released = delta;
+            let pool_after = pool.available();
+            self.emit(now, || EventKind::PoolDeposit {
+                amount: delta,
+                pool: pool_after,
+            });
         }
+        self.emit(now, || EventKind::UrgencyCleared { released });
     }
 }
 
@@ -436,7 +520,7 @@ mod tests {
         else {
             panic!("expected request")
         };
-        let applied = d.on_grant(seq, w(20), &mut p);
+        let applied = d.on_grant(t(2), seq, w(20), &mut p);
         assert_eq!(applied, w(20));
         assert_eq!(d.cap(), w(170));
         assert!(!d.is_blocked());
@@ -450,7 +534,7 @@ mod tests {
         else {
             panic!("expected request")
         };
-        assert_eq!(d.on_grant(seq, Power::ZERO, &mut p), Power::ZERO);
+        assert_eq!(d.on_grant(t(2), seq, Power::ZERO, &mut p), Power::ZERO);
         assert_eq!(d.cap(), w(150));
         assert!(!d.is_blocked());
     }
@@ -463,7 +547,7 @@ mod tests {
         else {
             panic!("expected request")
         };
-        let applied = d.on_grant(seq, w(30), &mut p);
+        let applied = d.on_grant(t(2), seq, w(30), &mut p);
         assert_eq!(applied, w(10)); // 290 → 300 (safe max)
         assert_eq!(d.cap(), w(300));
         assert_eq!(p.available(), w(20)); // surplus conserved locally
@@ -480,7 +564,7 @@ mod tests {
         // Timeout passes; decider re-iterates.
         let _ = d.tick(t(3), w(100), &mut p, None);
         let cap_before = d.cap();
-        let applied = d.on_grant(seq, w(7), &mut p);
+        let applied = d.on_grant(t(4), seq, w(7), &mut p);
         assert_eq!(applied, w(7));
         assert_eq!(d.cap(), cap_before + w(7));
     }
@@ -556,6 +640,87 @@ mod tests {
         assert_eq!(s.urgent_sent, 1);
     }
 
+    #[test]
+    fn observer_sees_the_full_iteration_narrative() {
+        use penelope_trace::{EventKind, NodeClass, RingBufferObserver};
+        use std::sync::Arc;
+
+        let ring = Arc::new(RingBufferObserver::unbounded());
+        let mut d = decider(150).with_observer(NodeId::new(3), ring.clone().into());
+        let mut p = PowerPool::default();
+
+        // Excess tick: classified + deposit.
+        let _ = d.tick(t(1), w(100), &mut p, None);
+        // Hungry tick with empty-ish pool drained: request sent.
+        p.drain();
+        let TickAction::Request { seq, .. } = d.tick(t(2), w(100), &mut p, Some(NodeId::new(1)))
+        else {
+            panic!("expected request")
+        };
+        // Grant applied.
+        let _ = d.on_grant(t(3), seq, w(20), &mut p);
+
+        let events = ring.events();
+        assert!(events.iter().all(|e| e.node == NodeId::new(3)));
+        let kinds: Vec<_> = events.iter().map(|e| e.kind).collect();
+        assert!(matches!(
+            kinds[0],
+            EventKind::Classified {
+                class: NodeClass::Excess,
+                ..
+            }
+        ));
+        assert!(matches!(kinds[1], EventKind::PoolDeposit { amount, .. } if amount == w(50)));
+        assert!(matches!(
+            kinds[2],
+            EventKind::Classified {
+                class: NodeClass::Hungry,
+                ..
+            }
+        ));
+        assert!(matches!(kinds[3], EventKind::RequestSent { urgent: true, .. }));
+        assert!(
+            matches!(kinds[4], EventKind::GrantApplied { granted, applied, .. }
+                if granted == w(20) && applied == w(20))
+        );
+        // Period stamps follow the 1 s default period.
+        assert_eq!(events[0].period, 1);
+        assert_eq!(events[4].period, 3);
+    }
+
+    #[test]
+    fn observer_sees_timeout_and_urgency_clear() {
+        use penelope_trace::{EventKind, RingBufferObserver};
+        use std::sync::Arc;
+
+        let ring = Arc::new(RingBufferObserver::unbounded());
+        let mut d = decider(150).with_observer(NodeId::new(0), ring.clone().into());
+        let mut p = PowerPool::default();
+        let _ = d.tick(t(1), w(150), &mut p, Some(NodeId::new(1))); // request
+        let _ = d.tick(t(3), w(145), &mut p, None); // timeout fires, then at-margin
+        assert!(ring
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RequestTimeout { seq: 0 })));
+
+        // Urgency release: raise cap above initial, then a peer's urgent
+        // request sets the flag; the release emits deposit + cleared.
+        ring.take();
+        p.deposit(w(300));
+        let _ = d.tick(t(4), w(146), &mut p, None); // hungry: local take → cap 180
+        let _ = p.handle_request(true, w(50));
+        let _ = d.tick(t(5), w(175), &mut p, None); // at margin → release to 150
+        let events = ring.events();
+        let released: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::UrgencyCleared { released } => Some(released),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(released, vec![w(30)]);
+    }
+
     /// Reference model for the proptest below: one decider + one pool,
     /// arbitrary readings and grants, conservation must hold throughout.
     #[derive(Debug, Clone)]
@@ -604,7 +769,7 @@ mod tests {
                     Op::Grant(extra_mw) => {
                         if let Some((seq, give)) = pending.pop() {
                             let _ = extra_mw;
-                            let _ = d.on_grant(seq, give, &mut p);
+                            let _ = d.on_grant(SimTime::from_secs(now), seq, give, &mut p);
                         }
                     }
                 }

@@ -42,7 +42,7 @@ pub mod fair;
 pub mod pool;
 pub mod protocol;
 
-pub use config::{DeciderConfig, PoolConfig};
+pub use config::{DeciderConfig, NodeParams, PoolConfig};
 pub use decider::{Classification, LocalDecider, TickAction};
 pub use fair::fair_assignment;
 pub use pool::PowerPool;

@@ -2,8 +2,9 @@
 
 use std::net::SocketAddr;
 
-use penelope_core::{DeciderConfig, PoolConfig};
+use penelope_core::{DeciderConfig, NodeParams};
 use penelope_power::RaplConfig;
+use penelope_trace::SharedObserver;
 use penelope_units::{Power, PowerRange, SimDuration};
 use penelope_workload::Profile;
 
@@ -34,18 +35,18 @@ pub struct DaemonConfig {
     pub peers: Vec<SocketAddr>,
     /// This node's initial powercap (the urgency threshold).
     pub initial_cap: Power,
-    /// Safe cap range.
-    pub safe_range: PowerRange,
-    /// Decider parameters.
-    pub decider: DeciderConfig,
-    /// Pool transaction limiter.
-    pub pool: PoolConfig,
+    /// The per-node protocol knobs (decider, pool, safe range), shared
+    /// verbatim with the simulator and the threaded runtime.
+    pub node: NodeParams,
     /// The power substrate.
     pub power: PowerBackend,
     /// Simulated-RAPL parameters (ignored for the Linux backend).
     pub rapl: RaplConfig,
     /// Emit a status line every this many decider iterations (0 = never).
     pub status_every: u64,
+    /// External protocol-event sink; the daemon's built-in counters keep
+    /// running regardless. Defaults to the no-op observer.
+    pub observer: SharedObserver,
 }
 
 impl DaemonConfig {
@@ -55,19 +56,22 @@ impl DaemonConfig {
             listen,
             peers,
             initial_cap: Power::from_watts_u64(160),
-            safe_range: PowerRange::from_watts(80, 300),
-            decider: DeciderConfig {
-                period: SimDuration::from_millis(20),
-                response_timeout: SimDuration::from_millis(20),
-                ..Default::default()
+            node: NodeParams {
+                decider: DeciderConfig {
+                    period: SimDuration::from_millis(20),
+                    response_timeout: SimDuration::from_millis(20),
+                    ..Default::default()
+                },
+                safe_range: PowerRange::from_watts(80, 300),
+                ..NodeParams::default()
             },
-            pool: PoolConfig::default(),
             power: PowerBackend::SimulatedConstant { demand },
             rapl: RaplConfig {
                 actuation_delay: SimDuration::ZERO,
                 ..Default::default()
             },
             status_every: 0,
+            observer: SharedObserver::noop(),
         }
     }
 
@@ -162,20 +166,90 @@ impl DaemonConfig {
             listen,
             peers,
             initial_cap,
-            safe_range: PowerRange::from_watts(safe_min, safe_max),
-            decider: DeciderConfig {
-                period,
-                response_timeout: period,
-                ..Default::default()
+            node: NodeParams {
+                decider: DeciderConfig {
+                    period,
+                    response_timeout: period,
+                    ..Default::default()
+                },
+                safe_range: PowerRange::from_watts(safe_min, safe_max),
+                ..NodeParams::default()
             },
-            pool: PoolConfig::default(),
             power,
             rapl: RaplConfig {
                 safe_range: PowerRange::from_watts(safe_min, safe_max),
                 ..Default::default()
             },
             status_every,
+            observer: SharedObserver::noop(),
         })
+    }
+}
+
+/// Fluent construction of a [`DaemonConfig`] — the daemon-side counterpart
+/// of `ClusterSim::builder()` and `ThreadedCluster::builder()`.
+#[derive(Clone, Debug)]
+pub struct DaemonConfigBuilder {
+    cfg: DaemonConfig,
+}
+
+impl DaemonConfig {
+    /// Start building a daemon configuration from the demo defaults
+    /// (20 ms period, 160 W initial cap, simulated 100 W demand).
+    pub fn builder(listen: SocketAddr) -> DaemonConfigBuilder {
+        DaemonConfigBuilder {
+            cfg: DaemonConfig::demo(listen, Vec::new(), Power::from_watts_u64(100)),
+        }
+    }
+}
+
+impl DaemonConfigBuilder {
+    /// The other nodes' daemon addresses.
+    pub fn peers(mut self, peers: Vec<SocketAddr>) -> Self {
+        self.cfg.peers = peers;
+        self
+    }
+
+    /// This node's initial powercap.
+    pub fn initial_cap(mut self, cap: Power) -> Self {
+        self.cfg.initial_cap = cap;
+        self
+    }
+
+    /// The shared per-node protocol knobs (decider, pool, safe range).
+    pub fn node_params(mut self, node: NodeParams) -> Self {
+        self.cfg.node = node;
+        self
+    }
+
+    /// The power substrate.
+    pub fn power(mut self, power: PowerBackend) -> Self {
+        self.cfg.power = power;
+        self
+    }
+
+    /// Simulated-RAPL parameters.
+    pub fn rapl(mut self, rapl: RaplConfig) -> Self {
+        self.cfg.rapl = rapl;
+        self
+    }
+
+    /// Status-line cadence in decider iterations (0 = never).
+    pub fn status_every(mut self, every: u64) -> Self {
+        self.cfg.status_every = every;
+        self
+    }
+
+    /// Attach an external protocol-event observer.
+    pub fn observer(mut self, obs: SharedObserver) -> Self {
+        self.cfg.observer = obs;
+        self
+    }
+
+    /// Finish: validate the node parameters and return the configuration.
+    pub fn build(self) -> DaemonConfig {
+        let _ = self.cfg.node.validated();
+        self.cfg
     }
 }
 
@@ -198,8 +272,8 @@ mod tests {
         assert_eq!(cfg.listen.port(), 7700);
         assert_eq!(cfg.peers.len(), 2);
         assert_eq!(cfg.initial_cap, Power::from_watts_u64(140));
-        assert_eq!(cfg.decider.period, SimDuration::from_millis(250));
-        assert_eq!(cfg.safe_range, PowerRange::from_watts(70, 280));
+        assert_eq!(cfg.node.decider.period, SimDuration::from_millis(250));
+        assert_eq!(cfg.node.safe_range, PowerRange::from_watts(70, 280));
         assert!(matches!(
             cfg.power,
             PowerBackend::SimulatedConstant { demand } if demand == Power::from_watts_u64(200)
@@ -253,6 +327,6 @@ mod tests {
             vec!["127.0.0.1:9001".parse().unwrap()],
             Power::from_watts_u64(100),
         );
-        assert!(cfg.decider.period <= SimDuration::from_millis(50));
+        assert!(cfg.node.decider.period <= SimDuration::from_millis(50));
     }
 }

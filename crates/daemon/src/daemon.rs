@@ -11,6 +11,9 @@ use std::time::{Duration, Instant};
 use penelope_core::decider::DeciderStats;
 use penelope_core::{LocalDecider, PowerPool, TickAction};
 use penelope_power::{CappedDevice, ConstantDevice, LinuxRapl, PowerInterface, SimulatedRapl};
+use penelope_trace::{
+    CounterObserver, CounterSnapshot, EventKind, FanoutObserver, SharedObserver, TraceEvent,
+};
 use penelope_units::{NodeId, Power, SimTime};
 use penelope_workload::WorkloadState;
 use penelope_testkit::rng::{Rng, TestRng};
@@ -70,6 +73,10 @@ pub struct DaemonSummary {
     pub taken_local: Power,
     /// Lifetime power drained out of the pool.
     pub pool_drained: Power,
+    /// Protocol-event counters accumulated by the built-in
+    /// [`CounterObserver`] — the same shape every substrate reports, so a
+    /// local daemon and a remote one can be compared field for field.
+    pub counters: CounterSnapshot,
 }
 
 /// A running daemon: stop it to get the summary.
@@ -78,6 +85,7 @@ pub struct DaemonHandle {
     decider_thread: JoinHandle<(LocalDecider, u64)>,
     net_thread: JoinHandle<()>,
     pool: Arc<Mutex<PowerPool>>,
+    counters: Arc<CounterObserver>,
     /// Status samples (`status_every` > 0) arrive here.
     pub status_rx: Receiver<DaemonStatus>,
     /// The address the daemon actually bound (useful with port 0).
@@ -85,6 +93,12 @@ pub struct DaemonHandle {
 }
 
 impl DaemonHandle {
+    /// A live snapshot of the daemon's protocol-event counters — readable
+    /// while the daemon runs, in the same shape remote observers report.
+    pub fn counters(&self) -> CounterSnapshot {
+        self.counters.snapshot()
+    }
+
     /// Signal shutdown and collect the final summary.
     pub fn stop(self) -> DaemonSummary {
         self.shutdown.store(true, Ordering::Relaxed);
@@ -101,6 +115,7 @@ impl DaemonHandle {
             pool_deposited: pool.total_deposited(),
             taken_local: pool.total_taken_local(),
             pool_drained: pool.total_drained(),
+            counters: self.counters.snapshot(),
         }
     }
 }
@@ -165,7 +180,7 @@ fn build_hardware(cfg: &DaemonConfig) -> io::Result<Hardware> {
             }
         }
         PowerBackend::LinuxRapl => Hardware::Linux(Box::new(
-            LinuxRapl::discover(cfg.safe_range)
+            LinuxRapl::discover(cfg.node.safe_range)
                 .map_err(|e| io::Error::new(io::ErrorKind::NotFound, e.to_string()))?,
         )),
     })
@@ -182,17 +197,40 @@ pub fn run_daemon(cfg: DaemonConfig) -> io::Result<DaemonHandle> {
 pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Result<DaemonHandle> {
     let local_addr = socket.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let pool = Arc::new(Mutex::new(PowerPool::new(cfg.pool)));
+    let pool = Arc::new(Mutex::new(PowerPool::new(cfg.node.pool)));
     let (grant_tx, grant_rx): (Sender<WireMsg>, Receiver<WireMsg>) = channel();
     let (status_tx, status_rx) = channel();
+
+    // Built-in counters always run; any configured observer fans in next
+    // to them. The daemon is always "node 0" from its own point of view.
+    let counters = Arc::new(CounterObserver::new());
+    let obs = FanoutObserver::pair(
+        cfg.observer.clone(),
+        SharedObserver::from(Arc::clone(&counters)),
+    );
+    let me = NodeId::new(0);
+    let period_ns = cfg.node.decider.period.as_nanos().max(1);
+    // One wall-clock origin for both threads, so event timestamps from the
+    // serve path and the decider path share a time base.
+    let origin = Instant::now();
+    let stamp = move |at: SimTime, kind: EventKind| TraceEvent {
+        at,
+        node: me,
+        period: at.as_nanos() / period_ns,
+        kind,
+    };
 
     // --- Network thread: serves peer requests, forwards grants. ---------
     let net_socket = socket.try_clone()?;
     net_socket.set_read_timeout(Some(Duration::from_millis(10)))?;
     let net_pool = Arc::clone(&pool);
     let net_stop = Arc::clone(&shutdown);
+    let net_obs = obs.clone();
     let net_thread = thread::spawn(move || {
         let mut buf = [0u8; MAX_WIRE_LEN + 16];
+        // The wire format carries no sender identity; remote requesters
+        // are reported under this placeholder id.
+        let remote = NodeId::new(u32::MAX);
         while !net_stop.load(Ordering::Relaxed) {
             let (len, src) = match net_socket.recv_from(&mut buf) {
                 Ok(x) => x,
@@ -207,9 +245,49 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
             match WireMsg::decode(&buf[..len]) {
                 Ok(WireMsg::Request { seq, urgent, alpha }) => {
                     // Algorithm 2, straight from the shared pool.
-                    let amount = net_pool.lock().unwrap().handle_request(urgent, alpha);
+                    let (before, amount, after) = {
+                        let mut p = net_pool.lock().unwrap();
+                        let before = p.local_urgency();
+                        let amount = p.handle_request(urgent, alpha);
+                        (before, amount, p.local_urgency())
+                    };
+                    let now = SimTime::from_nanos(
+                        origin.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                    );
+                    net_obs.emit(|| {
+                        stamp(
+                            now,
+                            EventKind::RequestServed {
+                                requester: remote,
+                                seq,
+                                granted: amount,
+                                urgent,
+                            },
+                        )
+                    });
+                    if !before && after {
+                        net_obs.emit(|| stamp(now, EventKind::UrgencyRaised { by: remote }));
+                    } else if before && !after {
+                        net_obs.emit(|| {
+                            stamp(
+                                now,
+                                EventKind::UrgencyCleared {
+                                    released: Power::ZERO,
+                                },
+                            )
+                        });
+                    }
                     let reply = WireMsg::Grant { seq, amount }.encode();
                     let _ = net_socket.send_to(&reply, src);
+                    net_obs.emit(|| {
+                        stamp(
+                            now,
+                            EventKind::MsgSent {
+                                dst: remote,
+                                carried: amount,
+                            },
+                        )
+                    });
                 }
                 Ok(grant @ WireMsg::Grant { .. }) => {
                     let _ = grant_tx.send(grant);
@@ -225,16 +303,17 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
     let decider_pool = Arc::clone(&pool);
     let decider_stop = Arc::clone(&shutdown);
     let peers = cfg.peers.clone();
-    let period = Duration::from_nanos(cfg.decider.period.as_nanos());
-    let timeout = Duration::from_nanos(cfg.decider.response_timeout.as_nanos());
+    let period = Duration::from_nanos(cfg.node.decider.period.as_nanos());
+    let timeout = Duration::from_nanos(cfg.node.decider.response_timeout.as_nanos());
     let status_every = cfg.status_every;
-    let decider_cfg = cfg.decider;
+    let decider_cfg = cfg.node.decider;
     let initial_cap = cfg.initial_cap;
-    let safe_range = cfg.safe_range;
+    let safe_range = cfg.node.safe_range;
+    let decider_obs = obs.clone();
     let decider_thread = thread::spawn(move || {
-        let mut decider = LocalDecider::new(decider_cfg, initial_cap, safe_range);
+        let mut decider = LocalDecider::new(decider_cfg, initial_cap, safe_range)
+            .with_observer(me, decider_obs.clone());
         let mut rng = TestRng::seed_from_u64(local_addr.port() as u64 ^ 0xDAE0_0DAE);
-        let origin = Instant::now();
         let mut iterations = 0u64;
         hardware.set_cap(decider.cap());
         while !decider_stop.load(Ordering::Relaxed) {
@@ -250,6 +329,20 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
             };
             let action = decider.tick(now, reading, &mut decider_pool.lock().unwrap(), peer);
             hardware.set_cap(decider.cap());
+            {
+                let cap_now = decider.cap();
+                let pool_now = decider_pool.lock().unwrap().available();
+                decider_obs.emit(|| {
+                    stamp(
+                        now,
+                        EventKind::CapActuated {
+                            cap: cap_now,
+                            reading,
+                            pool: pool_now,
+                        },
+                    )
+                });
+            }
             if let TickAction::Request {
                 dst,
                 urgent,
@@ -259,6 +352,15 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
             {
                 let msg = WireMsg::Request { seq, urgent, alpha }.encode();
                 let _ = decider_socket.send_to(&msg, peers[dst.index()]);
+                decider_obs.emit(|| {
+                    stamp(
+                        now,
+                        EventKind::MsgSent {
+                            dst,
+                            carried: Power::ZERO,
+                        },
+                    )
+                });
                 // Block for the grant, as the paper's decider does.
                 let deadline = Instant::now() + timeout;
                 loop {
@@ -268,8 +370,24 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                     }
                     match grant_rx.recv_timeout(remaining) {
                         Ok(WireMsg::Grant { seq: gseq, amount }) => {
-                            let _ =
-                                decider.on_grant(gseq, amount, &mut decider_pool.lock().unwrap());
+                            let now2 = SimTime::from_nanos(
+                                origin.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                            );
+                            decider_obs.emit(|| {
+                                stamp(
+                                    now2,
+                                    EventKind::MsgRecv {
+                                        src: dst,
+                                        carried: amount,
+                                    },
+                                )
+                            });
+                            let _ = decider.on_grant(
+                                now2,
+                                gseq,
+                                amount,
+                                &mut decider_pool.lock().unwrap(),
+                            );
                             hardware.set_cap(decider.cap());
                             if gseq == seq {
                                 break;
@@ -316,6 +434,7 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
         decider_thread,
         net_thread,
         pool,
+        counters,
         status_rx,
         local_addr,
     })

@@ -31,6 +31,6 @@ pub mod config;
 pub mod daemon;
 pub mod wire;
 
-pub use config::{DaemonConfig, PowerBackend};
+pub use config::{DaemonConfig, DaemonConfigBuilder, PowerBackend};
 pub use daemon::{run_daemon, run_daemon_with_socket, DaemonHandle, DaemonStatus, DaemonSummary};
 pub use wire::WireMsg;

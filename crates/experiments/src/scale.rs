@@ -75,7 +75,7 @@ pub struct RunOutcome {
 /// Run one (system, scenario) scale point and return its raw measurements.
 pub fn run_point(system: SystemKind, scenario: &ScaleScenario) -> RunOutcome {
     let cfg = scenario.config(system);
-    let epsilon = cfg.decider.epsilon;
+    let epsilon = cfg.node.decider.epsilon;
     let horizon = scenario.horizon();
     let workloads = scenario.workloads(epsilon, horizon);
     let mut sim = ClusterSim::new(cfg, workloads);

@@ -134,8 +134,8 @@ impl ScaleScenario {
     pub fn config(&self, system: SystemKind) -> ClusterConfig {
         let budget = self.initial_cap * self.nodes as u64;
         let mut cfg = ClusterConfig::paper_defaults(system, budget);
-        cfg.decider = DeciderConfig {
-            epsilon: cfg.decider.epsilon,
+        cfg.node.decider = DeciderConfig {
+            epsilon: cfg.node.decider.epsilon,
             ..DeciderConfig::at_frequency(self.frequency_hz)
         };
         cfg.seed = self.seed;

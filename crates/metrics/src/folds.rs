@@ -1,0 +1,205 @@
+//! Metrics as pure folds over the structured protocol-event stream.
+//!
+//! The collectors in this crate were originally fed inline by each
+//! substrate (the simulator calls `TurnaroundStats::record` at grant
+//! delivery, and so on). With the observer layer, the same numbers fall
+//! out of the recorded [`TraceEvent`] stream — so a JSONL trace captured
+//! from *any* substrate can be folded into redistribution, turnaround and
+//! oscillation figures after the fact, and the two paths can be
+//! cross-checked against each other.
+//!
+//! The folds cover the Penelope protocol events (`RequestSent`,
+//! `GrantApplied`, `CapActuated`); SLURM clients do not emit grant events,
+//! so their turnaround comes from the summary path only.
+
+use std::collections::HashMap;
+
+use penelope_trace::{EventKind, TraceEvent};
+use penelope_units::{NodeId, Power, SimTime};
+
+use crate::oscillation::OscillationStats;
+use crate::redistribution::RedistributionTracker;
+use crate::turnaround::TurnaroundStats;
+
+/// Fold request/grant events into turnaround statistics: each
+/// `RequestSent` on a node opens a round trip keyed by `(node, seq)`, the
+/// matching `GrantApplied` closes it, and round trips never closed count
+/// as unanswered — exactly how the simulator's inline path scores them
+/// (a stale grant arriving after the timeout still completes its trip).
+pub fn turnaround_from_events(events: &[TraceEvent]) -> TurnaroundStats {
+    let mut stats = TurnaroundStats::new();
+    let mut pending: HashMap<(NodeId, u64), SimTime> = HashMap::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::RequestSent { seq, .. } => {
+                pending.insert((ev.node, seq), ev.at);
+            }
+            EventKind::GrantApplied { seq, .. } => {
+                if let Some(sent) = pending.remove(&(ev.node, seq)) {
+                    stats.record(ev.at.saturating_since(sent));
+                }
+            }
+            _ => {}
+        }
+    }
+    for _ in pending {
+        stats.record_unanswered();
+    }
+    stats
+}
+
+/// Fold grant arrivals into a [`RedistributionTracker`]: every
+/// `GrantApplied` landing on one of the `recipients` at or after `from`
+/// credits its granted amount toward the tracked `total`.
+pub fn redistribution_from_events(
+    events: &[TraceEvent],
+    total: Power,
+    recipients: &[NodeId],
+    from: SimTime,
+) -> RedistributionTracker {
+    let mut tracker = RedistributionTracker::new(total, from);
+    let recipients: std::collections::HashSet<NodeId> = recipients.iter().copied().collect();
+    for ev in events {
+        if ev.at < from {
+            continue;
+        }
+        if let EventKind::GrantApplied { granted, .. } = ev.kind {
+            if recipients.contains(&ev.node) {
+                tracker.record(ev.at, granted);
+            }
+        }
+    }
+    tracker
+}
+
+/// Fold `CapActuated` events into cluster-wide oscillation statistics:
+/// one trajectory per node (reversals are a per-node notion), merged the
+/// way the simulator merges its per-node collectors.
+pub fn oscillation_from_events(events: &[TraceEvent]) -> OscillationStats {
+    let mut per_node: HashMap<NodeId, OscillationStats> = HashMap::new();
+    for ev in events {
+        if let EventKind::CapActuated { cap, .. } = ev.kind {
+            per_node.entry(ev.node).or_default().record(cap);
+        }
+    }
+    let mut merged = OscillationStats::new();
+    let mut nodes: Vec<NodeId> = per_node.keys().copied().collect();
+    nodes.sort_by_key(|n| n.index());
+    for node in nodes {
+        merged.merge(&per_node[&node]);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use penelope_units::SimDuration;
+
+    fn w(x: u64) -> Power {
+        Power::from_watts_u64(x)
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn ev(node: u32, at: SimTime, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            at,
+            node: NodeId::new(node),
+            period: at.as_nanos() / 1_000_000_000,
+            kind,
+        }
+    }
+
+    fn sent(node: u32, at: SimTime, seq: u64) -> TraceEvent {
+        ev(
+            node,
+            at,
+            EventKind::RequestSent {
+                dst: NodeId::new(0),
+                urgent: false,
+                alpha: w(10),
+                seq,
+            },
+        )
+    }
+
+    fn applied(node: u32, at: SimTime, seq: u64, granted: Power) -> TraceEvent {
+        ev(
+            node,
+            at,
+            EventKind::GrantApplied {
+                seq,
+                granted,
+                applied: granted,
+            },
+        )
+    }
+
+    #[test]
+    fn turnaround_pairs_by_node_and_seq() {
+        let events = vec![
+            sent(0, t(1), 0),
+            sent(1, t(1), 0), // same seq, different node: independent trip
+            applied(0, t(3), 0, w(5)),
+            applied(1, t(2), 0, w(5)),
+            sent(0, t(5), 1), // never answered
+        ];
+        let stats = turnaround_from_events(&events);
+        assert_eq!(stats.count(), 2);
+        assert_eq!(stats.unanswered(), 1);
+        assert_eq!(
+            stats.mean(),
+            Some(SimDuration::from_millis(1500)) // (2 s + 1 s) / 2
+        );
+    }
+
+    #[test]
+    fn redistribution_credits_recipients_after_start() {
+        let events = vec![
+            applied(1, t(1), 0, w(30)), // before the burst: ignored
+            applied(1, t(11), 1, w(30)),
+            applied(2, t(12), 0, w(30)), // not a recipient
+            applied(1, t(14), 2, w(70)),
+        ];
+        let tr = redistribution_from_events(
+            &events,
+            w(100),
+            &[NodeId::new(1)],
+            t(10),
+        );
+        assert_eq!(tr.shifted(), w(100));
+        assert_eq!(tr.median_time(), Some(SimDuration::from_secs(4)));
+        assert_eq!(tr.total_time(), Some(SimDuration::from_secs(4)));
+    }
+
+    #[test]
+    fn oscillation_tracks_per_node_trajectories() {
+        let cap = |node, at, watts| {
+            ev(
+                node,
+                at,
+                EventKind::CapActuated {
+                    cap: w(watts),
+                    reading: w(watts - 10),
+                    pool: Power::ZERO,
+                },
+            )
+        };
+        // Node 0 sawtooths (2 reversals); node 1 is monotone.
+        let events = vec![
+            cap(0, t(1), 100),
+            cap(1, t(1), 200),
+            cap(0, t(2), 130),
+            cap(1, t(2), 210),
+            cap(0, t(3), 100),
+            cap(1, t(3), 220),
+            cap(0, t(4), 130),
+        ];
+        let o = oscillation_from_events(&events);
+        assert_eq!(o.reversals(), 2);
+        assert_eq!(o.samples(), 7);
+    }
+}

@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod folds;
 pub mod oscillation;
 pub mod perf;
 pub mod redistribution;
@@ -26,6 +27,7 @@ pub mod stats;
 pub mod table;
 pub mod turnaround;
 
+pub use folds::{oscillation_from_events, redistribution_from_events, turnaround_from_events};
 pub use perf::{geometric_mean, normalized_performance, PerfSummary};
 pub use table::TextTable;
 pub use redistribution::RedistributionTracker;

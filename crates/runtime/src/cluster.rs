@@ -6,13 +6,14 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use penelope_core::{
-    fair_assignment, DeciderConfig, LocalDecider, PeerMsg, PoolConfig, PowerGrant, PowerPool,
+    fair_assignment, DeciderConfig, LocalDecider, NodeParams, PeerMsg, PowerGrant, PowerPool,
     PowerRequest, TickAction,
 };
 use penelope_net::{ThreadEndpoint, ThreadNet};
 use penelope_power::RaplConfig;
 use penelope_slurm::{ClientAction, PowerServer, SlurmClient, SlurmMsg};
-use penelope_units::{NodeId, Power, SimDuration};
+use penelope_trace::{EventKind, SharedObserver, TraceEvent};
+use penelope_units::{NodeId, Power, SimDuration, SimTime};
 use penelope_workload::Profile;
 use penelope_testkit::rng::{Rng, TestRng};
 
@@ -24,17 +25,19 @@ use crate::report::ThreadedReport;
 pub struct RuntimeConfig {
     /// System-wide budget, split evenly as the initial assignment.
     pub budget: Power,
-    /// Decider parameters. Keep the period in the milliseconds for tests —
-    /// these are real sleeps.
-    pub decider: DeciderConfig,
-    /// Pool / server limiter.
-    pub pool: PoolConfig,
+    /// The per-node protocol knobs (decider, pool, safe range), shared
+    /// verbatim with the simulator and the UDP daemon. Keep the period in
+    /// the milliseconds for tests — these are real sleeps.
+    pub node: NodeParams,
     /// Simulated RAPL parameters.
     pub rapl: RaplConfig,
     /// Fractional daemon overhead on the workload (0 for Fair).
     pub management_overhead: f64,
     /// RNG seed for peer selection.
     pub seed: u64,
+    /// Protocol-event sink shared by every node thread; defaults to the
+    /// free no-op observer.
+    pub observer: SharedObserver,
 }
 
 impl RuntimeConfig {
@@ -42,27 +45,62 @@ impl RuntimeConfig {
     pub fn fast(budget: Power) -> Self {
         RuntimeConfig {
             budget,
-            decider: DeciderConfig {
-                period: SimDuration::from_millis(10),
-                response_timeout: SimDuration::from_millis(10),
-                ..Default::default()
+            node: NodeParams {
+                decider: DeciderConfig {
+                    period: SimDuration::from_millis(10),
+                    response_timeout: SimDuration::from_millis(10),
+                    ..Default::default()
+                },
+                ..NodeParams::default()
             },
-            pool: PoolConfig::default(),
             rapl: RaplConfig {
                 actuation_delay: SimDuration::ZERO,
                 ..Default::default()
             },
             management_overhead: 0.0,
             seed: 1,
+            observer: SharedObserver::noop(),
         }
     }
 
     fn period(&self) -> Duration {
-        Duration::from_nanos(self.decider.period.as_nanos())
+        Duration::from_nanos(self.node.decider.period.as_nanos())
     }
 
     fn timeout(&self) -> Duration {
-        Duration::from_nanos(self.decider.response_timeout.as_nanos())
+        Duration::from_nanos(self.node.decider.response_timeout.as_nanos())
+    }
+}
+
+/// A cheap per-thread event stamper: owns a clone of the shared observer
+/// plus the node identity and period, so worker threads can emit protocol
+/// events without recomputing the stamp math inline.
+#[derive(Clone)]
+struct Emitter {
+    obs: SharedObserver,
+    node: NodeId,
+    period_ns: u64,
+}
+
+impl Emitter {
+    fn new(obs: SharedObserver, node: NodeId, period: SimDuration) -> Self {
+        Emitter {
+            obs,
+            node,
+            period_ns: period.as_nanos().max(1),
+        }
+    }
+
+    #[inline]
+    fn emit(&self, at: SimTime, kind: impl FnOnce() -> EventKind) {
+        let node = self.node;
+        let period_ns = self.period_ns;
+        self.obs.emit(|| TraceEvent {
+            at,
+            node,
+            period: at.as_nanos() / period_ns,
+            kind: kind(),
+        });
     }
 }
 
@@ -118,7 +156,7 @@ impl ThreadedCluster {
         deadline: Duration,
     ) -> ThreadedReport {
         let n = workloads.len();
-        let caps = fair_assignment(cfg.budget, n, cfg.rapl.safe_range);
+        let caps = fair_assignment(cfg.budget, n, cfg.node.safe_range);
         let budget_assigned: Power = caps.iter().copied().sum();
         let clock = WallClock::start();
         let hw = build_hardware(&cfg, &workloads, &caps, &clock);
@@ -156,7 +194,7 @@ impl ThreadedCluster {
         kill_node_after: Option<(Duration, usize)>,
     ) -> ThreadedReport {
         let n = workloads.len();
-        let caps = fair_assignment(cfg.budget, n, cfg.rapl.safe_range);
+        let caps = fair_assignment(cfg.budget, n, cfg.node.safe_range);
         let budget_assigned: Power = caps.iter().copied().sum();
         let clock = WallClock::start();
         let hw = build_hardware(&cfg, &workloads, &caps, &clock);
@@ -164,7 +202,7 @@ impl ThreadedCluster {
         let decider_eps = endpoints.split_off(n);
         let pool_eps = endpoints;
         let pools: Vec<Arc<Mutex<PowerPool>>> = (0..n)
-            .map(|_| Arc::new(Mutex::new(PowerPool::new(cfg.pool))))
+            .map(|_| Arc::new(Mutex::new(PowerPool::new(cfg.node.pool))))
             .collect();
         let shutdown = Arc::new(AtomicBool::new(false));
 
@@ -172,11 +210,40 @@ impl ThreadedCluster {
         for (i, ep) in pool_eps.into_iter().enumerate() {
             let pool = Arc::clone(&pools[i]);
             let stop = Arc::clone(&shutdown);
+            let em = Emitter::new(
+                cfg.observer.clone(),
+                NodeId::new(i as u32),
+                cfg.node.decider.period,
+            );
+            let clock = clock.clone();
             pool_threads.push(thread::spawn(move || -> ThreadEndpoint<PeerMsg> {
                 while !stop.load(Ordering::Relaxed) {
                     if let Some(env) = ep.recv_timeout(Duration::from_millis(5)) {
                         if let PeerMsg::Request(req) = env.msg {
-                            let amount = pool.lock().unwrap().handle_request(req.urgent, req.alpha);
+                            let (before, amount, after) = {
+                                let mut p = pool.lock().unwrap();
+                                let before = p.local_urgency();
+                                let amount = p.handle_request(req.urgent, req.alpha);
+                                (before, amount, p.local_urgency())
+                            };
+                            // Requests arrive from decider endpoints
+                            // (`n..2n`); report the logical node id.
+                            let requester =
+                                NodeId::new(req.from.index().saturating_sub(n) as u32);
+                            let now = clock.now();
+                            em.emit(now, || EventKind::RequestServed {
+                                requester,
+                                seq: req.seq,
+                                granted: amount,
+                                urgent: req.urgent,
+                            });
+                            if !before && after {
+                                em.emit(now, || EventKind::UrgencyRaised { by: requester });
+                            } else if before && !after {
+                                em.emit(now, || EventKind::UrgencyCleared {
+                                    released: Power::ZERO,
+                                });
+                            }
                             let _ = ep.send(
                                 req.from,
                                 PeerMsg::Grant(PowerGrant {
@@ -184,6 +251,10 @@ impl ThreadedCluster {
                                     seq: req.seq,
                                 }),
                             );
+                            em.emit(now, || EventKind::MsgSent {
+                                dst: requester,
+                                carried: amount,
+                            });
                         }
                     }
                 }
@@ -200,7 +271,10 @@ impl ThreadedCluster {
             let cfg = cfg.clone();
             let initial = caps[i];
             decider_threads.push(thread::spawn(move || -> ThreadEndpoint<PeerMsg> {
-                let mut decider = LocalDecider::new(cfg.decider, initial, hw_i.safe_range());
+                let me = NodeId::new(i as u32);
+                let mut decider = LocalDecider::new(cfg.node.decider, initial, hw_i.safe_range())
+                    .with_observer(me, cfg.observer.clone());
+                let em = Emitter::new(cfg.observer.clone(), me, cfg.node.decider.period);
                 let mut rng = TestRng::seed_from_u64(cfg.seed.wrapping_add(i as u64));
                 let decider_addr = NodeId::new((n + i) as u32);
                 while !stop.load(Ordering::Relaxed) {
@@ -215,6 +289,15 @@ impl ThreadedCluster {
                     };
                     let action = decider.tick(now, reading, &mut pool.lock().unwrap(), peer);
                     hw_i.set_cap(decider.cap());
+                    {
+                        let cap_now = decider.cap();
+                        let pool_now = pool.lock().unwrap().available();
+                        em.emit(now, || EventKind::CapActuated {
+                            cap: cap_now,
+                            reading,
+                            pool: pool_now,
+                        });
+                    }
                     if let TickAction::Request {
                         dst,
                         urgent,
@@ -231,11 +314,25 @@ impl ThreadedCluster {
                                 seq,
                             }),
                         );
+                        em.emit(now, || EventKind::MsgSent {
+                            dst,
+                            carried: Power::ZERO,
+                        });
                         // Block for the pool's reply, as the paper's
                         // decider does.
                         if let Some(env) = ep.recv_timeout(cfg.timeout()) {
                             if let PeerMsg::Grant(g) = env.msg {
-                                let _ = decider.on_grant(g.seq, g.amount, &mut pool.lock().unwrap());
+                                let now2 = clock.now();
+                                em.emit(now2, || EventKind::MsgRecv {
+                                    src: env.src,
+                                    carried: g.amount,
+                                });
+                                let _ = decider.on_grant(
+                                    now2,
+                                    g.seq,
+                                    g.amount,
+                                    &mut pool.lock().unwrap(),
+                                );
                                 hw_i.set_cap(decider.cap());
                             }
                         }
@@ -306,7 +403,7 @@ impl ThreadedCluster {
         kill_server_after: Option<Duration>,
     ) -> ThreadedReport {
         let n = workloads.len();
-        let caps = fair_assignment(cfg.budget, n, cfg.rapl.safe_range);
+        let caps = fair_assignment(cfg.budget, n, cfg.node.safe_range);
         let budget_assigned: Power = caps.iter().copied().sum();
         let clock = WallClock::start();
         let hw = build_hardware(&cfg, &workloads, &caps, &clock);
@@ -315,7 +412,7 @@ impl ThreadedCluster {
         let server_addr = NodeId::new(n as u32);
         let shutdown = Arc::new(AtomicBool::new(false));
 
-        let server_limiter = cfg.pool;
+        let server_limiter = cfg.node.pool;
         let stop = Arc::clone(&shutdown);
         let server_thread = thread::spawn(move || -> (PowerServer, ThreadEndpoint<SlurmMsg>) {
             let mut policy = PowerServer::new(server_limiter);
@@ -347,8 +444,9 @@ impl ThreadedCluster {
             let cfg = cfg.clone();
             let initial = caps[i];
             client_threads.push(thread::spawn(move || -> ThreadEndpoint<SlurmMsg> {
-                let mut client = SlurmClient::new(cfg.decider, initial, hw_i.safe_range());
+                let mut client = SlurmClient::new(cfg.node.decider, initial, hw_i.safe_range());
                 let my_addr = NodeId::new(i as u32);
+                let em = Emitter::new(cfg.observer.clone(), my_addr, cfg.node.decider.period);
                 while !stop.load(Ordering::Relaxed) {
                     let iter_start = Instant::now();
                     let now = clock.now();
@@ -394,6 +492,14 @@ impl ThreadedCluster {
                         ClientAction::Idle => {}
                     }
                     hw_i.set_cap(client.cap());
+                    {
+                        let cap_now = client.cap();
+                        em.emit(now, || EventKind::CapActuated {
+                            cap: cap_now,
+                            reading,
+                            pool: Power::ZERO,
+                        });
+                    }
                     thread::sleep(cfg.period().saturating_sub(iter_start.elapsed()));
                 }
                 ep
@@ -439,5 +545,126 @@ impl ThreadedCluster {
             server_cache: policy.cached(),
             budget_assigned,
         }
+    }
+}
+
+/// Fluent construction of a threaded cluster run — the same shape as
+/// `ClusterSim::builder()` on the simulator, so a scenario moves between
+/// substrates by swapping the final `run_*` call.
+#[derive(Clone, Debug)]
+pub struct ThreadedClusterBuilder {
+    cfg: RuntimeConfig,
+    workloads: Vec<Profile>,
+    deadline: Duration,
+}
+
+impl Default for ThreadedClusterBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThreadedCluster {
+    /// Start building a threaded run fluently. See
+    /// [`ThreadedClusterBuilder`].
+    pub fn builder() -> ThreadedClusterBuilder {
+        ThreadedClusterBuilder::new()
+    }
+}
+
+impl ThreadedClusterBuilder {
+    /// A builder starting from [`RuntimeConfig::fast`] with a zero budget
+    /// (set [`budget`](Self::budget) before running) and a 10 s deadline.
+    pub fn new() -> Self {
+        ThreadedClusterBuilder {
+            cfg: RuntimeConfig::fast(Power::ZERO),
+            workloads: Vec::new(),
+            deadline: Duration::from_secs(10),
+        }
+    }
+
+    /// Replace the whole configuration (keeps builder-set workloads).
+    pub fn config(mut self, cfg: RuntimeConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// System-wide budget, split evenly across nodes.
+    pub fn budget(mut self, budget: Power) -> Self {
+        self.cfg.budget = budget;
+        self
+    }
+
+    /// One workload profile per node.
+    pub fn workloads(mut self, workloads: Vec<Profile>) -> Self {
+        self.workloads = workloads;
+        self
+    }
+
+    /// The shared per-node protocol knobs (decider, pool, safe range).
+    pub fn node_params(mut self, node: NodeParams) -> Self {
+        self.cfg.node = node;
+        self
+    }
+
+    /// Attach a protocol-event observer (it must be `Send + Sync`; every
+    /// node thread emits into it).
+    pub fn observer(mut self, obs: SharedObserver) -> Self {
+        self.cfg.observer = obs;
+        self
+    }
+
+    /// Simulated RAPL parameters.
+    pub fn rapl(mut self, rapl: RaplConfig) -> Self {
+        self.cfg.rapl = rapl;
+        self
+    }
+
+    /// Fractional daemon overhead on the workload.
+    pub fn management_overhead(mut self, overhead: f64) -> Self {
+        self.cfg.management_overhead = overhead;
+        self
+    }
+
+    /// RNG seed for peer selection.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Wall-clock deadline for the run.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    fn checked(self) -> (RuntimeConfig, Vec<Profile>, Duration) {
+        assert!(!self.workloads.is_empty(), "builder needs workloads");
+        assert!(!self.cfg.budget.is_zero(), "builder needs a budget");
+        (self.cfg, self.workloads, self.deadline)
+    }
+
+    /// Run the *Fair* baseline.
+    pub fn run_fair(self) -> ThreadedReport {
+        let (cfg, workloads, deadline) = self.checked();
+        ThreadedCluster::run_fair(cfg, workloads, deadline)
+    }
+
+    /// Run Penelope.
+    pub fn run_penelope(self) -> ThreadedReport {
+        let (cfg, workloads, deadline) = self.checked();
+        ThreadedCluster::run_penelope(cfg, workloads, deadline)
+    }
+
+    /// Run Penelope, killing `victim` after `after`.
+    pub fn run_penelope_with_fault(self, after: Duration, victim: usize) -> ThreadedReport {
+        let (cfg, workloads, deadline) = self.checked();
+        ThreadedCluster::run_penelope_with_fault(cfg, workloads, deadline, Some((after, victim)))
+    }
+
+    /// Run the SLURM baseline, optionally killing the server after a delay.
+    pub fn run_slurm(self, kill_server_after: Option<Duration>) -> ThreadedReport {
+        let (cfg, workloads, deadline) = self.checked();
+        ThreadedCluster::run_slurm(cfg, workloads, deadline, kill_server_after)
     }
 }

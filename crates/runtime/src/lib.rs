@@ -21,6 +21,6 @@ pub mod cluster;
 pub mod hardware;
 pub mod report;
 
-pub use cluster::{RuntimeConfig, ThreadedCluster};
+pub use cluster::{RuntimeConfig, ThreadedCluster, ThreadedClusterBuilder};
 pub use hardware::NodeHardware;
 pub use report::ThreadedReport;

@@ -7,10 +7,13 @@ use penelope_metrics::{OscillationStats, RedistributionTracker};
 use penelope_net::{RouteOutcome, SimNet};
 use penelope_power::{PowerInterface, SimulatedRapl};
 use penelope_slurm::{ClientAction, PowerServer, ServerGrant, ServerQueue, SlurmClient, SlurmMsg};
+use penelope_trace::{EventKind, FanoutObserver, SharedObserver, TraceEvent};
 use penelope_units::{NodeId, Power, SimDuration, SimTime};
 use penelope_workload::{Profile, WorkloadState};
 use penelope_testkit::rng::Rng;
 use penelope_testkit::rng::TestRng;
+
+use std::sync::Arc;
 
 use crate::config::{ClusterConfig, DiscoveryStrategy, SystemKind};
 use crate::event::{Event, EventQueue, Scheduled};
@@ -18,7 +21,7 @@ use crate::faults::{FaultAction, FaultScript};
 use crate::ledger::Ledger;
 use crate::node::{Manager, SimNode};
 use crate::report::RunReport;
-use crate::trace::{ClusterTrace, TraceSample};
+use crate::trace::ClusterTrace;
 
 /// The SLURM server side: policy + queue model, hosted on a dedicated node.
 struct ServerSide {
@@ -49,7 +52,8 @@ pub struct ClusterSim {
     dead_unfinished: usize,
     conservation_ok: bool,
     stop_on_full_redistribution: bool,
-    trace: Option<ClusterTrace>,
+    trace: Option<Arc<ClusterTrace>>,
+    obs: SharedObserver,
 }
 
 /// Per-node RNG stream derivation (SplitMix-style stream separation).
@@ -67,8 +71,14 @@ impl ClusterSim {
     pub fn new(cfg: ClusterConfig, workloads: Vec<Profile>) -> Self {
         let n = workloads.len();
         assert!(n > 0, "cluster needs at least one node");
-        let caps = fair_assignment(cfg.budget, n, cfg.safe_range);
+        let caps = fair_assignment(cfg.budget, n, cfg.node.safe_range);
         Self::with_assignments(cfg, workloads, caps)
+    }
+
+    /// Start building a cluster fluently: system, budget, workloads,
+    /// node parameters and observer in any order. See [`ClusterSimBuilder`].
+    pub fn builder() -> ClusterSimBuilder {
+        ClusterSimBuilder::new()
     }
 
     /// Build a cluster with explicit (possibly uneven) initial cap
@@ -85,7 +95,7 @@ impl ClusterSim {
         assert_eq!(caps.len(), n, "one cap per node");
         for (i, c) in caps.iter().enumerate() {
             assert!(
-                cfg.safe_range.contains(*c),
+                cfg.node.safe_range.contains(*c),
                 "cap {c} for node {i} outside the safe range"
             );
         }
@@ -110,12 +120,13 @@ impl ClusterSim {
             let manager = match cfg.system {
                 SystemKind::Fair => Manager::Fair,
                 SystemKind::Penelope => Manager::Penelope {
-                    decider: LocalDecider::new(cfg.decider, caps[i], cfg.safe_range),
-                    pool: PowerPool::new(cfg.pool),
+                    decider: LocalDecider::new(cfg.node.decider, caps[i], cfg.node.safe_range)
+                        .with_observer(id, cfg.observer.clone()),
+                    pool: PowerPool::new(cfg.node.pool),
                     queue: ServerQueue::new(cfg.service, cfg.pool_queue_capacity),
                 },
                 SystemKind::Slurm => Manager::Slurm {
-                    client: SlurmClient::new(cfg.decider, caps[i], cfg.safe_range),
+                    client: SlurmClient::new(cfg.node.decider, caps[i], cfg.node.safe_range),
                 },
             };
             // First tick at a small random phase offset; every period after.
@@ -150,7 +161,7 @@ impl ClusterSim {
                 (0..count)
                     .map(|k| ServerSide {
                         id: NodeId::new((n + k) as u32),
-                        policy: PowerServer::new(cfg.pool),
+                        policy: PowerServer::new(cfg.node.pool),
                         queue: ServerQueue::new(cfg.service, cfg.server_queue_capacity),
                         rng: TestRng::seed_from_u64(node_seed(cfg.seed, u64::MAX - k as u64 * 2)),
                     })
@@ -160,6 +171,7 @@ impl ClusterSim {
         };
 
         let net_rng = TestRng::seed_from_u64(node_seed(cfg.seed, u64::MAX - 1));
+        let obs = cfg.observer.clone();
         ClusterSim {
             net: SimNet::new(cfg.latency.clone()),
             cfg,
@@ -176,14 +188,24 @@ impl ClusterSim {
             conservation_ok: true,
             stop_on_full_redistribution: false,
             trace: None,
+            obs,
         }
     }
 
     /// Record per-node (cap, reading, pool) samples at every decider tick;
     /// the trace comes back in the run report. Memory is O(nodes × ticks),
     /// so enable it for runs you intend to plot.
+    ///
+    /// The trace is an [`Observer`](penelope_trace::Observer) fed from the
+    /// simulator's `CapActuated` events; any observer supplied through the
+    /// configuration keeps receiving the full stream alongside it.
     pub fn record_traces(&mut self) {
-        self.trace = Some(ClusterTrace::new(self.nodes.len()));
+        let trace = Arc::new(ClusterTrace::new(self.nodes.len()));
+        self.obs = FanoutObserver::pair(
+            self.cfg.observer.clone(),
+            SharedObserver::from(trace.clone()),
+        );
+        self.trace = Some(trace);
     }
 
     /// Stop the run as soon as the redistribution tracker reaches 100 %
@@ -326,6 +348,22 @@ impl ClusterSim {
     // Event handlers
     // ------------------------------------------------------------------
 
+    /// Emit a substrate-level protocol event stamped with the current
+    /// virtual time and the decider period it falls in. The closure runs
+    /// only when some observer is attached.
+    #[inline]
+    fn emit(&self, node: NodeId, kind: impl FnOnce() -> EventKind) {
+        if self.obs.enabled() {
+            let period_ns = self.cfg.node.decider.period.as_nanos().max(1);
+            self.obs.on_event(&TraceEvent {
+                at: self.now,
+                node,
+                period: self.now.as_nanos() / period_ns,
+                kind: kind(),
+            });
+        }
+    }
+
     fn handle_tick(&mut self, id: NodeId) {
         if !self.is_alive(id) {
             return; // dead nodes stop iterating
@@ -434,21 +472,17 @@ impl ClusterSim {
             }
         }
 
-        // Per-tick telemetry.
+        // Per-tick telemetry. `CapActuated` is the one event every manager
+        // kind emits each iteration; the `ClusterTrace` observer projects
+        // it into the plottable (cap, reading, pool) series.
         let cap_now = node.cap();
         let pool_now = node.pooled();
         node.oscillation.record(cap_now);
-        if let Some(trace) = &mut self.trace {
-            trace.push(
-                id,
-                TraceSample {
-                    at: now,
-                    cap: cap_now,
-                    reading,
-                    pool: pool_now,
-                },
-            );
-        }
+        self.emit(id, || EventKind::CapActuated {
+            cap: cap_now,
+            reading,
+            pool: pool_now,
+        });
 
         // Route any message (node borrow released).
         match outgoing {
@@ -486,39 +520,56 @@ impl ClusterSim {
 
         // Next iteration.
         self.queue
-            .push(now + self.cfg.decider.period, Event::Tick(id));
+            .push(now + self.cfg.node.decider.period, Event::Tick(id));
     }
 
     fn handle_deliver_peer(&mut self, env: penelope_net::Envelope<PeerMsg>) {
         match env.msg {
-            PeerMsg::Request(_) => {
+            PeerMsg::Request(req) => {
                 let dst = env.dst;
+                let src = env.src;
                 if !self.is_alive(dst) {
                     return; // died with the request in flight; no power moves
                 }
+                self.emit(dst, || EventKind::MsgRecv {
+                    src,
+                    carried: Power::ZERO,
+                });
                 let node = &mut self.nodes[dst.index()];
                 let Manager::Penelope { queue, .. } = &mut node.manager else {
                     return; // stray message; ignore
                 };
-                if let Some(done) = queue.offer(self.now, &mut node.rng) {
-                    self.queue.push(done, Event::PoolProcess(env));
+                match queue.offer(self.now, &mut node.rng) {
+                    Some(done) => self.queue.push(done, Event::PoolProcess(env)),
+                    None => {
+                        // Pool overloaded, request dropped; requester
+                        // times out.
+                        self.emit(dst, || EventKind::RequestDenied {
+                            requester: req.from,
+                            seq: req.seq,
+                        });
+                    }
                 }
-                // else: pool overloaded, request dropped; requester times out.
             }
             PeerMsg::Grant(g) => {
                 let dst = env.dst;
+                let src = env.src;
                 self.ledger.land(g.amount);
                 if !self.is_alive(dst) {
                     self.ledger.lose_direct(g.amount);
                     return;
                 }
+                self.emit(dst, || EventKind::MsgRecv {
+                    src,
+                    carried: g.amount,
+                });
                 let now = self.now;
                 let node = &mut self.nodes[dst.index()];
                 let Manager::Penelope { decider, pool, .. } = &mut node.manager else {
                     self.ledger.lose_direct(g.amount);
                     return;
                 };
-                let _ = decider.on_grant(g.seq, g.amount, pool);
+                let _ = decider.on_grant(now, g.seq, g.amount, pool);
                 node.rapl.set_cap(decider.cap(), now);
                 if let Some(sent) = node.pending.remove(&g.seq) {
                     node.turnaround.record(now.saturating_since(sent));
@@ -549,7 +600,25 @@ impl ClusterSim {
         let Manager::Penelope { pool, .. } = &mut node.manager else {
             return;
         };
+        let urgency_before = pool.local_urgency();
         let amount = pool.handle_request(req.urgent, req.alpha);
+        let urgency_after = pool.local_urgency();
+        self.emit(pool_node, || EventKind::RequestServed {
+            requester: req.from,
+            seq: req.seq,
+            granted: amount,
+            urgent: req.urgent,
+        });
+        // The urgency flag has *assignment* semantics (Algorithm 2): an
+        // urgent request raises it, a non-urgent one clears it. Emitting
+        // both transitions keeps raise/clear strictly alternating per node.
+        if !urgency_before && urgency_after {
+            self.emit(pool_node, || EventKind::UrgencyRaised { by: req.from });
+        } else if urgency_before && !urgency_after {
+            self.emit(pool_node, || EventKind::UrgencyCleared {
+                released: Power::ZERO,
+            });
+        }
         self.route_peer(
             pool_node,
             req.from,
@@ -575,6 +644,10 @@ impl ClusterSim {
                 }
                 return;
             }
+            self.emit(env.dst, || EventKind::MsgRecv {
+                src: env.src,
+                carried,
+            });
             let server = &mut self.servers[k];
             match server.queue.offer(self.now, &mut server.rng) {
                 Some(done) => self.queue.push(done, Event::ServerProcess(env)),
@@ -596,6 +669,10 @@ impl ClusterSim {
                 self.ledger.lose_direct(g.amount);
                 return;
             }
+            self.emit(dst, || EventKind::MsgRecv {
+                src: env.src,
+                carried: g.amount,
+            });
             let now = self.now;
             let node = &mut self.nodes[dst.index()];
             let Manager::Slurm { client } = &mut node.manager else {
@@ -712,11 +789,13 @@ impl ClusterSim {
         if !carried.is_zero() {
             self.ledger.depart(carried);
         }
+        self.emit(src, || EventKind::MsgSent { dst, carried });
         match self.net.route(src, dst, msg, self.now, &mut self.net_rng) {
             RouteOutcome::Deliver(env) => {
                 self.queue.push(env.deliver_at, Event::DeliverPeer(env));
             }
             _ => {
+                self.emit(src, || EventKind::MsgDropped { dst, carried });
                 if !carried.is_zero() {
                     self.ledger.lose_in_flight(carried);
                 }
@@ -728,11 +807,13 @@ impl ClusterSim {
         if !carried.is_zero() {
             self.ledger.depart(carried);
         }
+        self.emit(src, || EventKind::MsgSent { dst, carried });
         match self.net.route(src, dst, msg, self.now, &mut self.net_rng) {
             RouteOutcome::Deliver(env) => {
                 self.queue.push(env.deliver_at, Event::DeliverSlurm(env));
             }
             _ => {
+                self.emit(src, || EventKind::MsgDropped { dst, carried });
                 if !carried.is_zero() {
                     self.ledger.lose_in_flight(carried);
                 }
@@ -834,7 +915,147 @@ impl ClusterSim {
             final_caps,
             conservation_ok: self.conservation_ok,
             oscillation,
-            trace: self.trace,
+            trace: self
+                .trace
+                .map(|t| Arc::try_unwrap(t).unwrap_or_else(|arc| (*arc).clone())),
         }
+    }
+}
+
+/// Fluent construction of a [`ClusterSim`].
+///
+/// ```
+/// use penelope_sim::{ClusterSim, SystemKind};
+/// use penelope_units::{Power, SimTime};
+/// use penelope_workload::{PerfModel, Phase, Profile};
+///
+/// let app = Profile::new(
+///     "toy",
+///     vec![Phase::new(Power::from_watts_u64(150), 20.0)],
+///     PerfModel::new(Power::from_watts_u64(60), 1.0),
+/// );
+/// let report = ClusterSim::builder()
+///     .system(SystemKind::Penelope)
+///     .budget(Power::from_watts_u64(400))
+///     .workloads(vec![app.clone(), app])
+///     .check_invariants(true)
+///     .build()
+///     .run(SimTime::from_secs(30));
+/// assert!(report.conservation_ok);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ClusterSimBuilder {
+    cfg: ClusterConfig,
+    workloads: Vec<Profile>,
+    assignments: Option<Vec<Power>>,
+    record_traces: bool,
+}
+
+impl Default for ClusterSimBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClusterSimBuilder {
+    /// A builder starting from the paper defaults for Penelope with a
+    /// zero budget (which [`build`](Self::build) rejects — set
+    /// [`budget`](Self::budget) or explicit [`assignments`](Self::assignments)).
+    pub fn new() -> Self {
+        ClusterSimBuilder {
+            cfg: ClusterConfig::paper_defaults(SystemKind::Penelope, Power::ZERO),
+            workloads: Vec::new(),
+            assignments: None,
+            record_traces: false,
+        }
+    }
+
+    /// Replace the whole configuration (keeps any builder-set workloads).
+    pub fn config(mut self, cfg: ClusterConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// The power manager under test.
+    pub fn system(mut self, system: SystemKind) -> Self {
+        self.cfg.system = system;
+        self.cfg.management_overhead = match system {
+            SystemKind::Fair => 0.0,
+            _ => 0.013,
+        };
+        self
+    }
+
+    /// System-wide power budget, split evenly unless
+    /// [`assignments`](Self::assignments) overrides it.
+    pub fn budget(mut self, budget: Power) -> Self {
+        self.cfg.budget = budget;
+        self
+    }
+
+    /// One workload profile per node.
+    pub fn workloads(mut self, workloads: Vec<Profile>) -> Self {
+        self.workloads = workloads;
+        self
+    }
+
+    /// Explicit (possibly uneven) initial cap assignments.
+    pub fn assignments(mut self, caps: Vec<Power>) -> Self {
+        self.assignments = Some(caps);
+        self
+    }
+
+    /// The shared per-node protocol knobs (decider, pool, safe range).
+    pub fn node_params(mut self, node: penelope_core::NodeParams) -> Self {
+        self.cfg.node = node;
+        self
+    }
+
+    /// Attach a protocol-event observer.
+    pub fn observer(mut self, obs: SharedObserver) -> Self {
+        self.cfg.observer = obs;
+        self
+    }
+
+    /// Master RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Check the conservation ledger after every event.
+    pub fn check_invariants(mut self, on: bool) -> Self {
+        self.cfg.check_invariants = on;
+        self
+    }
+
+    /// Record per-node (cap, reading, pool) samples into the run report.
+    pub fn record_traces(mut self, on: bool) -> Self {
+        self.record_traces = on;
+        self
+    }
+
+    /// Build the simulator. Panics if no workloads were supplied, or if
+    /// neither a budget nor explicit assignments were set.
+    pub fn build(self) -> ClusterSim {
+        assert!(!self.workloads.is_empty(), "builder needs workloads");
+        assert!(
+            self.assignments.is_some() || !self.cfg.budget.is_zero(),
+            "builder needs a budget or explicit assignments"
+        );
+        let mut sim = match self.assignments {
+            Some(caps) => {
+                let mut cfg = self.cfg;
+                if cfg.budget.is_zero() {
+                    cfg.budget = caps.iter().copied().sum();
+                }
+                ClusterSim::with_assignments(cfg, self.workloads, caps)
+            }
+            None => ClusterSim::new(self.cfg, self.workloads),
+        };
+        if self.record_traces {
+            sim.record_traces();
+        }
+        sim
     }
 }

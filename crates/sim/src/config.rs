@@ -1,9 +1,10 @@
 //! Cluster configuration.
 
-use penelope_core::{DeciderConfig, PoolConfig};
+use penelope_core::NodeParams;
 use penelope_net::LatencyModel;
 use penelope_power::RaplConfig;
 use penelope_slurm::ServiceModel;
+use penelope_trace::SharedObserver;
 use penelope_units::{Power, PowerRange, SimDuration};
 
 /// Which power-management system the cluster runs.
@@ -56,13 +57,10 @@ pub struct ClusterConfig {
     /// all three systems "begin by dividing the system-wide cap evenly",
     /// §4.3).
     pub budget: Power,
-    /// Safe node-level cap range.
-    pub safe_range: PowerRange,
-    /// Decider parameters (ε, period, timeout); shared by Penelope and
-    /// SLURM clients, as in §4.1.
-    pub decider: DeciderConfig,
-    /// Pool / server grant limiter.
-    pub pool: PoolConfig,
+    /// The per-node protocol knobs (decider, pool, safe range) — shared
+    /// with the threaded runtime and the UDP daemon via
+    /// [`NodeParams`], so a scenario tuned here carries over verbatim.
+    pub node: NodeParams,
     /// Network latency model.
     pub latency: LatencyModel,
     /// Simulated RAPL parameters (actuation lag, read noise).
@@ -93,6 +91,9 @@ pub struct ClusterConfig {
     /// Check the conservation ledger after every event (O(n) per event;
     /// enable in tests and small runs).
     pub check_invariants: bool,
+    /// Protocol-event sink. Defaults to the no-op observer, which costs
+    /// nothing on the hot path; see `penelope_trace` for the alternatives.
+    pub observer: SharedObserver,
 }
 
 impl ClusterConfig {
@@ -103,9 +104,10 @@ impl ClusterConfig {
         ClusterConfig {
             system,
             budget,
-            safe_range: PowerRange::from_watts(80, 300),
-            decider: DeciderConfig::default(),
-            pool: PoolConfig::default(),
+            node: NodeParams {
+                safe_range: PowerRange::from_watts(80, 300),
+                ..NodeParams::default()
+            },
             latency: LatencyModel::default(),
             rapl: RaplConfig::default(),
             service: ServiceModel::default(),
@@ -120,6 +122,7 @@ impl ClusterConfig {
             },
             seed: 0xC0FFEE,
             check_invariants: false,
+            observer: SharedObserver::noop(),
         }
     }
 
@@ -146,7 +149,7 @@ mod tests {
     #[test]
     fn paper_defaults_shape() {
         let c = ClusterConfig::paper_defaults(SystemKind::Penelope, Power::from_watts_u64(3200));
-        assert_eq!(c.decider.period, SimDuration::from_secs(1));
+        assert_eq!(c.node.decider.period, SimDuration::from_secs(1));
         assert!((c.management_overhead - 0.013).abs() < 1e-12);
         assert!(!c.check_invariants);
         let f = ClusterConfig::paper_defaults(SystemKind::Fair, Power::from_watts_u64(3200));

@@ -32,7 +32,7 @@ pub mod node;
 pub mod report;
 pub mod trace;
 
-pub use cluster::{node_seed, ClusterSim};
+pub use cluster::{node_seed, ClusterSim, ClusterSimBuilder};
 pub use config::{ClusterConfig, DiscoveryStrategy, SystemKind};
 pub use faults::{FaultAction, FaultScript};
 pub use report::RunReport;

@@ -4,7 +4,17 @@
 //! the cap the manager wants, the power reading it acted on, and the local
 //! pool level. The traces power the Figure-1-style visualizations in the
 //! examples and export to CSV for external plotting.
+//!
+//! [`ClusterTrace`] is an [`Observer`]: it listens for
+//! [`CapActuated`](EventKind::CapActuated) events — the one event every
+//! substrate emits exactly once per decider iteration — and ignores the
+//! rest of the protocol vocabulary. That makes the CSV/series exports a
+//! *projection* of the structured event stream rather than a parallel
+//! recording path, so plots and event logs can never disagree.
 
+use std::sync::Mutex;
+
+use penelope_trace::{EventKind, Observer, TraceEvent};
 use penelope_units::{NodeId, Power, SimTime};
 
 /// One sample of one node's power state.
@@ -20,46 +30,76 @@ pub struct TraceSample {
     pub pool: Power,
 }
 
-/// All nodes' recorded samples.
-#[derive(Clone, Debug, Default)]
+/// All nodes' recorded samples, behind accessor methods.
+///
+/// Samples arrive through [`Observer::on_event`] (or [`push`](Self::push)
+/// directly), so the container is internally synchronized and shareable
+/// across the threaded runtime's node threads.
+#[derive(Debug, Default)]
 pub struct ClusterTrace {
-    /// Per node (indexed by `NodeId`), the tick-by-tick samples.
-    pub nodes: Vec<Vec<TraceSample>>,
+    nodes: Mutex<Vec<Vec<TraceSample>>>,
+}
+
+impl Clone for ClusterTrace {
+    fn clone(&self) -> Self {
+        ClusterTrace {
+            nodes: Mutex::new(self.nodes.lock().expect("trace lock").clone()),
+        }
+    }
 }
 
 impl ClusterTrace {
     /// Create an empty trace for `n` nodes.
     pub fn new(n: usize) -> Self {
         ClusterTrace {
-            nodes: vec![Vec::new(); n],
+            nodes: Mutex::new(vec![Vec::new(); n]),
         }
     }
 
-    /// Append a sample for `node`.
-    pub fn push(&mut self, node: NodeId, sample: TraceSample) {
-        self.nodes[node.index()].push(sample);
+    /// Append a sample for `node`, growing the per-node table if the node
+    /// was not pre-sized.
+    pub fn push(&self, node: NodeId, sample: TraceSample) {
+        let mut nodes = self.nodes.lock().expect("trace lock");
+        if node.index() >= nodes.len() {
+            nodes.resize_with(node.index() + 1, Vec::new);
+        }
+        nodes[node.index()].push(sample);
+    }
+
+    /// Number of nodes the trace has rows for.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.lock().expect("trace lock").len()
+    }
+
+    /// The recorded samples of one node, in tick order.
+    pub fn node_samples(&self, node: NodeId) -> Vec<TraceSample> {
+        let nodes = self.nodes.lock().expect("trace lock");
+        nodes.get(node.index()).cloned().unwrap_or_default()
     }
 
     /// The cap trajectory of one node, in watts (for sparklines).
     pub fn cap_series_watts(&self, node: NodeId) -> Vec<f64> {
-        self.nodes[node.index()]
-            .iter()
-            .map(|s| s.cap.as_watts())
-            .collect()
+        let nodes = self.nodes.lock().expect("trace lock");
+        nodes
+            .get(node.index())
+            .map(|samples| samples.iter().map(|s| s.cap.as_watts()).collect())
+            .unwrap_or_default()
     }
 
     /// The pool trajectory of one node, in watts.
     pub fn pool_series_watts(&self, node: NodeId) -> Vec<f64> {
-        self.nodes[node.index()]
-            .iter()
-            .map(|s| s.pool.as_watts())
-            .collect()
+        let nodes = self.nodes.lock().expect("trace lock");
+        nodes
+            .get(node.index())
+            .map(|samples| samples.iter().map(|s| s.pool.as_watts()).collect())
+            .unwrap_or_default()
     }
 
     /// Export every sample as CSV: `node,t_secs,cap_w,reading_w,pool_w`.
     pub fn to_csv(&self) -> String {
+        let nodes = self.nodes.lock().expect("trace lock");
         let mut out = String::from("node,t_secs,cap_w,reading_w,pool_w\n");
-        for (i, samples) in self.nodes.iter().enumerate() {
+        for (i, samples) in nodes.iter().enumerate() {
             for s in samples {
                 out.push_str(&format!(
                     "{},{:.6},{:.3},{:.3},{:.3}\n",
@@ -76,12 +116,28 @@ impl ClusterTrace {
 
     /// Total number of samples across all nodes.
     pub fn len(&self) -> usize {
-        self.nodes.iter().map(Vec::len).sum()
+        self.nodes.lock().expect("trace lock").iter().map(Vec::len).sum()
     }
 
     /// True iff no samples were recorded.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl Observer for ClusterTrace {
+    fn on_event(&self, ev: &TraceEvent) {
+        if let EventKind::CapActuated { cap, reading, pool } = ev.kind {
+            self.push(
+                ev.node,
+                TraceSample {
+                    at: ev.at,
+                    cap,
+                    reading,
+                    pool,
+                },
+            );
+        }
     }
 }
 
@@ -100,7 +156,7 @@ mod tests {
 
     #[test]
     fn push_and_series() {
-        let mut t = ClusterTrace::new(2);
+        let t = ClusterTrace::new(2);
         t.push(NodeId::new(0), sample(1, 100));
         t.push(NodeId::new(0), sample(2, 120));
         t.push(NodeId::new(1), sample(1, 90));
@@ -108,11 +164,12 @@ mod tests {
         assert_eq!(t.pool_series_watts(NodeId::new(1)), vec![5.0]);
         assert_eq!(t.len(), 3);
         assert!(!t.is_empty());
+        assert_eq!(t.node_samples(NodeId::new(0)).len(), 2);
     }
 
     #[test]
     fn csv_layout() {
-        let mut t = ClusterTrace::new(1);
+        let t = ClusterTrace::new(1);
         t.push(NodeId::new(0), sample(3, 150));
         let csv = t.to_csv();
         let mut lines = csv.lines();
@@ -126,5 +183,33 @@ mod tests {
         let t = ClusterTrace::new(3);
         assert!(t.is_empty());
         assert_eq!(t.cap_series_watts(NodeId::new(2)), Vec::<f64>::new());
+        assert_eq!(t.cap_series_watts(NodeId::new(9)), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn records_cap_actuated_events_only() {
+        let t = ClusterTrace::new(1);
+        t.on_event(&TraceEvent {
+            at: SimTime::from_secs(2),
+            node: NodeId::new(0),
+            period: 2,
+            kind: EventKind::CapActuated {
+                cap: Power::from_watts_u64(140),
+                reading: Power::from_watts_u64(130),
+                pool: Power::from_watts_u64(7),
+            },
+        });
+        t.on_event(&TraceEvent {
+            at: SimTime::from_secs(2),
+            node: NodeId::new(0),
+            period: 2,
+            kind: EventKind::UrgencyCleared {
+                released: Power::ZERO,
+            },
+        });
+        assert_eq!(t.len(), 1);
+        let s = t.node_samples(NodeId::new(0))[0];
+        assert_eq!(s.cap, Power::from_watts_u64(140));
+        assert_eq!(s.pool, Power::from_watts_u64(7));
     }
 }

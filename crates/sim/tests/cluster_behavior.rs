@@ -317,7 +317,7 @@ fn shed_headroom_damps_oscillation() {
     let mk = || vec![profile("a", 120, 60.0), profile("b", 120, 60.0)];
     let run = |headroom_w: u64| {
         let mut c = cfg(SystemKind::Penelope, 320);
-        c.decider.shed_headroom = Power::from_watts_u64(headroom_w);
+        c.node.decider.shed_headroom = Power::from_watts_u64(headroom_w);
         ClusterSim::new(c, mk()).run(horizon(400))
     };
     let bouncy = run(0);

@@ -673,8 +673,8 @@ mod tests {
 
     #[test]
     fn unsafe_cap_and_unbalanced_pool_detected_everywhere() {
-        let mut bad = node(0, 301, 0, 0, 0); // above safe max
-        let mut unbalanced = node(1, 160, 5, 10, 0); // 10 != 0 + 0 + 5
+        let bad = node(0, 301, 0, 0, 0); // above safe max
+        let unbalanced = node(1, 160, 5, 10, 0); // 10 != 0 + 0 + 5
         let snap = Snapshot {
             period: 0,
             consistent_cut: false,
@@ -686,9 +686,6 @@ mod tests {
         let v = check_run(&scenario(), &run);
         assert!(v.iter().any(|v| v.invariant == Invariant::CapWithinSafe));
         assert!(v.iter().any(|v| v.invariant == Invariant::PoolBalanced));
-        // Keep the vars used without warnings.
-        bad.alive = true;
-        unbalanced.alive = true;
     }
 
     #[test]

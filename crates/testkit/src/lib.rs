@@ -21,11 +21,15 @@
 #![warn(missing_docs)]
 
 pub mod conformance;
+pub mod events;
 pub mod prop;
 pub mod rng;
 
 pub use conformance::{
     ConformanceReport, DivergenceBound, FaultSpec, Invariant, NodeSnapshot, PhaseSpec, Scenario,
     Snapshot, Substrate, SubstrateRun, Violation, WorkloadSpec,
+};
+pub use events::{
+    check_grant_served_pairing, check_urgency_alternation, normalize_protocol, ProtocolStep,
 };
 pub use rng::{node_stream, Rng, TestRng};

@@ -1,0 +1,388 @@
+//! The typed protocol-event vocabulary.
+//!
+//! Every substrate — the DES simulator, the lockstep threaded runtime and
+//! the UDP daemon — emits exactly these events, so observers (and the
+//! conformance harness) can diff protocol behaviour across deployments
+//! instead of comparing lossy end-of-run summaries.
+
+use std::fmt;
+
+use penelope_units::{NodeId, Power, SimTime};
+
+/// The decider's per-iteration classification (Algorithm 1, line 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum NodeClass {
+    /// Consumption sits at least ε below the cap: power can be shed.
+    Excess,
+    /// Consumption presses against the cap: more power is wanted.
+    Hungry,
+    /// Consumption is within ε of the cap: hold.
+    AtMargin,
+}
+
+impl NodeClass {
+    /// Stable snake_case name used in the JSONL schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeClass::Excess => "excess",
+            NodeClass::Hungry => "hungry",
+            NodeClass::AtMargin => "at_margin",
+        }
+    }
+}
+
+/// What happened. Power amounts are exact (integer milliwatts), so folds
+/// over an event stream reproduce the substrates' own accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum EventKind {
+    /// The decider classified the node for this iteration.
+    Classified {
+        /// The classification.
+        class: NodeClass,
+        /// Power reading the classification was based on.
+        reading: Power,
+        /// Cap at classification time (before any shed/raise).
+        cap: Power,
+    },
+    /// Power entered the local pool (shed excess, grant overflow, or an
+    /// urgency release).
+    PoolDeposit {
+        /// Amount deposited.
+        amount: Power,
+        /// Pool level after the deposit.
+        pool: Power,
+    },
+    /// Power left the local pool into the local cap (`takeLocal`).
+    PoolWithdraw {
+        /// Amount withdrawn.
+        amount: Power,
+        /// Pool level after the withdrawal.
+        pool: Power,
+    },
+    /// A hungry decider sent a peer request.
+    RequestSent {
+        /// The peer asked for power.
+        dst: NodeId,
+        /// Whether distributed urgency was raised on the request.
+        urgent: bool,
+        /// Requested amount hint (α); zero means "whatever you can spare".
+        alpha: Power,
+        /// Per-node request sequence number.
+        seq: u64,
+    },
+    /// This node's pool served a peer request (the grant may be zero).
+    RequestServed {
+        /// The requesting node.
+        requester: NodeId,
+        /// The requester's sequence number.
+        seq: u64,
+        /// Amount granted out of the pool.
+        granted: Power,
+        /// Whether the request carried the urgency flag.
+        urgent: bool,
+    },
+    /// A peer request was dropped before it could be served (queue
+    /// overflow, dead node, partition).
+    RequestDenied {
+        /// The requesting node.
+        requester: NodeId,
+        /// The requester's sequence number.
+        seq: u64,
+    },
+    /// The decider gave up waiting for a response to `seq`.
+    RequestTimeout {
+        /// The sequence number that timed out.
+        seq: u64,
+    },
+    /// A grant reached the requesting decider and was applied to its cap.
+    GrantApplied {
+        /// The sequence number the grant answers.
+        seq: u64,
+        /// Amount the peer granted.
+        granted: Power,
+        /// Amount actually added to the cap (the rest, if any, overflowed
+        /// back into the pool and shows up as a `PoolDeposit`).
+        applied: Power,
+    },
+    /// Serving an urgent request switched the local urgency flag on.
+    UrgencyRaised {
+        /// The peer whose urgent request raised the flag.
+        by: NodeId,
+    },
+    /// The local urgency flag switched off (decider released down to its
+    /// initial cap, or a non-urgent request overwrote the flag).
+    UrgencyCleared {
+        /// Power released back into the pool by the clearing decider
+        /// (zero when the flag was overwritten by a non-urgent request).
+        released: Power,
+    },
+    /// End-of-iteration cap/reading/pool sample (once per decider period).
+    CapActuated {
+        /// Requested cap after this iteration.
+        cap: Power,
+        /// The iteration's power reading.
+        reading: Power,
+        /// Pool level after this iteration.
+        pool: Power,
+    },
+    /// A protocol message left this node.
+    MsgSent {
+        /// Destination node.
+        dst: NodeId,
+        /// Power carried by the message (grants; zero for requests).
+        carried: Power,
+    },
+    /// A protocol message arrived at this node.
+    MsgRecv {
+        /// Source node.
+        src: NodeId,
+        /// Power carried by the message.
+        carried: Power,
+    },
+    /// A protocol message was dropped in flight.
+    MsgDropped {
+        /// Intended destination.
+        dst: NodeId,
+        /// Power carried by the message (lost power shows up in the
+        /// substrate's conservation ledger, not here).
+        carried: Power,
+    },
+}
+
+/// Number of distinct [`EventKind`] variants (size of per-kind counters).
+pub const KIND_COUNT: usize = 14;
+
+impl EventKind {
+    /// Dense index of the variant, `0..KIND_COUNT` (counter bucket).
+    pub fn tag(&self) -> usize {
+        match self {
+            EventKind::Classified { .. } => 0,
+            EventKind::PoolDeposit { .. } => 1,
+            EventKind::PoolWithdraw { .. } => 2,
+            EventKind::RequestSent { .. } => 3,
+            EventKind::RequestServed { .. } => 4,
+            EventKind::RequestDenied { .. } => 5,
+            EventKind::RequestTimeout { .. } => 6,
+            EventKind::GrantApplied { .. } => 7,
+            EventKind::UrgencyRaised { .. } => 8,
+            EventKind::UrgencyCleared { .. } => 9,
+            EventKind::CapActuated { .. } => 10,
+            EventKind::MsgSent { .. } => 11,
+            EventKind::MsgRecv { .. } => 12,
+            EventKind::MsgDropped { .. } => 13,
+        }
+    }
+
+    /// Stable snake_case name used as the JSONL `kind` field.
+    pub fn name(&self) -> &'static str {
+        KIND_NAMES[self.tag()]
+    }
+
+    /// `true` for events that are part of the protocol narrative (as
+    /// opposed to transport-level message bookkeeping). Cross-substrate
+    /// stream diffs compare exactly these.
+    pub fn is_protocol(&self) -> bool {
+        !matches!(
+            self,
+            EventKind::MsgSent { .. } | EventKind::MsgRecv { .. } | EventKind::MsgDropped { .. }
+        )
+    }
+}
+
+/// JSONL `kind` names, indexed by [`EventKind::tag`].
+pub const KIND_NAMES: [&str; KIND_COUNT] = [
+    "classified",
+    "pool_deposit",
+    "pool_withdraw",
+    "request_sent",
+    "request_served",
+    "request_denied",
+    "request_timeout",
+    "grant_applied",
+    "urgency_raised",
+    "urgency_cleared",
+    "cap_actuated",
+    "msg_sent",
+    "msg_recv",
+    "msg_dropped",
+];
+
+/// One protocol event: what happened, where, and when.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TraceEvent {
+    /// When the event happened (substrate clock).
+    pub at: SimTime,
+    /// The node the event happened on.
+    pub node: NodeId,
+    /// Decider period the event belongs to (`at / period_length`).
+    pub period: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Render the event as one line of the JSONL schema (no trailing
+    /// newline). Times are nanoseconds, power amounts integer milliwatts;
+    /// the first four fields (`t_ns`, `node`, `period`, `kind`) are always
+    /// present, the rest depend on `kind`.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push_str("{\"t_ns\":");
+        s.push_str(&self.at.as_nanos().to_string());
+        s.push_str(",\"node\":");
+        s.push_str(&self.node.raw().to_string());
+        s.push_str(",\"period\":");
+        s.push_str(&self.period.to_string());
+        s.push_str(",\"kind\":\"");
+        s.push_str(self.kind.name());
+        s.push('"');
+        let num = |s: &mut String, key: &str, v: u64| {
+            s.push_str(",\"");
+            s.push_str(key);
+            s.push_str("\":");
+            s.push_str(&v.to_string());
+        };
+        match self.kind {
+            EventKind::Classified {
+                class,
+                reading,
+                cap,
+            } => {
+                s.push_str(",\"class\":\"");
+                s.push_str(class.name());
+                s.push('"');
+                num(&mut s, "reading_mw", reading.milliwatts());
+                num(&mut s, "cap_mw", cap.milliwatts());
+            }
+            EventKind::PoolDeposit { amount, pool } | EventKind::PoolWithdraw { amount, pool } => {
+                num(&mut s, "amount_mw", amount.milliwatts());
+                num(&mut s, "pool_mw", pool.milliwatts());
+            }
+            EventKind::RequestSent {
+                dst,
+                urgent,
+                alpha,
+                seq,
+            } => {
+                num(&mut s, "dst", u64::from(dst.raw()));
+                s.push_str(",\"urgent\":");
+                s.push_str(if urgent { "true" } else { "false" });
+                num(&mut s, "alpha_mw", alpha.milliwatts());
+                num(&mut s, "seq", seq);
+            }
+            EventKind::RequestServed {
+                requester,
+                seq,
+                granted,
+                urgent,
+            } => {
+                num(&mut s, "requester", u64::from(requester.raw()));
+                num(&mut s, "seq", seq);
+                num(&mut s, "granted_mw", granted.milliwatts());
+                s.push_str(",\"urgent\":");
+                s.push_str(if urgent { "true" } else { "false" });
+            }
+            EventKind::RequestDenied { requester, seq } => {
+                num(&mut s, "requester", u64::from(requester.raw()));
+                num(&mut s, "seq", seq);
+            }
+            EventKind::RequestTimeout { seq } => num(&mut s, "seq", seq),
+            EventKind::GrantApplied {
+                seq,
+                granted,
+                applied,
+            } => {
+                num(&mut s, "seq", seq);
+                num(&mut s, "granted_mw", granted.milliwatts());
+                num(&mut s, "applied_mw", applied.milliwatts());
+            }
+            EventKind::UrgencyRaised { by } => num(&mut s, "by", u64::from(by.raw())),
+            EventKind::UrgencyCleared { released } => {
+                num(&mut s, "released_mw", released.milliwatts())
+            }
+            EventKind::CapActuated { cap, reading, pool } => {
+                num(&mut s, "cap_mw", cap.milliwatts());
+                num(&mut s, "reading_mw", reading.milliwatts());
+                num(&mut s, "pool_mw", pool.milliwatts());
+            }
+            EventKind::MsgSent { dst, carried } | EventKind::MsgDropped { dst, carried } => {
+                num(&mut s, "dst", u64::from(dst.raw()));
+                num(&mut s, "carried_mw", carried.milliwatts());
+            }
+            EventKind::MsgRecv { src, carried } => {
+                num(&mut s, "src", u64::from(src.raw()));
+                num(&mut s, "carried_mw", carried.milliwatts());
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12.6}s n{} p{}] {:?}",
+            self.at.as_secs_f64(),
+            self.node.raw(),
+            self.period,
+            self.kind
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(x: u64) -> Power {
+        Power::from_watts_u64(x)
+    }
+
+    #[test]
+    fn tags_are_dense_and_names_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for name in KIND_NAMES {
+            assert!(seen.insert(name), "duplicate kind name {name}");
+        }
+        let ev = EventKind::RequestTimeout { seq: 1 };
+        assert_eq!(KIND_NAMES[ev.tag()], "request_timeout");
+        assert_eq!(ev.name(), "request_timeout");
+    }
+
+    #[test]
+    fn jsonl_carries_the_common_fields() {
+        let ev = TraceEvent {
+            at: SimTime::from_secs(2),
+            node: NodeId::new(3),
+            period: 2,
+            kind: EventKind::RequestSent {
+                dst: NodeId::new(1),
+                urgent: true,
+                alpha: w(5),
+                seq: 7,
+            },
+        };
+        let line = ev.to_jsonl();
+        assert_eq!(
+            line,
+            "{\"t_ns\":2000000000,\"node\":3,\"period\":2,\"kind\":\"request_sent\",\
+             \"dst\":1,\"urgent\":true,\"alpha_mw\":5000,\"seq\":7}"
+        );
+    }
+
+    #[test]
+    fn transport_kinds_are_not_protocol() {
+        let msg = EventKind::MsgSent {
+            dst: NodeId::new(0),
+            carried: Power::ZERO,
+        };
+        assert!(!msg.is_protocol());
+        assert!(EventKind::RequestTimeout { seq: 0 }.is_protocol());
+    }
+}
+

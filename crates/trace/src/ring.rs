@@ -1,0 +1,109 @@
+//! In-memory event capture with an optional size bound.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::event::TraceEvent;
+use crate::observer::Observer;
+
+/// Captures events in memory; with a capacity, the oldest events are
+/// discarded first (flight-recorder style).
+#[derive(Debug, Default)]
+pub struct RingBufferObserver {
+    buf: Mutex<VecDeque<TraceEvent>>,
+    capacity: Option<usize>,
+}
+
+impl RingBufferObserver {
+    /// Keep every event (bounded only by memory).
+    pub fn unbounded() -> Self {
+        RingBufferObserver::default()
+    }
+
+    /// Keep at most `capacity` events, discarding the oldest.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer capacity must be positive");
+        RingBufferObserver {
+            buf: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity: Some(capacity),
+        }
+    }
+
+    /// Snapshot of the captured events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.buf.lock().unwrap().iter().copied().collect()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been captured (or everything was discarded).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain and return the captured events, oldest first.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        self.buf.lock().unwrap().drain(..).collect()
+    }
+}
+
+impl Observer for RingBufferObserver {
+    fn on_event(&self, ev: &TraceEvent) {
+        let mut buf = self.buf.lock().unwrap();
+        if let Some(cap) = self.capacity {
+            if buf.len() == cap {
+                buf.pop_front();
+            }
+        }
+        buf.push_back(*ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use penelope_units::{NodeId, SimTime};
+
+    fn ev(seq: u64) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_millis(seq),
+            node: NodeId::new(0),
+            period: 0,
+            kind: EventKind::RequestTimeout { seq },
+        }
+    }
+
+    #[test]
+    fn unbounded_keeps_everything_in_order() {
+        let ring = RingBufferObserver::unbounded();
+        for i in 0..100 {
+            ring.on_event(&ev(i));
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 100);
+        assert_eq!(events[0], ev(0));
+        assert_eq!(events[99], ev(99));
+    }
+
+    #[test]
+    fn bounded_discards_oldest_first() {
+        let ring = RingBufferObserver::with_capacity(3);
+        for i in 0..5 {
+            ring.on_event(&ev(i));
+        }
+        let kept: Vec<_> = ring.events();
+        assert_eq!(kept, vec![ev(2), ev(3), ev(4)]);
+    }
+
+    #[test]
+    fn take_drains() {
+        let ring = RingBufferObserver::unbounded();
+        ring.on_event(&ev(1));
+        assert_eq!(ring.take().len(), 1);
+        assert!(ring.is_empty());
+    }
+}

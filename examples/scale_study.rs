@@ -6,11 +6,71 @@
 //! nodes, 36 pairs — expect many minutes); the default is a quick subset
 //! that shows the same shapes.
 //!
+//! `--trace out.jsonl` additionally runs one small Penelope cluster with
+//! the JSONL observer attached and schema-validates the exported
+//! protocol-event stream.
+//!
 //! ```text
 //! cargo run --release --example scale_study
+//! cargo run --release --example scale_study -- --trace scale.jsonl
 //! ```
 
+use std::sync::Arc;
+
 use penelope::experiments::{scale, service, Effort};
+use penelope::prelude::*;
+use penelope::trace::{validate_jsonl, JsonlObserver};
+
+/// Parse `--trace <path>` from the command line, if present.
+fn trace_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return Some(args.next().unwrap_or_else(|| {
+                eprintln!("--trace needs a path");
+                std::process::exit(2);
+            }));
+        }
+    }
+    None
+}
+
+/// A small 8-node mixed cluster traced through the JSONL observer, then
+/// schema-validated — the event stream a scale run would produce, at a
+/// size that stays instant.
+fn export_trace(path: &str) {
+    let profiles: Vec<_> = (0..8)
+        .map(|i| {
+            if i % 2 == 0 { npb::ep() } else { npb::dc() }.scaled(0.05)
+        })
+        .collect();
+    let jsonl = Arc::new(JsonlObserver::create(path).unwrap_or_else(|e| {
+        eprintln!("--trace {path}: {e}");
+        std::process::exit(2);
+    }));
+    let sim = ClusterSim::builder()
+        .budget(Power::from_watts_u64(8 * 160))
+        .workloads(profiles)
+        .observer(SharedObserver::from(jsonl.clone()))
+        .seed(7)
+        .build();
+    let report = sim.run(SimTime::from_secs(60));
+    jsonl.flush().expect("flush trace");
+    let text = std::fs::read_to_string(path).expect("read trace back");
+    match validate_jsonl(&text) {
+        Ok(summary) => println!(
+            "trace: {} events from {} nodes -> {} (conservation_ok: {})",
+            summary.events,
+            summary.per_node.len(),
+            path,
+            report.conservation_ok,
+        ),
+        Err(e) => {
+            eprintln!("trace schema validation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let effort = Effort::from_env();
@@ -53,4 +113,9 @@ fn main() {
     println!("and converges toward SLURM's; SLURM's total redistribution blows up");
     println!("near 20 Hz (dropped packets); SLURM turnaround grows with scale while");
     println!("Penelope's stays flat.");
+
+    if let Some(path) = trace_path() {
+        println!();
+        export_trace(&path);
+    }
 }

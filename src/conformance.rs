@@ -35,6 +35,7 @@ use penelope_testkit::conformance::{
     FaultSpec, NodeSnapshot, PhaseSpec, Scenario, Snapshot, Substrate, SubstrateRun, WorkloadSpec,
 };
 use penelope_testkit::rng::{Rng, TestRng};
+use penelope_trace::{EventKind, SharedObserver, TraceEvent};
 use penelope_units::{NodeId, Power, PowerRange, SimDuration, SimTime};
 use penelope_workload::{PerfModel, Phase, Profile, WorkloadState};
 
@@ -82,10 +83,10 @@ fn profile_from_spec_scaled(spec: &WorkloadSpec, name: &str, scale: f64) -> Prof
 pub fn sim_config(scenario: &Scenario) -> ClusterConfig {
     let mut cfg = ClusterConfig::checked(SystemKind::Penelope, scenario.cluster_budget());
     cfg.seed = scenario.seed;
-    cfg.safe_range = scenario.safe;
+    cfg.node.safe_range = scenario.safe;
     cfg.rapl.safe_range = scenario.safe;
     cfg.rapl.read_noise_std = scenario.read_noise;
-    cfg.decider.period = PERIOD;
+    cfg.node.decider.period = PERIOD;
     // Jitterless ticks: all substrates tick at exact period boundaries,
     // which keeps the per-node RNG streams aligned across substrates.
     cfg.tick_jitter = SimDuration::ZERO;
@@ -99,13 +100,44 @@ pub fn sim_config(scenario: &Scenario) -> ClusterConfig {
 /// Conformance adapter for [`ClusterSim`].
 pub struct SimSubstrate;
 
-impl Substrate for SimSubstrate {
-    fn name(&self) -> &'static str {
-        "sim"
+impl SimSubstrate {
+    /// Run a scenario with a protocol-event observer attached; the
+    /// event-stream conformance tests diff what this records against
+    /// [`LockstepRuntime::run_observed`].
+    pub fn run_observed(
+        scenario: &Scenario,
+        observer: SharedObserver,
+    ) -> Result<SubstrateRun, String> {
+        Self::run_with(sim_config(scenario), scenario, observer)
     }
 
-    fn run(&self, scenario: &Scenario) -> Result<SubstrateRun, String> {
-        let cfg = sim_config(scenario);
+    /// Like [`SimSubstrate::run_observed`] but with the transport
+    /// idealized: zero message latency and zero pool service time, so a
+    /// request sent in period *p* is served and its grant applied within
+    /// period *p* — the same phase alignment the lockstep runtime's
+    /// barriers enforce. With read noise and tick jitter also zero, the
+    /// two substrates draw identical per-node RNG streams and their
+    /// normalized protocol-event streams must be *equal*, which is what
+    /// the event-level conformance tests assert.
+    pub fn run_observed_ideal(
+        scenario: &Scenario,
+        observer: SharedObserver,
+    ) -> Result<SubstrateRun, String> {
+        let mut cfg = sim_config(scenario);
+        cfg.latency = penelope_net::LatencyModel::Constant(SimDuration::ZERO);
+        cfg.service = penelope_slurm::ServiceModel {
+            lo: SimDuration::ZERO,
+            hi: SimDuration::ZERO,
+        };
+        Self::run_with(cfg, scenario, observer)
+    }
+
+    fn run_with(
+        mut cfg: ClusterConfig,
+        scenario: &Scenario,
+        observer: SharedObserver,
+    ) -> Result<SubstrateRun, String> {
+        cfg.observer = observer;
         let mut sim = ClusterSim::new(cfg, profiles_for(scenario));
         if let FaultSpec::KillNode { node, at_period } = scenario.fault {
             sim.install_faults(&FaultScript::kill_node_at(
@@ -129,6 +161,16 @@ impl Substrate for SimSubstrate {
             final_alive,
             final_total,
         })
+    }
+}
+
+impl Substrate for SimSubstrate {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn run(&self, scenario: &Scenario) -> Result<SubstrateRun, String> {
+        SimSubstrate::run_observed(scenario, SharedObserver::noop())
     }
 }
 
@@ -163,11 +205,26 @@ impl Substrate for LockstepRuntime {
     }
 
     fn run(&self, scenario: &Scenario) -> Result<SubstrateRun, String> {
+        LockstepRuntime::run_observed(scenario, SharedObserver::noop())
+    }
+}
+
+impl LockstepRuntime {
+    /// Run a scenario with a protocol-event observer attached. The node
+    /// threads emit the same event vocabulary at the same protocol points
+    /// as the simulator, so for a jitter-free, noise-free, zero-latency
+    /// scenario the normalized streams must match the sim's exactly.
+    pub fn run_observed(
+        scenario: &Scenario,
+        observer: SharedObserver,
+    ) -> Result<SubstrateRun, String> {
         let n = scenario.nodes;
         let cfg = sim_config(scenario);
         let (net, endpoints) = ThreadNet::<PeerMsg>::new(n);
         let shared = Arc::new(Shared {
-            pools: (0..n).map(|_| Mutex::new(PowerPool::new(cfg.pool))).collect(),
+            pools: (0..n)
+                .map(|_| Mutex::new(PowerPool::new(cfg.node.pool)))
+                .collect(),
             caps_mw: (0..n)
                 .map(|_| AtomicU64::new(scenario.budget_per_node.milliwatts()))
                 .collect(),
@@ -181,18 +238,20 @@ impl Substrate for LockstepRuntime {
         for (i, endpoint) in endpoints.into_iter().enumerate() {
             let shared = Arc::clone(&shared);
             let profile = profiles[i].clone();
-            let decider_cfg = cfg.decider;
+            let decider_cfg = cfg.node.decider;
             let rapl_cfg = cfg.rapl.clone();
             let overhead = cfg.management_overhead;
             let initial_cap = scenario.budget_per_node;
             let safe = scenario.safe;
             let seed = node_seed(scenario.seed, i as u64);
             let periods = scenario.periods;
+            let obs = observer.clone();
             threads.push(std::thread::spawn(move || {
                 node_loop(
                     i, n, periods, endpoint, shared, decider_cfg, initial_cap, safe,
                     SimulatedRapl::new(WorkloadState::with_overhead(profile, overhead), initial_cap, rapl_cfg),
                     TestRng::seed_from_u64(seed),
+                    obs,
                 )
             }));
         }
@@ -277,9 +336,22 @@ fn node_loop(
     safe: PowerRange,
     mut rapl: SimulatedRapl<WorkloadState>,
     mut rng: TestRng,
+    obs: SharedObserver,
 ) {
     let id = NodeId::new(idx as u32);
-    let mut decider = LocalDecider::new(decider_cfg, initial_cap, safe);
+    let period_ns = decider_cfg.period.as_nanos().max(1);
+    // Substrate-level emissions; the decider emits its own events through
+    // the same observer. Kinds are tiny `Copy` values, so building one
+    // eagerly costs nothing even with the observer off.
+    let emit = |at: SimTime, kind: EventKind| {
+        obs.emit(|| TraceEvent {
+            at,
+            node: id,
+            period: at.as_nanos() / period_ns,
+            kind,
+        });
+    };
+    let mut decider = LocalDecider::new(decider_cfg, initial_cap, safe).with_observer(id, obs.clone());
     let mut stashed_grants: Vec<PowerGrant> = Vec::new();
     for p in 0..periods {
         shared.barrier.wait(); // coordinator finished faults/snapshot
@@ -297,11 +369,21 @@ fn node_loop(
             } else {
                 None
             };
-            let action = {
+            let (action, pool_now) = {
                 let mut pool = shared.pools[idx].lock().unwrap();
-                decider.tick(now, reading, &mut pool, peer)
+                let action = decider.tick(now, reading, &mut pool, peer);
+                (action, pool.available())
             };
             rapl.set_cap(decider.cap(), now);
+            shared.caps_mw[idx].store(decider.cap().milliwatts(), Ordering::SeqCst);
+            emit(
+                now,
+                EventKind::CapActuated {
+                    cap: decider.cap(),
+                    reading,
+                    pool: pool_now,
+                },
+            );
             if let TickAction::Request {
                 dst,
                 urgent,
@@ -320,8 +402,14 @@ fn node_loop(
                         seq,
                     }),
                 );
+                emit(
+                    now,
+                    EventKind::MsgSent {
+                        dst,
+                        carried: Power::ZERO,
+                    },
+                );
             }
-            shared.caps_mw[idx].store(decider.cap().milliwatts(), Ordering::SeqCst);
         }
         shared.barrier.wait(); // tick done everywhere: all requests sent
 
@@ -332,16 +420,51 @@ fn node_loop(
         while let Some(env) = endpoint.try_recv() {
             match env.msg {
                 PeerMsg::Request(req) if me_alive => {
-                    let amount = {
+                    emit(
+                        now,
+                        EventKind::MsgRecv {
+                            src: env.src,
+                            carried: Power::ZERO,
+                        },
+                    );
+                    let (amount, urgency_before, urgency_after) = {
                         let mut pool = shared.pools[idx].lock().unwrap();
-                        pool.handle_request(req.urgent, req.alpha)
+                        let before = pool.local_urgency();
+                        let amount = pool.handle_request(req.urgent, req.alpha);
+                        (amount, before, pool.local_urgency())
                     };
+                    emit(
+                        now,
+                        EventKind::RequestServed {
+                            requester: req.from,
+                            seq: req.seq,
+                            granted: amount,
+                            urgent: req.urgent,
+                        },
+                    );
+                    if !urgency_before && urgency_after {
+                        emit(now, EventKind::UrgencyRaised { by: req.from });
+                    } else if urgency_before && !urgency_after {
+                        emit(
+                            now,
+                            EventKind::UrgencyCleared {
+                                released: Power::ZERO,
+                            },
+                        );
+                    }
                     let delivered = endpoint.send(
                         req.from,
                         PeerMsg::Grant(PowerGrant {
                             amount,
                             seq: req.seq,
                         }),
+                    );
+                    emit(
+                        now,
+                        EventKind::MsgSent {
+                            dst: req.from,
+                            carried: amount,
+                        },
                     );
                     if !delivered && !amount.is_zero() {
                         // Power debited but undeliverable: retire it so the
@@ -352,7 +475,16 @@ fn node_loop(
                     }
                 }
                 PeerMsg::Request(_) => {} // dead node: request evaporates
-                PeerMsg::Grant(g) => stashed_grants.push(g),
+                PeerMsg::Grant(g) => {
+                    emit(
+                        now,
+                        EventKind::MsgRecv {
+                            src: env.src,
+                            carried: g.amount,
+                        },
+                    );
+                    stashed_grants.push(g);
+                }
             }
         }
         shared.barrier.wait(); // serve done everywhere: all grants sent
@@ -361,12 +493,19 @@ fn node_loop(
         if me_alive {
             while let Some(env) = endpoint.try_recv() {
                 if let PeerMsg::Grant(g) = env.msg {
+                    emit(
+                        now,
+                        EventKind::MsgRecv {
+                            src: env.src,
+                            carried: g.amount,
+                        },
+                    );
                     stashed_grants.push(g);
                 }
             }
             for g in stashed_grants.drain(..) {
                 let mut pool = shared.pools[idx].lock().unwrap();
-                let _ = decider.on_grant(g.seq, g.amount, &mut pool);
+                let _ = decider.on_grant(now, g.seq, g.amount, &mut pool);
             }
             rapl.set_cap(decider.cap(), now);
             shared.caps_mw[idx].store(decider.cap().milliwatts(), Ordering::SeqCst);
@@ -423,13 +562,15 @@ impl Substrate for UdpDaemonSubstrate {
                 listen: addrs[i],
                 peers,
                 initial_cap: scenario.budget_per_node,
-                safe_range: scenario.safe,
-                decider: penelope_core::DeciderConfig {
-                    period: SimDuration::from_millis(DAEMON_PERIOD_MS),
-                    response_timeout: SimDuration::from_millis(DAEMON_PERIOD_MS / 2),
-                    ..Default::default()
+                node: penelope_core::NodeParams {
+                    decider: penelope_core::DeciderConfig {
+                        period: SimDuration::from_millis(DAEMON_PERIOD_MS),
+                        response_timeout: SimDuration::from_millis(DAEMON_PERIOD_MS / 2),
+                        ..Default::default()
+                    },
+                    pool: penelope_core::PoolConfig::default(),
+                    safe_range: scenario.safe,
                 },
-                pool: penelope_core::PoolConfig::default(),
                 power: PowerBackend::SimulatedProfile {
                     profile: profile_from_spec_scaled(spec, &format!("w{i}"), scale),
                 },
@@ -439,6 +580,7 @@ impl Substrate for UdpDaemonSubstrate {
                     read_noise_std: scenario.read_noise,
                 },
                 status_every: 1,
+                observer: SharedObserver::noop(),
             };
             handles.push(Some(
                 run_daemon_with_socket(cfg, socket).map_err(|e| format!("daemon {i}: {e}"))?,

@@ -17,6 +17,9 @@
 //!   cap→performance model.
 //! * [`net`] — the virtual cluster network (latency, drops, partitions,
 //!   crashes) and the channel transport.
+//! * [`trace`] — the structured observability layer: the typed protocol
+//!   event vocabulary and the [`Observer`](trace::Observer) sinks
+//!   (no-op, ring buffer, JSONL export, counters) every substrate feeds.
 //! * [`sim`] — the deterministic discrete-event cluster simulator with
 //!   conservation checking.
 //! * [`runtime`] — the threaded in-process deployment (decider + pool
@@ -61,13 +64,15 @@ pub use penelope_power as power;
 pub use penelope_runtime as runtime;
 pub use penelope_sim as sim;
 pub use penelope_slurm as slurm;
+pub use penelope_trace as trace;
 pub use penelope_units as units;
 pub use penelope_workload as workload;
 
 /// The most commonly used types, in one import.
 pub mod prelude {
-    pub use penelope_core::{DeciderConfig, LocalDecider, PoolConfig, PowerPool};
+    pub use penelope_core::{DeciderConfig, LocalDecider, NodeParams, PoolConfig, PowerPool};
     pub use penelope_metrics::{RedistributionTracker, SummaryStats, TurnaroundStats};
+    pub use penelope_trace::{Observer, RingBufferObserver, SharedObserver, TraceEvent};
     pub use penelope_sim::{ClusterConfig, ClusterSim, FaultAction, FaultScript, SystemKind};
     pub use penelope_units::{Energy, NodeId, Power, PowerRange, SimDuration, SimTime};
     pub use penelope_workload::{npb, PerfModel, Phase, Profile, WorkloadState};

@@ -124,7 +124,7 @@ impl Substrate for DoubleApplyBug {
         for p in 0..scenario.periods {
             // Donor sheds 10 W into its pool (zero-sum, correct).
             let shed = watts(10).min(donor_cap);
-            donor_cap = donor_cap - shed;
+            donor_cap -= shed;
             pool.deposit(shed);
             // Taker requests; the grant is debited once...
             let amount = pool.handle_request(false, Power::ZERO);
