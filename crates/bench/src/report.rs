@@ -1,0 +1,381 @@
+//! The machine-readable perf report: `BENCH.json` schema, writer, parser
+//! and the CI regression gate.
+//!
+//! One [`BenchReport`] captures a full `perf_report` run — per-sweep wall
+//! seconds, event counts, virtual time simulated and the serial reference
+//! timing — so CI can both archive the artifact and compare throughput
+//! (events per wall second) against a committed baseline.
+
+use penelope_experiments::parallel::CellStats;
+
+use crate::json::Json;
+
+/// Schema identifier written into every report; bump on breaking changes.
+pub const BENCH_SCHEMA: &str = "penelope-bench/v1";
+
+/// Wall-clock measurements for one sweep (frequency, scale or nominal).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepTiming {
+    /// Sweep name: `"frequency_sweep"`, `"scale_sweep"` or `"nominal"`.
+    pub name: String,
+    /// Independent simulation cells the sweep fanned out.
+    pub cells: usize,
+    /// Discrete events processed across all cells.
+    pub events: u64,
+    /// Virtual seconds simulated across all cells.
+    pub sim_secs: f64,
+    /// Wall seconds for the parallel run.
+    pub wall_s: f64,
+    /// Wall seconds for the serial (jobs = 1) reference run.
+    pub serial_wall_s: f64,
+}
+
+impl SweepTiming {
+    /// Build a timing row from a sweep's [`CellStats`] and two wall clocks.
+    pub fn from_stats(name: &str, stats: &CellStats, wall_s: f64, serial_wall_s: f64) -> Self {
+        SweepTiming {
+            name: name.to_string(),
+            cells: stats.cells,
+            events: stats.events,
+            sim_secs: stats.sim_secs,
+            wall_s,
+            serial_wall_s,
+        }
+    }
+
+    /// Simulator throughput: events per wall second (parallel run).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.events as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Parallel speedup over the serial reference run.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.serial_wall_s / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Virtual seconds simulated per wall second (parallel run).
+    pub fn sim_per_wall(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.sim_secs / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Wall seconds per simulation cell (parallel run).
+    pub fn wall_s_per_cell(&self) -> f64 {
+        if self.cells > 0 {
+            self.wall_s / self.cells as f64
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("cells".to_string(), Json::Num(self.cells as f64)),
+            ("events".to_string(), Json::Num(self.events as f64)),
+            ("sim_secs".to_string(), Json::Num(self.sim_secs)),
+            ("wall_s".to_string(), Json::Num(self.wall_s)),
+            ("serial_wall_s".to_string(), Json::Num(self.serial_wall_s)),
+            // Derived fields are redundant but make the artifact readable
+            // without a calculator; `from_json` ignores them.
+            (
+                "events_per_sec".to_string(),
+                Json::Num(self.events_per_sec()),
+            ),
+            ("speedup".to_string(), Json::Num(self.speedup())),
+            ("sim_per_wall".to_string(), Json::Num(self.sim_per_wall())),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("sweep missing {k:?}"));
+        Ok(SweepTiming {
+            name: field("name")?
+                .as_str()
+                .ok_or("sweep name must be a string")?
+                .to_string(),
+            cells: field("cells")?.as_u64().ok_or("cells must be an integer")? as usize,
+            events: field("events")?
+                .as_u64()
+                .ok_or("events must be an integer")?,
+            sim_secs: field("sim_secs")?
+                .as_f64()
+                .ok_or("sim_secs must be a number")?,
+            wall_s: field("wall_s")?.as_f64().ok_or("wall_s must be a number")?,
+            serial_wall_s: field("serial_wall_s")?
+                .as_f64()
+                .ok_or("serial_wall_s must be a number")?,
+        })
+    }
+}
+
+/// A complete `BENCH.json` document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Always [`BENCH_SCHEMA`].
+    pub schema: String,
+    /// Effort preset the run used (`smoke|quick|full`).
+    pub effort: String,
+    /// Worker threads the parallel runs used.
+    pub jobs: usize,
+    /// Whether the parallel sweeps reproduced the serial rows bit-for-bit.
+    pub parallel_matches_serial: bool,
+    /// One timing row per sweep.
+    pub sweeps: Vec<SweepTiming>,
+}
+
+impl BenchReport {
+    /// Render the report as a JSON document (with a trailing newline, so
+    /// the artifact is a well-formed text file).
+    pub fn to_json(&self) -> String {
+        let doc = Json::Obj(vec![
+            ("schema".to_string(), Json::Str(self.schema.clone())),
+            ("effort".to_string(), Json::Str(self.effort.clone())),
+            ("jobs".to_string(), Json::Num(self.jobs as f64)),
+            (
+                "parallel_matches_serial".to_string(),
+                Json::Bool(self.parallel_matches_serial),
+            ),
+            (
+                "sweeps".to_string(),
+                Json::Arr(self.sweeps.iter().map(SweepTiming::to_json).collect()),
+            ),
+            (
+                "total_events_per_sec".to_string(),
+                Json::Num(self.total_events_per_sec()),
+            ),
+        ]);
+        format!("{doc}\n")
+    }
+
+    /// Parse and schema-check a `BENCH.json` document.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text)?;
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("report missing schema")?;
+        if schema != BENCH_SCHEMA {
+            return Err(format!(
+                "unsupported schema {schema:?}, expected {BENCH_SCHEMA:?}"
+            ));
+        }
+        let sweeps = v
+            .get("sweeps")
+            .and_then(Json::as_array)
+            .ok_or("report missing sweeps array")?
+            .iter()
+            .map(SweepTiming::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        if sweeps.is_empty() {
+            return Err("report has no sweeps".to_string());
+        }
+        Ok(BenchReport {
+            schema: schema.to_string(),
+            effort: v
+                .get("effort")
+                .and_then(Json::as_str)
+                .ok_or("report missing effort")?
+                .to_string(),
+            jobs: v
+                .get("jobs")
+                .and_then(Json::as_u64)
+                .ok_or("report missing jobs")? as usize,
+            parallel_matches_serial: v
+                .get("parallel_matches_serial")
+                .and_then(Json::as_bool)
+                .ok_or("report missing parallel_matches_serial")?,
+            sweeps,
+        })
+    }
+
+    /// Aggregate throughput across all sweeps: total events over total
+    /// parallel wall seconds.
+    pub fn total_events_per_sec(&self) -> f64 {
+        let events: u64 = self.sweeps.iter().map(|s| s.events).sum();
+        let wall: f64 = self.sweeps.iter().map(|s| s.wall_s).sum();
+        if wall > 0.0 {
+            events as f64 / wall
+        } else {
+            0.0
+        }
+    }
+
+    /// Look up a sweep by name.
+    pub fn sweep(&self, name: &str) -> Option<&SweepTiming> {
+        self.sweeps.iter().find(|s| s.name == name)
+    }
+}
+
+/// Compare `current` against `baseline` and collect regressions: any sweep
+/// (matched by name) whose events/sec dropped by more than `tolerance`
+/// (fraction, e.g. `0.2` = 20 %), plus the aggregate throughput. Returns
+/// human-readable failure lines; empty means the gate passes. Sweeps only
+/// present on one side are ignored — renames should not fail the gate —
+/// but a correctness regression (`parallel_matches_serial` false) always
+/// fails.
+pub fn check_regression(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    if !current.parallel_matches_serial {
+        failures.push("parallel sweep rows diverged from the serial reference".to_string());
+    }
+    let floor = |base: f64| base * (1.0 - tolerance);
+    for base in &baseline.sweeps {
+        let Some(cur) = current.sweep(&base.name) else {
+            continue;
+        };
+        let (base_eps, cur_eps) = (base.events_per_sec(), cur.events_per_sec());
+        if base_eps > 0.0 && cur_eps < floor(base_eps) {
+            failures.push(format!(
+                "{}: events/sec regressed {:.0} -> {:.0} ({:+.1}%, tolerance -{:.0}%)",
+                base.name,
+                base_eps,
+                cur_eps,
+                (cur_eps / base_eps - 1.0) * 100.0,
+                tolerance * 100.0,
+            ));
+        }
+    }
+    let (base_total, cur_total) = (
+        baseline.total_events_per_sec(),
+        current.total_events_per_sec(),
+    );
+    if base_total > 0.0 && cur_total < floor(base_total) {
+        failures.push(format!(
+            "total: events/sec regressed {:.0} -> {:.0} ({:+.1}%, tolerance -{:.0}%)",
+            base_total,
+            cur_total,
+            (cur_total / base_total - 1.0) * 100.0,
+            tolerance * 100.0,
+        ));
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            schema: BENCH_SCHEMA.to_string(),
+            effort: "smoke".to_string(),
+            jobs: 4,
+            parallel_matches_serial: true,
+            sweeps: vec![
+                SweepTiming {
+                    name: "frequency_sweep".to_string(),
+                    cells: 12,
+                    events: 120_000,
+                    sim_secs: 480.0,
+                    wall_s: 0.5,
+                    serial_wall_s: 1.6,
+                },
+                SweepTiming {
+                    name: "nominal".to_string(),
+                    cells: 18,
+                    events: 90_000,
+                    sim_secs: 300.0,
+                    wall_s: 0.3,
+                    serial_wall_s: 0.9,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = sample();
+        let text = r.to_json();
+        assert!(text.ends_with('\n'));
+        let back = BenchReport::from_json(&text).expect("round-trip");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn derived_metrics_follow_from_raw_fields() {
+        let r = sample();
+        let f = r.sweep("frequency_sweep").unwrap();
+        assert_eq!(f.events_per_sec(), 240_000.0);
+        assert_eq!(f.speedup(), 3.2);
+        assert_eq!(f.sim_per_wall(), 960.0);
+        assert!((f.wall_s_per_cell() - 0.5 / 12.0).abs() < 1e-12);
+        assert_eq!(r.total_events_per_sec(), 210_000.0 / 0.8);
+    }
+
+    #[test]
+    fn parser_rejects_wrong_schema_and_shape() {
+        assert!(BenchReport::from_json("{}").is_err());
+        assert!(BenchReport::from_json("{\"schema\":\"other/v9\"}").is_err());
+        let no_sweeps = sample().to_json().replace("\"sweeps\":[", "\"sweeps_x\":[");
+        assert!(BenchReport::from_json(&no_sweeps).is_err());
+        let mut empty = sample();
+        empty.sweeps.clear();
+        assert!(BenchReport::from_json(&empty.to_json()).is_err());
+    }
+
+    #[test]
+    fn gate_passes_when_throughput_holds() {
+        let base = sample();
+        let mut cur = sample();
+        // 10% slower is inside the 20% tolerance.
+        for s in &mut cur.sweeps {
+            s.wall_s *= 1.1;
+        }
+        assert!(check_regression(&cur, &base, 0.2).is_empty());
+    }
+
+    #[test]
+    fn gate_fails_on_per_sweep_and_total_regression() {
+        let base = sample();
+        let mut cur = sample();
+        cur.sweeps[0].wall_s *= 2.0; // 50% throughput drop on one sweep
+        let failures = check_regression(&cur, &base, 0.2);
+        assert!(
+            failures.iter().any(|f| f.starts_with("frequency_sweep")),
+            "{failures:?}"
+        );
+        assert!(
+            failures.iter().any(|f| f.starts_with("total")),
+            "{failures:?}"
+        );
+        // The untouched sweep does not fail.
+        assert!(!failures.iter().any(|f| f.starts_with("nominal")));
+    }
+
+    #[test]
+    fn gate_fails_on_conformance_divergence() {
+        let base = sample();
+        let mut cur = sample();
+        cur.parallel_matches_serial = false;
+        let failures = check_regression(&cur, &base, 0.2);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("diverged"));
+    }
+
+    #[test]
+    fn renamed_sweeps_do_not_fail_the_gate() {
+        let base = sample();
+        let mut cur = sample();
+        cur.sweeps[1].name = "nominal_v2".to_string();
+        cur.sweeps[1].wall_s *= 100.0; // would regress if matched
+                                       // Only the total gate can trip; per-sweep names don't match.
+        let failures = check_regression(&cur, &base, 0.2);
+        assert!(!failures.iter().any(|f| f.contains("nominal")));
+    }
+}

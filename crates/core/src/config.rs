@@ -29,7 +29,10 @@ impl PoolConfig {
             "pool fraction must be in (0,1], got {}",
             self.fraction
         );
-        assert!(self.lower <= self.upper, "pool lower limit above upper limit");
+        assert!(
+            self.lower <= self.upper,
+            "pool lower limit above upper limit"
+        );
         assert!(!self.lower.is_zero(), "pool lower limit must be nonzero");
         self
     }

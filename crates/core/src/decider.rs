@@ -300,7 +300,13 @@ impl LocalDecider {
     /// surplus beyond the safe maximum is re-deposited locally so no budget
     /// leaks. Grants arriving after the timeout are still honoured (the
     /// power was already debited from the sender's pool).
-    pub fn on_grant(&mut self, now: SimTime, seq: u64, amount: Power, pool: &mut PowerPool) -> Power {
+    pub fn on_grant(
+        &mut self,
+        now: SimTime,
+        seq: u64,
+        amount: Power,
+        pool: &mut PowerPool,
+    ) -> Power {
         if let Some(out) = self.outstanding {
             if out.seq == seq {
                 self.outstanding = None;
@@ -337,12 +343,16 @@ impl LocalDecider {
     /// Algorithm 1's final step: if the co-located pool served an urgent
     /// request, release power down to the initial cap — unless this node is
     /// itself urgent, in which case the flag persists until it is not.
-    fn finish_iteration(&mut self, now: SimTime, classification: Classification, pool: &mut PowerPool) {
+    fn finish_iteration(
+        &mut self,
+        now: SimTime,
+        classification: Classification,
+        pool: &mut PowerPool,
+    ) {
         if !pool.local_urgency() {
             return;
         }
-        let self_urgent =
-            classification == Classification::Hungry && self.cap < self.initial_cap;
+        let self_urgent = classification == Classification::Hungry && self.cap < self.initial_cap;
         if self_urgent {
             return;
         }
@@ -505,10 +515,16 @@ mod tests {
         let _ = d.tick(t(1), w(150), &mut p, Some(NodeId::new(1)));
         assert!(d.is_blocked());
         // One second later: still blocked.
-        assert_eq!(d.tick(t(2), w(150), &mut p, Some(NodeId::new(1))), TickAction::Idle);
+        assert_eq!(
+            d.tick(t(2), w(150), &mut p, Some(NodeId::new(1))),
+            TickAction::Idle
+        );
         // Two more seconds: timeout expired; decider resumes and re-requests.
         let action = d.tick(t(3), w(150), &mut p, Some(NodeId::new(2)));
-        assert!(matches!(action, TickAction::Request { seq: 1, .. }), "{action:?}");
+        assert!(
+            matches!(action, TickAction::Request { seq: 1, .. }),
+            "{action:?}"
+        );
         assert_eq!(d.stats().timeouts, 1);
     }
 
@@ -612,7 +628,10 @@ mod tests {
         let _ = p.handle_request(true, w(10)); // sets flag, pool empty
         let _ = d.tick(t(1), w(145), &mut p, None); // at margin, cap == initial
         assert_eq!(d.cap(), w(150));
-        assert!(!p.local_urgency(), "flag cleared even though nothing to release");
+        assert!(
+            !p.local_urgency(),
+            "flag cleared even though nothing to release"
+        );
     }
 
     #[test]
@@ -678,7 +697,10 @@ mod tests {
                 ..
             }
         ));
-        assert!(matches!(kinds[3], EventKind::RequestSent { urgent: true, .. }));
+        assert!(matches!(
+            kinds[3],
+            EventKind::RequestSent { urgent: true, .. }
+        ));
         assert!(
             matches!(kinds[4], EventKind::GrantApplied { granted, applied, .. }
                 if granted == w(20) && applied == w(20))
@@ -814,7 +836,11 @@ mod shed_headroom_tests {
     fn zero_headroom_reproduces_algorithm_one() {
         // The paper's verbatim behaviour: C = P, and the node is then
         // power-hungry (P > C − ε), dipping into its own pool.
-        let mut d = LocalDecider::new(DeciderConfig::default(), w(160), PowerRange::from_watts(80, 300));
+        let mut d = LocalDecider::new(
+            DeciderConfig::default(),
+            w(160),
+            PowerRange::from_watts(80, 300),
+        );
         let mut p = PowerPool::default();
         let _ = d.tick(SimTime::from_secs(1), w(100), &mut p, None);
         assert_eq!(d.cap(), w(100));

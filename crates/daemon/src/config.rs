@@ -283,10 +283,9 @@ mod tests {
 
     #[test]
     fn rapl_flag_selects_linux_backend() {
-        let cfg = DaemonConfig::from_args(&args(
-            "--listen 0.0.0.0:7700 --peers 10.0.0.2:7700 --rapl",
-        ))
-        .unwrap();
+        let cfg =
+            DaemonConfig::from_args(&args("--listen 0.0.0.0:7700 --peers 10.0.0.2:7700 --rapl"))
+                .unwrap();
         assert!(matches!(cfg.power, PowerBackend::LinuxRapl));
     }
 
@@ -308,8 +307,7 @@ mod tests {
 
     #[test]
     fn bad_values_error_with_flag_name() {
-        let e = DaemonConfig::from_args(&args("--listen nonsense --peers 1.2.3.4:1"))
-            .unwrap_err();
+        let e = DaemonConfig::from_args(&args("--listen nonsense --peers 1.2.3.4:1")).unwrap_err();
         assert!(e.contains("--listen"));
         let e = DaemonConfig::from_args(&args(
             "--listen 0.0.0.0:1 --peers nope --simulate-demand-watts 1",

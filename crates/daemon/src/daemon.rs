@@ -11,12 +11,12 @@ use std::time::{Duration, Instant};
 use penelope_core::decider::DeciderStats;
 use penelope_core::{LocalDecider, PowerPool, TickAction};
 use penelope_power::{CappedDevice, ConstantDevice, LinuxRapl, PowerInterface, SimulatedRapl};
+use penelope_testkit::rng::{Rng, TestRng};
 use penelope_trace::{
     CounterObserver, CounterSnapshot, EventKind, FanoutObserver, SharedObserver, TraceEvent,
 };
 use penelope_units::{NodeId, Power, SimTime};
 use penelope_workload::WorkloadState;
-use penelope_testkit::rng::{Rng, TestRng};
 
 use crate::config::{DaemonConfig, PowerBackend};
 use crate::wire::{WireMsg, MAX_WIRE_LEN};

@@ -21,10 +21,7 @@ fn bind_cluster(n: usize) -> Vec<UdpSocket> {
         .collect()
 }
 
-fn launch(
-    sockets: Vec<UdpSocket>,
-    demands: &[u64],
-) -> Vec<penelope_daemon::DaemonHandle> {
+fn launch(sockets: Vec<UdpSocket>, demands: &[u64]) -> Vec<penelope_daemon::DaemonHandle> {
     let addrs: Vec<_> = sockets
         .iter()
         .map(|s| s.local_addr().expect("local addr"))
@@ -77,10 +74,7 @@ fn power_shifts_over_real_udp() {
     );
     // The budget was never exceeded: caps + pools sum within 3 × 160 W
     // (grants in flight at shutdown can only make the sum smaller).
-    let total: Power = summaries
-        .iter()
-        .map(|s| s.final_cap + s.final_pool)
-        .sum();
+    let total: Power = summaries.iter().map(|s| s.final_cap + s.final_pool).sum();
     assert!(
         total <= w(3 * 160),
         "budget exceeded: {total} > {}",
@@ -139,8 +133,7 @@ fn lone_daemon_survives_without_peers_responding() {
     let addr0 = sockets[0].local_addr().unwrap();
     let mut cfg = DaemonConfig::demo(addr0, vec![black_hole], w(250));
     cfg.status_every = 5;
-    let handle =
-        run_daemon_with_socket(cfg, sockets.into_iter().next().unwrap()).expect("start");
+    let handle = run_daemon_with_socket(cfg, sockets.into_iter().next().unwrap()).expect("start");
     thread::sleep(Duration::from_millis(600));
     let summary = handle.stop();
     assert!(summary.iterations > 10, "daemon stalled: {summary:?}");

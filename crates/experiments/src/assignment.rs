@@ -88,7 +88,13 @@ pub fn run(effort: Effort) -> AssignmentResult {
     let ep_nodes = nodes - dc_nodes;
     let dc_extra = spare_per_hungry.mul_f64(ep_nodes as f64 / dc_nodes as f64);
     let inverted: Vec<Power> = (0..nodes)
-        .map(|i| if i < dc_nodes { per_node + dc_extra } else { floor })
+        .map(|i| {
+            if i < dc_nodes {
+                per_node + dc_extra
+            } else {
+                floor
+            }
+        })
         .collect();
 
     let horizon_secs = workloads

@@ -55,13 +55,28 @@ impl Effort {
         }
     }
 
-    /// Parse from the `PENELOPE_EFFORT` environment variable
-    /// (`smoke|quick|full`), defaulting to `Quick`.
+    /// Parse an effort name: `smoke`, `quick` or `full`.
+    pub fn parse(v: &str) -> Result<Self, String> {
+        match v {
+            "smoke" => Ok(Effort::Smoke),
+            "quick" => Ok(Effort::Quick),
+            "full" => Ok(Effort::Full),
+            other => Err(format!(
+                "PENELOPE_EFFORT must be one of smoke|quick|full, got {other:?}"
+            )),
+        }
+    }
+
+    /// Read the `PENELOPE_EFFORT` environment variable (`smoke|quick|full`).
+    /// Unset means `Quick`; anything else panics with the offending value —
+    /// a typo must not silently downgrade a full-matrix run.
     pub fn from_env() -> Self {
-        match std::env::var("PENELOPE_EFFORT").as_deref() {
-            Ok("smoke") => Effort::Smoke,
-            Ok("full") => Effort::Full,
-            _ => Effort::Quick,
+        match std::env::var("PENELOPE_EFFORT") {
+            Ok(v) => Self::parse(&v).unwrap_or_else(|e| panic!("{e}")),
+            Err(std::env::VarError::NotPresent) => Effort::Quick,
+            Err(std::env::VarError::NotUnicode(v)) => {
+                panic!("PENELOPE_EFFORT must be one of smoke|quick|full, got non-unicode {v:?}")
+            }
         }
     }
 }
@@ -79,5 +94,16 @@ mod tests {
         assert_eq!(Effort::Full.cluster_nodes(), 20);
         assert_eq!(Effort::Full.max_scale_nodes(), 1056);
         assert_eq!(Effort::Full.time_scale(), 1.0);
+    }
+
+    #[test]
+    fn parse_accepts_all_three_names_and_rejects_the_rest() {
+        assert_eq!(Effort::parse("smoke"), Ok(Effort::Smoke));
+        assert_eq!(Effort::parse("quick"), Ok(Effort::Quick));
+        assert_eq!(Effort::parse("full"), Ok(Effort::Full));
+        let err = Effort::parse("fulll").expect_err("typo must not parse");
+        assert!(err.contains("fulll"), "error must name the value: {err}");
+        assert!(Effort::parse("").is_err());
+        assert!(Effort::parse("Smoke").is_err(), "names are lowercase");
     }
 }

@@ -36,7 +36,10 @@ impl FailoverResult {
             "SLURM + standby".to_string(),
             format!("{:.3}", self.slurm_failover),
         ]);
-        t.row(vec!["Penelope".to_string(), format!("{:.3}", self.penelope)]);
+        t.row(vec![
+            "Penelope".to_string(),
+            format!("{:.3}", self.penelope),
+        ]);
         format!(
             "Extension (S4.4 future work): a fallback coordinator under the Fig. 3 fault\n{}",
             t.render()

@@ -122,12 +122,9 @@ pub fn run_with_caps(effort: Effort, caps: &[u64]) -> Fig3Result {
         let mut pen_norm = Vec::with_capacity(pairs.len());
         for (pi, pair) in pairs.iter().enumerate() {
             let seed = (cap << 8) ^ pi as u64 ^ 0xFA17;
-            let fair =
-                crate::nominal::run_cell(SystemKind::Fair, cap, pair, nodes, ts, seed);
-            let slurm =
-                run_faulty_cell(SystemKind::Slurm, cap, pair, nodes, ts, seed, fair);
-            let pen =
-                run_faulty_cell(SystemKind::Penelope, cap, pair, nodes, ts, seed, fair);
+            let fair = crate::nominal::run_cell(SystemKind::Fair, cap, pair, nodes, ts, seed);
+            let slurm = run_faulty_cell(SystemKind::Slurm, cap, pair, nodes, ts, seed, fair);
+            let pen = run_faulty_cell(SystemKind::Penelope, cap, pair, nodes, ts, seed, fair);
             slurm_norm.push(fair / slurm);
             pen_norm.push(fair / pen);
         }

@@ -26,6 +26,7 @@ pub mod faulty;
 pub mod multijob;
 pub mod nominal;
 pub mod overhead;
+pub mod parallel;
 pub mod scale;
 pub mod scenarios;
 pub mod service;

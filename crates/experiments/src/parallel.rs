@@ -1,0 +1,177 @@
+//! The parallel experiment engine.
+//!
+//! Every sweep in the harness decomposes into *cells* — one independent
+//! `ClusterSim` run per (system, scenario, application pair) — and each
+//! cell derives its RNG streams from its own deterministic seed, never from
+//! shared mutable state. That makes the cells embarrassingly parallel:
+//! [`par_map`] fans them out over a scoped worker pool of plain `std`
+//! threads and reassembles results in input order, so a parallel sweep is
+//! *bit-for-bit identical* to a serial one (asserted by the conformance
+//! test in [`crate::scale`]).
+//!
+//! Worker count comes from `PENELOPE_JOBS` (default: available
+//! parallelism); `PENELOPE_JOBS=1` takes the plain serial path with no
+//! threads at all, which is what the perf harness times as its speedup
+//! baseline.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The machine's available parallelism (1 if it cannot be determined).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Worker count from the `PENELOPE_JOBS` environment variable, defaulting
+/// to [`available_jobs`]. Panics (with the offending value) on anything
+/// that is not a positive integer — a silently ignored typo would quietly
+/// serialize or misconfigure a long sweep.
+pub fn jobs_from_env() -> usize {
+    match std::env::var("PENELOPE_JOBS") {
+        Ok(v) => parse_jobs(&v).unwrap_or_else(|e| panic!("{e}")),
+        Err(std::env::VarError::NotPresent) => available_jobs(),
+        Err(std::env::VarError::NotUnicode(v)) => {
+            panic!("PENELOPE_JOBS must be a positive integer, got non-unicode {v:?}")
+        }
+    }
+}
+
+/// Parse a `PENELOPE_JOBS` value: a positive integer.
+pub fn parse_jobs(v: &str) -> Result<usize, String> {
+    match v.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "PENELOPE_JOBS must be a positive integer, got {v:?}"
+        )),
+    }
+}
+
+/// Map `f` over `items` on up to `jobs` scoped worker threads, returning
+/// results in input order.
+///
+/// Work is distributed by an atomic cursor (dynamic load balancing: cells
+/// vary from milliseconds to seconds), and each result lands in its own
+/// slot, so ordering is exact regardless of completion order. `jobs <= 1`
+/// or a single item runs inline on the caller's thread. A panicking cell
+/// propagates and fails the whole sweep.
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *results[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+/// Aggregate simulator work done by a batch of cells, reported by the
+/// sweeps so the perf harness can turn wall time into events/sec and
+/// sim-seconds/wall-second.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CellStats {
+    /// Number of simulation cells executed.
+    pub cells: usize,
+    /// Total discrete events processed across cells.
+    pub events: u64,
+    /// Total virtual time simulated across cells, seconds.
+    pub sim_secs: f64,
+}
+
+impl CellStats {
+    /// Fold one cell's contribution in.
+    pub fn absorb(&mut self, events: u64, sim_secs: f64) {
+        self.cells += 1;
+        self.events += events;
+        self.sim_secs += sim_secs;
+    }
+
+    /// Merge another batch's totals.
+    pub fn merge(&mut self, other: &CellStats) {
+        self.cells += other.cells;
+        self.events += other.events;
+        self.sim_secs += other.sim_secs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial = par_map(1, &items, |&x| x * x);
+        let parallel = par_map(8, &items, |&x| x * x);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[256], 256 * 256);
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(4, &empty, |&x| x).is_empty());
+        assert_eq!(par_map(4, &[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_runs_more_items_than_workers() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(3, &items, |&x| x + 1);
+        assert_eq!(out.len(), 1000);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[test]
+    fn parse_jobs_accepts_positive_integers_only() {
+        assert_eq!(parse_jobs("1"), Ok(1));
+        assert_eq!(parse_jobs(" 16 "), Ok(16));
+        assert!(parse_jobs("0").is_err());
+        assert!(parse_jobs("-2").is_err());
+        assert!(parse_jobs("many").is_err());
+        assert!(parse_jobs("").is_err());
+    }
+
+    #[test]
+    fn cell_stats_fold_and_merge() {
+        let mut a = CellStats::default();
+        a.absorb(100, 2.0);
+        a.absorb(50, 1.0);
+        let mut b = CellStats::default();
+        b.absorb(10, 0.5);
+        a.merge(&b);
+        assert_eq!(a.cells, 3);
+        assert_eq!(a.events, 160);
+        assert!((a.sim_secs - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn available_jobs_is_positive() {
+        assert!(available_jobs() >= 1);
+    }
+}

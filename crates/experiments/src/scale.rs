@@ -19,6 +19,7 @@ use penelope_sim::{ClusterSim, SystemKind};
 use penelope_workload::Profile;
 
 use crate::effort::Effort;
+use crate::parallel::{self, CellStats};
 use crate::scenarios::{pair_subset, ScaleScenario};
 
 /// The frequency axis of Figs. 4, 5 and 7 (iterations per second).
@@ -28,7 +29,7 @@ pub const PAPER_FREQUENCIES: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 20.0, 2
 pub const PAPER_SCALES: [usize; 5] = [44, 132, 264, 528, 1056];
 
 /// Measurements for one system at one sweep point, aggregated over pairs.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SystemPoint {
     /// Median across pairs of the 50 %-redistribution time (seconds).
     pub median_redist_s: f64,
@@ -47,7 +48,7 @@ pub struct SystemPoint {
 
 /// One sweep point: the x value (frequency in Hz or scale in nodes) and
 /// both systems' measurements.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SweepRow {
     /// Frequency (Hz) or scale (node count), depending on the sweep.
     pub x: f64,
@@ -58,7 +59,7 @@ pub struct SweepRow {
 }
 
 /// Raw per-pair outcome of one run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunOutcome {
     /// Time to shift 50 % of the excess, seconds (`None`: never happened).
     pub median_s: Option<f64>,
@@ -70,6 +71,11 @@ pub struct RunOutcome {
     pub unanswered: f64,
     /// How long the experiment ran after the donors finished, seconds.
     pub experiment_s: f64,
+    /// Discrete events the simulator processed for this cell.
+    pub events: u64,
+    /// Virtual time simulated, seconds (wall-normalized by the perf
+    /// harness into sim-seconds per wall-second).
+    pub sim_secs: f64,
 }
 
 /// Run one (system, scenario) scale point and return its raw measurements.
@@ -101,6 +107,8 @@ pub fn run_point(system: SystemKind, scenario: &ScaleScenario) -> RunOutcome {
             .unwrap_or(0.0),
         unanswered: report.turnaround.unanswered_fraction(),
         experiment_s,
+        events: report.events,
+        sim_secs: report.ended_at.as_secs_f64(),
     }
 }
 
@@ -120,54 +128,104 @@ fn aggregate(outcomes: &[RunOutcome]) -> SystemPoint {
         total_redist_s: SummaryStats::from_samples(&totals).median(),
         turnaround_ms: turn_stats.mean(),
         turnaround_std_ms: turn_stats.std(),
-        unanswered_frac: outcomes.iter().map(|o| o.unanswered).sum::<f64>()
-            / outcomes.len() as f64,
+        unanswered_frac: outcomes.iter().map(|o| o.unanswered).sum::<f64>() / outcomes.len() as f64,
         completed_frac: outcomes.iter().filter(|o| o.total_s.is_some()).count() as f64
             / outcomes.len() as f64,
     }
 }
 
-fn sweep_point(
-    pairs: &[(Profile, Profile)],
-    nodes: usize,
-    frequency_hz: f64,
-    x: f64,
-) -> SweepRow {
-    let mut slurm = Vec::with_capacity(pairs.len());
-    let mut penelope = Vec::with_capacity(pairs.len());
-    for (pi, (a, b)) in pairs.iter().enumerate() {
-        let seed = (nodes as u64) << 20 | (frequency_hz as u64) << 8 | pi as u64;
-        let scenario = ScaleScenario::for_pair(a, b, nodes, frequency_hz, seed);
-        slurm.push(run_point(SystemKind::Slurm, &scenario));
-        penelope.push(run_point(SystemKind::Penelope, &scenario));
-    }
-    SweepRow {
-        x,
-        slurm: aggregate(&slurm),
-        penelope: aggregate(&penelope),
-    }
+/// A completed sweep: the figure rows plus the simulator work totals the
+/// perf harness turns into throughput numbers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sweep {
+    /// One row per sweep point, in axis order.
+    pub rows: Vec<SweepRow>,
+    /// Aggregate cell/event/virtual-time totals across the whole sweep.
+    pub stats: CellStats,
 }
 
-/// Figs. 4/5/7: sweep decider frequency at the effort's maximum scale.
-pub fn frequency_sweep(effort: Effort, frequencies: &[f64]) -> Vec<SweepRow> {
+/// One independent simulation cell of a sweep.
+struct Cell {
+    system: SystemKind,
+    scenario: ScaleScenario,
+}
+
+/// Run every (point, pair, system) cell of a sweep — fanned out over
+/// `jobs` workers — and reassemble rows in axis order. Each cell's seed
+/// depends only on its own (nodes, frequency, pair) coordinates, so the
+/// result is identical for any worker count.
+fn run_sweep(pairs: &[(Profile, Profile)], points: &[(usize, f64, f64)], jobs: usize) -> Sweep {
+    let mut cells = Vec::with_capacity(points.len() * pairs.len() * 2);
+    for &(nodes, frequency_hz, _) in points {
+        for (pi, (a, b)) in pairs.iter().enumerate() {
+            let seed = (nodes as u64) << 20 | (frequency_hz as u64) << 8 | pi as u64;
+            let scenario = ScaleScenario::for_pair(a, b, nodes, frequency_hz, seed);
+            cells.push(Cell {
+                system: SystemKind::Slurm,
+                scenario: scenario.clone(),
+            });
+            cells.push(Cell {
+                system: SystemKind::Penelope,
+                scenario,
+            });
+        }
+    }
+    let outcomes = parallel::par_map(jobs, &cells, |c| run_point(c.system, &c.scenario));
+    let mut stats = CellStats::default();
+    for o in &outcomes {
+        stats.absorb(o.events, o.sim_secs);
+    }
+    let per_row = pairs.len() * 2;
+    let rows = points
+        .iter()
+        .enumerate()
+        .map(|(ri, &(_, _, x))| {
+            let chunk = &outcomes[ri * per_row..(ri + 1) * per_row];
+            let slurm: Vec<RunOutcome> = chunk.iter().step_by(2).cloned().collect();
+            let penelope: Vec<RunOutcome> = chunk.iter().skip(1).step_by(2).cloned().collect();
+            SweepRow {
+                x,
+                slurm: aggregate(&slurm),
+                penelope: aggregate(&penelope),
+            }
+        })
+        .collect();
+    Sweep { rows, stats }
+}
+
+/// Figs. 4/5/7 with an explicit worker count: sweep decider frequency at
+/// the effort's maximum scale, cells fanned out over `jobs` workers.
+pub fn frequency_sweep_with_jobs(effort: Effort, frequencies: &[f64], jobs: usize) -> Sweep {
     let pairs = pair_subset(effort.pairs());
     let nodes = effort.max_scale_nodes();
-    frequencies
-        .iter()
-        .map(|&f| sweep_point(&pairs, nodes, f, f))
-        .collect()
+    let points: Vec<(usize, f64, f64)> = frequencies.iter().map(|&f| (nodes, f, f)).collect();
+    run_sweep(&pairs, &points, jobs)
 }
 
-/// Figs. 6/8: sweep scale at 1 iteration per second.
-pub fn scale_sweep(effort: Effort, scales: &[usize]) -> Vec<SweepRow> {
+/// Figs. 4/5/7: sweep decider frequency at the effort's maximum scale,
+/// parallel across `PENELOPE_JOBS` workers (default: all cores).
+pub fn frequency_sweep(effort: Effort, frequencies: &[f64]) -> Vec<SweepRow> {
+    frequency_sweep_with_jobs(effort, frequencies, parallel::jobs_from_env()).rows
+}
+
+/// Figs. 6/8 with an explicit worker count: sweep scale at 1 iteration
+/// per second, cells fanned out over `jobs` workers.
+pub fn scale_sweep_with_jobs(effort: Effort, scales: &[usize], jobs: usize) -> Sweep {
     let pairs = pair_subset(effort.pairs());
-    scales
+    let points: Vec<(usize, f64, f64)> = scales
         .iter()
         .map(|&n| {
             let n = if n % 2 == 0 { n } else { n + 1 };
-            sweep_point(&pairs, n, 1.0, n as f64)
+            (n, 1.0, n as f64)
         })
-        .collect()
+        .collect();
+    run_sweep(&pairs, &points, jobs)
+}
+
+/// Figs. 6/8: sweep scale at 1 iteration per second, parallel across
+/// `PENELOPE_JOBS` workers (default: all cores).
+pub fn scale_sweep(effort: Effort, scales: &[usize]) -> Vec<SweepRow> {
+    scale_sweep_with_jobs(effort, scales, parallel::jobs_from_env()).rows
 }
 
 fn render_series(
@@ -200,7 +258,13 @@ pub fn render_fig5(rows: &[SweepRow]) -> String {
          [incomplete runs count as experiment runtime]",
         "freq",
         rows,
-        |p| format!("{:.2} ({:.0}% complete)", p.total_redist_s, p.completed_frac * 100.0),
+        |p| {
+            format!(
+                "{:.2} ({:.0}% complete)",
+                p.total_redist_s,
+                p.completed_frac * 100.0
+            )
+        },
     )
 }
 
@@ -220,7 +284,14 @@ pub fn render_fig7(rows: &[SweepRow]) -> String {
         "Figure 7: mean turnaround time (ms) vs decider frequency (Hz)",
         "freq",
         rows,
-        |p| format!("{:.3} +/-{:.3} (lost {:.0}%)", p.turnaround_ms, p.turnaround_std_ms, p.unanswered_frac * 100.0),
+        |p| {
+            format!(
+                "{:.3} +/-{:.3} (lost {:.0}%)",
+                p.turnaround_ms,
+                p.turnaround_std_ms,
+                p.unanswered_frac * 100.0
+            )
+        },
     )
 }
 
@@ -287,6 +358,25 @@ mod tests {
             pen_growth < 1.5,
             "Penelope turnaround grew with scale: {pen_small} -> {pen_large} ms"
         );
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_bitwise() {
+        // The conformance contract of the parallel engine: for a fixed
+        // seed formula, the fanned-out sweep produces exactly the rows the
+        // serial sweep does — f64-equal on every aggregated metric and
+        // equal on every event/virtual-time total.
+        let serial = frequency_sweep_with_jobs(Effort::Smoke, &[1.0, 8.0], 1);
+        let parallel = frequency_sweep_with_jobs(Effort::Smoke, &[1.0, 8.0], 4);
+        assert_eq!(serial.rows, parallel.rows);
+        assert_eq!(serial.stats, parallel.stats);
+        assert!(serial.stats.events > 0);
+        assert_eq!(serial.stats.cells, 2 * Effort::Smoke.pairs() * 2);
+
+        let serial = scale_sweep_with_jobs(Effort::Smoke, &[32, 64], 1);
+        let parallel = scale_sweep_with_jobs(Effort::Smoke, &[32, 64], 3);
+        assert_eq!(serial.rows, parallel.rows);
+        assert_eq!(serial.stats, parallel.stats);
     }
 
     #[test]

@@ -9,7 +9,10 @@ use penelope_workload::{npb, PerfModel, Phase, Profile};
 /// app `a` on the first half of the nodes, app `b` on the second half
 /// (§4.1), with profile work compressed by `time_scale`.
 pub fn pair_workloads(a: &Profile, b: &Profile, nodes: usize, time_scale: f64) -> Vec<Profile> {
-    assert!(nodes >= 2 && nodes.is_multiple_of(2), "need an even node count");
+    assert!(
+        nodes >= 2 && nodes.is_multiple_of(2),
+        "need an even node count"
+    );
     let a = a.scaled(time_scale);
     let b = b.scaled(time_scale);
     let mut v = Vec::with_capacity(nodes);
@@ -79,7 +82,10 @@ impl ScaleScenario {
     /// runtime sets when the donors finish (compressed into 5–15 s), `b`'s
     /// mean demand sets how hungry the recipients are.
     pub fn for_pair(a: &Profile, b: &Profile, nodes: usize, frequency_hz: f64, seed: u64) -> Self {
-        assert!(nodes >= 2 && nodes.is_multiple_of(2), "need an even node count");
+        assert!(
+            nodes >= 2 && nodes.is_multiple_of(2),
+            "need an even node count"
+        );
         // Map a's nominal runtime (≈120–400 s) into a 5–15 s donor phase.
         let rt = a.nominal_runtime_secs();
         let donor_secs = 5.0 + 10.0 * ((rt - 100.0) / 300.0).clamp(0.0, 1.0);
@@ -178,7 +184,9 @@ mod tests {
         assert_eq!(v.len(), 6);
         assert_eq!(v[0].name, "EP");
         assert_eq!(v[3].name, "DC");
-        assert!((v[0].nominal_runtime_secs() - npb::ep().nominal_runtime_secs() * 0.5).abs() < 1e-9);
+        assert!(
+            (v[0].nominal_runtime_secs() - npb::ep().nominal_runtime_secs() * 0.5).abs() < 1e-9
+        );
     }
 
     #[test]

@@ -8,8 +8,8 @@
 
 use penelope_metrics::TextTable;
 use penelope_slurm::{ServerQueue, ServiceModel};
-use penelope_units::{SimDuration, SimTime};
 use penelope_testkit::rng::TestRng;
+use penelope_units::{SimDuration, SimTime};
 
 /// The measured service characteristics and the paper's two extrapolations.
 #[derive(Clone, Debug)]

@@ -164,12 +164,7 @@ mod tests {
             applied(2, t(12), 0, w(30)), // not a recipient
             applied(1, t(14), 2, w(70)),
         ];
-        let tr = redistribution_from_events(
-            &events,
-            w(100),
-            &[NodeId::new(1)],
-            t(10),
-        );
+        let tr = redistribution_from_events(&events, w(100), &[NodeId::new(1)], t(10));
         assert_eq!(tr.shifted(), w(100));
         assert_eq!(tr.median_time(), Some(SimDuration::from_secs(4)));
         assert_eq!(tr.total_time(), Some(SimDuration::from_secs(4)));

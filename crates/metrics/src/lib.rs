@@ -28,10 +28,10 @@ pub mod table;
 pub mod turnaround;
 
 pub use folds::{oscillation_from_events, redistribution_from_events, turnaround_from_events};
-pub use perf::{geometric_mean, normalized_performance, PerfSummary};
-pub use table::TextTable;
-pub use redistribution::RedistributionTracker;
 pub use oscillation::OscillationStats;
+pub use perf::{geometric_mean, normalized_performance, PerfSummary};
+pub use redistribution::RedistributionTracker;
 pub use sparkline::{downsample, sparkline};
 pub use stats::SummaryStats;
+pub use table::TextTable;
 pub use turnaround::TurnaroundStats;

@@ -42,7 +42,9 @@ pub fn downsample(values: &[f64], width: usize) -> Vec<f64> {
     (0..width)
         .map(|i| {
             let lo = (i as f64 * bucket) as usize;
-            let hi = (((i + 1) as f64 * bucket) as usize).min(values.len()).max(lo + 1);
+            let hi = (((i + 1) as f64 * bucket) as usize)
+                .min(values.len())
+                .max(lo + 1);
             let slice = &values[lo..hi];
             slice.iter().sum::<f64>() / slice.len() as f64
         })

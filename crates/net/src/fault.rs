@@ -71,7 +71,11 @@ impl FaultPlane {
 
     /// Set the background drop probability (clamped into `[0, 1]`).
     pub fn set_drop_rate(&mut self, p: f64) {
-        self.drop_rate = if p.is_finite() { p.clamp(0.0, 1.0) } else { 0.0 };
+        self.drop_rate = if p.is_finite() {
+            p.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
     }
 
     /// The background drop probability.
@@ -169,7 +173,10 @@ mod tests {
     #[test]
     fn heal_partitions_restores_full_mesh() {
         let mut f = FaultPlane::healthy();
-        f.partition(vec![[n(0)].into_iter().collect(), [n(1)].into_iter().collect()]);
+        f.partition(vec![
+            [n(0)].into_iter().collect(),
+            [n(1)].into_iter().collect(),
+        ]);
         assert!(!f.can_communicate(n(0), n(1)));
         f.heal_partitions();
         assert!(f.can_communicate(n(0), n(1)));

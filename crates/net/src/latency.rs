@@ -1,7 +1,7 @@
 //! One-way latency models.
 
-use penelope_units::SimDuration;
 use penelope_testkit::rng::Rng;
+use penelope_units::SimDuration;
 
 /// Distribution of one-way message latency on the cluster interconnect.
 ///

@@ -1,7 +1,7 @@
 //! Message routing for the discrete-event simulator.
 
-use penelope_units::{NodeId, SimTime};
 use penelope_testkit::rng::Rng;
+use penelope_units::{NodeId, SimTime};
 
 use crate::envelope::Envelope;
 use crate::fault::FaultPlane;
@@ -109,8 +109,8 @@ impl SimNet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use penelope_units::SimDuration;
     use penelope_testkit::rng::TestRng;
+    use penelope_units::SimDuration;
 
     fn n(i: u32) -> NodeId {
         NodeId::new(i)
@@ -129,7 +129,10 @@ mod tests {
         assert_eq!(env.src, n(0));
         assert_eq!(env.dst, n(1));
         assert_eq!(env.sent_at, SimTime::from_secs(1));
-        assert_eq!(env.deliver_at, SimTime::from_secs(1) + SimDuration::from_micros(50));
+        assert_eq!(
+            env.deliver_at,
+            SimTime::from_secs(1) + SimDuration::from_micros(50)
+        );
         assert_eq!(env.msg, "hello");
         assert_eq!(net.stats().delivered, 1);
     }
@@ -215,12 +218,12 @@ mod tests {
             net.faults_mut().set_drop_rate(0.1);
             let mut rng = TestRng::seed_from_u64(1234);
             (0..1000)
-                .map(|i| {
-                    match net.route(n(0), n(1), i, SimTime::from_millis(i), &mut rng) {
+                .map(
+                    |i| match net.route(n(0), n(1), i, SimTime::from_millis(i), &mut rng) {
                         RouteOutcome::Deliver(e) => e.deliver_at.as_nanos(),
                         _ => 0,
-                    }
-                })
+                    },
+                )
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());

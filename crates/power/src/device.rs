@@ -228,8 +228,13 @@ mod boxed_tests {
 
     #[test]
     fn boxed_device_delegates() {
-        let mut d: Box<dyn CappedDevice + Send> = Box::new(ConstantDevice::new(Power::from_watts_u64(120)));
-        let e = d.advance(SimTime::ZERO, SimTime::from_secs(1), Power::from_watts_u64(100));
+        let mut d: Box<dyn CappedDevice + Send> =
+            Box::new(ConstantDevice::new(Power::from_watts_u64(120)));
+        let e = d.advance(
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+            Power::from_watts_u64(100),
+        );
         assert_eq!(e, Energy::from_joules_u64(100));
         assert_eq!(d.demand(SimTime::ZERO), Power::from_watts_u64(120));
     }

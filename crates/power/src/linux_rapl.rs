@@ -54,7 +54,9 @@ impl std::fmt::Display for RaplError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RaplError::NoPowercap(p) => write!(f, "no powercap interface at {}", p.display()),
-            RaplError::NoDomains(p) => write!(f, "no intel-rapl package domains under {}", p.display()),
+            RaplError::NoDomains(p) => {
+                write!(f, "no intel-rapl package domains under {}", p.display())
+            }
             RaplError::Io(p, e) => write!(f, "sysfs I/O on {}: {e}", p.display()),
             RaplError::Parse(p, s) => write!(f, "unparsable sysfs value in {}: {s:?}", p.display()),
         }
@@ -102,8 +104,7 @@ impl LinuxRapl {
     /// packages); subdomains like `intel-rapl:<n>:<m>` (core/dram planes)
     /// are intentionally skipped — the paper caps whole sockets.
     pub fn discover_at(root: &Path, safe_range: PowerRange) -> Result<Self, RaplError> {
-        let entries = fs::read_dir(root)
-            .map_err(|_| RaplError::NoPowercap(root.to_path_buf()))?;
+        let entries = fs::read_dir(root).map_err(|_| RaplError::NoPowercap(root.to_path_buf()))?;
         let mut domains = Vec::new();
         for entry in entries.flatten() {
             let name = entry.file_name();
@@ -224,15 +225,12 @@ impl PowerInterface for LinuxRapl {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     /// Build a synthetic powercap tree with `n` package domains plus a
     /// decoy subdomain, returning its root.
     fn fake_tree(n: usize) -> PathBuf {
-        let root = std::env::temp_dir().join(format!(
-            "penelope-rapl-test-{}-{n}",
-            std::process::id()
-        ));
+        let root =
+            std::env::temp_dir().join(format!("penelope-rapl-test-{}-{n}", std::process::id()));
         let _ = fs::remove_dir_all(&root);
         for i in 0..n {
             let d = root.join(format!("intel-rapl:{i}"));
@@ -306,9 +304,7 @@ mod tests {
         // Counter wraps: new value below old; modulus 262143328850.
         // Consumed = (new + max - old) = 500 + 262143328850 - 1000000.
         set_energy(&root, 0, 500);
-        let p = rapl
-            .try_read_power(SimTime::from_secs(262))
-            .unwrap();
+        let p = rapl.try_read_power(SimTime::from_secs(262)).unwrap();
         // ≈ 262142.33 J over 262 s ≈ 1000.5 W... sanity: within 1% of 1000 W.
         let w = p.as_watts();
         assert!((w - 1000.5).abs() < 10.0, "wrapped power {w}");

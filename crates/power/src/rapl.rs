@@ -1,7 +1,7 @@
 //! A simulated RAPL power domain.
 
-use penelope_units::{Energy, Power, PowerRange, SimDuration, SimTime};
 use penelope_testkit::rng::Rng;
+use penelope_units::{Energy, Power, PowerRange, SimDuration, SimTime};
 
 use crate::device::CappedDevice;
 use crate::iface::PowerInterface;
@@ -102,7 +102,9 @@ impl<D: CappedDevice> SimulatedRapl<D> {
                 self.pending = None;
             }
         }
-        let e = self.device.advance(self.advanced_to, now, self.effective_cap);
+        let e = self
+            .device
+            .advance(self.advanced_to, now, self.effective_cap);
         self.window_energy += e;
         self.total_energy += e;
         self.advanced_to = now;
@@ -193,8 +195,8 @@ impl<D: CappedDevice> PowerInterface for SimulatedRapl<D> {
 mod tests {
     use super::*;
     use crate::device::{ConstantDevice, StepDevice};
-    use proptest::prelude::*;
     use penelope_testkit::rng::TestRng;
+    use proptest::prelude::*;
 
     fn w(x: u64) -> Power {
         Power::from_watts_u64(x)

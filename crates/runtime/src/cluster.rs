@@ -12,10 +12,10 @@ use penelope_core::{
 use penelope_net::{ThreadEndpoint, ThreadNet};
 use penelope_power::RaplConfig;
 use penelope_slurm::{ClientAction, PowerServer, SlurmClient, SlurmMsg};
+use penelope_testkit::rng::{Rng, TestRng};
 use penelope_trace::{EventKind, SharedObserver, TraceEvent};
 use penelope_units::{NodeId, Power, SimDuration, SimTime};
 use penelope_workload::Profile;
-use penelope_testkit::rng::{Rng, TestRng};
 
 use crate::hardware::{NodeHardware, WallClock};
 use crate::report::ThreadedReport;
@@ -228,8 +228,7 @@ impl ThreadedCluster {
                             };
                             // Requests arrive from decider endpoints
                             // (`n..2n`); report the logical node id.
-                            let requester =
-                                NodeId::new(req.from.index().saturating_sub(n) as u32);
+                            let requester = NodeId::new(req.from.index().saturating_sub(n) as u32);
                             let now = clock.now();
                             em.emit(now, || EventKind::RequestServed {
                                 requester,
@@ -366,7 +365,10 @@ impl ThreadedCluster {
             .collect();
         await_completion(&wait_on, deadline);
         shutdown.store(true, Ordering::Relaxed);
-        let pool_endpoints: Vec<_> = pool_threads.into_iter().map(|t| t.join().unwrap()).collect();
+        let pool_endpoints: Vec<_> = pool_threads
+            .into_iter()
+            .map(|t| t.join().unwrap())
+            .collect();
         let decider_endpoints: Vec<_> = decider_threads
             .into_iter()
             .map(|t| t.join().unwrap())
@@ -386,7 +388,10 @@ impl ThreadedCluster {
             finished_secs: finish_times(&hw),
             net: net.stats(),
             final_caps: hw.iter().map(|h| h.cap()).collect(),
-            final_pools: pools.iter().map(|p| p.lock().unwrap().available()).collect(),
+            final_pools: pools
+                .iter()
+                .map(|p| p.lock().unwrap().available())
+                .collect(),
             drained_in_flight: drained,
             server_cache: Power::ZERO,
             budget_assigned,
@@ -520,7 +525,10 @@ impl ThreadedCluster {
         await_completion(&hw, deadline);
         shutdown.store(true, Ordering::Relaxed);
         let (policy, server_ep) = server_thread.join().unwrap();
-        let client_eps: Vec<_> = client_threads.into_iter().map(|t| t.join().unwrap()).collect();
+        let client_eps: Vec<_> = client_threads
+            .into_iter()
+            .map(|t| t.join().unwrap())
+            .collect();
 
         let mut drained = Power::ZERO;
         for env in std::iter::from_fn(|| server_ep.try_recv()) {

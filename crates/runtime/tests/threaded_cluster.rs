@@ -37,16 +37,10 @@ fn fair_runs_to_completion() {
 fn penelope_threads_shift_power_and_conserve_it() {
     // Donor wants 100 W of its 160 W share; recipient wants 250 W.
     let mk = || vec![profile("donor", 100, 1.2), profile("rcpt", 250, 1.2)];
-    let fair = ThreadedCluster::run_fair(
-        RuntimeConfig::fast(w(320)),
-        mk(),
-        Duration::from_secs(10),
-    );
-    let pen = ThreadedCluster::run_penelope(
-        RuntimeConfig::fast(w(320)),
-        mk(),
-        Duration::from_secs(10),
-    );
+    let fair =
+        ThreadedCluster::run_fair(RuntimeConfig::fast(w(320)), mk(), Duration::from_secs(10));
+    let pen =
+        ThreadedCluster::run_penelope(RuntimeConfig::fast(w(320)), mk(), Duration::from_secs(10));
     let rt_fair = fair.makespan_secs().expect("fair finished");
     let rt_pen = pen.makespan_secs().expect("penelope finished");
     assert!(
@@ -67,11 +61,8 @@ fn penelope_threads_shift_power_and_conserve_it() {
 #[test]
 fn slurm_threads_shift_power_and_conserve_it() {
     let mk = || vec![profile("donor", 100, 1.2), profile("rcpt", 250, 1.2)];
-    let fair = ThreadedCluster::run_fair(
-        RuntimeConfig::fast(w(320)),
-        mk(),
-        Duration::from_secs(10),
-    );
+    let fair =
+        ThreadedCluster::run_fair(RuntimeConfig::fast(w(320)), mk(), Duration::from_secs(10));
     let slurm = ThreadedCluster::run_slurm(
         RuntimeConfig::fast(w(320)),
         mk(),
@@ -122,7 +113,10 @@ fn slurm_server_kill_degrades_but_clients_survive() {
         rt_faulty > rt_nominal,
         "killing the server did not slow SLURM: {rt_faulty}s vs {rt_nominal}s"
     );
-    assert!(faulty.net.dropped_dead > 0, "no traffic hit the dead server");
+    assert!(
+        faulty.net.dropped_dead > 0,
+        "no traffic hit the dead server"
+    );
 }
 
 #[test]

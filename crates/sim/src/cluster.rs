@@ -7,11 +7,11 @@ use penelope_metrics::{OscillationStats, RedistributionTracker};
 use penelope_net::{RouteOutcome, SimNet};
 use penelope_power::{PowerInterface, SimulatedRapl};
 use penelope_slurm::{ClientAction, PowerServer, ServerGrant, ServerQueue, SlurmClient, SlurmMsg};
+use penelope_testkit::rng::Rng;
+use penelope_testkit::rng::TestRng;
 use penelope_trace::{EventKind, FanoutObserver, SharedObserver, TraceEvent};
 use penelope_units::{NodeId, Power, SimDuration, SimTime};
 use penelope_workload::{Profile, WorkloadState};
-use penelope_testkit::rng::Rng;
-use penelope_testkit::rng::TestRng;
 
 use std::sync::Arc;
 
@@ -54,6 +54,10 @@ pub struct ClusterSim {
     stop_on_full_redistribution: bool,
     trace: Option<Arc<ClusterTrace>>,
     obs: SharedObserver,
+    /// `obs.enabled()` cached at attach time: the emission fast path pays
+    /// one local bool load instead of a virtual call per event.
+    obs_on: bool,
+    events_processed: u64,
 }
 
 /// Per-node RNG stream derivation (SplitMix-style stream separation).
@@ -62,7 +66,10 @@ pub struct ClusterSim {
 /// conformance harness) can derive the *same* per-node streams from the
 /// same master seed, which keeps cross-substrate divergence small.
 pub fn node_seed(master: u64, idx: u64) -> u64 {
-    master ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xD1B5_4A32_D192_ED03)
+    master
+        ^ idx
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xD1B5_4A32_D192_ED03)
 }
 
 impl ClusterSim {
@@ -85,11 +92,7 @@ impl ClusterSim {
     /// assignments — the *power assignment* axis of §2.2.1. Every cap must
     /// be within the safe range and their sum within the budget; the sum
     /// becomes the conserved total.
-    pub fn with_assignments(
-        cfg: ClusterConfig,
-        workloads: Vec<Profile>,
-        caps: Vec<Power>,
-    ) -> Self {
+    pub fn with_assignments(cfg: ClusterConfig, workloads: Vec<Profile>, caps: Vec<Power>) -> Self {
         let n = workloads.len();
         assert!(n > 0, "cluster needs at least one node");
         assert_eq!(caps.len(), n, "one cap per node");
@@ -106,7 +109,7 @@ impl ClusterSim {
             cfg.budget
         );
 
-        let mut queue = EventQueue::new();
+        let mut queue = EventQueue::with_capacity(2 * n);
         let mut nodes = Vec::with_capacity(n);
         for (i, profile) in workloads.into_iter().enumerate() {
             let id = NodeId::new(i as u32);
@@ -172,6 +175,7 @@ impl ClusterSim {
 
         let net_rng = TestRng::seed_from_u64(node_seed(cfg.seed, u64::MAX - 1));
         let obs = cfg.observer.clone();
+        let obs_on = obs.enabled();
         ClusterSim {
             net: SimNet::new(cfg.latency.clone()),
             cfg,
@@ -189,6 +193,8 @@ impl ClusterSim {
             stop_on_full_redistribution: false,
             trace: None,
             obs,
+            obs_on,
+            events_processed: 0,
         }
     }
 
@@ -205,6 +211,7 @@ impl ClusterSim {
             self.cfg.observer.clone(),
             SharedObserver::from(trace.clone()),
         );
+        self.obs_on = self.obs.enabled();
         self.trace = Some(trace);
     }
 
@@ -274,6 +281,7 @@ impl ClusterSim {
             }
             let Scheduled { at, event, .. } = self.queue.pop().expect("peeked");
             self.now = at;
+            self.events_processed += 1;
             match event {
                 Event::Tick(id) => self.handle_tick(id),
                 Event::DeliverPeer(env) => self.handle_deliver_peer(env),
@@ -353,7 +361,7 @@ impl ClusterSim {
     /// only when some observer is attached.
     #[inline]
     fn emit(&self, node: NodeId, kind: impl FnOnce() -> EventKind) {
-        if self.obs.enabled() {
+        if self.obs_on {
             let period_ns = self.cfg.node.decider.period.as_nanos().max(1);
             self.obs.on_event(&TraceEvent {
                 at: self.now,
@@ -383,9 +391,18 @@ impl ClusterSim {
         // Run the manager.
         enum Outgoing {
             None,
-            PeerRequest { dst: NodeId, req: PowerRequest },
-            SlurmReport { excess: Power },
-            SlurmRequest { urgent: bool, alpha: Power, seq: u64 },
+            PeerRequest {
+                dst: NodeId,
+                req: PowerRequest,
+            },
+            SlurmReport {
+                excess: Power,
+            },
+            SlurmRequest {
+                urgent: bool,
+                alpha: Power,
+                seq: u64,
+            },
         }
         let mut outgoing = Outgoing::None;
         match &mut node.manager {
@@ -833,7 +850,9 @@ impl ClusterSim {
     /// configured, a client fails over after two consecutive request
     /// timeouts (it has no other liveness oracle) and stays there.
     fn active_server_for(&self, node: NodeId) -> NodeId {
-        let idx = self.nodes[node.index()].active_server.min(self.servers.len() - 1);
+        let idx = self.nodes[node.index()]
+            .active_server
+            .min(self.servers.len() - 1);
         self.servers[idx].id
     }
 
@@ -914,6 +933,7 @@ impl ClusterSim {
             lost: self.ledger.lost,
             final_caps,
             conservation_ok: self.conservation_ok,
+            events: self.events_processed,
             oscillation,
             trace: self
                 .trace

@@ -154,6 +154,8 @@ mod tests {
         assert!(!c.check_invariants);
         let f = ClusterConfig::paper_defaults(SystemKind::Fair, Power::from_watts_u64(3200));
         assert_eq!(f.management_overhead, 0.0);
-        assert!(ClusterConfig::checked(SystemKind::Slurm, Power::from_watts_u64(100)).check_invariants);
+        assert!(
+            ClusterConfig::checked(SystemKind::Slurm, Power::from_watts_u64(100)).check_invariants
+        );
     }
 }

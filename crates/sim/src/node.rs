@@ -6,9 +6,9 @@ use penelope_core::{LocalDecider, PowerPool};
 use penelope_metrics::{OscillationStats, TurnaroundStats};
 use penelope_power::{PowerInterface, SimulatedRapl};
 use penelope_slurm::{ServerQueue, SlurmClient};
+use penelope_testkit::rng::TestRng;
 use penelope_units::{NodeId, Power, SimTime};
 use penelope_workload::WorkloadState;
-use penelope_testkit::rng::TestRng;
 
 /// The power manager running on a node.
 #[derive(Debug)]

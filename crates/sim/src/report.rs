@@ -35,6 +35,9 @@ pub struct RunReport {
     pub final_caps: Vec<Power>,
     /// Whether the conservation invariant held at every checked point.
     pub conservation_ok: bool,
+    /// Discrete events processed by the simulator during the run — the
+    /// numerator of the perf harness's events/sec throughput metric.
+    pub events: u64,
     /// Cluster-wide cap-oscillation statistics (merged over nodes).
     pub oscillation: OscillationStats,
     /// Per-node time series, when [`record_traces`] was enabled.
@@ -91,6 +94,7 @@ mod tests {
             lost: Power::ZERO,
             final_caps: vec![Power::from_watts_u64(100); n],
             conservation_ok: true,
+            events: 0,
             oscillation: OscillationStats::new(),
             trace: None,
         }

@@ -116,7 +116,12 @@ impl ClusterTrace {
 
     /// Total number of samples across all nodes.
     pub fn len(&self) -> usize {
-        self.nodes.lock().expect("trace lock").iter().map(Vec::len).sum()
+        self.nodes
+            .lock()
+            .expect("trace lock")
+            .iter()
+            .map(Vec::len)
+            .sum()
     }
 
     /// True iff no samples were recorded.

@@ -193,7 +193,10 @@ fn redistribution_tracking_end_of_app_scenario() {
         "only {} shifted",
         tracker.fraction_shifted()
     );
-    assert!(tracker.median_time().is_some(), "median redistribution time");
+    assert!(
+        tracker.median_time().is_some(),
+        "median redistribution time"
+    );
     assert!(report.conservation_ok);
 }
 
@@ -225,7 +228,10 @@ fn random_message_loss_does_not_break_anything() {
     );
     let report = sim.run(horizon(600));
     assert!(report.conservation_ok);
-    assert!(report.runtime_secs().is_some(), "did not finish under 20% loss");
+    assert!(
+        report.runtime_secs().is_some(),
+        "did not finish under 20% loss"
+    );
     assert!(report.net.dropped_random > 0);
 }
 
@@ -377,7 +383,7 @@ fn effective_caps_never_exceed_budget_despite_actuation_lag() {
     for system in [SystemKind::Penelope, SystemKind::Slurm] {
         let mut c = ClusterConfig::checked(system, w(6 * 160));
         c.management_overhead = 0.0; // keep runtimes analytic-ish
-        // NOTE: keep the default RaplConfig (300 ms actuation delay).
+                                     // NOTE: keep the default RaplConfig (300 ms actuation delay).
         let report = ClusterSim::new(c, workloads.clone()).run(horizon(600));
         assert!(report.conservation_ok, "{system:?}");
         assert!(report.runtime_secs().is_some(), "{system:?}");
@@ -430,4 +436,32 @@ fn backup_server_is_idle_in_nominal_runs() {
     let with = run(true);
     assert_eq!(without.runtime_secs(), with.runtime_secs());
     assert!(with.conservation_ok);
+}
+
+#[test]
+fn noop_observer_is_behaviour_free_and_events_are_counted() {
+    // The default (no-op) observer must not perturb the run, and attaching
+    // a real observer must not either: identical seeds give bit-identical
+    // reports whether or not events are being recorded. The event counter
+    // in the report is the DES hot-loop throughput numerator.
+    use penelope_trace::{RingBufferObserver, SharedObserver};
+    use std::sync::Arc;
+
+    let mk = || vec![profile("donor", 100, 30.0), profile("rcpt", 250, 30.0)];
+    let plain = ClusterSim::new(cfg(SystemKind::Penelope, 320), mk()).run(horizon(400));
+
+    let ring = Arc::new(RingBufferObserver::unbounded());
+    let mut observed_cfg = cfg(SystemKind::Penelope, 320);
+    observed_cfg.observer = SharedObserver::from(ring.clone());
+    let observed = ClusterSim::new(observed_cfg, mk()).run(horizon(400));
+
+    assert!(plain.events > 0, "no events counted");
+    assert_eq!(plain.events, observed.events);
+    assert_eq!(plain.runtime_secs(), observed.runtime_secs());
+    assert_eq!(plain.final_caps, observed.final_caps);
+    assert_eq!(plain.net.offered(), observed.net.offered());
+    assert!(ring.len() > 0, "observer saw nothing");
+    // The no-op observer reports disabled, so emission sites skip even
+    // constructing events — the zero-cost contract.
+    assert!(!SharedObserver::noop().enabled());
 }

@@ -163,12 +163,7 @@ impl SlurmClient {
     /// Deliver the server's grant. Any `released` power in the result must
     /// be sent back to the server as a report by the caller (its cap
     /// component has already been subtracted here).
-    pub fn on_grant(
-        &mut self,
-        seq: u64,
-        amount: Power,
-        release_to_initial: bool,
-    ) -> GrantEffect {
+    pub fn on_grant(&mut self, seq: u64, amount: Power, release_to_initial: bool) -> GrantEffect {
         if let Some(out) = self.outstanding {
             if out.seq == seq {
                 self.outstanding = None;
@@ -282,7 +277,13 @@ mod tests {
             panic!("expected request")
         };
         let eff = c.on_grant(seq, w(25), false);
-        assert_eq!(eff, GrantEffect { applied: w(25), released: Power::ZERO });
+        assert_eq!(
+            eff,
+            GrantEffect {
+                applied: w(25),
+                released: Power::ZERO
+            }
+        );
         assert_eq!(c.cap(), w(175));
         assert!(!c.is_blocked());
     }

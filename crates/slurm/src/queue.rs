@@ -2,8 +2,8 @@
 
 use std::collections::VecDeque;
 
-use penelope_units::{SimDuration, SimTime};
 use penelope_testkit::rng::Rng;
+use penelope_units::{SimDuration, SimTime};
 
 /// Per-request service time at the central server.
 ///

@@ -369,7 +369,13 @@ pub fn check_divergence(
     if dt > bound.max_total_diff {
         out.push(format!(
             "seed {:#x}: final totals diverge: {:?} ({}) vs {:?} ({}), |Δ|={:?} > {:?}",
-            scenario.seed, a.final_total, a.substrate, b.final_total, b.substrate, dt, bound.max_total_diff
+            scenario.seed,
+            a.final_total,
+            a.substrate,
+            b.final_total,
+            b.substrate,
+            dt,
+            bound.max_total_diff
         ));
     }
     out
@@ -638,7 +644,10 @@ mod tests {
         };
         let run = run_of(vec![snap], 320);
         let v = check_run(&scenario(), &run);
-        assert!(v.iter().any(|v| v.invariant == Invariant::NoMinting), "{v:?}");
+        assert!(
+            v.iter().any(|v| v.invariant == Invariant::NoMinting),
+            "{v:?}"
+        );
         assert!(v.iter().all(|v| v.seed == 0xABCD));
     }
 

@@ -42,7 +42,10 @@ pub fn normalize_protocol(events: &[TraceEvent]) -> BTreeMap<u32, Vec<EventKind>
     let mut per_node: BTreeMap<u32, Vec<EventKind>> = BTreeMap::new();
     for ev in events {
         if ev.kind.is_protocol() {
-            per_node.entry(ev.node.index() as u32).or_default().push(ev.kind);
+            per_node
+                .entry(ev.node.index() as u32)
+                .or_default()
+                .push(ev.kind);
         }
     }
     per_node
@@ -186,7 +189,12 @@ mod tests {
 
     #[test]
     fn pairing_rejects_double_serve_and_double_apply() {
-        let events = vec![served(0, 1, 7), served(2, 1, 7), applied(1, 7), applied(1, 7)];
+        let events = vec![
+            served(0, 1, 7),
+            served(2, 1, 7),
+            applied(1, 7),
+            applied(1, 7),
+        ];
         let v = check_grant_served_pairing(&events);
         assert!(v.iter().any(|m| m.contains("twice")));
         assert!(v.iter().any(|m| m.contains("served 2 times")));
@@ -196,9 +204,21 @@ mod tests {
     fn urgency_alternation_allows_raise_clear_raise() {
         let raise = |node, at| ev(node, at, EventKind::UrgencyRaised { by: NodeId::new(9) });
         let clear = |node, at| {
-            ev(node, at, EventKind::UrgencyCleared { released: Power::ZERO })
+            ev(
+                node,
+                at,
+                EventKind::UrgencyCleared {
+                    released: Power::ZERO,
+                },
+            )
         };
-        let ok = vec![raise(0, 1), clear(0, 2), raise(0, 3), clear(0, 4), clear(0, 5)];
+        let ok = vec![
+            raise(0, 1),
+            clear(0, 2),
+            raise(0, 3),
+            clear(0, 4),
+            clear(0, 5),
+        ];
         assert!(check_urgency_alternation(&ok).is_empty());
 
         let bad = vec![raise(0, 1), raise(0, 2)];
@@ -210,15 +230,32 @@ mod tests {
     #[test]
     fn normalize_drops_transport_and_groups_by_node() {
         let events = vec![
-            ev(1, 5, EventKind::MsgSent { dst: NodeId::new(0), carried: Power::ZERO }),
+            ev(
+                1,
+                5,
+                EventKind::MsgSent {
+                    dst: NodeId::new(0),
+                    carried: Power::ZERO,
+                },
+            ),
             served(0, 1, 7),
             applied(1, 7),
-            ev(0, 9, EventKind::MsgRecv { src: NodeId::new(1), carried: Power::ZERO }),
+            ev(
+                0,
+                9,
+                EventKind::MsgRecv {
+                    src: NodeId::new(1),
+                    carried: Power::ZERO,
+                },
+            ),
         ];
         let norm = normalize_protocol(&events);
         assert_eq!(norm.len(), 2);
         assert_eq!(norm[&0].len(), 1);
         assert_eq!(norm[&1].len(), 1);
-        assert!(matches!(norm[&1][0], EventKind::GrantApplied { seq: 7, .. }));
+        assert!(matches!(
+            norm[&1][0],
+            EventKind::GrantApplied { seq: 7, .. }
+        ));
     }
 }

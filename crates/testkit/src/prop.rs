@@ -203,8 +203,13 @@ pub fn run<G: Gen, F: Fn(G::Value)>(cfg: Config, gen: G, property: F) -> RunResu
         let mut rng = case_rng(cfg.seed, case);
         let value = gen.generate(&mut rng);
         if let Some(first_msg) = fails(&property, value.clone()) {
-            let (shrunk, shrink_steps, message) =
-                shrink_failure(&gen, &property, value.clone(), first_msg, cfg.max_shrink_iters);
+            let (shrunk, shrink_steps, message) = shrink_failure(
+                &gen,
+                &property,
+                value.clone(),
+                first_msg,
+                cfg.max_shrink_iters,
+            );
             return RunResult::Failed {
                 seed: cfg.seed,
                 case,
@@ -575,11 +580,9 @@ mod tests {
     #[test]
     fn vec_shrinking_chops_length() {
         // Fails when the vec contains any element >= 50.
-        match run(
-            Config::with_cases(200),
-            vec_of(0u64..1000, 0..30),
-            |v| assert!(v.iter().all(|&x| x < 50)),
-        ) {
+        match run(Config::with_cases(200), vec_of(0u64..1000, 0..30), |v| {
+            assert!(v.iter().all(|&x| x < 50))
+        }) {
             RunResult::Failed { shrunk, .. } => {
                 assert!(shrunk.len() <= 2, "shrunk to near-minimal: {shrunk:?}");
                 assert!(shrunk.iter().any(|&x| x >= 50));
@@ -632,9 +635,7 @@ mod tests {
     fn replay_reproduces() {
         // Find a failing (seed, case) via run(), then replay it.
         let cfg = Config::with_cases(64);
-        if let RunResult::Failed { seed, case, .. } =
-            run(cfg, 0u64..1000, |v| assert!(v < 500))
-        {
+        if let RunResult::Failed { seed, case, .. } = run(cfg, 0u64..1000, |v| assert!(v < 500)) {
             let outcome = std::panic::catch_unwind(|| {
                 replay(seed, case, 0u64..1000, |v| assert!(v < 500));
             });

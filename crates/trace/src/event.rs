@@ -385,4 +385,3 @@ mod tests {
         assert!(EventKind::RequestTimeout { seq: 0 }.is_protocol());
     }
 }
-

@@ -186,9 +186,8 @@ mod tests {
 
     #[test]
     fn unknown_kind_is_rejected() {
-        let err =
-            validate_jsonl("{\"t_ns\":0,\"node\":0,\"period\":0,\"kind\":\"mystery\"}")
-                .expect_err("unknown kind");
+        let err = validate_jsonl("{\"t_ns\":0,\"node\":0,\"period\":0,\"kind\":\"mystery\"}")
+            .expect_err("unknown kind");
         assert!(err.contains("mystery"), "{err}");
     }
 

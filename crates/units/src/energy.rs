@@ -4,7 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub};
 
-
 use crate::{Power, SimDuration};
 
 /// An amount of energy, stored as integer nanojoules in a `u128`.

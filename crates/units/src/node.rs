@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-
 /// A dense index identifying a node in the cluster.
 ///
 /// Nodes are numbered `0..n` at cluster construction. The special value

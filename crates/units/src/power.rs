@@ -4,7 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-
 /// A non-negative amount of electrical power, stored as integer milliwatts.
 ///
 /// Powercap transactions in Penelope are zero-sum exchanges; storing power as
@@ -289,10 +288,7 @@ mod tests {
     #[test]
     fn checked_add_none_on_overflow() {
         assert_eq!(Power::MAX.checked_add(Power::from_milliwatts(1)), None);
-        assert_eq!(
-            Power::ZERO.checked_add(Power::MAX),
-            Some(Power::MAX)
-        );
+        assert_eq!(Power::ZERO.checked_add(Power::MAX), Some(Power::MAX));
     }
 
     #[test]
@@ -366,7 +362,10 @@ mod tests {
         let hi = Power::from_watts_u64(120);
         assert_eq!(Power::from_watts_u64(10).clamp(lo, hi), lo);
         assert_eq!(Power::from_watts_u64(200).clamp(lo, hi), hi);
-        assert_eq!(Power::from_watts_u64(80).clamp(lo, hi), Power::from_watts_u64(80));
+        assert_eq!(
+            Power::from_watts_u64(80).clamp(lo, hi),
+            Power::from_watts_u64(80)
+        );
         assert_eq!(lo.min(hi), lo);
         assert_eq!(lo.max(hi), hi);
     }

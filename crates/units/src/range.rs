@@ -1,6 +1,5 @@
 //! Safe operating ranges for node powercaps.
 
-
 use crate::Power;
 
 /// A node's safe powercap range `[min, max]`.
@@ -92,17 +91,32 @@ mod tests {
         assert!(r.contains(Power::from_watts_u64(300)));
         assert!(!r.contains(Power::from_watts_u64(79)));
         assert!(!r.contains(Power::from_watts_u64(301)));
-        assert_eq!(r.clamp(Power::from_watts_u64(10)), Power::from_watts_u64(80));
-        assert_eq!(r.clamp(Power::from_watts_u64(999)), Power::from_watts_u64(300));
-        assert_eq!(r.clamp(Power::from_watts_u64(150)), Power::from_watts_u64(150));
+        assert_eq!(
+            r.clamp(Power::from_watts_u64(10)),
+            Power::from_watts_u64(80)
+        );
+        assert_eq!(
+            r.clamp(Power::from_watts_u64(999)),
+            Power::from_watts_u64(300)
+        );
+        assert_eq!(
+            r.clamp(Power::from_watts_u64(150)),
+            Power::from_watts_u64(150)
+        );
     }
 
     #[test]
     fn headroom_and_slack() {
         let r = PowerRange::from_watts(80, 300);
-        assert_eq!(r.headroom(Power::from_watts_u64(250)), Power::from_watts_u64(50));
+        assert_eq!(
+            r.headroom(Power::from_watts_u64(250)),
+            Power::from_watts_u64(50)
+        );
         assert_eq!(r.headroom(Power::from_watts_u64(400)), Power::ZERO);
-        assert_eq!(r.slack(Power::from_watts_u64(100)), Power::from_watts_u64(20));
+        assert_eq!(
+            r.slack(Power::from_watts_u64(100)),
+            Power::from_watts_u64(20)
+        );
         assert_eq!(r.slack(Power::from_watts_u64(50)), Power::ZERO);
         assert_eq!(r.span(), Power::from_watts_u64(220));
     }
@@ -118,7 +132,10 @@ mod tests {
         let r = PowerRange::from_watts(100, 100);
         assert!(r.contains(Power::from_watts_u64(100)));
         assert_eq!(r.span(), Power::ZERO);
-        assert_eq!(r.clamp(Power::from_watts_u64(120)), Power::from_watts_u64(100));
+        assert_eq!(
+            r.clamp(Power::from_watts_u64(120)),
+            Power::from_watts_u64(100)
+        );
     }
 
     #[test]

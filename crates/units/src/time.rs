@@ -4,7 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
 
-
 /// An instant on the simulator's virtual clock, in nanoseconds since the
 /// start of the simulation.
 ///
@@ -284,7 +283,10 @@ mod tests {
     fn from_secs_f64_edge_cases() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
         // Non-finite inputs are uniformly rejected, including +inf.
         assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::ZERO);
     }

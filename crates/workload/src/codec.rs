@@ -70,7 +70,9 @@ pub fn parse_profile(text: &str) -> Result<Profile, CodecError> {
     let profiles = parse_profiles(text)?;
     match profiles.len() {
         1 => Ok(profiles.into_iter().next().expect("len checked")),
-        n => Err(CodecError::Incomplete(format!("expected 1 profile, found {n}"))),
+        n => Err(CodecError::Incomplete(format!(
+            "expected 1 profile, found {n}"
+        ))),
     }
 }
 
@@ -138,13 +140,15 @@ pub fn parse_profiles(text: &str) -> Result<Vec<Profile>, CodecError> {
                 let (name, idle, alpha, phases) = slot.take().expect("checked Some");
                 let idle =
                     idle.ok_or_else(|| CodecError::Incomplete(format!("{name}: missing idle_mw")))?;
-                let alpha =
-                    alpha.ok_or_else(|| CodecError::Incomplete(format!("{name}: missing alpha")))?;
+                let alpha = alpha
+                    .ok_or_else(|| CodecError::Incomplete(format!("{name}: missing alpha")))?;
                 if phases.is_empty() {
                     return Err(CodecError::Incomplete(format!("{name}: no phases")));
                 }
                 if !(alpha > 0.0 && alpha <= 1.0) {
-                    return Err(CodecError::Incomplete(format!("{name}: alpha out of range")));
+                    return Err(CodecError::Incomplete(format!(
+                        "{name}: alpha out of range"
+                    )));
                 }
                 profiles.push(Profile::new(
                     name,
@@ -199,15 +203,24 @@ mod tests {
     #[test]
     fn missing_header_fields_rejected() {
         let text = "profile X\nalpha 0.5\nphase 100000 1.0\nend\n";
-        assert!(matches!(parse_profiles(text), Err(CodecError::Incomplete(_))));
+        assert!(matches!(
+            parse_profiles(text),
+            Err(CodecError::Incomplete(_))
+        ));
         let text = "profile X\nidle_mw 60000\nphase 100000 1.0\nend\n";
-        assert!(matches!(parse_profiles(text), Err(CodecError::Incomplete(_))));
+        assert!(matches!(
+            parse_profiles(text),
+            Err(CodecError::Incomplete(_))
+        ));
     }
 
     #[test]
     fn no_phases_rejected() {
         let text = "profile X\nidle_mw 60000\nalpha 0.5\nend\n";
-        assert!(matches!(parse_profiles(text), Err(CodecError::Incomplete(_))));
+        assert!(matches!(
+            parse_profiles(text),
+            Err(CodecError::Incomplete(_))
+        ));
     }
 
     #[test]
@@ -218,21 +231,33 @@ mod tests {
             Err(CodecError::BadNumber(2, "sixty".into()))
         );
         let text = "profile X\nidle_mw 60000\nalpha 0.5\nphase 100 -3\nend\n";
-        assert_eq!(parse_profiles(text), Err(CodecError::BadNumber(4, "-3".into())));
+        assert_eq!(
+            parse_profiles(text),
+            Err(CodecError::BadNumber(4, "-3".into()))
+        );
     }
 
     #[test]
     fn stray_lines_rejected() {
         let text = "idle_mw 60000\n";
-        assert!(matches!(parse_profiles(text), Err(CodecError::Malformed(1, _))));
+        assert!(matches!(
+            parse_profiles(text),
+            Err(CodecError::Malformed(1, _))
+        ));
         let text = "profile X\nidle_mw 1\nalpha 0.5\nphase 1 1.0\nend\nbogus line\n";
-        assert!(matches!(parse_profiles(text), Err(CodecError::Malformed(6, _))));
+        assert!(matches!(
+            parse_profiles(text),
+            Err(CodecError::Malformed(6, _))
+        ));
     }
 
     #[test]
     fn alpha_out_of_range_rejected() {
         let text = "profile X\nidle_mw 60000\nalpha 2.0\nphase 100000 1.0\nend\n";
-        assert!(matches!(parse_profiles(text), Err(CodecError::Incomplete(_))));
+        assert!(matches!(
+            parse_profiles(text),
+            Err(CodecError::Incomplete(_))
+        ));
     }
 
     #[test]
@@ -245,13 +270,18 @@ mod tests {
     fn parse_profile_rejects_multiple() {
         let suite = npb::all_profiles();
         let text = format_profiles(&suite[..2]);
-        assert!(matches!(parse_profile(&text), Err(CodecError::Incomplete(_))));
+        assert!(matches!(
+            parse_profile(&text),
+            Err(CodecError::Incomplete(_))
+        ));
     }
 
     #[test]
     fn error_display_is_informative() {
         let e = CodecError::BadNumber(3, "xyz".into());
         assert!(e.to_string().contains("line 3"));
-        assert!(CodecError::UnexpectedEof.to_string().contains("end of input"));
+        assert!(CodecError::UnexpectedEof
+            .to_string()
+            .contains("end of input"));
     }
 }

@@ -82,7 +82,11 @@ pub fn sp() -> Profile {
 /// UA — unstructured adaptive: irregular mix of mesh adaptation (high),
 /// communication (low) and solve (mid) phases.
 pub fn ua() -> Profile {
-    Profile::new("UA", repeat(&[(220, 12.0), (185, 10.0), (200, 26.0)], 5), model())
+    Profile::new(
+        "UA",
+        repeat(&[(220, 12.0), (185, 10.0), (200, 26.0)], 5),
+        model(),
+    )
 }
 
 /// All nine applications, in the suite's alphabetical order.
@@ -209,6 +213,9 @@ mod tests {
         let cap = Power::from_watts_u64(140);
         let ep_stretch = ep().runtime_under_cap_secs(cap).unwrap() / ep().nominal_runtime_secs();
         let dc_stretch = dc().runtime_under_cap_secs(cap).unwrap() / dc().nominal_runtime_secs();
-        assert!(ep_stretch > dc_stretch * 1.2, "EP {ep_stretch} vs DC {dc_stretch}");
+        assert!(
+            ep_stretch > dc_stretch * 1.2,
+            "EP {ep_stretch} vs DC {dc_stretch}"
+        );
     }
 }

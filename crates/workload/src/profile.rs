@@ -163,7 +163,7 @@ mod tests {
     #[test]
     fn capped_runtime_stretches() {
         let p = two_phase(); // linear perf model, idle 60 W
-        // Cap 130 W: phase 1 rate = 70/140 = 0.5 -> 20 s; phase 2 uncapped -> 30 s.
+                             // Cap 130 W: phase 1 rate = 70/140 = 0.5 -> 20 s; phase 2 uncapped -> 30 s.
         let rt = p.runtime_under_cap_secs(w(130)).unwrap();
         assert!((rt - 50.0).abs() < 1e-9);
     }

@@ -92,10 +92,7 @@ impl CappedDevice for WorkloadState {
                 // Idle draw for the remainder of the window (still subject
                 // to the cap, though idle is normally below any safe cap).
                 let dt = to.saturating_since(cursor);
-                energy += Energy::from_power(
-                    self.profile.perf.idle_power.min(effective_cap),
-                    dt,
-                );
+                energy += Energy::from_power(self.profile.perf.idle_power.min(effective_cap), dt);
                 break;
             }
             let phase = self.profile.phases[self.phase_idx];
@@ -236,7 +233,10 @@ mod tests {
         let t0 = plain.finished_at().unwrap().as_secs_f64();
         let t1 = loaded.finished_at().unwrap().as_secs_f64();
         let slowdown = t1 / t0 - 1.0;
-        assert!((slowdown - 0.013 / (1.0 - 0.013)).abs() < 1e-6, "slowdown {slowdown}");
+        assert!(
+            (slowdown - 0.013 / (1.0 - 0.013)).abs() < 1e-6,
+            "slowdown {slowdown}"
+        );
     }
 
     #[test]

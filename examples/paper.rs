@@ -9,7 +9,9 @@
 //! effort:    smoke | quick | full        (default: quick)
 //! ```
 
-use penelope::experiments::{assignment, failover, faulty, multijob, nominal, overhead, scale, service, Effort};
+use penelope::experiments::{
+    assignment, failover, faulty, multijob, nominal, overhead, scale, service, Effort,
+};
 
 fn frequencies(effort: Effort) -> Vec<f64> {
     match effort {
@@ -58,8 +60,18 @@ fn run_artifact(name: &str, effort: Effort) -> bool {
         "failover" => print!("{}", failover::run(effort).render()),
         "all" => {
             for a in [
-                "overhead", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "service",
-                "multijob", "assignment", "failover",
+                "overhead",
+                "fig2",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig6",
+                "fig7",
+                "fig8",
+                "service",
+                "multijob",
+                "assignment",
+                "failover",
             ] {
                 println!("==== {a} ====");
                 run_artifact(a, effort);

@@ -1,0 +1,200 @@
+//! The machine-readable perf harness: time every sweep serial and
+//! parallel, verify the parallel rows match the serial ones bit-for-bit,
+//! and write a `penelope-bench/v1` report to `BENCH.json`.
+//!
+//! CI runs this at smoke effort and gates on a committed baseline: the
+//! run fails if any sweep's events/sec (or the aggregate) drops by more
+//! than the tolerance, or if the parallel engine stops reproducing the
+//! serial rows.
+//!
+//! ```text
+//! cargo run --release --example perf_report
+//! cargo run --release --example perf_report -- --out BENCH.json \
+//!     --baseline BENCH_baseline.json --tolerance 0.2
+//! PENELOPE_EFFORT=smoke PENELOPE_JOBS=4 cargo run --release --example perf_report
+//! ```
+//!
+//! `--tolerance` (or `PENELOPE_PERF_TOLERANCE`) is the allowed fractional
+//! throughput drop, default `0.2` (20 %).
+
+use penelope::experiments::{nominal, parallel, scale, Effort};
+use penelope_bench::report::{check_regression, BenchReport, SweepTiming, BENCH_SCHEMA};
+use penelope_bench::{cap_axis, frequency_axis, scale_axis, time};
+
+struct Args {
+    out: String,
+    baseline: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Args {
+    let mut out = "BENCH.json".to_string();
+    let mut baseline = None;
+    let mut tolerance = std::env::var("PENELOPE_PERF_TOLERANCE")
+        .ok()
+        .map(|v| {
+            v.parse::<f64>().unwrap_or_else(|_| {
+                eprintln!("PENELOPE_PERF_TOLERANCE must be a number, got {v:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0.2);
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--out" => out = value("--out"),
+            "--baseline" => baseline = Some(value("--baseline")),
+            "--tolerance" => {
+                let v = value("--tolerance");
+                tolerance = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--tolerance must be a number, got {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other:?}; usage: perf_report \
+                     [--out PATH] [--baseline PATH] [--tolerance FRAC]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if !(0.0..1.0).contains(&tolerance) {
+        eprintln!("tolerance must be in [0, 1), got {tolerance}");
+        std::process::exit(2);
+    }
+    Args {
+        out,
+        baseline,
+        tolerance,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let effort = Effort::from_env();
+    let jobs = parallel::jobs_from_env();
+    let effort_name = match effort {
+        Effort::Smoke => "smoke",
+        Effort::Quick => "quick",
+        Effort::Full => "full",
+    };
+    println!("perf_report: effort={effort_name} jobs={jobs}");
+
+    let mut sweeps = Vec::new();
+    let mut matches = true;
+
+    // Frequency sweep (Figs. 4/5/7 axis).
+    let freqs = frequency_axis(effort);
+    let (serial, serial_wall) = time(|| scale::frequency_sweep_with_jobs(effort, &freqs, 1));
+    let (par, wall) = time(|| scale::frequency_sweep_with_jobs(effort, &freqs, jobs));
+    matches &= par == serial;
+    sweeps.push(SweepTiming::from_stats(
+        "frequency_sweep",
+        &par.stats,
+        wall,
+        serial_wall,
+    ));
+
+    // Scale sweep (Figs. 6/8 axis).
+    let scales = scale_axis(effort);
+    let (serial, serial_wall) = time(|| scale::scale_sweep_with_jobs(effort, &scales, 1));
+    let (par, wall) = time(|| scale::scale_sweep_with_jobs(effort, &scales, jobs));
+    matches &= par == serial;
+    sweeps.push(SweepTiming::from_stats(
+        "scale_sweep",
+        &par.stats,
+        wall,
+        serial_wall,
+    ));
+
+    // Nominal matrix (Fig. 2).
+    let caps = cap_axis(effort);
+    let (serial, serial_wall) = time(|| nominal::run_with_caps_jobs(effort, &caps, 1));
+    let (par, wall) = time(|| nominal::run_with_caps_jobs(effort, &caps, jobs));
+    matches &= par == serial;
+    sweeps.push(SweepTiming::from_stats(
+        "nominal",
+        &par.1,
+        wall,
+        serial_wall,
+    ));
+
+    let report = BenchReport {
+        schema: BENCH_SCHEMA.to_string(),
+        effort: effort_name.to_string(),
+        jobs,
+        parallel_matches_serial: matches,
+        sweeps,
+    };
+
+    for s in &report.sweeps {
+        println!(
+            "  {:<16} cells={:<4} events={:<9} wall={:.3}s serial={:.3}s \
+             events/s={:.0} speedup={:.2}x sim/wall={:.0}x",
+            s.name,
+            s.cells,
+            s.events,
+            s.wall_s,
+            s.serial_wall_s,
+            s.events_per_sec(),
+            s.speedup(),
+            s.sim_per_wall(),
+        );
+    }
+    println!(
+        "  total events/sec: {:.0}  parallel == serial: {}",
+        report.total_events_per_sec(),
+        report.parallel_matches_serial
+    );
+
+    // Write the artifact and prove it round-trips through the parser —
+    // a malformed report must fail here, not in the CI consumer.
+    let text = report.to_json();
+    std::fs::write(&args.out, &text).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    });
+    let back = BenchReport::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("self-validation failed: {e}");
+        std::process::exit(1);
+    });
+    assert_eq!(back, report, "report must survive a JSON round-trip");
+    println!("wrote {}", args.out);
+
+    if !report.parallel_matches_serial {
+        eprintln!("FAIL: parallel sweep rows diverged from the serial reference");
+        std::process::exit(1);
+    }
+
+    if let Some(path) = &args.baseline {
+        let base_text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let baseline = BenchReport::from_json(&base_text).unwrap_or_else(|e| {
+            eprintln!("baseline {path} is not a valid report: {e}");
+            std::process::exit(1);
+        });
+        let failures = check_regression(&report, &baseline, args.tolerance);
+        if failures.is_empty() {
+            println!(
+                "regression gate: OK vs {path} (tolerance {:.0}%)",
+                args.tolerance * 100.0
+            );
+        } else {
+            eprintln!("regression gate: FAIL vs {path}");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -16,7 +16,11 @@ fn main() {
     let perf = PerfModel::new(Power::from_watts_u64(60), 0.7);
     let w = Power::from_watts_u64;
     let profiles = vec![
-        Profile::new("phasey", vec![Phase::new(w(100), 40.0), Phase::new(w(240), 40.0)], perf),
+        Profile::new(
+            "phasey",
+            vec![Phase::new(w(100), 40.0), Phase::new(w(240), 40.0)],
+            perf,
+        ),
         Profile::new("hungry", vec![Phase::new(w(250), 90.0)], perf),
         Profile::new("steady", vec![Phase::new(w(170), 90.0)], perf),
         Profile::new("donor", vec![Phase::new(w(110), 90.0)], perf),
@@ -54,7 +58,11 @@ fn main() {
     }
     println!(
         "\nconservation: {} | makespan {:.1}s | cap reversals/tick {:.4}",
-        if report.conservation_ok { "exact" } else { "VIOLATED" },
+        if report.conservation_ok {
+            "exact"
+        } else {
+            "VIOLATED"
+        },
         report.runtime_secs().unwrap_or(f64::NAN),
         report.oscillation.reversal_rate()
     );

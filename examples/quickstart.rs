@@ -36,10 +36,15 @@ fn main() {
         let cfg = ClusterConfig::checked(system, budget);
         let report = ClusterSim::new(cfg, profiles.clone()).run(SimTime::from_secs(2000));
         let runtime = report.runtime_secs().expect("cluster finished");
-        println!("{:<9} makespan {:7.2}s  (conservation: {})",
+        println!(
+            "{:<9} makespan {:7.2}s  (conservation: {})",
             system.label(),
             runtime,
-            if report.conservation_ok { "exact" } else { "VIOLATED" }
+            if report.conservation_ok {
+                "exact"
+            } else {
+                "VIOLATED"
+            }
         );
         for (i, fin) in report.finished.iter().enumerate() {
             println!(

@@ -40,9 +40,7 @@ fn trace_path() -> Option<String> {
 /// size that stays instant.
 fn export_trace(path: &str) {
     let profiles: Vec<_> = (0..8)
-        .map(|i| {
-            if i % 2 == 0 { npb::ep() } else { npb::dc() }.scaled(0.05)
-        })
+        .map(|i| if i % 2 == 0 { npb::ep() } else { npb::dc() }.scaled(0.05))
         .collect();
     let jsonl = Arc::new(JsonlObserver::create(path).unwrap_or_else(|e| {
         eprintln!("--trace {path}: {e}");
@@ -74,7 +72,10 @@ fn export_trace(path: &str) {
 
 fn main() {
     let effort = Effort::from_env();
-    println!("effort: {effort:?} (max scale {} nodes)\n", effort.max_scale_nodes());
+    println!(
+        "effort: {effort:?} (max scale {} nodes)\n",
+        effort.max_scale_nodes()
+    );
 
     // §4.5.2 service-time numbers first: they explain every curve below.
     print!("{}", service::run().render());
@@ -91,7 +92,10 @@ fn main() {
         Effort::Full => scale::PAPER_SCALES.to_vec(),
     };
 
-    println!("sweeping frequency at {} nodes...", effort.max_scale_nodes());
+    println!(
+        "sweeping frequency at {} nodes...",
+        effort.max_scale_nodes()
+    );
     let freq_rows = scale::frequency_sweep(effort, &frequencies);
     println!();
     print!("{}", scale::render_fig4(&freq_rows));

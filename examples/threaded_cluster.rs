@@ -30,7 +30,8 @@ fn main() {
     let rt_fair = fair.makespan_secs().expect("fair finished");
     println!("Fair      makespan {rt_fair:6.3}s");
 
-    let pen = ThreadedCluster::run_penelope(RuntimeConfig::fast(budget), profiles.clone(), deadline);
+    let pen =
+        ThreadedCluster::run_penelope(RuntimeConfig::fast(budget), profiles.clone(), deadline);
     let rt_pen = pen.makespan_secs().expect("penelope finished");
     println!(
         "Penelope  makespan {rt_pen:6.3}s   ({} peer messages, power accounted: {})",
@@ -46,5 +47,9 @@ fn main() {
         slurm.power_accounted()
     );
 
-    println!("\nspeedup over Fair: Penelope {:.2}x, SLURM {:.2}x", rt_fair / rt_pen, rt_fair / rt_slurm);
+    println!(
+        "\nspeedup over Fair: Penelope {:.2}x, SLURM {:.2}x",
+        rt_fair / rt_pen,
+        rt_fair / rt_slurm
+    );
 }

@@ -248,8 +248,19 @@ impl LockstepRuntime {
             let obs = observer.clone();
             threads.push(std::thread::spawn(move || {
                 node_loop(
-                    i, n, periods, endpoint, shared, decider_cfg, initial_cap, safe,
-                    SimulatedRapl::new(WorkloadState::with_overhead(profile, overhead), initial_cap, rapl_cfg),
+                    i,
+                    n,
+                    periods,
+                    endpoint,
+                    shared,
+                    decider_cfg,
+                    initial_cap,
+                    safe,
+                    SimulatedRapl::new(
+                        WorkloadState::with_overhead(profile, overhead),
+                        initial_cap,
+                        rapl_cfg,
+                    ),
                     TestRng::seed_from_u64(seed),
                     obs,
                 )
@@ -351,7 +362,8 @@ fn node_loop(
             kind,
         });
     };
-    let mut decider = LocalDecider::new(decider_cfg, initial_cap, safe).with_observer(id, obs.clone());
+    let mut decider =
+        LocalDecider::new(decider_cfg, initial_cap, safe).with_observer(id, obs.clone());
     let mut stashed_grants: Vec<PowerGrant> = Vec::new();
     for p in 0..periods {
         shared.barrier.wait(); // coordinator finished faults/snapshot

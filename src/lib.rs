@@ -72,8 +72,8 @@ pub use penelope_workload as workload;
 pub mod prelude {
     pub use penelope_core::{DeciderConfig, LocalDecider, NodeParams, PoolConfig, PowerPool};
     pub use penelope_metrics::{RedistributionTracker, SummaryStats, TurnaroundStats};
-    pub use penelope_trace::{Observer, RingBufferObserver, SharedObserver, TraceEvent};
     pub use penelope_sim::{ClusterConfig, ClusterSim, FaultAction, FaultScript, SystemKind};
+    pub use penelope_trace::{Observer, RingBufferObserver, SharedObserver, TraceEvent};
     pub use penelope_units::{Energy, NodeId, Power, PowerRange, SimDuration, SimTime};
     pub use penelope_workload::{npb, PerfModel, Phase, Profile, WorkloadState};
 }

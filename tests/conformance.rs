@@ -8,7 +8,7 @@
 //! seed.
 
 use penelope::conformance::{
-    node_fault_scenario, nominal_scenario, noisy_power_scenario, LockstepRuntime, SimSubstrate,
+    node_fault_scenario, noisy_power_scenario, nominal_scenario, LockstepRuntime, SimSubstrate,
     UdpDaemonSubstrate,
 };
 use penelope::units::Power;

@@ -9,11 +9,7 @@ use penelope::sim::ClusterConfig;
 use proptest::prelude::*;
 
 fn workload_strategy(n: usize) -> impl Strategy<Value = Vec<Profile>> {
-    proptest::collection::vec(
-        (100u64..260, 5.0f64..40.0, 0usize..3),
-        n..=n,
-    )
-    .prop_map(|specs| {
+    proptest::collection::vec((100u64..260, 5.0f64..40.0, 0usize..3), n..=n).prop_map(|specs| {
         specs
             .into_iter()
             .enumerate()
@@ -23,10 +19,16 @@ fn workload_strategy(n: usize) -> impl Strategy<Value = Vec<Profile>> {
                     0 => vec![Phase::new(Power::from_watts_u64(demand), work)],
                     1 => vec![
                         Phase::new(Power::from_watts_u64(demand), work / 2.0),
-                        Phase::new(Power::from_watts_u64(demand.saturating_sub(40).max(70)), work / 2.0),
+                        Phase::new(
+                            Power::from_watts_u64(demand.saturating_sub(40).max(70)),
+                            work / 2.0,
+                        ),
                     ],
                     _ => vec![
-                        Phase::new(Power::from_watts_u64(demand.saturating_sub(60).max(70)), work / 2.0),
+                        Phase::new(
+                            Power::from_watts_u64(demand.saturating_sub(60).max(70)),
+                            work / 2.0,
+                        ),
                         Phase::new(Power::from_watts_u64(demand), work / 2.0),
                     ],
                 };
@@ -55,10 +57,8 @@ fn check_run_noisy(
     read_noise_std: f64,
 ) {
     let n = workloads.len();
-    let mut cfg = ClusterConfig::checked(
-        system,
-        Power::from_watts_u64(budget_per_node_w * n as u64),
-    );
+    let mut cfg =
+        ClusterConfig::checked(system, Power::from_watts_u64(budget_per_node_w * n as u64));
     cfg.rapl.read_noise_std = read_noise_std;
     cfg.seed = seed;
     let mut sim = ClusterSim::new(cfg, workloads);

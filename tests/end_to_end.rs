@@ -55,8 +55,16 @@ fn des_and_threaded_runtime_agree_on_who_wins() {
     // must show Penelope beating Fair. (Wall-clock and virtual time are
     // different units; the *comparison* is what must agree.)
     let perf = PerfModel::new(Power::from_watts_u64(60), 1.0);
-    let donor = Profile::new("donor", vec![Phase::new(Power::from_watts_u64(100), 1.0)], perf);
-    let rcpt = Profile::new("rcpt", vec![Phase::new(Power::from_watts_u64(250), 1.0)], perf);
+    let donor = Profile::new(
+        "donor",
+        vec![Phase::new(Power::from_watts_u64(100), 1.0)],
+        perf,
+    );
+    let rcpt = Profile::new(
+        "rcpt",
+        vec![Phase::new(Power::from_watts_u64(250), 1.0)],
+        perf,
+    );
     let budget = Power::from_watts_u64(2 * 160);
 
     // DES (virtual seconds; scale the work up so many decider periods fit).
@@ -129,7 +137,10 @@ fn fault_script_composition_end_to_end() {
     sim.install_faults(
         &FaultScript::none()
             .at(SimTime::from_secs(2), FaultAction::SetDropRate(0.1))
-            .at(SimTime::from_secs(5), FaultAction::Partition(vec![left, right]))
+            .at(
+                SimTime::from_secs(5),
+                FaultAction::Partition(vec![left, right]),
+            )
             .at(SimTime::from_secs(10), FaultAction::Kill(NodeId::new(5)))
             .at(SimTime::from_secs(15), FaultAction::Heal),
     );

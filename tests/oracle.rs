@@ -37,8 +37,22 @@ fn triple(fair: f64, slurm: f64, penelope: f64) -> PerfTriple {
 fn nominal_ordering_matches_paper() {
     let pair = (npb::ep(), npb::dc());
     let seed = 0x04AC_1E00;
-    let fair = run_cell(SystemKind::Fair, CAP_PER_SOCKET_W, &pair, NODES, TIME_SCALE, seed);
-    let slurm = run_cell(SystemKind::Slurm, CAP_PER_SOCKET_W, &pair, NODES, TIME_SCALE, seed);
+    let fair = run_cell(
+        SystemKind::Fair,
+        CAP_PER_SOCKET_W,
+        &pair,
+        NODES,
+        TIME_SCALE,
+        seed,
+    );
+    let slurm = run_cell(
+        SystemKind::Slurm,
+        CAP_PER_SOCKET_W,
+        &pair,
+        NODES,
+        TIME_SCALE,
+        seed,
+    );
     let pen = run_cell(
         SystemKind::Penelope,
         CAP_PER_SOCKET_W,
@@ -90,7 +104,14 @@ fn stranded_power_redistribution_beats_static_division() {
 fn coordinator_loss_breaks_slurm_not_penelope() {
     let pair = (npb::ep(), npb::dc());
     let seed = 0x04AC_1E02;
-    let fair = run_cell(SystemKind::Fair, CAP_PER_SOCKET_W, &pair, NODES, TIME_SCALE, seed);
+    let fair = run_cell(
+        SystemKind::Fair,
+        CAP_PER_SOCKET_W,
+        &pair,
+        NODES,
+        TIME_SCALE,
+        seed,
+    );
     let slurm = run_faulty_cell(
         SystemKind::Slurm,
         CAP_PER_SOCKET_W,

@@ -81,7 +81,11 @@ fn claim_slurm_server_saturates_at_high_frequency() {
         "SLURM completed despite saturation: {:?}",
         slurm.total_s
     );
-    assert!(slurm.unanswered > 0.05, "no dropped requests: {}", slurm.unanswered);
+    assert!(
+        slurm.unanswered > 0.05,
+        "no dropped requests: {}",
+        slurm.unanswered
+    );
     assert!(pen.total_s.is_some(), "Penelope failed to redistribute");
     assert!(pen.unanswered < 0.01);
 }

@@ -153,7 +153,10 @@ fn folds_over_event_stream_agree_with_inline_summaries() {
     assert_eq!(fold.count(), report.turnaround.count());
     assert_eq!(fold.unanswered(), report.turnaround.unanswered());
     assert_eq!(fold.mean(), report.turnaround.mean());
-    assert!(fold.count() > 0, "nominal run produced no grant round trips");
+    assert!(
+        fold.count() > 0,
+        "nominal run produced no grant round trips"
+    );
 
     // Redistribution: same shifted total and crossing times.
     let inline = report.redistribution.expect("tracker installed");
@@ -162,7 +165,10 @@ fn folds_over_event_stream_agree_with_inline_summaries() {
     assert_eq!(fold.fraction_shifted(), inline.fraction_shifted());
     assert_eq!(fold.median_time(), inline.median_time());
     assert_eq!(fold.total_time(), inline.total_time());
-    assert!(!fold.shifted().is_zero(), "no power reached the hungry nodes");
+    assert!(
+        !fold.shifted().is_zero(),
+        "no power reached the hungry nodes"
+    );
 
     // Oscillation: same per-node cap trajectories.
     let fold = penelope_metrics::oscillation_from_events(&events);

@@ -71,10 +71,7 @@ impl<V: Clone + Debug> Strategy for Union<V> {
     }
     fn shrink(&self, value: &V) -> Vec<V> {
         // Arms overlap in value space; give every arm a chance to shrink.
-        self.options
-            .iter()
-            .flat_map(|o| o.shrink(value))
-            .collect()
+        self.options.iter().flat_map(|o| o.shrink(value)).collect()
     }
 }
 
@@ -198,7 +195,9 @@ pub mod prelude {
     pub use crate::collection;
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::{any, Arbitrary, BoxedStrategy, Strategy, StrategyExt};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
     /// Namespace alias matching `proptest::prelude::prop`.
     pub mod prop {
         pub use crate::collection;
