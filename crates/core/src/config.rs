@@ -93,6 +93,12 @@ pub struct DeciderConfig {
     /// ε parks it at the margin instead). Zero reproduces the paper
     /// verbatim; nonzero is the oscillation-damping ablation arm.
     pub shed_headroom: Power,
+    /// How many times a timed-out request is retransmitted (same `seq`,
+    /// doubling backoff) before the decider gives up. Zero — the default —
+    /// reproduces the paper's single-shot behaviour exactly; lossy-network
+    /// scenarios raise it so a dropped `Request` or `Grant` is retried
+    /// instead of silently costing a period.
+    pub max_retransmits: u32,
 }
 
 impl Default for DeciderConfig {
@@ -103,11 +109,24 @@ impl Default for DeciderConfig {
             response_timeout: SimDuration::from_secs(1),
             enable_urgency: true,
             shed_headroom: Power::ZERO,
+            max_retransmits: 0,
         }
     }
 }
 
 impl DeciderConfig {
+    /// How long a granter keeps an unacknowledged grant in escrow before
+    /// re-crediting it to its own pool. Sized to outlast the requester's
+    /// whole retransmit schedule (`Σ response_timeout·2^k` for
+    /// `k ≤ max_retransmits`, i.e. just under `response_timeout ·
+    /// 2^(max_retransmits+1)`) plus one period of slack, so a retransmitted
+    /// request always finds its escrow entry still live and is answered
+    /// with the already-debited grant instead of a fresh double-serve.
+    pub fn escrow_timeout(&self) -> SimDuration {
+        let factor = 1u64 << (self.max_retransmits.min(16) + 1);
+        self.response_timeout * factor + self.period
+    }
+
     /// A config iterating at `hz` iterations per second (the scale study's
     /// frequency axis), with the timeout matched to the period.
     pub fn at_frequency(hz: f64) -> Self {
@@ -186,6 +205,23 @@ mod tests {
         let d = DeciderConfig::at_frequency(20.0);
         assert_eq!(d.period, SimDuration::from_millis(50));
         assert_eq!(d.response_timeout, SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn escrow_timeout_outlasts_the_retransmit_schedule() {
+        // Default (no retransmits): 2 × timeout + one period of slack.
+        let d = DeciderConfig::default();
+        assert_eq!(d.max_retransmits, 0);
+        assert_eq!(d.escrow_timeout(), SimDuration::from_secs(3));
+        // With retransmits the escrow must cover the doubling backoff:
+        // attempts fire at +1 s and +3 s, the last wait ends at +7 s.
+        let lossy = DeciderConfig {
+            max_retransmits: 2,
+            ..Default::default()
+        };
+        assert_eq!(lossy.escrow_timeout(), SimDuration::from_secs(9));
+        let total_backoff: u64 = (0..=lossy.max_retransmits).map(|k| 1u64 << k).sum();
+        assert!(lossy.escrow_timeout() > SimDuration::from_secs(total_backoff));
     }
 
     #[test]

@@ -70,6 +70,14 @@ pub enum TickAction {
 struct Outstanding {
     seq: u64,
     sent_at: SimTime,
+    /// Where the request went and what it asked for, kept so a timed-out
+    /// request can be retransmitted verbatim (same `seq`, same α).
+    dst: NodeId,
+    urgent: bool,
+    alpha: Power,
+    /// How many times this request has been (re)sent minus one; the wait
+    /// before attempt `k + 1` is `response_timeout · 2^k`.
+    attempt: u32,
 }
 
 /// Per-decider lifetime counters, exposed for the metrics layer.
@@ -83,6 +91,8 @@ pub struct DeciderStats {
     pub urgent_sent: u64,
     /// Requests abandoned after the response timeout.
     pub timeouts: u64,
+    /// Timed-out requests retransmitted instead of abandoned.
+    pub retransmits: u64,
     /// Total power deposited into the local pool.
     pub deposited: Power,
     /// Total power received in grants (applied + re-deposited overflow).
@@ -113,6 +123,11 @@ pub struct LocalDecider {
     safe: PowerRange,
     outstanding: Option<Outstanding>,
     next_seq: u64,
+    /// Sequence numbers whose non-zero grant has already been applied.
+    /// A lossy transport can redeliver a grant (the granter re-sends its
+    /// escrowed amount when a retransmitted request arrives); applying it
+    /// twice would mint power, so redeliveries are discarded by `seq`.
+    applied_seqs: std::collections::HashSet<u64>,
     stats: DeciderStats,
     node: NodeId,
     obs: SharedObserver,
@@ -129,6 +144,7 @@ impl LocalDecider {
             safe,
             outstanding: None,
             next_seq: 0,
+            applied_seqs: std::collections::HashSet::new(),
             stats: DeciderStats::default(),
             node: NodeId::new(0),
             obs: SharedObserver::noop(),
@@ -208,10 +224,32 @@ impl LocalDecider {
     ) -> TickAction {
         self.stats.ticks += 1;
 
-        // A decider blocked on an in-flight request does not iterate; the
-        // request is abandoned once the timeout passes.
+        // A decider blocked on an in-flight request does not iterate; once
+        // the (attempt-scaled) timeout passes the request is retransmitted
+        // verbatim while attempts remain, then abandoned.
         if let Some(out) = self.outstanding {
-            if now.saturating_since(out.sent_at) >= self.cfg.response_timeout {
+            let wait = self.cfg.response_timeout * (1u64 << out.attempt.min(16));
+            if now.saturating_since(out.sent_at) >= wait {
+                if out.attempt < self.cfg.max_retransmits {
+                    self.outstanding = Some(Outstanding {
+                        sent_at: now,
+                        attempt: out.attempt + 1,
+                        ..out
+                    });
+                    self.stats.retransmits += 1;
+                    self.emit(now, || EventKind::RequestSent {
+                        dst: out.dst,
+                        urgent: out.urgent,
+                        alpha: out.alpha,
+                        seq: out.seq,
+                    });
+                    return TickAction::Request {
+                        dst: out.dst,
+                        urgent: out.urgent,
+                        alpha: out.alpha,
+                        seq: out.seq,
+                    };
+                }
                 self.outstanding = None;
                 self.stats.timeouts += 1;
                 self.emit(now, || EventKind::RequestTimeout { seq: out.seq });
@@ -268,7 +306,14 @@ impl LocalDecider {
                     };
                     let seq = self.next_seq;
                     self.next_seq += 1;
-                    self.outstanding = Some(Outstanding { seq, sent_at: now });
+                    self.outstanding = Some(Outstanding {
+                        seq,
+                        sent_at: now,
+                        dst,
+                        urgent,
+                        alpha,
+                        attempt: 0,
+                    });
                     self.stats.requests_sent += 1;
                     if urgent {
                         self.stats.urgent_sent += 1;
@@ -300,6 +345,11 @@ impl LocalDecider {
     /// surplus beyond the safe maximum is re-deposited locally so no budget
     /// leaks. Grants arriving after the timeout are still honoured (the
     /// power was already debited from the sender's pool).
+    ///
+    /// Idempotent per `seq`: a lossy transport can deliver the same
+    /// non-zero grant twice (the granter re-sends its escrowed amount when
+    /// a retransmitted request races the original grant); the redelivery is
+    /// discarded and contributes nothing, so one debit can never pay twice.
     pub fn on_grant(
         &mut self,
         now: SimTime,
@@ -307,6 +357,9 @@ impl LocalDecider {
         amount: Power,
         pool: &mut PowerPool,
     ) -> Power {
+        if !amount.is_zero() && !self.applied_seqs.insert(seq) {
+            return Power::ZERO; // duplicate redelivery; already paid
+        }
         if let Some(out) = self.outstanding {
             if out.seq == seq {
                 self.outstanding = None;
@@ -583,6 +636,83 @@ mod tests {
         let applied = d.on_grant(t(4), seq, w(7), &mut p);
         assert_eq!(applied, w(7));
         assert_eq!(d.cap(), cap_before + w(7));
+    }
+
+    #[test]
+    fn timed_out_request_is_retransmitted_with_backoff() {
+        let cfg = DeciderConfig {
+            max_retransmits: 2,
+            ..Default::default()
+        };
+        let mut d = LocalDecider::new(cfg, w(150), safe());
+        let mut p = PowerPool::default();
+        let TickAction::Request { seq, dst, .. } =
+            d.tick(t(1), w(150), &mut p, Some(NodeId::new(1)))
+        else {
+            panic!("expected request")
+        };
+        assert_eq!(seq, 0);
+        // First timeout (1 s): retransmit, same seq, same dst.
+        let a = d.tick(t(2), w(150), &mut p, Some(NodeId::new(7)));
+        assert_eq!(
+            a,
+            TickAction::Request {
+                dst,
+                urgent: false,
+                alpha: Power::ZERO,
+                seq: 0
+            },
+            "retransmit must reuse the original seq and dst"
+        );
+        // Backoff doubled: one second later it is still waiting...
+        assert_eq!(d.tick(t(3), w(150), &mut p, None), TickAction::Idle);
+        // ...but two seconds after the retransmit it fires again.
+        let a = d.tick(t(4), w(150), &mut p, None);
+        assert!(matches!(a, TickAction::Request { seq: 0, .. }), "{a:?}");
+        // Attempts exhausted: 4 s of backoff, then a plain timeout and a
+        // fresh request with the next seq.
+        assert_eq!(d.tick(t(6), w(150), &mut p, None), TickAction::Idle);
+        let a = d.tick(t(8), w(150), &mut p, Some(NodeId::new(1)));
+        assert!(matches!(a, TickAction::Request { seq: 1, .. }), "{a:?}");
+        let s = d.stats();
+        assert_eq!(s.retransmits, 2);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.requests_sent, 2, "retransmits are not new requests");
+    }
+
+    #[test]
+    fn duplicate_nonzero_grant_is_discarded() {
+        let mut d = decider(150);
+        let mut p = PowerPool::default();
+        let TickAction::Request { seq, .. } = d.tick(t(1), w(150), &mut p, Some(NodeId::new(1)))
+        else {
+            panic!("expected request")
+        };
+        assert_eq!(d.on_grant(t(2), seq, w(20), &mut p), w(20));
+        let cap = d.cap();
+        let granted = d.stats().granted;
+        // The transport redelivers the same grant: nothing may change.
+        assert_eq!(d.on_grant(t(3), seq, w(20), &mut p), Power::ZERO);
+        assert_eq!(d.cap(), cap);
+        assert_eq!(p.available(), Power::ZERO);
+        assert_eq!(d.stats().granted, granted);
+    }
+
+    #[test]
+    fn zero_grants_are_not_deduplicated() {
+        // A zero "reminder" grant unblocks without marking the seq as paid,
+        // so the real (late) grant still applies — the late-grant guarantee
+        // survives the idempotence layer.
+        let mut d = decider(150);
+        let mut p = PowerPool::default();
+        let TickAction::Request { seq, .. } = d.tick(t(1), w(150), &mut p, Some(NodeId::new(1)))
+        else {
+            panic!("expected request")
+        };
+        assert_eq!(d.on_grant(t(2), seq, Power::ZERO, &mut p), Power::ZERO);
+        assert!(!d.is_blocked());
+        assert_eq!(d.on_grant(t(3), seq, w(9), &mut p), w(9));
+        assert_eq!(d.cap(), w(159));
     }
 
     #[test]

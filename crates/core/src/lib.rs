@@ -38,12 +38,14 @@
 
 pub mod config;
 pub mod decider;
+pub mod escrow;
 pub mod fair;
 pub mod pool;
 pub mod protocol;
 
 pub use config::{DeciderConfig, NodeParams, PoolConfig};
 pub use decider::{Classification, LocalDecider, TickAction};
+pub use escrow::{EscrowEntry, EscrowState, GrantEscrow};
 pub use fair::fair_assignment;
 pub use pool::PowerPool;
-pub use protocol::{PeerMsg, PowerGrant, PowerRequest};
+pub use protocol::{GrantAck, PeerMsg, PowerGrant, PowerRequest};

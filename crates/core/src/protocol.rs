@@ -1,8 +1,13 @@
 //! The peer-to-peer wire protocol.
 //!
-//! Two message types suffice (§3): a request from a power-hungry decider to
-//! a randomly chosen pool, and the pool's grant in response. A grant of
-//! zero power is still sent — the requester is blocked on the reply.
+//! The paper needs two message types (§3): a request from a power-hungry
+//! decider to a randomly chosen pool, and the pool's grant in response. A
+//! grant of zero power is still sent — the requester is blocked on the
+//! reply. A third message, the [`GrantAck`], closes the loop on lossy
+//! networks: the granter escrows every non-zero grant until the requester
+//! acknowledges it, so a grant destroyed in flight can be re-credited
+//! instead of burning budget forever (the §3.2 atomicity argument extended
+//! to unreliable delivery).
 
 use penelope_units::{NodeId, Power};
 
@@ -33,6 +38,17 @@ pub struct PowerGrant {
     pub seq: u64,
 }
 
+/// A requester's acknowledgement that a non-zero [`PowerGrant`] arrived
+/// and was applied (or re-deposited). Receipt releases the granter's
+/// escrow entry for `seq`; until then the granter treats the grant as
+/// possibly lost and will re-credit it to its own pool on timeout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GrantAck {
+    /// Echo of the granted request's sequence number.
+    pub seq: u64,
+}
+
 /// The Penelope peer protocol.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -41,6 +57,8 @@ pub enum PeerMsg {
     Request(PowerRequest),
     /// Pool → decider.
     Grant(PowerGrant),
+    /// Decider → pool: the grant arrived; release its escrow.
+    Ack(GrantAck),
 }
 
 #[cfg(test)]
@@ -66,5 +84,11 @@ mod tests {
             seq: req.seq,
         };
         assert_eq!(grant.seq, 77);
+    }
+
+    #[test]
+    fn ack_echoes_sequence() {
+        let ack = GrantAck { seq: 42 };
+        assert_eq!(PeerMsg::Ack(ack), PeerMsg::Ack(GrantAck { seq: 42 }));
     }
 }

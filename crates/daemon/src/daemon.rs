@@ -1,7 +1,7 @@
 //! The daemon runtime: decider thread + network/pool thread over UDP.
 
 use std::io;
-use std::net::UdpSocket;
+use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -9,7 +9,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use penelope_core::decider::DeciderStats;
-use penelope_core::{LocalDecider, PowerPool, TickAction};
+use penelope_core::{EscrowState, GrantEscrow, LocalDecider, PowerPool, TickAction};
 use penelope_power::{CappedDevice, ConstantDevice, LinuxRapl, PowerInterface, SimulatedRapl};
 use penelope_testkit::rng::{Rng, TestRng};
 use penelope_trace::{
@@ -198,7 +198,13 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
     let local_addr = socket.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let pool = Arc::new(Mutex::new(PowerPool::new(cfg.node.pool)));
-    let (grant_tx, grant_rx): (Sender<WireMsg>, Receiver<WireMsg>) = channel();
+    // Grants are forwarded with their source address so the decider can
+    // ack the granter.
+    #[allow(clippy::type_complexity)]
+    let (grant_tx, grant_rx): (
+        Sender<(WireMsg, SocketAddr)>,
+        Receiver<(WireMsg, SocketAddr)>,
+    ) = channel();
     let (status_tx, status_rx) = channel();
 
     // Built-in counters always run; any configured observer fans in next
@@ -226,12 +232,25 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
     let net_pool = Arc::clone(&pool);
     let net_stop = Arc::clone(&shutdown);
     let net_obs = obs.clone();
+    let escrow_timeout = cfg.node.decider.escrow_timeout();
     let net_thread = thread::spawn(move || {
         let mut buf = [0u8; MAX_WIRE_LEN + 16];
         // The wire format carries no sender identity; remote requesters
         // are reported under this placeholder id.
         let remote = NodeId::new(u32::MAX);
+        // Served grants, keyed by the requester's socket address and seq
+        // echo, held until acked. UDP gives no delivery signal, so every
+        // entry is `AwaitingAck`: a retransmitted request is answered by
+        // re-sending the escrowed amount (the requester's seq dedup makes
+        // that idempotent), an ack releases the entry, and an entry whose
+        // deadline passes is *forgotten without credit* — the grant may
+        // have been applied with only its ack lost, and re-crediting the
+        // pool then would mint power.
+        let mut escrow: GrantEscrow<SocketAddr> = GrantEscrow::new();
         while !net_stop.load(Ordering::Relaxed) {
+            let sweep_now =
+                SimTime::from_nanos(origin.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            let _ = escrow.take_expired(sweep_now);
             let (len, src) = match net_socket.recv_from(&mut buf) {
                 Ok(x) => x,
                 Err(e)
@@ -244,6 +263,32 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
             };
             match WireMsg::decode(&buf[..len]) {
                 Ok(WireMsg::Request { seq, urgent, alpha }) => {
+                    let now = SimTime::from_nanos(
+                        origin.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                    );
+                    if let Some(entry) = escrow.get(src, seq).copied() {
+                        // Duplicate of an already-served request: re-send
+                        // the escrowed grant instead of debiting the pool
+                        // a second time.
+                        let reply = WireMsg::Grant {
+                            seq,
+                            amount: entry.amount,
+                        }
+                        .encode();
+                        let _ = net_socket.send_to(&reply, src);
+                        net_obs.emit(|| {
+                            stamp(
+                                now,
+                                EventKind::MsgSent {
+                                    dst: remote,
+                                    carried: entry.amount,
+                                },
+                            )
+                        });
+                        let e = escrow.get_mut(src, seq).expect("entry present");
+                        e.deadline = now + escrow_timeout;
+                        continue;
+                    }
                     // Algorithm 2, straight from the shared pool.
                     let (before, amount, after) = {
                         let mut p = net_pool.lock().unwrap();
@@ -288,9 +333,33 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                             },
                         )
                     });
+                    if !amount.is_zero() {
+                        escrow.insert(
+                            src,
+                            seq,
+                            amount,
+                            EscrowState::AwaitingAck,
+                            now + escrow_timeout,
+                        );
+                        net_obs.emit(|| {
+                            stamp(
+                                now,
+                                EventKind::GrantEscrowed {
+                                    requester: remote,
+                                    seq,
+                                    amount,
+                                },
+                            )
+                        });
+                    }
                 }
                 Ok(grant @ WireMsg::Grant { .. }) => {
-                    let _ = grant_tx.send(grant);
+                    let _ = grant_tx.send((grant, src));
+                }
+                Ok(WireMsg::Ack { seq }) => {
+                    // The transfer committed on the requester; release the
+                    // escrow entry. Duplicate acks are harmless.
+                    let _ = escrow.release(src, seq);
                 }
                 Err(_) => { /* garbage datagram: drop */ }
             }
@@ -369,7 +438,7 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                         break;
                     }
                     match grant_rx.recv_timeout(remaining) {
-                        Ok(WireMsg::Grant { seq: gseq, amount }) => {
+                        Ok((WireMsg::Grant { seq: gseq, amount }, gsrc)) => {
                             let now2 = SimTime::from_nanos(
                                 origin.elapsed().as_nanos().min(u64::MAX as u128) as u64,
                             );
@@ -389,6 +458,21 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                                 &mut decider_pool.lock().unwrap(),
                             );
                             hardware.set_cap(decider.cap());
+                            if !amount.is_zero() {
+                                // Ack straight back to the granter so it
+                                // releases the grant's escrow entry.
+                                let ack = WireMsg::Ack { seq: gseq }.encode();
+                                let _ = decider_socket.send_to(&ack, gsrc);
+                                decider_obs.emit(|| {
+                                    stamp(
+                                        now2,
+                                        EventKind::MsgSent {
+                                            dst,
+                                            carried: Power::ZERO,
+                                        },
+                                    )
+                                });
+                            }
                             if gseq == seq {
                                 break;
                             }

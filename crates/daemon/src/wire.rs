@@ -1,13 +1,15 @@
 //! The datagram wire format.
 //!
-//! Two message kinds, fixed little-endian layout, one version byte. The
+//! Three message kinds, fixed little-endian layout, one version byte. The
 //! requester's identity is the datagram's source address (the pool replies
 //! to wherever the request came from), so no addressing fields are needed
-//! beyond the sequence number that pairs grants with requests.
+//! beyond the sequence number that pairs grants — and their acks — with
+//! requests.
 //!
 //! ```text
 //! Request: [0x01, 0x00, seq: u64, urgent: u8, alpha_mw: u64]   (19 bytes)
 //! Grant:   [0x01, 0x01, seq: u64, amount_mw: u64]              (18 bytes)
+//! Ack:     [0x01, 0x02, seq: u64]                              (10 bytes)
 //! ```
 
 use penelope_units::Power;
@@ -17,6 +19,7 @@ pub const WIRE_VERSION: u8 = 0x01;
 
 const KIND_REQUEST: u8 = 0x00;
 const KIND_GRANT: u8 = 0x01;
+const KIND_ACK: u8 = 0x02;
 
 /// Maximum encoded size (for receive buffers).
 pub const MAX_WIRE_LEN: usize = 19;
@@ -39,6 +42,14 @@ pub enum WireMsg {
         seq: u64,
         /// Power transferred (already debited from the sender's pool).
         amount: Power,
+    },
+    /// The requester's acknowledgement of an applied non-zero grant; lets
+    /// the granter release the grant's escrow entry. Unacknowledged grants
+    /// are re-sent on a retransmitted request or reclaimed at the escrow
+    /// deadline, so a lost grant datagram never burns pool power.
+    Ack {
+        /// Echo of the granted request's sequence number.
+        seq: u64,
     },
 }
 
@@ -82,6 +93,10 @@ impl WireMsg {
                 buf.extend_from_slice(&seq.to_le_bytes());
                 buf.extend_from_slice(&amount.milliwatts().to_le_bytes());
             }
+            WireMsg::Ack { seq } => {
+                buf.push(KIND_ACK);
+                buf.extend_from_slice(&seq.to_le_bytes());
+            }
         }
         buf
     }
@@ -113,6 +128,10 @@ impl WireMsg {
                 let seq = u64_at(2)?;
                 let amount = Power::from_milliwatts(u64_at(10)?);
                 Ok(WireMsg::Grant { seq, amount })
+            }
+            KIND_ACK => {
+                let seq = u64_at(2)?;
+                Ok(WireMsg::Ack { seq })
             }
             k => Err(WireError::BadKind(k)),
         }
@@ -150,6 +169,18 @@ mod tests {
         let bytes = msg.encode();
         assert_eq!(bytes.len(), 18);
         assert_eq!(WireMsg::decode(&bytes), Ok(msg));
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        let msg = WireMsg::Ack {
+            seq: 0xFEED_F00D_4567,
+        };
+        let bytes = msg.encode();
+        assert_eq!(bytes.len(), 10);
+        assert_eq!(WireMsg::decode(&bytes), Ok(msg));
+        // Truncated ack body fails cleanly.
+        assert_eq!(WireMsg::decode(&bytes[..9]), Err(WireError::Truncated));
     }
 
     #[test]
@@ -217,12 +248,12 @@ mod fuzz {
             seq in any::<u64>(),
             urgent in any::<bool>(),
             mw in any::<u64>(),
-            is_grant in any::<bool>(),
+            kind in 0u8..3,
         ) {
-            let msg = if is_grant {
-                WireMsg::Grant { seq, amount: Power::from_milliwatts(mw) }
-            } else {
-                WireMsg::Request { seq, urgent, alpha: Power::from_milliwatts(mw) }
+            let msg = match kind {
+                0 => WireMsg::Request { seq, urgent, alpha: Power::from_milliwatts(mw) },
+                1 => WireMsg::Grant { seq, amount: Power::from_milliwatts(mw) },
+                _ => WireMsg::Ack { seq },
             };
             prop_assert_eq!(WireMsg::decode(&msg.encode()), Ok(msg));
         }
@@ -232,9 +263,14 @@ mod fuzz {
             seq in any::<u64>(),
             mw in any::<u64>(),
             cut in 0usize..17,
+            is_ack in any::<bool>(),
         ) {
-            // Any strict prefix of a valid grant fails cleanly.
-            let bytes = WireMsg::Grant { seq, amount: Power::from_milliwatts(mw) }.encode();
+            // Any strict prefix of a valid grant or ack fails cleanly.
+            let bytes = if is_ack {
+                WireMsg::Ack { seq }.encode()
+            } else {
+                WireMsg::Grant { seq, amount: Power::from_milliwatts(mw) }.encode()
+            };
             let truncated = &bytes[..cut.min(bytes.len() - 1)];
             prop_assert!(WireMsg::decode(truncated).is_err());
         }

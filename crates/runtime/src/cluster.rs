@@ -1,15 +1,16 @@
 //! Thread orchestration for the three systems.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use penelope_core::{
-    fair_assignment, DeciderConfig, LocalDecider, NodeParams, PeerMsg, PowerGrant, PowerPool,
-    PowerRequest, TickAction,
+    fair_assignment, DeciderConfig, EscrowState, GrantAck, GrantEscrow, LocalDecider, NodeParams,
+    PeerMsg, PowerGrant, PowerPool, PowerRequest, TickAction,
 };
-use penelope_net::{ThreadEndpoint, ThreadNet};
+use penelope_net::{Envelope, ThreadEndpoint, ThreadNet};
 use penelope_power::RaplConfig;
 use penelope_slurm::{ClientAction, PowerServer, SlurmClient, SlurmMsg};
 use penelope_testkit::rng::{Rng, TestRng};
@@ -206,6 +207,7 @@ impl ThreadedCluster {
             .collect();
         let shutdown = Arc::new(AtomicBool::new(false));
 
+        let escrow_timeout = cfg.node.decider.escrow_timeout();
         let mut pool_threads = Vec::with_capacity(n);
         for (i, ep) in pool_eps.into_iter().enumerate() {
             let pool = Arc::clone(&pools[i]);
@@ -217,43 +219,123 @@ impl ThreadedCluster {
             );
             let clock = clock.clone();
             pool_threads.push(thread::spawn(move || -> ThreadEndpoint<PeerMsg> {
+                // Granter-side escrow: every non-zero grant is held, keyed
+                // by the requester's endpoint and seq echo, until its ack.
+                // An undeliverable grant's power flows back into the pool
+                // at the deadline instead of silently vanishing.
+                let mut escrow: GrantEscrow<NodeId> = GrantEscrow::new();
                 while !stop.load(Ordering::Relaxed) {
-                    if let Some(env) = ep.recv_timeout(Duration::from_millis(5)) {
-                        if let PeerMsg::Request(req) = env.msg {
-                            let (before, amount, after) = {
-                                let mut p = pool.lock().unwrap();
-                                let before = p.local_urgency();
-                                let amount = p.handle_request(req.urgent, req.alpha);
-                                (before, amount, p.local_urgency())
-                            };
-                            // Requests arrive from decider endpoints
-                            // (`n..2n`); report the logical node id.
-                            let requester = NodeId::new(req.from.index().saturating_sub(n) as u32);
-                            let now = clock.now();
-                            em.emit(now, || EventKind::RequestServed {
+                    let wake = clock.now();
+                    for entry in escrow.take_expired(wake) {
+                        if entry.state == EscrowState::Undelivered {
+                            pool.lock().unwrap().deposit(entry.amount);
+                            let requester =
+                                NodeId::new(entry.requester.index().saturating_sub(n) as u32);
+                            em.emit(wake, || EventKind::GrantReclaimed {
                                 requester,
-                                seq: req.seq,
-                                granted: amount,
-                                urgent: req.urgent,
+                                seq: entry.seq,
+                                amount: entry.amount,
                             });
-                            if !before && after {
-                                em.emit(now, || EventKind::UrgencyRaised { by: requester });
-                            } else if before && !after {
-                                em.emit(now, || EventKind::UrgencyCleared {
-                                    released: Power::ZERO,
-                                });
-                            }
-                            let _ = ep.send(
-                                req.from,
-                                PeerMsg::Grant(PowerGrant {
-                                    amount,
+                        }
+                        // AwaitingAck entries expire without credit: the
+                        // power is with the requester (only the ack was
+                        // lost) and re-crediting it would mint.
+                    }
+                    if let Some(env) = ep.recv_timeout(Duration::from_millis(5)) {
+                        match env.msg {
+                            PeerMsg::Request(req) => {
+                                // Requests arrive from decider endpoints
+                                // (`n..2n`); report the logical node id.
+                                let requester =
+                                    NodeId::new(req.from.index().saturating_sub(n) as u32);
+                                let now = clock.now();
+                                if let Some(entry) = escrow.get(req.from, req.seq).copied() {
+                                    // Retransmitted request: this seq was
+                                    // already served and debited once.
+                                    // Re-send the escrowed amount if the
+                                    // first copy never made it; otherwise
+                                    // a zero reminder. Never a fresh serve.
+                                    let resend = match entry.state {
+                                        EscrowState::Undelivered => entry.amount,
+                                        EscrowState::AwaitingAck => Power::ZERO,
+                                    };
+                                    let delivered = ep.send(
+                                        req.from,
+                                        PeerMsg::Grant(PowerGrant {
+                                            amount: resend,
+                                            seq: req.seq,
+                                        }),
+                                    );
+                                    em.emit(now, || EventKind::MsgSent {
+                                        dst: requester,
+                                        carried: resend,
+                                    });
+                                    if !resend.is_zero() {
+                                        let e = escrow
+                                            .get_mut(req.from, req.seq)
+                                            .expect("entry present");
+                                        e.deadline = now + escrow_timeout;
+                                        if delivered {
+                                            e.state = EscrowState::AwaitingAck;
+                                        }
+                                    }
+                                    continue;
+                                }
+                                let (before, amount, after) = {
+                                    let mut p = pool.lock().unwrap();
+                                    let before = p.local_urgency();
+                                    let amount = p.handle_request(req.urgent, req.alpha);
+                                    (before, amount, p.local_urgency())
+                                };
+                                em.emit(now, || EventKind::RequestServed {
+                                    requester,
                                     seq: req.seq,
-                                }),
-                            );
-                            em.emit(now, || EventKind::MsgSent {
-                                dst: requester,
-                                carried: amount,
-                            });
+                                    granted: amount,
+                                    urgent: req.urgent,
+                                });
+                                if !before && after {
+                                    em.emit(now, || EventKind::UrgencyRaised { by: requester });
+                                } else if before && !after {
+                                    em.emit(now, || EventKind::UrgencyCleared {
+                                        released: Power::ZERO,
+                                    });
+                                }
+                                let delivered = ep.send(
+                                    req.from,
+                                    PeerMsg::Grant(PowerGrant {
+                                        amount,
+                                        seq: req.seq,
+                                    }),
+                                );
+                                em.emit(now, || EventKind::MsgSent {
+                                    dst: requester,
+                                    carried: amount,
+                                });
+                                if !amount.is_zero() {
+                                    let state = if delivered {
+                                        EscrowState::AwaitingAck
+                                    } else {
+                                        EscrowState::Undelivered
+                                    };
+                                    escrow.insert(
+                                        req.from,
+                                        req.seq,
+                                        amount,
+                                        state,
+                                        now + escrow_timeout,
+                                    );
+                                    em.emit(now, || EventKind::GrantEscrowed {
+                                        requester,
+                                        seq: req.seq,
+                                        amount,
+                                    });
+                                }
+                            }
+                            PeerMsg::Ack(a) => {
+                                // The transfer committed; drop the claim.
+                                let _ = escrow.release(env.src, a.seq);
+                            }
+                            PeerMsg::Grant(_) => {}
                         }
                     }
                 }
@@ -276,6 +358,10 @@ impl ThreadedCluster {
                 let em = Emitter::new(cfg.observer.clone(), me, cfg.node.decider.period);
                 let mut rng = TestRng::seed_from_u64(cfg.seed.wrapping_add(i as u64));
                 let decider_addr = NodeId::new((n + i) as u32);
+                // Messages that arrived during a grant wait but were not
+                // the reply being waited for; replayed into the next wait
+                // instead of being discarded.
+                let mut deferred: VecDeque<Envelope<PeerMsg>> = VecDeque::new();
                 while !stop.load(Ordering::Relaxed) {
                     let iter_start = Instant::now();
                     let now = clock.now();
@@ -318,21 +404,58 @@ impl ThreadedCluster {
                             carried: Power::ZERO,
                         });
                         // Block for the pool's reply, as the paper's
-                        // decider does.
-                        if let Some(env) = ep.recv_timeout(cfg.timeout()) {
-                            if let PeerMsg::Grant(g) = env.msg {
-                                let now2 = clock.now();
-                                em.emit(now2, || EventKind::MsgRecv {
-                                    src: env.src,
-                                    carried: g.amount,
-                                });
-                                let _ = decider.on_grant(
-                                    now2,
-                                    g.seq,
-                                    g.amount,
-                                    &mut pool.lock().unwrap(),
-                                );
-                                hw_i.set_cap(decider.cap());
+                        // decider does — but without discarding whatever
+                        // else arrives meanwhile. A stale grant (an older
+                        // request answered after its timeout) is applied
+                        // idempotently and acked; anything else is
+                        // deferred; only the grant echoing *this*
+                        // request's seq ends the wait early.
+                        let wait_deadline = Instant::now() + cfg.timeout();
+                        let mut replay = std::mem::take(&mut deferred);
+                        loop {
+                            let env = match replay.pop_front() {
+                                Some(env) => env,
+                                None => {
+                                    let remaining =
+                                        wait_deadline.saturating_duration_since(Instant::now());
+                                    if remaining.is_zero() {
+                                        break;
+                                    }
+                                    match ep.recv_timeout(remaining) {
+                                        Some(env) => env,
+                                        None => break,
+                                    }
+                                }
+                            };
+                            match env.msg {
+                                PeerMsg::Grant(g) => {
+                                    let now2 = clock.now();
+                                    em.emit(now2, || EventKind::MsgRecv {
+                                        src: env.src,
+                                        carried: g.amount,
+                                    });
+                                    let _ = decider.on_grant(
+                                        now2,
+                                        g.seq,
+                                        g.amount,
+                                        &mut pool.lock().unwrap(),
+                                    );
+                                    hw_i.set_cap(decider.cap());
+                                    if !g.amount.is_zero() {
+                                        // Commit the transfer so the
+                                        // granter releases its escrow.
+                                        let _ =
+                                            ep.send(env.src, PeerMsg::Ack(GrantAck { seq: g.seq }));
+                                        em.emit(now2, || EventKind::MsgSent {
+                                            dst: env.src,
+                                            carried: Power::ZERO,
+                                        });
+                                    }
+                                    if g.seq == seq {
+                                        break;
+                                    }
+                                }
+                                _ => deferred.push_back(env),
                             }
                         }
                     }

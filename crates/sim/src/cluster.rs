@@ -1,7 +1,8 @@
 //! The cluster simulator.
 
 use penelope_core::{
-    fair_assignment, LocalDecider, PeerMsg, PowerGrant, PowerPool, PowerRequest, TickAction,
+    fair_assignment, EscrowState, GrantAck, GrantEscrow, LocalDecider, PeerMsg, PowerGrant,
+    PowerPool, PowerRequest, TickAction,
 };
 use penelope_metrics::{OscillationStats, RedistributionTracker};
 use penelope_net::{RouteOutcome, SimNet};
@@ -43,7 +44,14 @@ pub struct ClusterSim {
     queue: EventQueue,
     net: SimNet,
     net_rng: TestRng,
+    /// Dedicated stream for routing `GrantAck`s: acks must not perturb the
+    /// `net_rng` draw sequence, or every loss-free seed would replay
+    /// differently than it did before the ack protocol existed.
+    ack_rng: TestRng,
     nodes: Vec<SimNode>,
+    /// Per-node escrow of served-but-unacknowledged grants, indexed like
+    /// `nodes`. Kept out of [`SimNode`] so the node stays a plain record.
+    escrows: Vec<GrantEscrow<NodeId>>,
     servers: Vec<ServerSide>,
     ledger: Ledger,
     redistribution: Option<(RedistributionTracker, std::collections::HashSet<NodeId>)>,
@@ -174,6 +182,8 @@ impl ClusterSim {
         };
 
         let net_rng = TestRng::seed_from_u64(node_seed(cfg.seed, u64::MAX - 1));
+        let ack_rng = TestRng::seed_from_u64(node_seed(cfg.seed, u64::MAX - 2));
+        let escrows = (0..n).map(|_| GrantEscrow::new()).collect();
         let obs = cfg.observer.clone();
         let obs_on = obs.enabled();
         ClusterSim {
@@ -182,7 +192,9 @@ impl ClusterSim {
             now: SimTime::ZERO,
             queue,
             net_rng,
+            ack_rng,
             nodes,
+            escrows,
             servers,
             ledger: Ledger::new(initial_total),
             redistribution: None,
@@ -222,10 +234,15 @@ impl ClusterSim {
         self.stop_on_full_redistribution = true;
     }
 
-    /// Install a fault script (schedules its entries as events).
+    /// Install a fault script (schedules its entries as events). Entries
+    /// are stably sorted by timestamp first, so a script composed out of
+    /// time order still fires chronologically, with same-time entries
+    /// keeping their insertion order.
     pub fn install_faults(&mut self, script: &FaultScript) {
-        for (at, action) in script.entries() {
-            self.queue.push(*at, Event::Fault(action.clone()));
+        let mut entries = script.entries().to_vec();
+        entries.sort_by_key(|(at, _)| *at);
+        for (at, action) in entries {
+            self.queue.push(at, Event::Fault(action));
         }
     }
 
@@ -289,6 +306,11 @@ impl ClusterSim {
                 Event::DeliverSlurm(env) => self.handle_deliver_slurm(env),
                 Event::ServerProcess(env) => self.handle_server_process(env),
                 Event::Fault(action) => self.handle_fault(action),
+                Event::EscrowTimeout {
+                    granter,
+                    requester,
+                    seq,
+                } => self.handle_escrow_timeout(granter, requester, seq),
             }
             if self.cfg.check_invariants {
                 self.check_conservation();
@@ -343,10 +365,18 @@ impl ClusterSim {
             .filter(|s| self.is_alive(s.id))
             .map(|s| s.policy.cached())
             .sum();
+        // Undelivered escrowed grants are held outside any cap or pool
+        // (exactly like in-flight power) until acked or reclaimed.
+        let escrowed: Power = self
+            .nodes
+            .iter()
+            .filter(|n| self.is_alive(n.id))
+            .map(|n| self.escrows[n.id.index()].undelivered_total())
+            .sum();
         Snapshot {
             period,
             consistent_cut: true,
-            in_flight: self.ledger.in_flight + server_cache,
+            in_flight: self.ledger.in_flight + server_cache + escrowed,
             lost: self.ledger.lost,
             nodes,
         }
@@ -450,7 +480,9 @@ impl ClusterSim {
                         alpha,
                         seq,
                     } => {
-                        node.pending.insert(seq, now);
+                        // A retransmit reuses the seq: keep the original
+                        // send time so turnaround measures the full wait.
+                        node.pending.entry(seq).or_insert(now);
                         outgoing = Outgoing::PeerRequest {
                             dst,
                             req: PowerRequest {
@@ -601,6 +633,27 @@ impl ClusterSim {
                     node.last_success = Some(env.src);
                 }
                 self.credit_redistribution(dst, g.amount);
+                // Commit the transfer: the granter holds the amount in
+                // escrow until this ack lands (zero grants debit nothing
+                // and are never escrowed, so nothing to acknowledge).
+                if !g.amount.is_zero() {
+                    self.send_ack(dst, env.src, g.seq);
+                }
+            }
+            PeerMsg::Ack(a) => {
+                let granter = env.dst;
+                if !self.is_alive(granter) {
+                    return; // escrow already drained when the granter died
+                }
+                self.emit(granter, || EventKind::MsgRecv {
+                    src: env.src,
+                    carried: Power::ZERO,
+                });
+                if let Some(entry) = self.escrows[granter.index()].release(env.src, a.seq) {
+                    // An ack proves delivery, so the entry cannot still be
+                    // carrying accounting weight on the granter.
+                    debug_assert_eq!(entry.state, EscrowState::AwaitingAck);
+                }
             }
         }
     }
@@ -612,6 +665,35 @@ impl ClusterSim {
         let pool_node = env.dst;
         if !self.is_alive(pool_node) {
             return; // pool crashed before servicing; nothing was debited
+        }
+        // Retransmit idempotence: an escrow hit means this (requester, seq)
+        // was already served — re-send the escrowed amount, never re-debit
+        // the pool.
+        if let Some(entry) = self.escrows[pool_node.index()]
+            .get(req.from, req.seq)
+            .copied()
+        {
+            match entry.state {
+                EscrowState::Undelivered => {
+                    self.send_escrowed_grant(pool_node, req.from, req.seq, entry.amount, false);
+                }
+                EscrowState::AwaitingAck => {
+                    // The original grant is in flight or already applied;
+                    // a zero reminder unblocks the requester if its ack
+                    // raced this retransmit (duplicates of the real amount
+                    // are discarded by the decider's seq dedup).
+                    self.route_peer(
+                        pool_node,
+                        req.from,
+                        PeerMsg::Grant(PowerGrant {
+                            amount: Power::ZERO,
+                            seq: req.seq,
+                        }),
+                        Power::ZERO,
+                    );
+                }
+            }
+            return;
         }
         let node = &mut self.nodes[pool_node.index()];
         let Manager::Penelope { pool, .. } = &mut node.manager else {
@@ -636,15 +718,20 @@ impl ClusterSim {
                 released: Power::ZERO,
             });
         }
-        self.route_peer(
-            pool_node,
-            req.from,
-            PeerMsg::Grant(PowerGrant {
+        if amount.is_zero() {
+            // Nothing to conserve: an empty-handed reply is fire-and-forget.
+            self.route_peer(
+                pool_node,
+                req.from,
+                PeerMsg::Grant(PowerGrant {
+                    amount,
+                    seq: req.seq,
+                }),
                 amount,
-                seq: req.seq,
-            }),
-            amount,
-        );
+            );
+        } else {
+            self.send_escrowed_grant(pool_node, req.from, req.seq, amount, true);
+        }
     }
 
     fn handle_deliver_slurm(&mut self, env: penelope_net::Envelope<SlurmMsg>) {
@@ -752,6 +839,31 @@ impl ClusterSim {
         }
     }
 
+    /// A per-entry escrow timer fired: if the entry is still live and still
+    /// known undelivered, the granter takes its power back.
+    fn handle_escrow_timeout(&mut self, granter: NodeId, requester: NodeId, seq: u64) {
+        if !self.is_alive(granter) {
+            return; // the escrow was drained (and booked lost) at death
+        }
+        let Some(entry) = self.escrows[granter.index()].expire_one(requester, seq, self.now) else {
+            return; // acked, or a re-send pushed the deadline out
+        };
+        if entry.state == EscrowState::Undelivered {
+            let node = &mut self.nodes[granter.index()];
+            if let Manager::Penelope { pool, .. } = &mut node.manager {
+                pool.deposit(entry.amount);
+            }
+            self.emit(granter, || EventKind::GrantReclaimed {
+                requester,
+                seq,
+                amount: entry.amount,
+            });
+        }
+        // An AwaitingAck entry expires without credit: the power either
+        // reached the requester (whose ack was lost) or died with it, and
+        // both cases are already accounted elsewhere.
+    }
+
     fn handle_fault(&mut self, action: FaultAction) {
         match action {
             FaultAction::Kill(id) => self.kill_node(id),
@@ -791,7 +903,10 @@ impl ClusterSim {
             Manager::Penelope { pool, .. } => pool.drain(),
             _ => Power::ZERO,
         };
-        self.ledger.lose_direct(cap + pooled);
+        // Undelivered escrowed grants die with their granter, exactly like
+        // its cap and pool.
+        let escrowed = self.escrows[id.index()].drain();
+        self.ledger.lose_direct(cap + pooled + escrowed);
         if !node.finished_seen {
             self.dead_unfinished += 1;
         }
@@ -816,6 +931,88 @@ impl ClusterSim {
                 if !carried.is_zero() {
                     self.ledger.lose_in_flight(carried);
                 }
+            }
+        }
+    }
+
+    /// Send (or re-send) a non-zero grant whose amount is already debited
+    /// from the granter's pool, tracking delivery in escrow until the
+    /// requester's ack. Unlike [`route_peer`](Self::route_peer), the ledger
+    /// only `depart`s when the transport actually carries the message: a
+    /// grant known-dropped at send keeps its accounting weight on the
+    /// granter (as an [`EscrowState::Undelivered`] entry) instead of being
+    /// booked as permanently lost — the §3.2 atomicity fix for lossy
+    /// networks.
+    fn send_escrowed_grant(
+        &mut self,
+        granter: NodeId,
+        requester: NodeId,
+        seq: u64,
+        amount: Power,
+        fresh: bool,
+    ) {
+        debug_assert!(!amount.is_zero(), "zero grants are never escrowed");
+        let deadline = self.now + self.cfg.node.decider.escrow_timeout();
+        self.emit(granter, || EventKind::MsgSent {
+            dst: requester,
+            carried: amount,
+        });
+        let grant = PeerMsg::Grant(PowerGrant { amount, seq });
+        let state = match self
+            .net
+            .route(granter, requester, grant, self.now, &mut self.net_rng)
+        {
+            RouteOutcome::Deliver(env) => {
+                self.ledger.depart(amount);
+                self.queue.push(env.deliver_at, Event::DeliverPeer(env));
+                EscrowState::AwaitingAck
+            }
+            _ => {
+                self.emit(granter, || EventKind::MsgDropped {
+                    dst: requester,
+                    carried: amount,
+                });
+                EscrowState::Undelivered
+            }
+        };
+        self.escrows[granter.index()].insert(requester, seq, amount, state, deadline);
+        if fresh {
+            self.emit(granter, || EventKind::GrantEscrowed {
+                requester,
+                seq,
+                amount,
+            });
+        }
+        self.queue.push(
+            deadline,
+            Event::EscrowTimeout {
+                granter,
+                requester,
+                seq,
+            },
+        );
+    }
+
+    /// Acknowledge an applied non-zero grant. Acks ride the dedicated
+    /// `ack_rng` stream so loss-free runs draw exactly the same `net_rng`
+    /// sequence they did before the ack protocol existed. A dropped ack is
+    /// not retried: the granter's `AwaitingAck` entry simply expires
+    /// without credit, which costs nothing to conservation.
+    fn send_ack(&mut self, requester: NodeId, granter: NodeId, seq: u64) {
+        self.emit(requester, || EventKind::MsgSent {
+            dst: granter,
+            carried: Power::ZERO,
+        });
+        let ack = PeerMsg::Ack(GrantAck { seq });
+        match self
+            .net
+            .route(requester, granter, ack, self.now, &mut self.ack_rng)
+        {
+            RouteOutcome::Deliver(env) => {
+                self.queue.push(env.deliver_at, Event::DeliverPeer(env));
+            }
+            _ => {
+                self.emit(requester, || EventKind::AckDropped { dst: granter, seq });
             }
         }
     }
@@ -878,7 +1075,15 @@ impl ClusterSim {
             .filter(|s| self.net.faults().is_alive(s.id))
             .map(|s| s.policy.cached())
             .sum();
-        nodes + servers
+        // Undelivered escrowed grants still belong to their (live) granter:
+        // the pool debited them but the transport never carried them.
+        let escrowed: Power = self
+            .nodes
+            .iter()
+            .filter(|n| self.net.faults().is_alive(n.id))
+            .map(|n| self.escrows[n.id.index()].undelivered_total())
+            .sum();
+        nodes + servers + escrowed
     }
 
     fn check_conservation(&mut self) {

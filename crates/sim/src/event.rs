@@ -34,6 +34,15 @@ pub enum Event {
     ServerProcess(Envelope<SlurmMsg>),
     /// A scripted fault fires.
     Fault(FaultAction),
+    /// A granter's escrow deadline for one unacknowledged grant expires.
+    EscrowTimeout {
+        /// The node whose pool served (and escrowed) the grant.
+        granter: NodeId,
+        /// The requester the grant was addressed to.
+        requester: NodeId,
+        /// The request's sequence number.
+        seq: u64,
+    },
 }
 
 /// An event scheduled at a virtual time. Ties are broken by insertion

@@ -49,7 +49,9 @@ impl FaultScript {
         FaultScript::none().at(at, FaultAction::Kill(node))
     }
 
-    /// The scripted entries, in insertion order.
+    /// The scripted entries, in insertion order. Installers must not rely
+    /// on this being time-sorted: the simulator stably sorts by timestamp
+    /// when scheduling, so scripts may be composed in any order.
     pub fn entries(&self) -> &[(SimTime, FaultAction)] {
         &self.entries
     }

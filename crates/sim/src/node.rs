@@ -12,6 +12,10 @@ use penelope_workload::WorkloadState;
 
 /// The power manager running on a node.
 #[derive(Debug)]
+// One Manager lives per node for the whole run, and in a Penelope
+// cluster nearly every node carries the largest variant — boxing the
+// decider would buy nothing but a pointer chase in the per-event path.
+#[allow(clippy::large_enum_variant)]
 pub enum Manager {
     /// Static cap; no control loop.
     Fair,

@@ -460,8 +460,51 @@ fn noop_observer_is_behaviour_free_and_events_are_counted() {
     assert_eq!(plain.runtime_secs(), observed.runtime_secs());
     assert_eq!(plain.final_caps, observed.final_caps);
     assert_eq!(plain.net.offered(), observed.net.offered());
-    assert!(ring.len() > 0, "observer saw nothing");
+    assert!(!ring.is_empty(), "observer saw nothing");
     // The no-op observer reports disabled, so emission sites skip even
     // constructing events — the zero-cost contract.
     assert!(!SharedObserver::noop().enabled());
+}
+
+#[test]
+fn fault_scripts_fire_in_timestamp_order_regardless_of_composition_order() {
+    // `install_faults` sorts entries by timestamp (stably), so a script
+    // composed out of chronological order behaves exactly like the same
+    // script composed in order — including same-timestamp entries, which
+    // keep their insertion order.
+    use penelope_sim::FaultAction;
+
+    let mk = || vec![profile("donor", 100, 40.0), profile("rcpt", 250, 40.0)];
+    let run = |script: FaultScript| {
+        let mut sim = ClusterSim::new(cfg(SystemKind::Penelope, 320), mk());
+        sim.install_faults(&script);
+        sim.run(horizon(400))
+    };
+
+    let ordered = run(FaultScript::none()
+        .at(SimTime::from_secs(5), FaultAction::SetDropRate(0.3))
+        .at(SimTime::from_secs(20), FaultAction::Kill(NodeId::new(0))));
+    let reversed = run(FaultScript::none()
+        .at(SimTime::from_secs(20), FaultAction::Kill(NodeId::new(0)))
+        .at(SimTime::from_secs(5), FaultAction::SetDropRate(0.3)));
+
+    assert_eq!(ordered.finished, reversed.finished);
+    assert_eq!(ordered.dead, reversed.dead);
+    assert_eq!(ordered.lost, reversed.lost);
+    assert_eq!(ordered.final_caps, reversed.final_caps);
+    assert_eq!(ordered.events, reversed.events, "event streams diverged");
+    assert!(ordered.conservation_ok && reversed.conservation_ok);
+
+    // Same-timestamp entries keep composition order: the last write wins,
+    // so a drop-rate raise followed by a reset at the same instant must
+    // leave the network lossless.
+    let healed = run(FaultScript::none()
+        .at(SimTime::from_secs(5), FaultAction::SetDropRate(0.9))
+        .at(SimTime::from_secs(5), FaultAction::SetDropRate(0.0)));
+    assert_eq!(healed.lost, Power::ZERO);
+    assert_eq!(
+        healed.net.dropped(),
+        0,
+        "messages dropped after same-tick reset"
+    );
 }

@@ -64,6 +64,25 @@ pub enum FaultSpec {
         /// Period index at which it dies.
         at_period: u64,
     },
+    /// Random message loss on every peer link for the whole run. The rate
+    /// is stored in permille (so the spec stays `Eq`/hashable); no node
+    /// dies, so the grant escrow/ack protocol must keep `lost` at exactly
+    /// zero in every snapshot.
+    Lossy {
+        /// Drop probability in permille (200 = 20 %).
+        drop_permille: u16,
+    },
+}
+
+impl FaultSpec {
+    /// The random message-loss probability this fault injects (zero for
+    /// the non-lossy variants).
+    pub fn drop_rate(&self) -> f64 {
+        match self {
+            FaultSpec::Lossy { drop_permille } => f64::from(*drop_permille) / 1000.0,
+            _ => 0.0,
+        }
+    }
 }
 
 /// One conformance scenario: everything a substrate needs to reproduce
@@ -187,6 +206,10 @@ pub enum Invariant {
     PoolBalanced,
     /// Consistent cut did not sum exactly to the initial budget.
     ZeroSum,
+    /// Power was booked as lost under pure random message loss, where no
+    /// node died: every dropped grant must be escrowed and reclaimed, so
+    /// `lost` has nothing legitimate to count.
+    NoPeerLoss,
 }
 
 /// One invariant violation, locatable and reproducible.
@@ -271,6 +294,23 @@ pub fn check_run(scenario: &Scenario, run: &SubstrateRun) -> Vec<Violation> {
                     ),
                 ));
             }
+        }
+
+        // Under pure random loss nothing dies, so nothing may be retired:
+        // a non-zero `lost` means a dropped peer message burned power the
+        // escrow should have reclaimed. Checked on every snapshot — the
+        // counter is monotone and per-substrate-local, so it needs no
+        // consistent cut.
+        if matches!(scenario.fault, FaultSpec::Lossy { .. }) && !snap.lost.is_zero() {
+            out.push(violation(
+                Invariant::NoPeerLoss,
+                snap.period,
+                None,
+                format!(
+                    "{:?} booked as lost under random message loss with no dead nodes",
+                    snap.lost
+                ),
+            ));
         }
 
         if snap.consistent_cut {
@@ -695,6 +735,30 @@ mod tests {
         let v = check_run(&scenario(), &run);
         assert!(v.iter().any(|v| v.invariant == Invariant::CapWithinSafe));
         assert!(v.iter().any(|v| v.invariant == Invariant::PoolBalanced));
+    }
+
+    #[test]
+    fn lost_power_under_random_loss_is_flagged() {
+        let mut sc = scenario();
+        sc.fault = FaultSpec::Lossy { drop_permille: 200 };
+        assert!((sc.fault.drop_rate() - 0.2).abs() < 1e-12);
+        assert!(FaultSpec::None.drop_rate() == 0.0);
+        // Totals balance (310 live + 10 lost = 320), but a lossy run with
+        // no dead nodes has nothing legitimate to retire.
+        let snap = Snapshot {
+            period: 0,
+            consistent_cut: true,
+            in_flight: Power::ZERO,
+            lost: watts(10),
+            nodes: vec![node(0, 150, 0, 0, 0), node(1, 160, 0, 0, 0)],
+        };
+        let run = run_of(vec![snap], 320);
+        let v = check_run(&sc, &run);
+        assert!(
+            v.iter().any(|v| v.invariant == Invariant::NoPeerLoss),
+            "{v:?}"
+        );
+        assert!(!v.iter().any(|v| v.invariant == Invariant::ZeroSum));
     }
 
     #[test]

@@ -149,10 +149,39 @@ pub enum EventKind {
         /// substrate's conservation ledger, not here).
         carried: Power,
     },
+    /// This node's pool served a non-zero grant and escrowed it pending
+    /// the requester's ack (the lossy-network reliability layer).
+    GrantEscrowed {
+        /// The requesting node the grant is addressed to.
+        requester: NodeId,
+        /// The requester's sequence number.
+        seq: u64,
+        /// The escrowed (already pool-debited) amount.
+        amount: Power,
+    },
+    /// An escrowed grant's ack never arrived and the grant is known
+    /// undelivered: the granter re-credited the amount to its own pool.
+    GrantReclaimed {
+        /// The requester the grant had been addressed to.
+        requester: NodeId,
+        /// The requester's sequence number.
+        seq: u64,
+        /// The amount returned to the granter's pool.
+        amount: Power,
+    },
+    /// A grant acknowledgement was dropped in flight (harmless for
+    /// conservation — the granter's escrow entry simply expires without
+    /// credit — but worth seeing in a trace).
+    AckDropped {
+        /// The granter the ack was addressed to.
+        dst: NodeId,
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
 }
 
 /// Number of distinct [`EventKind`] variants (size of per-kind counters).
-pub const KIND_COUNT: usize = 14;
+pub const KIND_COUNT: usize = 17;
 
 impl EventKind {
     /// Dense index of the variant, `0..KIND_COUNT` (counter bucket).
@@ -172,6 +201,9 @@ impl EventKind {
             EventKind::MsgSent { .. } => 11,
             EventKind::MsgRecv { .. } => 12,
             EventKind::MsgDropped { .. } => 13,
+            EventKind::GrantEscrowed { .. } => 14,
+            EventKind::GrantReclaimed { .. } => 15,
+            EventKind::AckDropped { .. } => 16,
         }
     }
 
@@ -182,11 +214,18 @@ impl EventKind {
 
     /// `true` for events that are part of the protocol narrative (as
     /// opposed to transport-level message bookkeeping). Cross-substrate
-    /// stream diffs compare exactly these.
+    /// stream diffs compare exactly these. The escrow/ack events are
+    /// transport-level too: they narrate delivery reliability, which
+    /// legitimately differs between substrates.
     pub fn is_protocol(&self) -> bool {
         !matches!(
             self,
-            EventKind::MsgSent { .. } | EventKind::MsgRecv { .. } | EventKind::MsgDropped { .. }
+            EventKind::MsgSent { .. }
+                | EventKind::MsgRecv { .. }
+                | EventKind::MsgDropped { .. }
+                | EventKind::GrantEscrowed { .. }
+                | EventKind::GrantReclaimed { .. }
+                | EventKind::AckDropped { .. }
         )
     }
 }
@@ -207,6 +246,9 @@ pub const KIND_NAMES: [&str; KIND_COUNT] = [
     "msg_sent",
     "msg_recv",
     "msg_dropped",
+    "grant_escrowed",
+    "grant_reclaimed",
+    "ack_dropped",
 ];
 
 /// One protocol event: what happened, where, and when.
@@ -316,6 +358,24 @@ impl TraceEvent {
                 num(&mut s, "src", u64::from(src.raw()));
                 num(&mut s, "carried_mw", carried.milliwatts());
             }
+            EventKind::GrantEscrowed {
+                requester,
+                seq,
+                amount,
+            }
+            | EventKind::GrantReclaimed {
+                requester,
+                seq,
+                amount,
+            } => {
+                num(&mut s, "requester", u64::from(requester.raw()));
+                num(&mut s, "seq", seq);
+                num(&mut s, "amount_mw", amount.milliwatts());
+            }
+            EventKind::AckDropped { dst, seq } => {
+                num(&mut s, "dst", u64::from(dst.raw()));
+                num(&mut s, "seq", seq);
+            }
         }
         s.push('}');
         s
@@ -383,5 +443,56 @@ mod tests {
         };
         assert!(!msg.is_protocol());
         assert!(EventKind::RequestTimeout { seq: 0 }.is_protocol());
+        // The escrow/ack reliability layer is transport-level too: its
+        // events must never perturb cross-substrate protocol-stream diffs.
+        assert!(!EventKind::GrantEscrowed {
+            requester: NodeId::new(1),
+            seq: 0,
+            amount: w(1),
+        }
+        .is_protocol());
+        assert!(!EventKind::GrantReclaimed {
+            requester: NodeId::new(1),
+            seq: 0,
+            amount: w(1),
+        }
+        .is_protocol());
+        assert!(!EventKind::AckDropped {
+            dst: NodeId::new(1),
+            seq: 0,
+        }
+        .is_protocol());
+    }
+
+    #[test]
+    fn escrow_kinds_render_their_fields() {
+        let ev = TraceEvent {
+            at: SimTime::from_secs(1),
+            node: NodeId::new(0),
+            period: 1,
+            kind: EventKind::GrantReclaimed {
+                requester: NodeId::new(2),
+                seq: 9,
+                amount: w(7),
+            },
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            "{\"t_ns\":1000000000,\"node\":0,\"period\":1,\"kind\":\"grant_reclaimed\",\
+             \"requester\":2,\"seq\":9,\"amount_mw\":7000}"
+        );
+        let ack = TraceEvent {
+            at: SimTime::ZERO,
+            node: NodeId::new(3),
+            period: 0,
+            kind: EventKind::AckDropped {
+                dst: NodeId::new(0),
+                seq: 4,
+            },
+        };
+        assert_eq!(
+            ack.to_jsonl(),
+            "{\"t_ns\":0,\"node\":3,\"period\":0,\"kind\":\"ack_dropped\",\"dst\":0,\"seq\":4}"
+        );
     }
 }

@@ -17,7 +17,11 @@
 //! `--tolerance` (or `PENELOPE_PERF_TOLERANCE`) is the allowed fractional
 //! throughput drop, default `0.2` (20 %).
 
+use penelope::experiments::parallel::CellStats;
 use penelope::experiments::{nominal, parallel, scale, Effort};
+use penelope::prelude::{
+    npb, ClusterConfig, ClusterSim, FaultAction, FaultScript, Power, SimTime, SystemKind,
+};
 use penelope_bench::report::{check_regression, BenchReport, SweepTiming, BENCH_SCHEMA};
 use penelope_bench::{cap_axis, frequency_axis, scale_axis, time};
 
@@ -123,6 +127,43 @@ fn main() {
     sweeps.push(SweepTiming::from_stats(
         "nominal",
         &par.1,
+        wall,
+        serial_wall,
+    ));
+
+    // Escrow/ack overhead: the same small Penelope cluster at increasing
+    // message loss. The 0.0 row prices the escrow bookkeeping now paid on
+    // every non-zero grant; the lossy rows also exercise retransmits,
+    // duplicate-request re-serves and deadline reclaims. Deterministic
+    // seeds, so the repeat run must reproduce the first bit-for-bit.
+    let lossy_secs = match effort {
+        Effort::Smoke => 60,
+        Effort::Quick => 180,
+        Effort::Full => 600,
+    };
+    let lossy_sweep = || {
+        let mut stats = CellStats::default();
+        for permille in [0u16, 50, 200, 500] {
+            let budget = Power::from_watts_u64(4 * 160);
+            let workloads = vec![npb::dc(), npb::cg(), npb::ep(), npb::lu()];
+            let mut cfg = ClusterConfig::paper_defaults(SystemKind::Penelope, budget);
+            cfg.node.decider.max_retransmits = 2;
+            let mut sim = ClusterSim::new(cfg, workloads);
+            sim.install_faults(&FaultScript::none().at(
+                SimTime::ZERO,
+                FaultAction::SetDropRate(f64::from(permille) / 1000.0),
+            ));
+            let report = sim.run(SimTime::from_secs(lossy_secs));
+            stats.absorb(report.events, report.ended_at.as_secs_f64());
+        }
+        stats
+    };
+    let (serial, serial_wall) = time(lossy_sweep);
+    let (rerun, wall) = time(lossy_sweep);
+    matches &= rerun == serial;
+    sweeps.push(SweepTiming::from_stats(
+        "lossy_escrow",
+        &rerun,
         wall,
         serial_wall,
     ));

@@ -27,10 +27,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::Duration;
 
-use penelope_core::{LocalDecider, PeerMsg, PowerGrant, PowerPool, PowerRequest, TickAction};
+use penelope_core::{
+    EscrowState, GrantAck, GrantEscrow, LocalDecider, PeerMsg, PowerGrant, PowerPool, PowerRequest,
+    TickAction,
+};
 use penelope_net::ThreadNet;
 use penelope_power::{PowerInterface, SimulatedRapl};
-use penelope_sim::{node_seed, ClusterConfig, ClusterSim, FaultScript, SystemKind};
+use penelope_sim::{node_seed, ClusterConfig, ClusterSim, FaultAction, FaultScript, SystemKind};
 use penelope_testkit::conformance::{
     FaultSpec, NodeSnapshot, PhaseSpec, Scenario, Snapshot, Substrate, SubstrateRun, WorkloadSpec,
 };
@@ -90,6 +93,11 @@ pub fn sim_config(scenario: &Scenario) -> ClusterConfig {
     // Jitterless ticks: all substrates tick at exact period boundaries,
     // which keeps the per-node RNG streams aligned across substrates.
     cfg.tick_jitter = SimDuration::ZERO;
+    // Lossy scenarios lean on the reliability layer: retry dropped
+    // requests instead of eating a full timeout per loss.
+    if let FaultSpec::Lossy { .. } = scenario.fault {
+        cfg.node.decider.max_retransmits = 2;
+    }
     cfg
 }
 
@@ -139,11 +147,20 @@ impl SimSubstrate {
     ) -> Result<SubstrateRun, String> {
         cfg.observer = observer;
         let mut sim = ClusterSim::new(cfg, profiles_for(scenario));
-        if let FaultSpec::KillNode { node, at_period } = scenario.fault {
-            sim.install_faults(&FaultScript::kill_node_at(
-                SimTime::ZERO + PERIOD * at_period,
-                NodeId::new(node),
-            ));
+        match scenario.fault {
+            FaultSpec::KillNode { node, at_period } => {
+                sim.install_faults(&FaultScript::kill_node_at(
+                    SimTime::ZERO + PERIOD * at_period,
+                    NodeId::new(node),
+                ));
+            }
+            FaultSpec::Lossy { .. } => {
+                sim.install_faults(&FaultScript::none().at(
+                    SimTime::ZERO,
+                    FaultAction::SetDropRate(scenario.fault.drop_rate()),
+                ));
+            }
+            FaultSpec::None => {}
         }
         let mut snapshots = Vec::with_capacity(scenario.periods as usize);
         for p in 0..scenario.periods {
@@ -193,9 +210,13 @@ struct Shared {
     /// Caps mirrored out of each decider, in milliwatts.
     caps_mw: Vec<AtomicU64>,
     alive: Vec<AtomicBool>,
-    /// Power retired from the system (failed grant deliveries, killed
-    /// nodes), in milliwatts.
+    /// Power retired from the system (killed nodes), in milliwatts.
     lost_mw: AtomicU64,
+    /// Per-node mirror of the *undelivered* escrow total, in milliwatts.
+    /// Escrow tables live on the node threads; the coordinator reads these
+    /// mirrors so period snapshots can report escrowed power as in-flight
+    /// instead of booking it lost.
+    escrowed_mw: Vec<AtomicU64>,
     barrier: Barrier,
 }
 
@@ -230,6 +251,7 @@ impl LockstepRuntime {
                 .collect(),
             alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
             lost_mw: AtomicU64::new(0),
+            escrowed_mw: (0..n).map(|_| AtomicU64::new(0)).collect(),
             barrier: Barrier::new(n + 1),
         });
         let profiles = profiles_for(scenario);
@@ -246,6 +268,10 @@ impl LockstepRuntime {
             let seed = node_seed(scenario.seed, i as u64);
             let periods = scenario.periods;
             let obs = observer.clone();
+            let drop_rate = scenario.fault.drop_rate();
+            // Per-node loss stream, disjoint from the decider RNG so drop
+            // injection never perturbs the protocol's draw sequence.
+            let drop_seed = node_seed(scenario.seed, u64::MAX - 3 - i as u64);
             threads.push(std::thread::spawn(move || {
                 node_loop(
                     i,
@@ -262,6 +288,8 @@ impl LockstepRuntime {
                         rapl_cfg,
                     ),
                     TestRng::seed_from_u64(seed),
+                    drop_rate,
+                    TestRng::seed_from_u64(drop_seed),
                     obs,
                 )
             }));
@@ -324,13 +352,37 @@ fn snapshot_shared(shared: &Shared, period: u64) -> Snapshot {
             }
         })
         .collect();
+    // At the period boundary every sent message has been consumed, so the
+    // only in-flight power is what granters hold in escrow for grants that
+    // never reached their requester (undelivered entries).
+    let escrowed: u64 = shared
+        .escrowed_mw
+        .iter()
+        .map(|e| e.load(Ordering::SeqCst))
+        .sum();
     Snapshot {
         period,
         consistent_cut: true,
-        in_flight: Power::ZERO,
+        in_flight: Power::from_milliwatts(escrowed),
         lost: Power::from_milliwatts(shared.lost_mw.load(Ordering::SeqCst)),
         nodes,
     }
+}
+
+/// Send with scenario-level random loss injected at the sender. Requests,
+/// grants and acks all pass through here so a lossy scenario degrades every
+/// protocol edge, exactly like the simulator's drop-rate fault.
+fn send_lossy(
+    endpoint: &penelope_net::ThreadEndpoint<PeerMsg>,
+    drop_rate: f64,
+    drop_rng: &mut TestRng,
+    dst: NodeId,
+    msg: PeerMsg,
+) -> bool {
+    if drop_rate > 0.0 && drop_rng.gen_bool(drop_rate) {
+        return false;
+    }
+    endpoint.send(dst, msg)
 }
 
 /// The per-node thread body: the same Algorithm 1/2 calls as the
@@ -347,6 +399,8 @@ fn node_loop(
     safe: PowerRange,
     mut rapl: SimulatedRapl<WorkloadState>,
     mut rng: TestRng,
+    drop_rate: f64,
+    mut drop_rng: TestRng,
     obs: SharedObserver,
 ) {
     let id = NodeId::new(idx as u32);
@@ -364,14 +418,51 @@ fn node_loop(
     };
     let mut decider =
         LocalDecider::new(decider_cfg, initial_cap, safe).with_observer(id, obs.clone());
-    let mut stashed_grants: Vec<PowerGrant> = Vec::new();
+    let mut stashed_grants: Vec<(NodeId, PowerGrant)> = Vec::new();
+    // Granter-side escrow of unacknowledged grants; thread-local (only this
+    // node serves from its pool), mirrored into `shared.escrowed_mw` so the
+    // coordinator's snapshots see undelivered power as in-flight.
+    let mut escrow: GrantEscrow<NodeId> = GrantEscrow::new();
+    let mut was_alive = true;
     for p in 0..periods {
         shared.barrier.wait(); // coordinator finished faults/snapshot
         let now = SimTime::ZERO + PERIOD * p;
         let me_alive = shared.alive[idx].load(Ordering::SeqCst);
+        if was_alive && !me_alive {
+            // Killed between periods: escrowed power this node was still
+            // holding for undelivered grants dies with it, exactly like
+            // its cap and pool (which the coordinator already retired).
+            let retired = escrow.drain();
+            if !retired.is_zero() {
+                shared
+                    .lost_mw
+                    .fetch_add(retired.milliwatts(), Ordering::SeqCst);
+            }
+            shared.escrowed_mw[idx].store(0, Ordering::SeqCst);
+            was_alive = false;
+        }
 
         // --- Tick phase -------------------------------------------------
         if me_alive {
+            // Reclaim escrowed grants whose ack deadline has passed before
+            // deciding: an Undelivered amount flows back into this node's
+            // own pool (the §3.2 abort path); an AwaitingAck entry expires
+            // without credit — the power is with the requester or died
+            // with it, and re-crediting it would mint.
+            for entry in escrow.take_expired(now) {
+                if entry.state == EscrowState::Undelivered {
+                    shared.pools[idx].lock().unwrap().deposit(entry.amount);
+                    shared.escrowed_mw[idx].fetch_sub(entry.amount.milliwatts(), Ordering::SeqCst);
+                    emit(
+                        now,
+                        EventKind::GrantReclaimed {
+                            requester: entry.requester,
+                            seq: entry.seq,
+                            amount: entry.amount,
+                        },
+                    );
+                }
+            }
             let reading = rapl.read_power_with(now, &mut rng);
             // Uniform peer choice, same draw sequence as the simulator.
             let peer = if n >= 2 {
@@ -403,9 +494,13 @@ fn node_loop(
                 seq,
             } = action
             {
-                // Requests carry no power; a refused send (dead peer) just
-                // means the decider times out and retries elsewhere.
-                let _ = endpoint.send(
+                // Requests carry no power; a refused send (dead peer) or a
+                // random drop just means the decider times out and retries
+                // (bounded retransmits under lossy scenarios).
+                let delivered = send_lossy(
+                    &endpoint,
+                    drop_rate,
+                    &mut drop_rng,
                     dst,
                     PeerMsg::Request(PowerRequest {
                         from: id,
@@ -421,6 +516,15 @@ fn node_loop(
                         carried: Power::ZERO,
                     },
                 );
+                if !delivered {
+                    emit(
+                        now,
+                        EventKind::MsgDropped {
+                            dst,
+                            carried: Power::ZERO,
+                        },
+                    );
+                }
             }
         }
         shared.barrier.wait(); // tick done everywhere: all requests sent
@@ -439,6 +543,70 @@ fn node_loop(
                             carried: Power::ZERO,
                         },
                     );
+                    // Retransmit dedup: a seq already in escrow was served
+                    // before — answer from the escrow entry, never a fresh
+                    // pool debit, so duplicates cannot double-pay.
+                    if let Some(entry) = escrow.get(req.from, req.seq).copied() {
+                        match entry.state {
+                            EscrowState::Undelivered => {
+                                let delivered = send_lossy(
+                                    &endpoint,
+                                    drop_rate,
+                                    &mut drop_rng,
+                                    req.from,
+                                    PeerMsg::Grant(PowerGrant {
+                                        amount: entry.amount,
+                                        seq: req.seq,
+                                    }),
+                                );
+                                emit(
+                                    now,
+                                    EventKind::MsgSent {
+                                        dst: req.from,
+                                        carried: entry.amount,
+                                    },
+                                );
+                                let e = escrow.get_mut(req.from, req.seq).expect("entry checked");
+                                e.deadline = now + decider_cfg.escrow_timeout();
+                                if delivered {
+                                    e.state = EscrowState::AwaitingAck;
+                                    shared.escrowed_mw[idx]
+                                        .fetch_sub(entry.amount.milliwatts(), Ordering::SeqCst);
+                                } else {
+                                    emit(
+                                        now,
+                                        EventKind::MsgDropped {
+                                            dst: req.from,
+                                            carried: entry.amount,
+                                        },
+                                    );
+                                }
+                            }
+                            EscrowState::AwaitingAck => {
+                                // Grant delivered but its ack is missing:
+                                // send a zero reminder (idempotent at the
+                                // requester) so its retry loop settles.
+                                let _ = send_lossy(
+                                    &endpoint,
+                                    drop_rate,
+                                    &mut drop_rng,
+                                    req.from,
+                                    PeerMsg::Grant(PowerGrant {
+                                        amount: Power::ZERO,
+                                        seq: req.seq,
+                                    }),
+                                );
+                                emit(
+                                    now,
+                                    EventKind::MsgSent {
+                                        dst: req.from,
+                                        carried: Power::ZERO,
+                                    },
+                                );
+                            }
+                        }
+                        continue;
+                    }
                     let (amount, urgency_before, urgency_after) = {
                         let mut pool = shared.pools[idx].lock().unwrap();
                         let before = pool.local_urgency();
@@ -464,7 +632,10 @@ fn node_loop(
                             },
                         );
                     }
-                    let delivered = endpoint.send(
+                    let delivered = send_lossy(
+                        &endpoint,
+                        drop_rate,
+                        &mut drop_rng,
                         req.from,
                         PeerMsg::Grant(PowerGrant {
                             amount,
@@ -478,12 +649,46 @@ fn node_loop(
                             carried: amount,
                         },
                     );
-                    if !delivered && !amount.is_zero() {
-                        // Power debited but undeliverable: retire it so the
-                        // budget stays conserved rather than minted back.
-                        shared
-                            .lost_mw
-                            .fetch_add(amount.milliwatts(), Ordering::SeqCst);
+                    if !amount.is_zero() {
+                        // Power debited: hold it in escrow until the ack
+                        // commits the transfer. An undeliverable grant
+                        // keeps its accounting weight here and flows back
+                        // into this pool at the deadline — never lost.
+                        let deadline = now + decider_cfg.escrow_timeout();
+                        if delivered {
+                            escrow.insert(
+                                req.from,
+                                req.seq,
+                                amount,
+                                EscrowState::AwaitingAck,
+                                deadline,
+                            );
+                        } else {
+                            escrow.insert(
+                                req.from,
+                                req.seq,
+                                amount,
+                                EscrowState::Undelivered,
+                                deadline,
+                            );
+                            shared.escrowed_mw[idx]
+                                .fetch_add(amount.milliwatts(), Ordering::SeqCst);
+                            emit(
+                                now,
+                                EventKind::MsgDropped {
+                                    dst: req.from,
+                                    carried: amount,
+                                },
+                            );
+                        }
+                        emit(
+                            now,
+                            EventKind::GrantEscrowed {
+                                requester: req.from,
+                                seq: req.seq,
+                                amount,
+                            },
+                        );
                     }
                 }
                 PeerMsg::Request(_) => {} // dead node: request evaporates
@@ -495,8 +700,19 @@ fn node_loop(
                             carried: g.amount,
                         },
                     );
-                    stashed_grants.push(g);
+                    stashed_grants.push((env.src, g));
                 }
+                PeerMsg::Ack(a) if me_alive => {
+                    emit(
+                        now,
+                        EventKind::MsgRecv {
+                            src: env.src,
+                            carried: Power::ZERO,
+                        },
+                    );
+                    let _ = escrow.release(env.src, a.seq);
+                }
+                PeerMsg::Ack(_) => {} // dead node: ack evaporates
             }
         }
         shared.barrier.wait(); // serve done everywhere: all grants sent
@@ -504,20 +720,67 @@ fn node_loop(
         // --- Apply phase ------------------------------------------------
         if me_alive {
             while let Some(env) = endpoint.try_recv() {
-                if let PeerMsg::Grant(g) = env.msg {
-                    emit(
-                        now,
-                        EventKind::MsgRecv {
-                            src: env.src,
-                            carried: g.amount,
-                        },
-                    );
-                    stashed_grants.push(g);
+                match env.msg {
+                    PeerMsg::Grant(g) => {
+                        emit(
+                            now,
+                            EventKind::MsgRecv {
+                                src: env.src,
+                                carried: g.amount,
+                            },
+                        );
+                        stashed_grants.push((env.src, g));
+                    }
+                    // Acks race with the apply drain (they are sent from
+                    // other nodes' apply phases); one missed here is
+                    // handled by the next serve phase, well before any
+                    // escrow deadline.
+                    PeerMsg::Ack(a) => {
+                        emit(
+                            now,
+                            EventKind::MsgRecv {
+                                src: env.src,
+                                carried: Power::ZERO,
+                            },
+                        );
+                        let _ = escrow.release(env.src, a.seq);
+                    }
+                    PeerMsg::Request(_) => {} // all requests drained in serve
                 }
             }
-            for g in stashed_grants.drain(..) {
-                let mut pool = shared.pools[idx].lock().unwrap();
-                let _ = decider.on_grant(now, g.seq, g.amount, &mut pool);
+            for (src, g) in stashed_grants.drain(..) {
+                {
+                    let mut pool = shared.pools[idx].lock().unwrap();
+                    let _ = decider.on_grant(now, g.seq, g.amount, &mut pool);
+                }
+                if !g.amount.is_zero() {
+                    // Commit the transfer back to the granter. A dropped
+                    // ack is safe: the escrow entry expires without credit
+                    // since the power is already here.
+                    let delivered = send_lossy(
+                        &endpoint,
+                        drop_rate,
+                        &mut drop_rng,
+                        src,
+                        PeerMsg::Ack(GrantAck { seq: g.seq }),
+                    );
+                    emit(
+                        now,
+                        EventKind::MsgSent {
+                            dst: src,
+                            carried: Power::ZERO,
+                        },
+                    );
+                    if !delivered {
+                        emit(
+                            now,
+                            EventKind::AckDropped {
+                                dst: src,
+                                seq: g.seq,
+                            },
+                        );
+                    }
+                }
             }
             rapl.set_cap(decider.cap(), now);
             shared.caps_mw[idx].store(decider.cap().milliwatts(), Ordering::SeqCst);
@@ -762,5 +1025,23 @@ pub fn noisy_power_scenario(seed: u64) -> Scenario {
         workloads: mixed_workloads(),
         fault: FaultSpec::None,
         read_noise: 0.05,
+    }
+}
+
+/// Lossy-network scenario: every peer message (request, grant, ack) is
+/// independently dropped with probability `drop_permille / 1000`; no node
+/// dies. With the grant escrow/ack layer in place the peer protocol must
+/// book exactly zero `lost` power at every period boundary, for any rate.
+pub fn lossy_scenario(seed: u64, drop_permille: u16, periods: u64) -> Scenario {
+    Scenario {
+        name: format!("lossy-{drop_permille}permille"),
+        seed,
+        nodes: 4,
+        budget_per_node: watts(160),
+        safe: PowerRange::from_watts(80, 300),
+        periods,
+        workloads: mixed_workloads(),
+        fault: FaultSpec::Lossy { drop_permille },
+        read_noise: 0.0,
     }
 }

@@ -1,0 +1,166 @@
+//! Conservation under sustained random message loss.
+//!
+//! These tests drive the grant escrow/ack reliability layer: every peer
+//! message (request, grant, ack) is dropped with a fixed probability on
+//! every link, no node dies, and the peer protocol must still account for
+//! every milliwatt — a dropped grant is escrowed by the granter and
+//! re-credited to its pool, never booked as `lost`.
+//!
+//! The swept drop rate can be pinned from the environment for CI matrix
+//! jobs: `PENELOPE_DROP_RATE=0.2 cargo test --test lossy_conformance`
+//! runs only that rate instead of the full sweep.
+
+use std::sync::Arc;
+
+use penelope::conformance::{lossy_scenario, LockstepRuntime, SimSubstrate};
+use penelope_testkit::conformance::{check_run, Scenario, Substrate};
+use penelope_trace::{EventKind, RingBufferObserver, SharedObserver};
+
+/// Drop rates (in permille) to sweep, or the single rate pinned by the
+/// `PENELOPE_DROP_RATE` environment variable (as a probability, e.g.
+/// "0.2").
+fn drop_rates_permille() -> Vec<u16> {
+    match std::env::var("PENELOPE_DROP_RATE") {
+        Ok(v) => {
+            let rate: f64 = v
+                .parse()
+                .unwrap_or_else(|e| panic!("PENELOPE_DROP_RATE {v:?} is not a probability: {e}"));
+            assert!(
+                (0.0..=1.0).contains(&rate),
+                "PENELOPE_DROP_RATE {rate} outside [0, 1]"
+            );
+            vec![(rate * 1000.0).round() as u16]
+        }
+        Err(_) => vec![50, 200, 500],
+    }
+}
+
+/// Run `scenario` on `substrate` and assert the full invariant set plus
+/// the lossy-specific guarantees: `lost` is exactly zero in every
+/// snapshot, every consistent cut sums to the initial budget, and the
+/// end state drains back to exactly the budget.
+fn assert_zero_peer_loss(scenario: &Scenario, substrate: &dyn Substrate) {
+    let run = substrate
+        .run(scenario)
+        .unwrap_or_else(|e| panic!("{} failed to run {}: {e}", substrate.name(), scenario.name));
+
+    let violations = check_run(scenario, &run);
+    assert!(
+        violations.is_empty(),
+        "{} violated invariants on {} (seed {:#x}): {violations:#?}",
+        substrate.name(),
+        scenario.name,
+        scenario.seed
+    );
+
+    for snap in &run.snapshots {
+        assert!(
+            snap.lost.is_zero(),
+            "{} booked {:?} lost at period {} of {} (seed {:#x})",
+            substrate.name(),
+            snap.lost,
+            snap.period,
+            scenario.name,
+            scenario.seed
+        );
+        if snap.consistent_cut {
+            assert_eq!(
+                snap.accounted_live(),
+                scenario.cluster_budget(),
+                "{} period {} does not conserve the budget (seed {:#x})",
+                substrate.name(),
+                snap.period,
+                scenario.seed
+            );
+        }
+    }
+    assert_eq!(
+        run.final_total,
+        scenario.cluster_budget(),
+        "{} final total drifted from the budget on {} (seed {:#x})",
+        substrate.name(),
+        scenario.name,
+        scenario.seed
+    );
+}
+
+#[test]
+fn drop_rate_sweep_loses_zero_peer_power_on_sim_and_lockstep() {
+    let sim = SimSubstrate;
+    let runtime = LockstepRuntime;
+    for drop_permille in drop_rates_permille() {
+        let scenario = lossy_scenario(0x5EED_1055 + u64::from(drop_permille), drop_permille, 12);
+        for substrate in [&sim as &dyn Substrate, &runtime] {
+            assert_zero_peer_loss(&scenario, substrate);
+        }
+    }
+}
+
+#[test]
+fn long_run_at_20_percent_loss_conserves_every_period() {
+    // The §4.2-length acceptance run: 40 decision periods at the paper's
+    // evaluated 20 % drop rate, on both deterministic substrates.
+    let scenario = lossy_scenario(0x5EED_2042, 200, 40);
+    assert_zero_peer_loss(&scenario, &SimSubstrate);
+    assert_zero_peer_loss(&scenario, &LockstepRuntime);
+}
+
+#[test]
+fn lossy_sim_actually_drops_and_escrows() {
+    // Guard against the sweep passing vacuously: at 50 % loss the trace
+    // must show real drops, real escrow activity, and at least one grant
+    // reclaimed after its retransmit window also went dark.
+    let scenario = lossy_scenario(0x5EED_3050, 500, 20);
+    let ring = Arc::new(RingBufferObserver::unbounded());
+    SimSubstrate::run_observed(&scenario, SharedObserver::from(ring.clone()))
+        .expect("lossy sim runs");
+    let events = ring.events();
+    let count = |pred: &dyn Fn(&EventKind) -> bool| events.iter().filter(|e| pred(&e.kind)).count();
+
+    let dropped = count(&|k| matches!(k, EventKind::MsgDropped { .. }));
+    let escrowed = count(&|k| matches!(k, EventKind::GrantEscrowed { .. }));
+    let reclaimed = count(&|k| matches!(k, EventKind::GrantReclaimed { .. }));
+    assert!(dropped > 0, "no messages dropped at 50% loss");
+    assert!(escrowed > 0, "no grants escrowed at 50% loss");
+    assert!(
+        reclaimed > 0,
+        "no grants reclaimed at 50% loss over {} periods ({dropped} drops, {escrowed} escrows)",
+        scenario.periods
+    );
+}
+
+#[test]
+fn lossy_lockstep_actually_drops_and_escrows() {
+    let scenario = lossy_scenario(0x5EED_3051, 500, 20);
+    let ring = Arc::new(RingBufferObserver::unbounded());
+    LockstepRuntime::run_observed(&scenario, SharedObserver::from(ring.clone()))
+        .expect("lossy lockstep runs");
+    let events = ring.events();
+    let dropped = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::MsgDropped { .. }))
+        .count();
+    let escrowed = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::GrantEscrowed { .. }))
+        .count();
+    assert!(dropped > 0, "no messages dropped at 50% loss");
+    assert!(escrowed > 0, "no grants escrowed at 50% loss");
+}
+
+#[test]
+fn lossless_scenario_has_no_escrow_reclaims() {
+    // With no loss every grant is acked promptly; escrow entries must be
+    // released by acks, never by deadline expiry.
+    let scenario = lossy_scenario(0x5EED_0000, 0, 10);
+    let ring = Arc::new(RingBufferObserver::unbounded());
+    SimSubstrate::run_observed(&scenario, SharedObserver::from(ring.clone()))
+        .expect("lossless sim runs");
+    let reclaimed = ring
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::GrantReclaimed { .. }))
+        .count();
+    assert_eq!(reclaimed, 0, "grants reclaimed in a lossless run");
+    assert_zero_peer_loss(&scenario, &SimSubstrate);
+}
