@@ -99,6 +99,16 @@ pub struct DeciderConfig {
     /// scenarios raise it so a dropped `Request` or `Grant` is retried
     /// instead of silently costing a period.
     pub max_retransmits: u32,
+    /// Liveness: after this many *consecutive* request timeouts to the same
+    /// peer, the decider suspects the peer and partner selection avoids it
+    /// (falling back to the paper's blind uniform choice when every peer is
+    /// suspected). Any reply from the peer clears the suspicion. A fault-free
+    /// run never times out, so the suspicion layer is provably inert there.
+    pub suspect_after: u32,
+    /// How long a suspicion lasts before the decider lets one probe request
+    /// through again (a crashed-and-restarted peer must be rediscoverable
+    /// without any membership oracle).
+    pub probe_interval: SimDuration,
 }
 
 impl Default for DeciderConfig {
@@ -110,6 +120,8 @@ impl Default for DeciderConfig {
             enable_urgency: true,
             shed_headroom: Power::ZERO,
             max_retransmits: 0,
+            suspect_after: 3,
+            probe_interval: SimDuration::from_secs(8),
         }
     }
 }

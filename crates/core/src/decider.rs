@@ -100,7 +100,19 @@ pub struct DeciderStats {
     /// Total power released due to a peer's urgent request (the
     /// `localUrgency` inducement).
     pub urgency_released: Power,
+    /// Grants discarded because their `seq` sat below the decider's floor:
+    /// pre-crash grants addressed to a reborn node, or redeliveries older
+    /// than the applied-seq window.
+    pub stale_discards: u64,
 }
+
+/// How many recent applied sequence numbers are remembered exactly; grants
+/// older than this window below `next_seq` are rejected wholesale (treated
+/// as already applied), which is what keeps [`LocalDecider`]'s dedup set
+/// O(outstanding) instead of O(lifetime requests). The decider has at most
+/// one request outstanding and the escrow deadline spans a handful of
+/// periods, so a legitimate late grant is always far younger than this.
+pub const APPLIED_SEQ_WINDOW: u64 = 64;
 
 /// Algorithm 1: the per-node feedback controller.
 ///
@@ -127,7 +139,21 @@ pub struct LocalDecider {
     /// A lossy transport can redeliver a grant (the granter re-sends its
     /// escrowed amount when a retransmitted request arrives); applying it
     /// twice would mint power, so redeliveries are discarded by `seq`.
+    /// Bounded: seqs below `seq_floor` are rejected without lookup.
     applied_seqs: std::collections::HashSet<u64>,
+    /// Grants with `seq < seq_floor` are stale and discarded. Raised in two
+    /// ways: a restarted node adopts its pre-crash `next_seq` watermark here
+    /// (the seq-epoch rule — stale pre-crash grants and escrow re-sends can
+    /// never double-pay the reborn node), and ordinary operation advances it
+    /// to `next_seq − APPLIED_SEQ_WINDOW` so `applied_seqs` stays bounded.
+    seq_floor: u64,
+    /// Liveness: consecutive timeouts per peer, reset by any reply.
+    timeout_streaks: std::collections::HashMap<NodeId, u32>,
+    /// Suspected peers → when the suspicion was last confirmed by a
+    /// timeout. Entries older than `probe_interval` no longer filter
+    /// partner selection (one probe gets through) but stay until a reply
+    /// clears them, so `PeerSuspected`/`PeerCleared` strictly alternate.
+    suspected: std::collections::HashMap<NodeId, SimTime>,
     stats: DeciderStats,
     node: NodeId,
     obs: SharedObserver,
@@ -145,10 +171,24 @@ impl LocalDecider {
             outstanding: None,
             next_seq: 0,
             applied_seqs: std::collections::HashSet::new(),
+            seq_floor: 0,
+            timeout_streaks: std::collections::HashMap::new(),
+            suspected: std::collections::HashMap::new(),
             stats: DeciderStats::default(),
             node: NodeId::new(0),
             obs: SharedObserver::noop(),
         }
+    }
+
+    /// Start the sequence namespace at `floor` instead of zero: seqs below
+    /// it are permanently stale. A restarted node passes its pre-crash
+    /// `next_seq` watermark here so the reborn decider never reuses a seq
+    /// its dead predecessor already spent — a retransmitted or escrowed
+    /// pre-crash grant arriving late is discarded instead of double-paying.
+    pub fn with_seq_floor(mut self, floor: u64) -> Self {
+        self.next_seq = floor;
+        self.seq_floor = floor;
+        self
     }
 
     /// Attach an observer, stamping every emitted event with `node`.
@@ -202,6 +242,79 @@ impl LocalDecider {
         self.outstanding.is_some()
     }
 
+    /// The next sequence number this decider will spend — the watermark a
+    /// restart hands to [`with_seq_floor`](LocalDecider::with_seq_floor).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Would a grant for `seq` be discarded as stale (pre-crash epoch or
+    /// below the applied-seq window)? Hosts that account power in flight
+    /// must book a stale grant's amount as lost, since `on_grant` will
+    /// apply none of it.
+    pub fn is_stale_grant(&self, seq: u64) -> bool {
+        seq < self.seq_floor
+    }
+
+    /// Size of the applied-seq dedup set — bounded by
+    /// [`APPLIED_SEQ_WINDOW`], proven in the memory-boundedness test.
+    pub fn applied_seq_count(&self) -> usize {
+        self.applied_seqs.len()
+    }
+
+    /// Tell the liveness layer a reply (grant) arrived from `peer`: any
+    /// timeout streak resets and an active suspicion is cleared.
+    pub fn note_peer_reply(&mut self, now: SimTime, peer: NodeId) {
+        self.timeout_streaks.remove(&peer);
+        if self.suspected.remove(&peer).is_some() {
+            self.emit(now, || EventKind::PeerCleared { peer });
+        }
+    }
+
+    /// Is `peer` currently filtered out of partner selection? True while a
+    /// suspicion is younger than `probe_interval`; after that the peer is
+    /// eligible again (one probe request gets through) even though the
+    /// suspicion entry survives until a reply clears it.
+    pub fn is_suspected(&self, now: SimTime, peer: NodeId) -> bool {
+        match self.suspected.get(&peer) {
+            Some(&since) => now.saturating_since(since) < self.cfg.probe_interval,
+            None => false,
+        }
+    }
+
+    /// True iff any peer is currently filtered by suspicion — the fast
+    /// path gate partner selection uses to keep fault-free runs on the
+    /// paper's single blind-uniform draw. Costs O(suspected), which is
+    /// zero on a fault-free run.
+    pub fn suspicion_active(&self, now: SimTime) -> bool {
+        self.suspected
+            .values()
+            .any(|&since| now.saturating_since(since) < self.cfg.probe_interval)
+    }
+
+    /// Consecutive unanswered requests to `peer` (zero after any reply).
+    pub fn peer_timeout_streak(&self, peer: NodeId) -> u32 {
+        self.timeout_streaks.get(&peer).copied().unwrap_or(0)
+    }
+
+    /// One request to `peer` timed out (retransmit fired or the request
+    /// was abandoned): extend the streak and suspect the peer once the
+    /// streak reaches `suspect_after`.
+    fn note_peer_timeout(&mut self, now: SimTime, peer: NodeId) {
+        if self.cfg.suspect_after == 0 {
+            return; // liveness layer disabled
+        }
+        let streak = self.timeout_streaks.entry(peer).or_insert(0);
+        *streak += 1;
+        if *streak >= self.cfg.suspect_after {
+            let fresh = !self.suspected.contains_key(&peer);
+            self.suspected.insert(peer, now); // refresh the probe clock
+            if fresh {
+                self.emit(now, || EventKind::PeerSuspected { peer });
+            }
+        }
+    }
+
     /// Would a request sent right now be urgent? (Power-hungry is assumed;
     /// urgency additionally requires being below the initial cap.)
     pub fn is_below_initial(&self) -> bool {
@@ -230,6 +343,9 @@ impl LocalDecider {
         if let Some(out) = self.outstanding {
             let wait = self.cfg.response_timeout * (1u64 << out.attempt.min(16));
             if now.saturating_since(out.sent_at) >= wait {
+                // Every elapsed wait (retransmit or abandonment) is one
+                // timeout signal against the peer the request went to.
+                self.note_peer_timeout(now, out.dst);
                 if out.attempt < self.cfg.max_retransmits {
                     self.outstanding = Some(Outstanding {
                         sent_at: now,
@@ -357,8 +473,26 @@ impl LocalDecider {
         amount: Power,
         pool: &mut PowerPool,
     ) -> Power {
+        if seq < self.seq_floor {
+            // Stale epoch: a pre-crash grant addressed to this node's dead
+            // predecessor, or a redelivery older than the applied window.
+            // Either way the seq is treated as already paid; the host books
+            // the amount as lost (see `is_stale_grant`).
+            self.stats.stale_discards += 1;
+            return Power::ZERO;
+        }
         if !amount.is_zero() && !self.applied_seqs.insert(seq) {
             return Power::ZERO; // duplicate redelivery; already paid
+        }
+        if !amount.is_zero() {
+            // Low-watermark prune: everything below the window is rejected
+            // by the floor check above, so remembering it exactly is
+            // redundant — the set stays O(window), not O(lifetime).
+            let floor = self.next_seq.saturating_sub(APPLIED_SEQ_WINDOW);
+            if floor > self.seq_floor {
+                self.seq_floor = floor;
+                self.applied_seqs.retain(|&s| s >= floor);
+            }
         }
         if let Some(out) = self.outstanding {
             if out.seq == seq {
@@ -930,6 +1064,228 @@ mod tests {
                 prop_assert!(safe().contains(d.cap()));
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod churn_tests {
+    use super::*;
+    use crate::config::DeciderConfig;
+    use penelope_units::{PowerRange, SimDuration};
+
+    fn w(x: u64) -> Power {
+        Power::from_watts_u64(x)
+    }
+
+    fn safe() -> PowerRange {
+        PowerRange::from_watts(80, 300)
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// A decider that suspects after 2 consecutive timeouts, no
+    /// retransmits, 1 s timeout, 8 s probe interval.
+    fn suspicious() -> LocalDecider {
+        let cfg = DeciderConfig {
+            suspect_after: 2,
+            ..Default::default()
+        };
+        LocalDecider::new(cfg, w(150), safe())
+    }
+
+    /// Drive one request→timeout round against `peer`.
+    fn timeout_round(d: &mut LocalDecider, p: &mut PowerPool, now: &mut u64, peer: NodeId) {
+        let a = d.tick(t(*now), w(150), p, Some(peer));
+        assert!(matches!(a, TickAction::Request { .. }), "{a:?}");
+        *now += 2; // past the 1 s response timeout
+                   // The timeout fires at the top of this tick; the decider then
+                   // re-classifies and may issue a fresh request, which we let expire
+                   // on the next round.
+        let _ = d.tick(t(*now), w(145), p, Some(peer)); // at margin after timeout
+        *now += 1;
+    }
+
+    #[test]
+    fn peer_suspected_after_consecutive_timeouts_and_cleared_by_reply() {
+        let mut d = suspicious();
+        let mut p = PowerPool::default();
+        let peer = NodeId::new(1);
+        let mut now = 1u64;
+        timeout_round(&mut d, &mut p, &mut now, peer);
+        assert_eq!(d.peer_timeout_streak(peer), 1);
+        assert!(!d.is_suspected(t(now), peer), "one timeout is not enough");
+        timeout_round(&mut d, &mut p, &mut now, peer);
+        assert_eq!(d.peer_timeout_streak(peer), 2);
+        assert!(d.is_suspected(t(now), peer));
+        assert!(d.suspicion_active(t(now)));
+        // Any reply clears both the streak and the suspicion.
+        d.note_peer_reply(t(now), peer);
+        assert!(!d.is_suspected(t(now), peer));
+        assert_eq!(d.peer_timeout_streak(peer), 0);
+        assert!(!d.suspicion_active(t(now)));
+    }
+
+    #[test]
+    fn suspicion_expires_into_a_probe_after_the_interval() {
+        let mut d = suspicious();
+        let mut p = PowerPool::default();
+        let peer = NodeId::new(2);
+        let mut now = 1u64;
+        timeout_round(&mut d, &mut p, &mut now, peer);
+        timeout_round(&mut d, &mut p, &mut now, peer);
+        let suspected_at = t(now);
+        assert!(d.is_suspected(suspected_at, peer));
+        // 8 s (the default probe interval) later the peer is eligible
+        // again — but the suspicion entry survives, so no PeerCleared is
+        // emitted and a reply still produces exactly one.
+        let later = SimTime::from_secs(now + 20);
+        assert!(!d.is_suspected(later, peer));
+        assert!(!d.suspicion_active(later));
+    }
+
+    #[test]
+    fn reply_resets_the_streak_below_threshold() {
+        let mut d = suspicious();
+        let mut p = PowerPool::default();
+        let peer = NodeId::new(1);
+        let mut now = 1u64;
+        timeout_round(&mut d, &mut p, &mut now, peer);
+        d.note_peer_reply(t(now), peer);
+        timeout_round(&mut d, &mut p, &mut now, peer);
+        assert_eq!(d.peer_timeout_streak(peer), 1);
+        assert!(!d.is_suspected(t(now), peer), "streak was not consecutive");
+    }
+
+    #[test]
+    fn retransmit_expiries_count_toward_the_streak() {
+        // With retransmits enabled a single fully-abandoned request
+        // signals several timeouts — a dead peer is suspected after one
+        // abandoned request, not suspect_after of them.
+        let cfg = DeciderConfig {
+            max_retransmits: 2,
+            suspect_after: 3,
+            ..Default::default()
+        };
+        let mut d = LocalDecider::new(cfg, w(150), safe());
+        let mut p = PowerPool::default();
+        let peer = NodeId::new(4);
+        let _ = d.tick(t(1), w(150), &mut p, Some(peer)); // request
+        let _ = d.tick(t(2), w(150), &mut p, None); // retransmit 1
+        let _ = d.tick(t(4), w(150), &mut p, None); // retransmit 2
+        let _ = d.tick(t(8), w(145), &mut p, None); // abandoned
+        assert_eq!(d.stats().timeouts, 1);
+        assert_eq!(d.stats().retransmits, 2);
+        assert_eq!(d.peer_timeout_streak(peer), 3);
+        assert!(d.is_suspected(t(8), peer));
+    }
+
+    #[test]
+    fn seq_floor_discards_stale_grants_without_paying() {
+        let mut d = LocalDecider::new(DeciderConfig::default(), w(150), safe()).with_seq_floor(10);
+        let mut p = PowerPool::default();
+        assert!(d.is_stale_grant(9));
+        assert!(!d.is_stale_grant(10));
+        let cap = d.cap();
+        assert_eq!(d.on_grant(t(1), 9, w(25), &mut p), Power::ZERO);
+        assert_eq!(d.cap(), cap);
+        assert_eq!(p.available(), Power::ZERO);
+        assert_eq!(d.stats().stale_discards, 1);
+        assert_eq!(d.stats().granted, Power::ZERO);
+        // The namespace continues above the floor: the first fresh request
+        // spends seq 10, which its grant matches normally.
+        let a = d.tick(t(2), w(150), &mut p, Some(NodeId::new(1)));
+        assert!(matches!(a, TickAction::Request { seq: 10, .. }), "{a:?}");
+        assert_eq!(d.on_grant(t(3), 10, w(5), &mut p), w(5));
+    }
+
+    #[test]
+    fn applied_seqs_stay_bounded_over_many_grants() {
+        // Satellite regression: the dedup set is O(window), not
+        // O(lifetime requests). Drive far more grant cycles than the
+        // window and watch the set stay small while dedup still works.
+        let mut d = LocalDecider::new(DeciderConfig::default(), w(150), safe());
+        let mut p = PowerPool::default();
+        for i in 0..(APPLIED_SEQ_WINDOW * 160) {
+            let now = SimTime::from_secs(2 * i + 1);
+            // Reading pinned at the safe max keeps the node power-hungry
+            // (within ε of its cap) no matter how far grants raise it.
+            let a = d.tick(now, w(300), &mut p, Some(NodeId::new(1)));
+            let TickAction::Request { seq, .. } = a else {
+                panic!("expected request at iteration {i}, got {a:?}")
+            };
+            let granted = d.on_grant(now + SimDuration::from_millis(5), seq, w(1), &mut p);
+            // Cap saturates at the safe max; the overflow goes to the
+            // pool, so the grant is always "applied" from dedup's view.
+            assert!(granted <= w(1));
+            // A redelivery of the same seq must still be rejected.
+            assert_eq!(
+                d.on_grant(now + SimDuration::from_millis(6), seq, w(1), &mut p),
+                Power::ZERO
+            );
+            assert!(
+                d.applied_seq_count() as u64 <= APPLIED_SEQ_WINDOW,
+                "dedup set grew to {} entries after {} grants",
+                d.applied_seq_count(),
+                i + 1
+            );
+            // Shed everything back so the node stays hungry.
+            p.drain();
+        }
+        assert_eq!(d.stats().stale_discards, 0, "no in-window grant was stale");
+    }
+
+    #[test]
+    fn grants_below_the_pruned_window_are_rejected_not_forgotten() {
+        // The prune must advance the *floor*, not merely forget entries:
+        // a redelivery from below the window would otherwise double-pay.
+        let mut d = LocalDecider::new(DeciderConfig::default(), w(100), safe());
+        let mut p = PowerPool::default();
+        let mut first_seq = None;
+        for i in 0..(APPLIED_SEQ_WINDOW + 8) {
+            let now = SimTime::from_secs(2 * i + 1);
+            let TickAction::Request { seq, .. } = d.tick(now, w(300), &mut p, Some(NodeId::new(1)))
+            else {
+                panic!("expected request")
+            };
+            first_seq.get_or_insert(seq);
+            let _ = d.on_grant(now + SimDuration::from_millis(5), seq, w(1), &mut p);
+            p.drain();
+        }
+        let stale = first_seq.unwrap();
+        assert!(d.is_stale_grant(stale), "first seq fell below the window");
+        let cap = d.cap();
+        assert_eq!(d.on_grant(t(10_000), stale, w(50), &mut p), Power::ZERO);
+        assert_eq!(d.cap(), cap);
+        assert!(d.stats().stale_discards >= 1);
+    }
+
+    #[test]
+    fn fault_free_decider_never_suspects() {
+        // The byte-identity guarantee's core: without timeouts the
+        // suspicion layer holds no state and emits nothing.
+        use penelope_trace::RingBufferObserver;
+        use std::sync::Arc;
+        let ring = Arc::new(RingBufferObserver::unbounded());
+        let mut d = LocalDecider::new(DeciderConfig::default(), w(150), safe())
+            .with_observer(NodeId::new(0), ring.clone().into());
+        let mut p = PowerPool::default();
+        for i in 0..50u64 {
+            let now = t(2 * i + 1);
+            if let TickAction::Request { seq, .. } =
+                d.tick(now, w(150), &mut p, Some(NodeId::new(1)))
+            {
+                d.note_peer_reply(now + SimDuration::from_millis(5), NodeId::new(1));
+                let _ = d.on_grant(now + SimDuration::from_millis(5), seq, w(1), &mut p);
+            }
+            p.drain();
+            assert!(!d.suspicion_active(now));
+        }
+        assert!(!ring.events().iter().any(|e| matches!(
+            e.kind,
+            EventKind::PeerSuspected { .. } | EventKind::PeerCleared { .. }
+        )));
     }
 }
 

@@ -44,7 +44,7 @@ pub mod pool;
 pub mod protocol;
 
 pub use config::{DeciderConfig, NodeParams, PoolConfig};
-pub use decider::{Classification, LocalDecider, TickAction};
+pub use decider::{Classification, DeciderStats, LocalDecider, TickAction, APPLIED_SEQ_WINDOW};
 pub use escrow::{EscrowEntry, EscrowState, GrantEscrow};
 pub use fair::fair_assignment;
 pub use pool::PowerPool;

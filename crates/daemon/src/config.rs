@@ -42,6 +42,13 @@ pub struct DaemonConfig {
     pub power: PowerBackend,
     /// Simulated-RAPL parameters (ignored for the Linux backend).
     pub rapl: RaplConfig,
+    /// First request sequence number the decider may use (and the floor
+    /// below which incoming grants are discarded as stale). Zero for a
+    /// brand-new node; a daemon restarted after a crash passes the
+    /// previous incarnation's [`next_seq`](crate::DaemonSummary::next_seq)
+    /// so pre-crash grants and escrow re-sends can never be double-paid
+    /// to the reborn process.
+    pub initial_seq: u64,
     /// Emit a status line every this many decider iterations (0 = never).
     pub status_every: u64,
     /// External protocol-event sink; the daemon's built-in counters keep
@@ -70,6 +77,7 @@ impl DaemonConfig {
                 actuation_delay: SimDuration::ZERO,
                 ..Default::default()
             },
+            initial_seq: 0,
             status_every: 0,
             observer: SharedObserver::noop(),
         }
@@ -180,6 +188,7 @@ impl DaemonConfig {
                 safe_range: PowerRange::from_watts(safe_min, safe_max),
                 ..Default::default()
             },
+            initial_seq: 0,
             status_every,
             observer: SharedObserver::noop(),
         })
@@ -231,6 +240,13 @@ impl DaemonConfigBuilder {
     /// Simulated-RAPL parameters.
     pub fn rapl(mut self, rapl: RaplConfig) -> Self {
         self.cfg.rapl = rapl;
+        self
+    }
+
+    /// Resume the request sequence namespace at `seq` — pass the previous
+    /// incarnation's `next_seq` when restarting a crashed daemon.
+    pub fn initial_seq(mut self, seq: u64) -> Self {
+        self.cfg.initial_seq = seq;
         self
     }
 

@@ -73,6 +73,12 @@ pub struct DaemonSummary {
     pub taken_local: Power,
     /// Lifetime power drained out of the pool.
     pub pool_drained: Power,
+    /// The next request sequence number the decider would have used —
+    /// feed this to [`DaemonConfig::initial_seq`](crate::DaemonConfig)
+    /// when restarting this node so the reborn daemon's sequence
+    /// namespace never collides with grants still addressed to this
+    /// incarnation.
+    pub next_seq: u64,
     /// Protocol-event counters accumulated by the built-in
     /// [`CounterObserver`] — the same shape every substrate reports, so a
     /// local daemon and a remote one can be compared field for field.
@@ -115,6 +121,7 @@ impl DaemonHandle {
             pool_deposited: pool.total_deposited(),
             taken_local: pool.total_taken_local(),
             pool_drained: pool.total_drained(),
+            next_seq: decider.next_seq(),
             counters: self.counters.snapshot(),
         }
     }
@@ -377,10 +384,12 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
     let status_every = cfg.status_every;
     let decider_cfg = cfg.node.decider;
     let initial_cap = cfg.initial_cap;
+    let initial_seq = cfg.initial_seq;
     let safe_range = cfg.node.safe_range;
     let decider_obs = obs.clone();
     let decider_thread = thread::spawn(move || {
         let mut decider = LocalDecider::new(decider_cfg, initial_cap, safe_range)
+            .with_seq_floor(initial_seq)
             .with_observer(me, decider_obs.clone());
         let mut rng = TestRng::seed_from_u64(local_addr.port() as u64 ^ 0xDAE0_0DAE);
         let mut iterations = 0u64;

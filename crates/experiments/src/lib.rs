@@ -10,6 +10,7 @@
 //! | [`multijob`] | Extension: §4.4's back-to-back-jobs fault prediction |
 //! | [`assignment`] | Extension: §2.2.1 initial-assignment sensitivity |
 //! | [`failover`] | Extension: §4.4's fallback-coordinator future work |
+//! | [`churn`] | Extension: node crash/rejoin tolerance under churn |
 //! | [`service`] | §4.5.2 — server service time and saturation extrapolation |
 //!
 //! Every experiment takes an [`Effort`] knob so the full paper matrix (36
@@ -20,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod assignment;
+pub mod churn;
 pub mod effort;
 pub mod failover;
 pub mod faulty;

@@ -13,7 +13,7 @@ use penelope_core::{
 use penelope_net::{Envelope, ThreadEndpoint, ThreadNet};
 use penelope_power::RaplConfig;
 use penelope_slurm::{ClientAction, PowerServer, SlurmClient, SlurmMsg};
-use penelope_testkit::rng::{Rng, TestRng};
+use penelope_testkit::rng::TestRng;
 use penelope_trace::{EventKind, SharedObserver, TraceEvent};
 use penelope_units::{NodeId, Power, SimDuration, SimTime};
 use penelope_workload::Profile;
@@ -366,12 +366,23 @@ impl ThreadedCluster {
                     let iter_start = Instant::now();
                     let now = clock.now();
                     let reading = hw_i.read_power();
-                    let peer = if n >= 2 {
-                        let r = rng.gen_range(0..n - 1);
-                        Some(NodeId::new(if r >= i { r as u32 + 1 } else { r as u32 }))
-                    } else {
-                        None
-                    };
+                    // Suspicion-aware uniform discovery: peers whose
+                    // requests keep timing out (crashed or partitioned)
+                    // are skipped until the decider's probe interval
+                    // re-admits them. Fault-free the suspicion set is
+                    // empty and this draws exactly the historical
+                    // uniform pick.
+                    let mut rr_cursor = 0u32;
+                    let peer = penelope_sim::choose_peer(
+                        penelope_sim::DiscoveryStrategy::UniformRandom,
+                        &mut rng,
+                        i,
+                        n,
+                        &mut rr_cursor,
+                        None,
+                        decider.suspicion_active(now),
+                        |p| decider.is_suspected(now, p),
+                    );
                     let action = decider.tick(now, reading, &mut pool.lock().unwrap(), peer);
                     hw_i.set_cap(decider.cap());
                     {

@@ -16,11 +16,12 @@ use penelope_workload::{Profile, WorkloadState};
 
 use std::sync::Arc;
 
-use crate::config::{ClusterConfig, DiscoveryStrategy, SystemKind};
+use crate::config::{ClusterConfig, SystemKind};
+use crate::discovery::choose_peer;
 use crate::event::{Event, EventQueue, Scheduled};
 use crate::faults::{FaultAction, FaultScript};
 use crate::ledger::Ledger;
-use crate::node::{Manager, SimNode};
+use crate::node::{initial_rr_cursor, Manager, SimNode};
 use crate::report::RunReport;
 use crate::trace::ClusterTrace;
 
@@ -156,11 +157,12 @@ impl ClusterSim {
                 turnaround: Default::default(),
                 finished_seen: false,
                 initial_cap: caps[i],
-                rr_cursor: (i as u32 + 1) % n as u32,
+                rr_cursor: initial_rr_cursor(i as u32, n as u32),
                 last_success: None,
                 oscillation: OscillationStats::new(),
                 active_server: 0,
                 server_timeouts: 0,
+                next_tick_at: SimTime::ZERO + jitter,
             });
         }
 
@@ -412,6 +414,9 @@ impl ClusterSim {
 
         // Read power and advance the workload model.
         let node = &mut self.nodes[idx];
+        if now != node.next_tick_at {
+            return; // superseded chain (a pre-crash tick racing a restart)
+        }
         let reading = node.rapl.read_power_with(now, &mut node.rng);
         if !node.finished_seen && node.rapl.device().is_finished() {
             node.finished_seen = true;
@@ -438,41 +443,24 @@ impl ClusterSim {
         match &mut node.manager {
             Manager::Fair => {}
             Manager::Penelope { decider, pool, .. } => {
-                let peer = if n >= 2 {
-                    match self.cfg.discovery {
-                        DiscoveryStrategy::UniformRandom => {
-                            // Uniform over the other client nodes; the
-                            // decider has no liveness oracle (§3.1: chosen
-                            // at random), so dead peers can be picked and
-                            // the request simply times out.
-                            let r = node.rng.gen_range(0..n - 1);
-                            let p = if r >= idx { r + 1 } else { r };
-                            Some(NodeId::new(p as u32))
-                        }
-                        DiscoveryStrategy::RoundRobin => {
-                            let p = node.rr_cursor;
-                            let mut next = (p + 1) % n as u32;
-                            if next as usize == idx {
-                                next = (next + 1) % n as u32;
-                            }
-                            node.rr_cursor = next;
-                            Some(NodeId::new(p))
-                        }
-                        DiscoveryStrategy::GossipHint { explore } => {
-                            let hint = node.last_success.filter(|h| h.index() != idx);
-                            match hint {
-                                Some(h) if !node.rng.gen_bool(explore.clamp(0.0, 1.0)) => Some(h),
-                                _ => {
-                                    let r = node.rng.gen_range(0..n - 1);
-                                    let p = if r >= idx { r + 1 } else { r };
-                                    Some(NodeId::new(p as u32))
-                                }
-                            }
-                        }
+                // Sticky-hint liveness fix: a hint whose peer has started
+                // timing out is dropped immediately instead of waiting for
+                // an empty grant that a crashed peer can never send.
+                if let Some(h) = node.last_success {
+                    if decider.peer_timeout_streak(h) > 0 {
+                        node.last_success = None;
                     }
-                } else {
-                    None
-                };
+                }
+                let peer = choose_peer(
+                    self.cfg.discovery,
+                    &mut node.rng,
+                    idx,
+                    n,
+                    &mut node.rr_cursor,
+                    node.last_success,
+                    decider.suspicion_active(now),
+                    |p| decider.is_suspected(now, p),
+                );
                 match decider.tick(now, reading, pool, peer) {
                     TickAction::Request {
                         dst,
@@ -568,8 +556,9 @@ impl ClusterSim {
         }
 
         // Next iteration.
-        self.queue
-            .push(now + self.cfg.node.decider.period, Event::Tick(id));
+        let next = now + self.cfg.node.decider.period;
+        self.nodes[idx].next_tick_at = next;
+        self.queue.push(next, Event::Tick(id));
     }
 
     fn handle_deliver_peer(&mut self, env: penelope_net::Envelope<PeerMsg>) {
@@ -618,6 +607,22 @@ impl ClusterSim {
                     self.ledger.lose_direct(g.amount);
                     return;
                 };
+                // Any reply — even a zero grant — proves the peer alive.
+                decider.note_peer_reply(now, src);
+                if decider.is_stale_grant(g.seq) {
+                    // A pre-crash grant caught up with its reborn requester:
+                    // the crash already retired this node's whole pre-crash
+                    // epoch, so applying the grant now would pay the new
+                    // epoch with the old one's money. The decider discards
+                    // it (counted in `stale_discards`) and the amount joins
+                    // the crash's losses. No ack: the granter's escrow entry
+                    // expires creditless, exactly as if the requester died.
+                    let _ = decider.on_grant(now, g.seq, g.amount, pool);
+                    if !g.amount.is_zero() {
+                        self.ledger.lose_direct(g.amount);
+                    }
+                    return;
+                }
                 let _ = decider.on_grant(now, g.seq, g.amount, pool);
                 node.rapl.set_cap(decider.cap(), now);
                 if let Some(sent) = node.pending.remove(&g.seq) {
@@ -867,6 +872,7 @@ impl ClusterSim {
     fn handle_fault(&mut self, action: FaultAction) {
         match action {
             FaultAction::Kill(id) => self.kill_node(id),
+            FaultAction::Restart(id) => self.restart_node(id),
             FaultAction::KillServer => {
                 if let Some(id) = self.servers.first().map(|s| s.id) {
                     self.kill_node(id);
@@ -895,6 +901,7 @@ impl ClusterSim {
             let cached = server.policy.drain();
             self.ledger.lose_direct(cached);
             self.dead.push(id);
+            self.emit(id, || EventKind::NodeKilled { lost: cached });
             return;
         }
         let node = &mut self.nodes[id.index()];
@@ -906,11 +913,85 @@ impl ClusterSim {
         // Undelivered escrowed grants die with their granter, exactly like
         // its cap and pool.
         let escrowed = self.escrows[id.index()].drain();
-        self.ledger.lose_direct(cap + pooled + escrowed);
+        let lost = cap + pooled + escrowed;
+        self.ledger.lose_direct(lost);
         if !node.finished_seen {
             self.dead_unfinished += 1;
         }
         self.dead.push(id);
+        self.emit(id, || EventKind::NodeKilled { lost });
+    }
+
+    /// Revive a crashed client node (the churn scenario). The reborn node
+    /// gets fresh decider/pool state at its *initial* cap, funded entirely
+    /// out of the ledger's lost balance — `min(initial cap, lost)`, so
+    /// re-admission can never exceed what crashes retired and conservation
+    /// holds at every cut. The sequence namespace persists across the
+    /// crash: the new decider starts numbering *after* the old watermark,
+    /// so escrow keys never collide and any pre-crash grant still in
+    /// flight is recognizably stale. A no-op for nodes that are alive,
+    /// never existed (including servers), or whose re-admittable power
+    /// would fall below the safe range.
+    fn restart_node(&mut self, id: NodeId) {
+        if id.index() >= self.nodes.len() || self.is_alive(id) {
+            return;
+        }
+        let readmitted = self.nodes[id.index()].initial_cap.min(self.ledger.lost);
+        if !self.cfg.node.safe_range.contains(readmitted) {
+            return; // the ledger cannot fund a safe cap; stay down
+        }
+        self.ledger.readmit(readmitted);
+        self.net.faults_mut().revive(id);
+        let now = self.now;
+        let manager = match &self.nodes[id.index()].manager {
+            Manager::Penelope { decider, .. } => Manager::Penelope {
+                decider: LocalDecider::new(
+                    self.cfg.node.decider,
+                    readmitted,
+                    self.cfg.node.safe_range,
+                )
+                .with_seq_floor(decider.next_seq())
+                .with_observer(id, self.cfg.observer.clone()),
+                pool: PowerPool::new(self.cfg.node.pool),
+                queue: ServerQueue::new(self.cfg.service, self.cfg.pool_queue_capacity),
+            },
+            Manager::Fair => Manager::Fair,
+            Manager::Slurm { .. } => Manager::Slurm {
+                client: SlurmClient::new(
+                    self.cfg.node.decider,
+                    readmitted,
+                    self.cfg.node.safe_range,
+                ),
+            },
+        };
+        let node = &mut self.nodes[id.index()];
+        node.manager = manager;
+        node.rapl.set_cap(readmitted, now);
+        node.pending.clear();
+        node.last_success = None;
+        node.active_server = 0;
+        node.server_timeouts = 0;
+        // Resume ticking immediately, with no jitter draw: the node's RNG
+        // stream (and every other stream) stays exactly where the crash
+        // left it, so fault scripts perturb nothing they don't touch.
+        node.next_tick_at = now;
+        let finished = node.finished_seen;
+        self.dead.retain(|&d| d != id);
+        if !finished {
+            self.dead_unfinished -= 1;
+        }
+        self.queue.push(now, Event::Tick(id));
+        self.emit(id, || EventKind::NodeRestarted { readmitted });
+    }
+
+    /// The lifetime counters of one Penelope node's decider (`None` for
+    /// Fair/SLURM nodes) — lets churn tests assert that stale pre-crash
+    /// grants were actually observed and discarded.
+    pub fn decider_stats(&self, id: NodeId) -> Option<penelope_core::decider::DeciderStats> {
+        match &self.nodes.get(id.index())?.manager {
+            Manager::Penelope { decider, .. } => Some(decider.stats()),
+            _ => None,
+        }
     }
 
     // ------------------------------------------------------------------

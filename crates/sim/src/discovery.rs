@@ -1,0 +1,309 @@
+//! Peer discovery for Penelope deciders.
+//!
+//! One function, [`choose_peer`], implements all three
+//! [`DiscoveryStrategy`] arms plus the timeout-driven liveness filter:
+//! when the decider's suspicion set is non-empty, selection avoids
+//! suspected peers, falling back to the paper's blind uniform choice when
+//! every peer is suspected. When no suspicion is active (every fault-free
+//! run), each arm draws from the RNG *exactly* as the original inline
+//! code did — one `gen_range` for uniform, one `gen_bool` for a held
+//! gossip hint — so loss-free seeds replay byte-identically.
+
+use penelope_testkit::rng::Rng;
+use penelope_units::NodeId;
+
+use crate::config::DiscoveryStrategy;
+
+/// Pick the peer a power-hungry node at `idx` (of `n` client nodes)
+/// queries this iteration. Returns `None` when the node has no peers.
+///
+/// Liveness filtering: `suspicion_active` says whether the caller's
+/// decider currently suspects *any* peer, and `is_suspected` classifies
+/// one candidate. The filter is only consulted when suspicion is active,
+/// which keeps the nominal path's RNG draw sequence untouched.
+///
+/// Every arm guarantees the returned peer is never the node itself —
+/// including `RoundRobin` with a self-pointing cursor, which the old
+/// inline code returned verbatim.
+#[allow(clippy::too_many_arguments)]
+pub fn choose_peer<R: Rng>(
+    strategy: DiscoveryStrategy,
+    rng: &mut R,
+    idx: usize,
+    n: usize,
+    rr_cursor: &mut u32,
+    last_success: Option<NodeId>,
+    suspicion_active: bool,
+    is_suspected: impl Fn(NodeId) -> bool,
+) -> Option<NodeId> {
+    if n < 2 {
+        return None;
+    }
+    match strategy {
+        DiscoveryStrategy::UniformRandom => {
+            Some(uniform_peer(rng, idx, n, suspicion_active, &is_suspected))
+        }
+        DiscoveryStrategy::RoundRobin => {
+            // The cursor itself must never name the node: a stale or
+            // mis-seeded cursor would otherwise make the node "request
+            // power from itself" and burn a period waiting for a reply
+            // that can never come.
+            let mut p = *rr_cursor;
+            if p as usize >= n || p as usize == idx {
+                p = next_cursor(p % n as u32, idx, n);
+            }
+            // Under suspicion, sweep past suspected peers (at most one
+            // full lap; if everyone is suspected, keep the blind pick).
+            if suspicion_active {
+                for _ in 0..n {
+                    if !is_suspected(NodeId::new(p)) {
+                        break;
+                    }
+                    p = next_cursor(p, idx, n);
+                }
+            }
+            *rr_cursor = next_cursor(p, idx, n);
+            Some(NodeId::new(p))
+        }
+        DiscoveryStrategy::GossipHint { explore } => {
+            let hint = last_success
+                .filter(|h| h.index() != idx)
+                .filter(|h| !(suspicion_active && is_suspected(*h)));
+            match hint {
+                Some(h) if !rng.gen_bool(explore.clamp(0.0, 1.0)) => Some(h),
+                _ => Some(uniform_peer(rng, idx, n, suspicion_active, &is_suspected)),
+            }
+        }
+    }
+}
+
+/// Uniform choice over the other client nodes (§3.1: chosen at random; the
+/// decider has no liveness oracle beyond its own timeout bookkeeping, so
+/// without suspicion a dead peer can be picked and the request simply
+/// times out). Exactly one `gen_range` draw on every path.
+fn uniform_peer<R: Rng>(
+    rng: &mut R,
+    idx: usize,
+    n: usize,
+    suspicion_active: bool,
+    is_suspected: &impl Fn(NodeId) -> bool,
+) -> NodeId {
+    if suspicion_active {
+        let candidates: Vec<u32> = (0..n as u32)
+            .filter(|&p| p as usize != idx && !is_suspected(NodeId::new(p)))
+            .collect();
+        if !candidates.is_empty() {
+            let k = rng.gen_range(0..candidates.len());
+            return NodeId::new(candidates[k]);
+        }
+        // Everyone is suspected: fall back to the paper's blind pick so a
+        // lone survivor keeps probing instead of going mute.
+    }
+    let r = rng.gen_range(0..n - 1);
+    let p = if r >= idx { r + 1 } else { r };
+    NodeId::new(p as u32)
+}
+
+/// Advance a round-robin cursor one step, skipping the node itself.
+fn next_cursor(p: u32, idx: usize, n: usize) -> u32 {
+    let mut next = (p + 1) % n as u32;
+    if next as usize == idx {
+        next = (next + 1) % n as u32;
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use penelope_testkit::rng::TestRng;
+    use std::collections::HashSet;
+
+    const STRATEGIES: [DiscoveryStrategy; 3] = [
+        DiscoveryStrategy::UniformRandom,
+        DiscoveryStrategy::RoundRobin,
+        DiscoveryStrategy::GossipHint { explore: 0.3 },
+    ];
+
+    /// The satellite regression: across every strategy, cluster size,
+    /// node index, cursor state (including the self-pointing cursor the
+    /// old inline code returned verbatim), hint state and suspicion
+    /// pattern, a node never selects itself.
+    #[test]
+    fn never_selects_self_under_any_state() {
+        for strategy in STRATEGIES {
+            for n in 2..=6usize {
+                for idx in 0..n {
+                    for cursor0 in 0..n as u32 + 1 {
+                        for hint in [None, Some(NodeId::new(idx as u32)), Some(NodeId::new(0))] {
+                            for suspect_all in [false, true] {
+                                let mut rng = TestRng::seed_from_u64(
+                                    (n * 31 + idx) as u64 ^ u64::from(cursor0),
+                                );
+                                let mut cursor = cursor0;
+                                for _ in 0..32 {
+                                    let picked = choose_peer(
+                                        strategy,
+                                        &mut rng,
+                                        idx,
+                                        n,
+                                        &mut cursor,
+                                        hint,
+                                        suspect_all,
+                                        |_| suspect_all,
+                                    )
+                                    .expect("n >= 2 always yields a peer");
+                                    assert_ne!(
+                                        picked.index(),
+                                        idx,
+                                        "{strategy:?} n={n} idx={idx} cursor0={cursor0} \
+                                         suspect_all={suspect_all} picked self"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// With no suspicion active, the uniform arm must replay the exact
+    /// historical draw: one `gen_range(0..n-1)` skip-self pick.
+    #[test]
+    fn uniform_is_draw_identical_to_the_inline_original() {
+        for seed in 0..50u64 {
+            let n = 8usize;
+            let idx = 3usize;
+            let mut a = TestRng::seed_from_u64(seed);
+            let mut b = TestRng::seed_from_u64(seed);
+            let mut cursor = 0u32;
+            let picked = choose_peer(
+                DiscoveryStrategy::UniformRandom,
+                &mut a,
+                idx,
+                n,
+                &mut cursor,
+                None,
+                false,
+                |_| false,
+            )
+            .unwrap();
+            let r = b.gen_range(0..n - 1);
+            let expect = if r >= idx { r + 1 } else { r };
+            assert_eq!(picked.index(), expect);
+            // Stream positions agree too: the next draw matches.
+            assert_eq!(a.gen_range(0..1_000_000), b.gen_range(0..1_000_000));
+        }
+    }
+
+    /// Gossip hints replay identically too: one `gen_bool` when a hint is
+    /// held, then (only on explore) the uniform draw.
+    #[test]
+    fn gossip_hint_is_draw_identical_to_the_inline_original() {
+        for seed in 0..50u64 {
+            let n = 8usize;
+            let idx = 2usize;
+            let explore = 0.4;
+            let hint = Some(NodeId::new(6));
+            let mut a = TestRng::seed_from_u64(seed);
+            let mut b = TestRng::seed_from_u64(seed);
+            let mut cursor = 0u32;
+            let picked = choose_peer(
+                DiscoveryStrategy::GossipHint { explore },
+                &mut a,
+                idx,
+                n,
+                &mut cursor,
+                hint,
+                false,
+                |_| false,
+            )
+            .unwrap();
+            let expect = if !b.gen_bool(explore) {
+                6
+            } else {
+                let r = b.gen_range(0..n - 1);
+                if r >= idx {
+                    r + 1
+                } else {
+                    r
+                }
+            };
+            assert_eq!(picked.index(), expect);
+            assert_eq!(a.gen_range(0..1_000_000), b.gen_range(0..1_000_000));
+        }
+    }
+
+    /// Suspicion steers selection away from suspected peers whenever any
+    /// non-suspected peer exists.
+    #[test]
+    fn suspicion_filters_suspected_peers() {
+        let n = 6usize;
+        let idx = 0usize;
+        let bad: HashSet<u32> = [1u32, 2, 3].into_iter().collect();
+        for strategy in STRATEGIES {
+            let mut rng = TestRng::seed_from_u64(7);
+            let mut cursor = 1u32; // points at a suspected peer
+            for _ in 0..64 {
+                let picked = choose_peer(
+                    strategy,
+                    &mut rng,
+                    idx,
+                    n,
+                    &mut cursor,
+                    Some(NodeId::new(2)), // hinted peer is suspected
+                    true,
+                    |p| bad.contains(&p.raw()),
+                )
+                .unwrap();
+                assert!(
+                    !bad.contains(&picked.raw()),
+                    "{strategy:?} picked suspected peer {picked:?}"
+                );
+                assert_ne!(picked.index(), idx);
+            }
+        }
+    }
+
+    /// When *every* peer is suspected the chooser falls back to the blind
+    /// uniform pick instead of returning nothing: a lone survivor must
+    /// keep probing or the cluster can never heal.
+    #[test]
+    fn all_suspected_falls_back_to_blind_uniform() {
+        let mut rng = TestRng::seed_from_u64(11);
+        let mut cursor = 0u32;
+        let mut seen = HashSet::new();
+        for _ in 0..200 {
+            let picked = choose_peer(
+                DiscoveryStrategy::UniformRandom,
+                &mut rng,
+                1,
+                4,
+                &mut cursor,
+                None,
+                true,
+                |_| true,
+            )
+            .unwrap();
+            assert_ne!(picked.index(), 1);
+            seen.insert(picked.raw());
+        }
+        assert_eq!(seen.len(), 3, "blind fallback still covers all peers");
+    }
+
+    /// Single-node clusters have no peers.
+    #[test]
+    fn singleton_cluster_has_no_peer() {
+        let mut rng = TestRng::seed_from_u64(0);
+        let mut cursor = 0u32;
+        for strategy in STRATEGIES {
+            assert_eq!(
+                choose_peer(strategy, &mut rng, 0, 1, &mut cursor, None, false, |_| {
+                    false
+                }),
+                None
+            );
+        }
+    }
+}

@@ -11,6 +11,13 @@ pub enum FaultAction {
     Kill(NodeId),
     /// Crash the SLURM server (whatever node hosts it).
     KillServer,
+    /// Revive a crashed client node: it rejoins with fresh decider/pool
+    /// state at its initial cap re-admitted from the lost-power ledger
+    /// (never more than the crash retired), keeping its pre-crash sequence
+    /// watermark so stale grants cannot double-pay it. A no-op on nodes
+    /// that are alive, never existed, or whose crash left too little in
+    /// the ledger to re-admit a safe cap.
+    Restart(NodeId),
     /// Split the network into groups; traffic flows only within a group.
     Partition(Vec<Vec<NodeId>>),
     /// Remove all partitions.
@@ -49,6 +56,18 @@ impl FaultScript {
         FaultScript::none().at(at, FaultAction::Kill(node))
     }
 
+    /// Revive a previously killed node at `at` (the churn scenario:
+    /// crashed nodes reboot and rejoin without minting power).
+    pub fn restart_at(self, at: SimTime, node: NodeId) -> Self {
+        self.at(at, FaultAction::Restart(node))
+    }
+
+    /// The full churn round-trip: kill `node` at `kill_at`, revive it at
+    /// `restart_at`.
+    pub fn kill_restart(node: NodeId, kill_at: SimTime, restart_at: SimTime) -> Self {
+        FaultScript::kill_node_at(kill_at, node).restart_at(restart_at, node)
+    }
+
     /// The scripted entries, in insertion order. Installers must not rely
     /// on this being time-sorted: the simulator stably sorts by timestamp
     /// when scheduling, so scripts may be composed in any order.
@@ -83,5 +102,17 @@ mod tests {
         let s = FaultScript::kill_node_at(SimTime::from_secs(5), NodeId::new(7));
         assert_eq!(s.entries()[0].1, FaultAction::Kill(NodeId::new(7)));
         assert!(FaultScript::none().is_empty());
+    }
+
+    #[test]
+    fn kill_restart_scripts_both_legs() {
+        let s =
+            FaultScript::kill_restart(NodeId::new(2), SimTime::from_secs(4), SimTime::from_secs(9));
+        assert_eq!(s.entries().len(), 2);
+        assert_eq!(s.entries()[0].1, FaultAction::Kill(NodeId::new(2)));
+        assert_eq!(
+            s.entries()[1],
+            (SimTime::from_secs(9), FaultAction::Restart(NodeId::new(2)))
+        );
     }
 }

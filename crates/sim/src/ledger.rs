@@ -61,6 +61,17 @@ impl Ledger {
         self.lost += amount;
     }
 
+    /// Re-admit power from the lost balance to a restarting node. The
+    /// zero-sum churn rule: a reborn node's cap comes *out of* what its
+    /// crash retired (`restarted cap + remaining lost == lost at crash`),
+    /// never out of thin air — so re-admission can never mint power.
+    pub fn readmit(&mut self, amount: Power) {
+        self.lost = self
+            .lost
+            .checked_sub(amount)
+            .expect("ledger underflow: re-admitting more power than was lost");
+    }
+
     /// Check the invariant against the live sums. Returns the discrepancy
     /// (`Ok(())` when exact).
     pub fn check(&self, live_total: Power) -> Result<(), LedgerError> {
@@ -147,5 +158,23 @@ mod tests {
     fn landing_phantom_power_panics() {
         let mut l = Ledger::new(w(100));
         l.land(w(1));
+    }
+
+    #[test]
+    fn readmit_is_zero_sum_against_lost() {
+        let mut l = Ledger::new(w(100));
+        l.lose_direct(w(40)); // a crash retired 40 W
+        l.readmit(w(25)); // the restart re-admits 25 W of it
+        assert_eq!(l.lost, w(15));
+        // live total is back to 85 W: 60 survived + 25 re-admitted.
+        assert!(l.check(w(85)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "re-admitting more power than was lost")]
+    fn readmit_cannot_mint() {
+        let mut l = Ledger::new(w(100));
+        l.lose_direct(w(10));
+        l.readmit(w(11));
     }
 }

@@ -25,6 +25,7 @@
 
 pub mod cluster;
 pub mod config;
+pub mod discovery;
 pub mod event;
 pub mod faults;
 pub mod ledger;
@@ -34,6 +35,7 @@ pub mod trace;
 
 pub use cluster::{node_seed, ClusterSim, ClusterSimBuilder};
 pub use config::{ClusterConfig, DiscoveryStrategy, SystemKind};
+pub use discovery::choose_peer;
 pub use faults::{FaultAction, FaultScript};
 pub use report::RunReport;
 pub use trace::{ClusterTrace, TraceSample};

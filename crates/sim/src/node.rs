@@ -37,6 +37,13 @@ pub enum Manager {
     },
 }
 
+/// Where a node's round-robin discovery cursor must start: the next node
+/// ring-wise, never the node itself. The old hard-coded `1` made node
+/// index 1 select *itself* on its first pick.
+pub fn initial_rr_cursor(idx: u32, n: u32) -> u32 {
+    (idx + 1) % n.max(1)
+}
+
 /// One simulated cluster node: hardware model + manager + RNG + metrics.
 #[derive(Debug)]
 pub struct SimNode {
@@ -68,6 +75,11 @@ pub struct SimNode {
     pub active_server: usize,
     /// Consecutive unanswered requests to the current server.
     pub server_timeouts: u8,
+    /// When this node's *live* tick chain fires next. A tick arriving at
+    /// any other time belongs to a superseded chain (a pre-crash tick
+    /// racing a restart-spawned one) and is dropped, so a node never
+    /// double-ticks per period across a kill/restart round-trip.
+    pub next_tick_at: SimTime,
 }
 
 impl SimNode {
@@ -133,11 +145,12 @@ mod tests {
             turnaround: Default::default(),
             finished_seen: false,
             initial_cap: w(160),
-            rr_cursor: 1,
+            rr_cursor: initial_rr_cursor(0, 2),
             last_success: None,
             oscillation: OscillationStats::new(),
             active_server: 0,
             server_timeouts: 0,
+            next_tick_at: SimTime::ZERO,
         }
     }
 
@@ -166,6 +179,19 @@ mod tests {
         });
         assert_eq!(n.pooled(), w(25));
         assert_eq!(n.holdings(), w(185));
+    }
+
+    #[test]
+    fn initial_rr_cursor_never_points_at_self() {
+        for n in 1..=8u32 {
+            for idx in 0..n {
+                let c = initial_rr_cursor(idx, n);
+                assert!(c < n.max(1));
+                if n >= 2 {
+                    assert_ne!(c, idx, "node {idx} of {n} starts self-pointing");
+                }
+            }
+        }
     }
 
     #[test]

@@ -72,6 +72,22 @@ pub enum FaultSpec {
         /// Drop probability in permille (200 = 20 %).
         drop_permille: u16,
     },
+    /// Node churn: hard-kill one node, then restart it later in the same
+    /// run, optionally under background message loss. The restarted node
+    /// rejoins at its initial cap re-admitted *from the lost balance*
+    /// (never more than its crash retired), with fresh decider/pool state
+    /// but a persistent sequence namespace, so stale pre-crash grants are
+    /// discarded instead of double-paying the reborn node.
+    KillRestart {
+        /// Which node crashes and reboots.
+        node: u32,
+        /// Period index at which it dies.
+        kill_at_period: u64,
+        /// Period index at which it rejoins (must be later).
+        restart_at_period: u64,
+        /// Background drop probability in permille (0 = clean links).
+        drop_permille: u16,
+    },
 }
 
 impl FaultSpec {
@@ -79,7 +95,9 @@ impl FaultSpec {
     /// the non-lossy variants).
     pub fn drop_rate(&self) -> f64 {
         match self {
-            FaultSpec::Lossy { drop_permille } => f64::from(*drop_permille) / 1000.0,
+            FaultSpec::Lossy { drop_permille } | FaultSpec::KillRestart { drop_permille, .. } => {
+                f64::from(*drop_permille) / 1000.0
+            }
             _ => 0.0,
         }
     }
@@ -758,6 +776,32 @@ mod tests {
             v.iter().any(|v| v.invariant == Invariant::NoPeerLoss),
             "{v:?}"
         );
+        assert!(!v.iter().any(|v| v.invariant == Invariant::ZeroSum));
+    }
+
+    #[test]
+    fn kill_restart_carries_its_drop_rate_but_tolerates_losses() {
+        let churn = FaultSpec::KillRestart {
+            node: 1,
+            kill_at_period: 3,
+            restart_at_period: 9,
+            drop_permille: 200,
+        };
+        assert!((churn.drop_rate() - 0.2).abs() < 1e-12);
+        // Unlike a pure Lossy run, churn legitimately retires power while
+        // the node is down, so a non-zero `lost` is not a violation.
+        let mut sc = scenario();
+        sc.fault = churn;
+        let snap = Snapshot {
+            period: 0,
+            consistent_cut: true,
+            in_flight: Power::ZERO,
+            lost: watts(10),
+            nodes: vec![node(0, 150, 0, 0, 0), node(1, 160, 0, 0, 0)],
+        };
+        let run = run_of(vec![snap], 320);
+        let v = check_run(&sc, &run);
+        assert!(!v.iter().any(|v| v.invariant == Invariant::NoPeerLoss));
         assert!(!v.iter().any(|v| v.invariant == Invariant::ZeroSum));
     }
 

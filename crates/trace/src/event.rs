@@ -178,10 +178,36 @@ pub enum EventKind {
         /// The acknowledged sequence number.
         seq: u64,
     },
+    /// A node crashed: its cap, pool and escrowed grants left the system
+    /// (substrate lifecycle, not protocol — a kill script differs
+    /// legitimately between substrates).
+    NodeKilled {
+        /// Power retired to the lost ledger by the crash (cap + pool +
+        /// undelivered escrow).
+        lost: Power,
+    },
+    /// A crashed node rejoined the cluster with power re-admitted from
+    /// the lost ledger (never more than was lost at the crash).
+    NodeRestarted {
+        /// Power re-admitted from the lost ledger as the reborn cap.
+        readmitted: Power,
+    },
+    /// The decider's liveness layer started suspecting a peer after
+    /// consecutive request timeouts; partner selection avoids it until it
+    /// is cleared or the probe interval elapses.
+    PeerSuspected {
+        /// The suspected peer.
+        peer: NodeId,
+    },
+    /// A reply from a suspected peer cleared its suspicion.
+    PeerCleared {
+        /// The peer no longer suspected.
+        peer: NodeId,
+    },
 }
 
 /// Number of distinct [`EventKind`] variants (size of per-kind counters).
-pub const KIND_COUNT: usize = 17;
+pub const KIND_COUNT: usize = 21;
 
 impl EventKind {
     /// Dense index of the variant, `0..KIND_COUNT` (counter bucket).
@@ -204,6 +230,10 @@ impl EventKind {
             EventKind::GrantEscrowed { .. } => 14,
             EventKind::GrantReclaimed { .. } => 15,
             EventKind::AckDropped { .. } => 16,
+            EventKind::NodeKilled { .. } => 17,
+            EventKind::NodeRestarted { .. } => 18,
+            EventKind::PeerSuspected { .. } => 19,
+            EventKind::PeerCleared { .. } => 20,
         }
     }
 
@@ -226,6 +256,8 @@ impl EventKind {
                 | EventKind::GrantEscrowed { .. }
                 | EventKind::GrantReclaimed { .. }
                 | EventKind::AckDropped { .. }
+                | EventKind::NodeKilled { .. }
+                | EventKind::NodeRestarted { .. }
         )
     }
 }
@@ -249,6 +281,10 @@ pub const KIND_NAMES: [&str; KIND_COUNT] = [
     "grant_escrowed",
     "grant_reclaimed",
     "ack_dropped",
+    "node_killed",
+    "node_restarted",
+    "peer_suspected",
+    "peer_cleared",
 ];
 
 /// One protocol event: what happened, where, and when.
@@ -376,6 +412,13 @@ impl TraceEvent {
                 num(&mut s, "dst", u64::from(dst.raw()));
                 num(&mut s, "seq", seq);
             }
+            EventKind::NodeKilled { lost } => num(&mut s, "lost_mw", lost.milliwatts()),
+            EventKind::NodeRestarted { readmitted } => {
+                num(&mut s, "readmitted_mw", readmitted.milliwatts())
+            }
+            EventKind::PeerSuspected { peer } | EventKind::PeerCleared { peer } => {
+                num(&mut s, "peer", u64::from(peer.raw()))
+            }
         }
         s.push('}');
         s
@@ -462,6 +505,47 @@ mod tests {
             seq: 0,
         }
         .is_protocol());
+    }
+
+    #[test]
+    fn churn_kinds_render_and_classify() {
+        // Lifecycle kinds narrate the fault script, which legitimately
+        // differs per substrate — they must stay out of protocol diffs.
+        assert!(!EventKind::NodeKilled { lost: w(3) }.is_protocol());
+        assert!(!EventKind::NodeRestarted { readmitted: w(3) }.is_protocol());
+        // Suspicion is decider state driven purely by timeouts, emitted
+        // identically on every substrate — it belongs in the diff.
+        assert!(EventKind::PeerSuspected {
+            peer: NodeId::new(1)
+        }
+        .is_protocol());
+        assert!(EventKind::PeerCleared {
+            peer: NodeId::new(1)
+        }
+        .is_protocol());
+        let ev = TraceEvent {
+            at: SimTime::from_secs(3),
+            node: NodeId::new(2),
+            period: 3,
+            kind: EventKind::NodeRestarted { readmitted: w(160) },
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            "{\"t_ns\":3000000000,\"node\":2,\"period\":3,\"kind\":\"node_restarted\",\
+             \"readmitted_mw\":160000}"
+        );
+        let sus = TraceEvent {
+            at: SimTime::from_secs(4),
+            node: NodeId::new(0),
+            period: 4,
+            kind: EventKind::PeerSuspected {
+                peer: NodeId::new(5),
+            },
+        };
+        assert_eq!(
+            sus.to_jsonl(),
+            "{\"t_ns\":4000000000,\"node\":0,\"period\":4,\"kind\":\"peer_suspected\",\"peer\":5}"
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ use penelope_core::{
 };
 use penelope_net::ThreadNet;
 use penelope_power::{PowerInterface, SimulatedRapl};
-use penelope_sim::{node_seed, ClusterConfig, ClusterSim, FaultAction, FaultScript, SystemKind};
+use penelope_sim::{
+    choose_peer, node_seed, ClusterConfig, ClusterSim, DiscoveryStrategy, FaultAction, FaultScript,
+    SystemKind,
+};
 use penelope_testkit::conformance::{
     FaultSpec, NodeSnapshot, PhaseSpec, Scenario, Snapshot, Substrate, SubstrateRun, WorkloadSpec,
 };
@@ -93,9 +96,10 @@ pub fn sim_config(scenario: &Scenario) -> ClusterConfig {
     // Jitterless ticks: all substrates tick at exact period boundaries,
     // which keeps the per-node RNG streams aligned across substrates.
     cfg.tick_jitter = SimDuration::ZERO;
-    // Lossy scenarios lean on the reliability layer: retry dropped
-    // requests instead of eating a full timeout per loss.
-    if let FaultSpec::Lossy { .. } = scenario.fault {
+    // Lossy and churn scenarios lean on the reliability layer: retry
+    // dropped requests instead of eating a full timeout per loss (and,
+    // under churn, feed the suspicion set fast enough to matter).
+    if let FaultSpec::Lossy { .. } | FaultSpec::KillRestart { .. } = scenario.fault {
         cfg.node.decider.max_retransmits = 2;
     }
     cfg
@@ -159,6 +163,25 @@ impl SimSubstrate {
                     SimTime::ZERO,
                     FaultAction::SetDropRate(scenario.fault.drop_rate()),
                 ));
+            }
+            FaultSpec::KillRestart {
+                node,
+                kill_at_period,
+                restart_at_period,
+                drop_permille,
+            } => {
+                let mut script = FaultScript::kill_restart(
+                    NodeId::new(node),
+                    SimTime::ZERO + PERIOD * kill_at_period,
+                    SimTime::ZERO + PERIOD * restart_at_period,
+                );
+                if drop_permille > 0 {
+                    script = script.at(
+                        SimTime::ZERO,
+                        FaultAction::SetDropRate(scenario.fault.drop_rate()),
+                    );
+                }
+                sim.install_faults(&script);
             }
             FaultSpec::None => {}
         }
@@ -299,17 +322,50 @@ impl LockstepRuntime {
         // ends. Node threads are parked on the first barrier of period p
         // while this runs, so the snapshot reads quiescent state.
         let mut snapshots = Vec::with_capacity(scenario.periods as usize);
+        // The kill leg shared by KillNode and KillRestart: retire the
+        // victim's cap and pool into `lost` and block its traffic.
+        let kill = |node: u32| {
+            let idx = node as usize;
+            if shared.alive[idx].swap(false, Ordering::SeqCst) {
+                net.with_faults(|f| f.kill(NodeId::new(node)));
+                let drained = shared.pools[idx].lock().unwrap().drain();
+                let cap = shared.caps_mw[idx].load(Ordering::SeqCst);
+                shared
+                    .lost_mw
+                    .fetch_add(cap + drained.milliwatts(), Ordering::SeqCst);
+            }
+        };
         for p in 0..scenario.periods {
-            if let FaultSpec::KillNode { node, at_period } = scenario.fault {
-                let idx = node as usize;
-                if at_period == p && shared.alive[idx].swap(false, Ordering::SeqCst) {
-                    net.with_faults(|f| f.kill(NodeId::new(node)));
-                    let drained = shared.pools[idx].lock().unwrap().drain();
-                    let cap = shared.caps_mw[idx].load(Ordering::SeqCst);
-                    shared
-                        .lost_mw
-                        .fetch_add(cap + drained.milliwatts(), Ordering::SeqCst);
+            match scenario.fault {
+                FaultSpec::KillNode { node, at_period } if at_period == p => kill(node),
+                FaultSpec::KillRestart {
+                    node,
+                    kill_at_period,
+                    restart_at_period,
+                    ..
+                } => {
+                    if kill_at_period == p {
+                        kill(node);
+                    }
+                    if restart_at_period == p {
+                        let idx = node as usize;
+                        if !shared.alive[idx].load(Ordering::SeqCst) {
+                            // Zero-sum re-admission: the reborn cap comes
+                            // out of the lost balance, never exceeding it
+                            // (nor the node's initial assignment), and only
+                            // if it funds a cap inside the safe range.
+                            let lost = shared.lost_mw.load(Ordering::SeqCst);
+                            let readmit = scenario.budget_per_node.milliwatts().min(lost);
+                            if readmit >= scenario.safe.min().milliwatts() {
+                                shared.lost_mw.fetch_sub(readmit, Ordering::SeqCst);
+                                shared.caps_mw[idx].store(readmit, Ordering::SeqCst);
+                                net.with_faults(|f| f.revive(NodeId::new(node)));
+                                shared.alive[idx].store(true, Ordering::SeqCst);
+                            }
+                        }
+                    }
                 }
+                _ => {}
             }
             shared.barrier.wait(); // release into tick
             shared.barrier.wait(); // tick done
@@ -428,6 +484,22 @@ fn node_loop(
         shared.barrier.wait(); // coordinator finished faults/snapshot
         let now = SimTime::ZERO + PERIOD * p;
         let me_alive = shared.alive[idx].load(Ordering::SeqCst);
+        if !was_alive && me_alive {
+            // Reborn between periods: the coordinator re-admitted a cap
+            // out of the lost balance. Controller and pool state start
+            // fresh, but the sequence namespace continues *after* the
+            // pre-crash watermark, so peers' escrow entries keyed by the
+            // old (requester, seq) pairs can never collide with — or be
+            // replayed into — the new epoch.
+            let reborn = Power::from_milliwatts(shared.caps_mw[idx].load(Ordering::SeqCst));
+            decider = LocalDecider::new(decider_cfg, reborn, safe)
+                .with_seq_floor(decider.next_seq())
+                .with_observer(id, obs.clone());
+            rapl.set_cap(reborn, now);
+            stashed_grants.clear();
+            was_alive = true;
+            emit(now, EventKind::NodeRestarted { readmitted: reborn });
+        }
         if was_alive && !me_alive {
             // Killed between periods: escrowed power this node was still
             // holding for undelivered grants dies with it, exactly like
@@ -464,14 +536,21 @@ fn node_loop(
                 }
             }
             let reading = rapl.read_power_with(now, &mut rng);
-            // Uniform peer choice, same draw sequence as the simulator.
-            let peer = if n >= 2 {
-                let r = rng.gen_range(0..n - 1);
-                let p = if r >= idx { r + 1 } else { r };
-                Some(NodeId::new(p as u32))
-            } else {
-                None
-            };
+            // Uniform peer choice through the same suspicion-aware chooser
+            // as the simulator: with no suspicion active (every fault-free
+            // run) it replays the exact historical draw sequence, and under
+            // churn both substrates route around suspected peers alike.
+            let mut rr_cursor = penelope_sim::node::initial_rr_cursor(idx as u32, n as u32);
+            let peer = choose_peer(
+                DiscoveryStrategy::UniformRandom,
+                &mut rng,
+                idx,
+                n,
+                &mut rr_cursor,
+                None,
+                decider.suspicion_active(now),
+                |pid| decider.is_suspected(now, pid),
+            );
             let (action, pool_now) = {
                 let mut pool = shared.pools[idx].lock().unwrap();
                 let action = decider.tick(now, reading, &mut pool, peer);
@@ -824,8 +903,12 @@ impl Substrate for UdpDaemonSubstrate {
             .collect::<std::io::Result<_>>()
             .map_err(|e| format!("local_addr: {e}"))?;
 
-        let mut handles = Vec::with_capacity(n);
-        for (i, socket) in sockets.into_iter().enumerate() {
+        // One config construction shared by the initial spawn and the
+        // churn restart path: a restarted daemon is a brand-new process on
+        // the *same address* (so peers keep reaching it) but with a fresh
+        // workload, the re-admitted cap, and the previous incarnation's
+        // sequence watermark.
+        let mk_cfg = |i: usize, initial_cap: Power, initial_seq: u64| -> DaemonConfig {
             let spec = &scenario.workloads[i % scenario.workloads.len()];
             let peers: Vec<_> = addrs
                 .iter()
@@ -833,10 +916,10 @@ impl Substrate for UdpDaemonSubstrate {
                 .filter(|(j, _)| *j != i)
                 .map(|(_, a)| *a)
                 .collect();
-            let cfg = DaemonConfig {
+            DaemonConfig {
                 listen: addrs[i],
                 peers,
-                initial_cap: scenario.budget_per_node,
+                initial_cap,
                 node: penelope_core::NodeParams {
                     decider: penelope_core::DeciderConfig {
                         period: SimDuration::from_millis(DAEMON_PERIOD_MS),
@@ -854,11 +937,17 @@ impl Substrate for UdpDaemonSubstrate {
                     actuation_delay: SimDuration::ZERO,
                     read_noise_std: scenario.read_noise,
                 },
+                initial_seq,
                 status_every: 1,
                 observer: SharedObserver::noop(),
-            };
+            }
+        };
+
+        let mut handles = Vec::with_capacity(n);
+        for (i, socket) in sockets.into_iter().enumerate() {
             handles.push(Some(
-                run_daemon_with_socket(cfg, socket).map_err(|e| format!("daemon {i}: {e}"))?,
+                run_daemon_with_socket(mk_cfg(i, scenario.budget_per_node, 0), socket)
+                    .map_err(|e| format!("daemon {i}: {e}"))?,
             ));
         }
 
@@ -872,11 +961,24 @@ impl Substrate for UdpDaemonSubstrate {
         let mut final_caps: Vec<Power> = vec![Power::ZERO; n];
         let mut final_alive = vec![true; n];
         let mut final_total = Power::ZERO;
+        // The killed incarnation's sequence watermark, stashed for the
+        // restart so the reborn daemon never reuses a pre-crash seq.
+        let mut stashed_seq = 0u64;
         for p in 0..scenario.periods {
-            if let FaultSpec::KillNode { node, at_period } = scenario.fault {
+            let kill_now = match scenario.fault {
+                FaultSpec::KillNode { node, at_period } if at_period == p => Some(node),
+                FaultSpec::KillRestart {
+                    node,
+                    kill_at_period,
+                    ..
+                } if kill_at_period == p => Some(node),
+                _ => None,
+            };
+            if let Some(node) = kill_now {
                 let idx = node as usize;
-                if at_period == p && handles[idx].is_some() {
+                if handles[idx].is_some() {
                     let summary = handles[idx].take().expect("alive").stop();
+                    stashed_seq = summary.next_seq;
                     lost = lost + summary.final_cap + summary.final_pool;
                     final_caps[idx] = summary.final_cap;
                     final_alive[idx] = false;
@@ -892,6 +994,30 @@ impl Substrate for UdpDaemonSubstrate {
                         pool_granted: summary.granted_to_peers + summary.taken_local,
                         pool_drained: summary.pool_drained,
                     });
+                }
+            }
+            if let FaultSpec::KillRestart {
+                node,
+                restart_at_period,
+                ..
+            } = scenario.fault
+            {
+                let idx = node as usize;
+                if restart_at_period == p && handles[idx].is_none() {
+                    // Zero-sum re-admission: the reborn daemon gets at
+                    // most its initial cap back, taken out of `lost`.
+                    let readmitted = scenario.budget_per_node.min(lost);
+                    if readmitted >= scenario.safe.min() {
+                        lost -= readmitted;
+                        let socket = UdpSocket::bind(addrs[idx])
+                            .map_err(|e| format!("rebind daemon {idx}: {e}"))?;
+                        handles[idx] = Some(
+                            run_daemon_with_socket(mk_cfg(idx, readmitted, stashed_seq), socket)
+                                .map_err(|e| format!("daemon {idx} restart: {e}"))?,
+                        );
+                        dead_rows[idx] = None;
+                        final_alive[idx] = true;
+                    }
                 }
             }
             let mut rows = Vec::with_capacity(n);
@@ -1042,6 +1168,31 @@ pub fn lossy_scenario(seed: u64, drop_permille: u16, periods: u64) -> Scenario {
         periods,
         workloads: mixed_workloads(),
         fault: FaultSpec::Lossy { drop_permille },
+        read_noise: 0.0,
+    }
+}
+
+/// Node-churn scenario: node 1 crashes at the start of period 3 and
+/// reboots at the start of period 10, optionally under background message
+/// loss. Its cap and pool are retired at the crash; the restart re-admits
+/// `min(initial cap, lost)` back out of the lost balance — zero-sum at
+/// every consistent cut — with a persistent sequence namespace so stale
+/// pre-crash grants are discarded, never double-paid.
+pub fn churn_scenario(seed: u64, drop_permille: u16, periods: u64) -> Scenario {
+    Scenario {
+        name: format!("churn-{drop_permille}permille"),
+        seed,
+        nodes: 4,
+        budget_per_node: watts(160),
+        safe: PowerRange::from_watts(80, 300),
+        periods,
+        workloads: mixed_workloads(),
+        fault: FaultSpec::KillRestart {
+            node: 1,
+            kill_at_period: 3,
+            restart_at_period: 10,
+            drop_permille,
+        },
         read_noise: 0.0,
     }
 }
