@@ -109,6 +109,15 @@ pub struct DeciderConfig {
     /// through again (a crashed-and-restarted peer must be rediscoverable
     /// without any membership oracle).
     pub probe_interval: SimDuration,
+    /// Liveness gossip: how many suspicion entries a grant or ack may
+    /// piggyback (clamped to
+    /// [`MAX_DIGEST_ENTRIES`](crate::protocol::MAX_DIGEST_ENTRIES)). Zero
+    /// disables gossip entirely — no digest is attached and incoming
+    /// digests are ignored — which is the paper-verbatim ablation arm
+    /// where every node pays its own full timeout schedule per dead peer.
+    /// On fault-free runs no node is suspected and no digest is built, so
+    /// the setting is provably inert there either way.
+    pub gossip_digest: usize,
 }
 
 impl Default for DeciderConfig {
@@ -122,6 +131,7 @@ impl Default for DeciderConfig {
             max_retransmits: 0,
             suspect_after: 3,
             probe_interval: SimDuration::from_secs(8),
+            gossip_digest: crate::protocol::MAX_DIGEST_ENTRIES,
         }
     }
 }

@@ -5,6 +5,7 @@ use penelope_units::{NodeId, Power, PowerRange, SimTime};
 
 use crate::config::DeciderConfig;
 use crate::pool::PowerPool;
+use crate::protocol::{SuspicionDigest, SuspicionEntry, MAX_DIGEST_ENTRIES};
 
 /// The decider's per-iteration classification of its node (§3.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -149,14 +150,31 @@ pub struct LocalDecider {
     seq_floor: u64,
     /// Liveness: consecutive timeouts per peer, reset by any reply.
     timeout_streaks: std::collections::HashMap<NodeId, u32>,
-    /// Suspected peers → when the suspicion was last confirmed by a
-    /// timeout. Entries older than `probe_interval` no longer filter
-    /// partner selection (one probe gets through) but stay until a reply
-    /// clears them, so `PeerSuspected`/`PeerCleared` strictly alternate.
-    suspected: std::collections::HashMap<NodeId, SimTime>,
+    /// Suspected peers → when the suspicion was last confirmed (by a
+    /// timeout or an adopted gossip entry) and against which incarnation
+    /// of the peer it was formed. Entries older than `probe_interval` no
+    /// longer filter partner selection (one probe gets through) but stay
+    /// until a reply clears them, so `PeerSuspected`/`PeerCleared`
+    /// strictly alternate.
+    suspected: std::collections::HashMap<NodeId, Suspicion>,
+    /// The newest incarnation (seq-epoch floor) observed per peer, learnt
+    /// from the digests peers piggyback on grants and acks. Gossiped
+    /// suspicions formed against an older incarnation are refuted instead
+    /// of adopted, so a rejoined node is never re-shunned by stale gossip.
+    known_incarnations: std::collections::HashMap<NodeId, u64>,
     stats: DeciderStats,
     node: NodeId,
     obs: SharedObserver,
+}
+
+/// One active suspicion held by a decider.
+#[derive(Clone, Copy, Debug)]
+struct Suspicion {
+    /// When the suspicion was last confirmed (probe clock).
+    since: SimTime,
+    /// The incarnation of the peer the suspicion was formed against; a
+    /// digest proving a newer incarnation refutes it.
+    incarnation: u64,
 }
 
 impl LocalDecider {
@@ -174,6 +192,7 @@ impl LocalDecider {
             seq_floor: 0,
             timeout_streaks: std::collections::HashMap::new(),
             suspected: std::collections::HashMap::new(),
+            known_incarnations: std::collections::HashMap::new(),
             stats: DeciderStats::default(),
             node: NodeId::new(0),
             obs: SharedObserver::noop(),
@@ -277,7 +296,7 @@ impl LocalDecider {
     /// suspicion entry survives until a reply clears it.
     pub fn is_suspected(&self, now: SimTime, peer: NodeId) -> bool {
         match self.suspected.get(&peer) {
-            Some(&since) => now.saturating_since(since) < self.cfg.probe_interval,
+            Some(s) => now.saturating_since(s.since) < self.cfg.probe_interval,
             None => false,
         }
     }
@@ -289,7 +308,129 @@ impl LocalDecider {
     pub fn suspicion_active(&self, now: SimTime) -> bool {
         self.suspected
             .values()
-            .any(|&since| now.saturating_since(since) < self.cfg.probe_interval)
+            .any(|s| now.saturating_since(s.since) < self.cfg.probe_interval)
+    }
+
+    /// Number of peers this decider currently holds a suspicion entry for
+    /// (active or awaiting clearance) — the observable the convergence
+    /// tests count.
+    pub fn suspected_count(&self) -> usize {
+        self.suspected.len()
+    }
+
+    /// This decider's own incarnation counter: the persistent seq-epoch
+    /// floor. Monotone within a life (the applied-seq window only ever
+    /// advances it) and raised past the pre-crash `next_seq` watermark on
+    /// every rebirth, so a digest carrying it is proof of how recently its
+    /// sender was (re)alive.
+    pub fn incarnation(&self) -> u64 {
+        self.seq_floor
+    }
+
+    /// Build the suspicion digest to piggyback on an outgoing grant or
+    /// ack, or `None` when there is nothing worth saying (gossip disabled,
+    /// or no suspicions held and a zero incarnation). Entries are sorted
+    /// by peer id and truncated to the configured bound, so every
+    /// substrate produces the identical digest from identical state.
+    pub fn make_digest(&self) -> Option<Box<SuspicionDigest>> {
+        let limit = self.cfg.gossip_digest.min(MAX_DIGEST_ENTRIES);
+        if limit == 0 || (self.suspected.is_empty() && self.seq_floor == 0) {
+            return None;
+        }
+        let mut entries: Vec<SuspicionEntry> = self
+            .suspected
+            .iter()
+            .map(|(&peer, s)| SuspicionEntry {
+                peer,
+                incarnation: s.incarnation,
+            })
+            .collect();
+        entries.sort_by_key(|e| e.peer);
+        entries.truncate(limit);
+        Some(Box::new(SuspicionDigest {
+            incarnation: self.seq_floor,
+            entries,
+        }))
+    }
+
+    /// Merge a digest piggybacked on a message from `src` (call *before*
+    /// [`note_peer_reply`](LocalDecider::note_peer_reply) so refutations
+    /// are attributed to incarnation evidence, not the reply itself).
+    ///
+    /// Three rules, in order:
+    /// 1. The digest is firsthand proof `src` is alive at its carried
+    ///    incarnation: record it, and drop any suspicion of `src` formed
+    ///    against an older incarnation (`SuspicionRefuted`).
+    /// 2. An entry about a peer whose known incarnation is newer than the
+    ///    entry's is stale: never adopted, and it *clears* a matching
+    ///    stale suspicion rather than refreshing it — this is what stops
+    ///    old suspicion of a rejoined node circulating forever.
+    /// 3. A fresh entry about an unsuspected peer is adopted secondhand
+    ///    (`SuspicionGossiped`): the whole point — one node's timeout
+    ///    schedule warns the entire cluster within a gossip round or two.
+    ///
+    /// A no-op when gossip is disabled (`gossip_digest == 0`), so the
+    /// with/without comparison isolates exactly the dissemination layer.
+    pub fn observe_digest(&mut self, now: SimTime, src: NodeId, digest: &SuspicionDigest) {
+        if self.cfg.gossip_digest == 0 {
+            return;
+        }
+        let known_src = self.known_incarnations.entry(src).or_insert(0);
+        if digest.incarnation > *known_src {
+            *known_src = digest.incarnation;
+        }
+        if let Some(s) = self.suspected.get(&src) {
+            if digest.incarnation > s.incarnation {
+                self.suspected.remove(&src);
+                self.timeout_streaks.remove(&src);
+                self.emit(now, || EventKind::SuspicionRefuted { peer: src });
+            }
+        }
+        for entry in digest.entries.iter().take(MAX_DIGEST_ENTRIES) {
+            let peer = entry.peer;
+            if peer == self.node || peer == src {
+                // No one may gossip us into suspecting ourselves, and a
+                // sender's claim about itself is nonsense.
+                continue;
+            }
+            let known = self.known_incarnations.get(&peer).copied().unwrap_or(0);
+            if entry.incarnation < known {
+                // Stale: the peer has provably re-incarnated since this
+                // suspicion was formed.
+                if self
+                    .suspected
+                    .get(&peer)
+                    .is_some_and(|s| s.incarnation < known)
+                {
+                    self.suspected.remove(&peer);
+                    self.timeout_streaks.remove(&peer);
+                    self.emit(now, || EventKind::SuspicionRefuted { peer });
+                }
+                continue;
+            }
+            if entry.incarnation > known {
+                self.known_incarnations.insert(peer, entry.incarnation);
+            }
+            match self.suspected.get_mut(&peer) {
+                Some(s) => {
+                    // Already suspected: upgrade the stamp if the gossip is
+                    // fresher (keeping the original probe clock), so the
+                    // suspicion is not clear-then-reinfect flapped when a
+                    // stale copy of it arrives later.
+                    s.incarnation = s.incarnation.max(entry.incarnation);
+                }
+                None => {
+                    self.suspected.insert(
+                        peer,
+                        Suspicion {
+                            since: now,
+                            incarnation: entry.incarnation,
+                        },
+                    );
+                    self.emit(now, || EventKind::SuspicionGossiped { peer, via: src });
+                }
+            }
+        }
     }
 
     /// Consecutive unanswered requests to `peer` (zero after any reply).
@@ -308,7 +449,16 @@ impl LocalDecider {
         *streak += 1;
         if *streak >= self.cfg.suspect_after {
             let fresh = !self.suspected.contains_key(&peer);
-            self.suspected.insert(peer, now); // refresh the probe clock
+            // Record the suspicion against the newest incarnation we know
+            // for the peer, so gossip recipients can judge its freshness.
+            let incarnation = self.known_incarnations.get(&peer).copied().unwrap_or(0);
+            self.suspected.insert(
+                peer,
+                Suspicion {
+                    since: now,
+                    incarnation,
+                },
+            ); // refresh the probe clock
             if fresh {
                 self.emit(now, || EventKind::PeerSuspected { peer });
             }
@@ -1286,6 +1436,326 @@ mod churn_tests {
             e.kind,
             EventKind::PeerSuspected { .. } | EventKind::PeerCleared { .. }
         )));
+    }
+
+    #[test]
+    fn suspect_after_boundary_exactly_n_timeouts() {
+        // The threshold is inclusive: N−1 consecutive timeouts must leave
+        // the peer trusted, the Nth flips it — no off-by-one either way.
+        let cfg = DeciderConfig {
+            suspect_after: 3,
+            ..Default::default()
+        };
+        let mut d = LocalDecider::new(cfg, w(150), safe());
+        let mut p = PowerPool::default();
+        let peer = NodeId::new(1);
+        let mut now = 1u64;
+        timeout_round(&mut d, &mut p, &mut now, peer);
+        timeout_round(&mut d, &mut p, &mut now, peer);
+        assert_eq!(d.peer_timeout_streak(peer), 2);
+        assert!(
+            !d.is_suspected(t(now), peer),
+            "N−1 timeouts must not suspect"
+        );
+        assert!(!d.suspicion_active(t(now)));
+        timeout_round(&mut d, &mut p, &mut now, peer);
+        assert_eq!(d.peer_timeout_streak(peer), 3);
+        assert!(d.is_suspected(t(now), peer), "the Nth timeout suspects");
+    }
+
+    #[test]
+    fn clear_on_reply_after_probe_expiry_emits_one_cleared() {
+        // The clear-on-reply vs clear-on-probe race: once the probe
+        // interval expires the peer is already eligible again
+        // (is_suspected false), but the suspicion *entry* survives. A
+        // reply arriving after expiry must clear it exactly once —
+        // PeerSuspected/PeerCleared strictly alternate, never a double
+        // clear and never a clear-less re-suspect.
+        use penelope_trace::RingBufferObserver;
+        use std::sync::Arc;
+        let ring = Arc::new(RingBufferObserver::unbounded());
+        let cfg = DeciderConfig {
+            suspect_after: 2,
+            ..Default::default()
+        };
+        let mut d = LocalDecider::new(cfg, w(150), safe())
+            .with_observer(NodeId::new(0), ring.clone().into());
+        let mut p = PowerPool::default();
+        let peer = NodeId::new(2);
+        let mut now = 1u64;
+        timeout_round(&mut d, &mut p, &mut now, peer);
+        timeout_round(&mut d, &mut p, &mut now, peer);
+        assert!(d.is_suspected(t(now), peer));
+        // Probe interval (8 s default) expires: eligible again, entry kept.
+        let after_probe = t(now + 20);
+        assert!(!d.is_suspected(after_probe, peer));
+        // The probe's reply lands after expiry.
+        d.note_peer_reply(after_probe, peer);
+        // A second reply must not produce a second clear.
+        d.note_peer_reply(after_probe + SimDuration::from_secs(1), peer);
+        let events = ring.events();
+        let suspected = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::PeerSuspected { .. }))
+            .count();
+        let cleared = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::PeerCleared { .. }))
+            .count();
+        assert_eq!((suspected, cleared), (1, 1));
+        // And the streak restarted from zero: one fresh timeout is not
+        // enough to re-suspect.
+        timeout_round(&mut d, &mut p, &mut now, peer);
+        assert_eq!(d.peer_timeout_streak(peer), 1);
+    }
+
+    #[test]
+    fn all_peers_suspected_still_reports_each_individually() {
+        // The decider side of the blind-uniform fallback: when every peer
+        // is suspected the host's chooser sees is_suspected true for all
+        // of them and suspicion_active true, which is its cue to fall
+        // back to the paper's blind draw rather than return no peer. The
+        // probe interval is stretched so the first suspicion cannot expire
+        // while the later peers are still being timed out.
+        let cfg = DeciderConfig {
+            suspect_after: 2,
+            probe_interval: SimDuration::from_secs(1_000),
+            ..Default::default()
+        };
+        let mut d = LocalDecider::new(cfg, w(150), safe());
+        let mut p = PowerPool::default();
+        let mut now = 1u64;
+        for peer in [NodeId::new(1), NodeId::new(2), NodeId::new(3)] {
+            timeout_round(&mut d, &mut p, &mut now, peer);
+            timeout_round(&mut d, &mut p, &mut now, peer);
+            assert!(d.is_suspected(t(now), peer));
+        }
+        assert_eq!(d.suspected_count(), 3);
+        assert!(d.suspicion_active(t(now)));
+        for peer in [NodeId::new(1), NodeId::new(2), NodeId::new(3)] {
+            assert!(d.is_suspected(t(now), peer));
+        }
+    }
+}
+
+#[cfg(test)]
+mod gossip_tests {
+    use super::*;
+    use crate::config::DeciderConfig;
+    use crate::protocol::{SuspicionDigest, SuspicionEntry};
+    use penelope_trace::RingBufferObserver;
+    use penelope_units::PowerRange;
+    use std::sync::Arc;
+
+    fn w(x: u64) -> Power {
+        Power::from_watts_u64(x)
+    }
+
+    fn safe() -> PowerRange {
+        PowerRange::from_watts(80, 300)
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn observed() -> (LocalDecider, Arc<RingBufferObserver>) {
+        let ring = Arc::new(RingBufferObserver::unbounded());
+        let d = LocalDecider::new(DeciderConfig::default(), w(150), safe())
+            .with_observer(NodeId::new(0), ring.clone().into());
+        (d, ring)
+    }
+
+    fn digest_of(incarnation: u64, entries: &[(u32, u64)]) -> SuspicionDigest {
+        SuspicionDigest {
+            incarnation,
+            entries: entries
+                .iter()
+                .map(|&(p, i)| SuspicionEntry {
+                    peer: NodeId::new(p),
+                    incarnation: i,
+                })
+                .collect(),
+        }
+    }
+
+    /// Plant a local (timeout-born) suspicion of `peer` directly.
+    fn suspect_via_timeouts(d: &mut LocalDecider, peer: NodeId, now: &mut u64) {
+        let mut p = PowerPool::default();
+        while !d.is_suspected(t(*now), peer) {
+            let a = d.tick(t(*now), w(150), &mut p, Some(peer));
+            assert!(!matches!(a, TickAction::Deposited(_)));
+            *now += 2;
+            let _ = d.tick(t(*now), w(145), &mut p, Some(peer));
+            *now += 1;
+            p.drain();
+        }
+    }
+
+    #[test]
+    fn fresh_decider_builds_no_digest() {
+        // Fault-free hot path: nothing suspected, zero incarnation — the
+        // grant carries `None` and allocates nothing.
+        let (d, _) = observed();
+        assert!(d.make_digest().is_none());
+    }
+
+    #[test]
+    fn disabled_gossip_builds_and_observes_nothing() {
+        let cfg = DeciderConfig {
+            gossip_digest: 0,
+            ..Default::default()
+        };
+        let mut d = LocalDecider::new(cfg, w(150), safe()).with_seq_floor(7);
+        assert!(
+            d.make_digest().is_none(),
+            "disabled gossip attaches nothing"
+        );
+        d.observe_digest(t(1), NodeId::new(2), &digest_of(3, &[(1, 0)]));
+        assert_eq!(d.suspected_count(), 0, "disabled gossip adopts nothing");
+    }
+
+    #[test]
+    fn digest_is_sorted_bounded_and_carries_incarnation() {
+        let mut d = LocalDecider::new(DeciderConfig::default(), w(150), safe()).with_seq_floor(9);
+        // Adopt six suspicions via gossip (more than MAX_DIGEST_ENTRIES).
+        d.observe_digest(
+            t(1),
+            NodeId::new(9),
+            &digest_of(1, &[(5, 0), (3, 0), (8, 0), (1, 0)]),
+        );
+        d.observe_digest(t(1), NodeId::new(9), &digest_of(1, &[(7, 0), (2, 0)]));
+        assert_eq!(d.suspected_count(), 6);
+        let digest = d.make_digest().expect("active suspicions");
+        assert_eq!(digest.incarnation, 9);
+        assert_eq!(digest.entries.len(), MAX_DIGEST_ENTRIES);
+        let peers: Vec<u32> = digest.entries.iter().map(|e| e.peer.raw()).collect();
+        let mut sorted = peers.clone();
+        sorted.sort_unstable();
+        assert_eq!(peers, sorted, "digest order must be deterministic");
+    }
+
+    #[test]
+    fn gossip_adopts_secondhand_suspicion_once() {
+        let (mut d, ring) = observed();
+        let via = NodeId::new(3);
+        let victim = NodeId::new(1);
+        d.observe_digest(t(5), via, &digest_of(0, &[(1, 0)]));
+        assert!(d.is_suspected(t(5), victim));
+        // Re-delivery does not re-emit or reset the probe clock.
+        d.observe_digest(t(6), via, &digest_of(0, &[(1, 0)]));
+        let gossiped: Vec<_> = ring
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SuspicionGossiped { .. }))
+            .cloned()
+            .collect();
+        assert_eq!(gossiped.len(), 1);
+        assert_eq!(
+            gossiped[0].kind,
+            EventKind::SuspicionGossiped { peer: victim, via }
+        );
+    }
+
+    #[test]
+    fn gossip_about_self_or_sender_is_ignored() {
+        let (mut d, _) = observed(); // node 0
+        d.observe_digest(t(1), NodeId::new(2), &digest_of(0, &[(0, 0), (2, 0)]));
+        assert_eq!(
+            d.suspected_count(),
+            0,
+            "self-suspicion and sender self-claims must be dropped"
+        );
+    }
+
+    #[test]
+    fn senders_own_incarnation_refutes_stale_suspicion_of_it() {
+        // The rejoin story: we suspected the peer while it was dead (at
+        // incarnation 0); its first post-rebirth message carries its new
+        // seq-epoch floor, which refutes the stale suspicion on contact.
+        let (mut d, ring) = observed();
+        let peer = NodeId::new(1);
+        let mut now = 1u64;
+        suspect_via_timeouts(&mut d, peer, &mut now);
+        assert!(d.is_suspected(t(now), peer));
+        d.observe_digest(t(now), peer, &digest_of(42, &[]));
+        assert!(!d.is_suspected(t(now), peer));
+        assert!(ring
+            .events()
+            .iter()
+            .any(|e| e.kind == EventKind::SuspicionRefuted { peer }));
+    }
+
+    #[test]
+    fn stale_thirdhand_gossip_cannot_reinfect_after_refutation() {
+        // B still suspects the rejoined node A at its old incarnation and
+        // keeps gossiping it; once we have seen A's newer incarnation the
+        // stale entry must be rejected every time, not re-adopted.
+        let (mut d, ring) = observed();
+        let a = NodeId::new(1);
+        let b = NodeId::new(2);
+        // Learn A's new incarnation firsthand.
+        d.observe_digest(t(1), a, &digest_of(10, &[]));
+        // B's stale gossip about A (formed against incarnation 3).
+        d.observe_digest(t(2), b, &digest_of(0, &[(1, 3)]));
+        assert!(!d.is_suspected(t(2), a), "stale gossip must not infect");
+        assert_eq!(d.suspected_count(), 0);
+        // Fresh gossip at A's current incarnation still works.
+        d.observe_digest(t(3), b, &digest_of(0, &[(1, 10)]));
+        assert!(d.is_suspected(t(3), a));
+        let _ = ring;
+    }
+
+    #[test]
+    fn stale_gossip_clears_an_already_adopted_stale_suspicion() {
+        let (mut d, _) = observed();
+        let a = NodeId::new(1);
+        let b = NodeId::new(2);
+        let c = NodeId::new(3);
+        // Adopt B's suspicion of A at incarnation 3.
+        d.observe_digest(t(1), b, &digest_of(0, &[(1, 3)]));
+        assert!(d.is_suspected(t(1), a));
+        // C proves A re-incarnated at 8 — via an *entry* (C suspects A at
+        // 8, so C must have seen incarnation 8): the newer incarnation
+        // updates our knowledge and B's re-gossip of the stale entry now
+        // clears the old suspicion instead of refreshing it.
+        d.observe_digest(t(2), c, &digest_of(0, &[(1, 8)]));
+        d.observe_digest(t(3), b, &digest_of(0, &[(1, 3)]));
+        // The suspicion standing, if any, is against incarnation 8, not 3.
+        let digest = d.make_digest().expect("suspicion state");
+        for e in &digest.entries {
+            assert!(e.incarnation >= 8, "no suspicion below incarnation 8");
+        }
+    }
+
+    #[test]
+    fn local_timeout_suspicion_records_known_incarnation() {
+        // A suspicion earned by timeouts is stamped with the newest
+        // incarnation we know for the peer, so our own gossip about it is
+        // refutable by anyone who has seen the peer more recently.
+        let (mut d, _) = observed();
+        let peer = NodeId::new(1);
+        d.observe_digest(t(0), peer, &digest_of(6, &[]));
+        let mut now = 1u64;
+        suspect_via_timeouts(&mut d, peer, &mut now);
+        let digest = d.make_digest().expect("suspicion held");
+        assert_eq!(
+            digest.entries,
+            vec![SuspicionEntry {
+                peer,
+                incarnation: 6
+            }]
+        );
+    }
+
+    #[test]
+    fn observe_digest_consumes_no_rng_and_emits_nothing_when_empty() {
+        // Byte-identity guarantee: an empty digest (pure incarnation
+        // carrier) leaves no trace in the event stream.
+        let (mut d, ring) = observed();
+        d.observe_digest(t(1), NodeId::new(1), &digest_of(4, &[]));
+        assert!(ring.events().is_empty());
+        assert_eq!(d.suspected_count(), 0);
     }
 }
 

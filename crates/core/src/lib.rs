@@ -48,4 +48,7 @@ pub use decider::{Classification, DeciderStats, LocalDecider, TickAction, APPLIE
 pub use escrow::{EscrowEntry, EscrowState, GrantEscrow};
 pub use fair::fair_assignment;
 pub use pool::PowerPool;
-pub use protocol::{GrantAck, PeerMsg, PowerGrant, PowerRequest};
+pub use protocol::{
+    GrantAck, PeerMsg, PowerGrant, PowerRequest, SuspicionDigest, SuspicionEntry,
+    MAX_DIGEST_ENTRIES,
+};

@@ -49,16 +49,55 @@ pub struct GrantAck {
     pub seq: u64,
 }
 
-/// The Penelope peer protocol.
+/// Upper bound on [`SuspicionDigest`] entries per message, whatever the
+/// configured [`gossip_digest`](crate::DeciderConfig::gossip_digest) says:
+/// gossip must never bloat the datagram past a couple of cache lines.
+pub const MAX_DIGEST_ENTRIES: usize = 4;
+
+/// One gossiped suspicion: the sender currently suspects `peer`, last
+/// known to be at `incarnation`. Receivers adopt the entry only if they
+/// have no evidence of a newer incarnation of `peer`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SuspicionEntry {
+    /// The suspected node.
+    pub peer: NodeId,
+    /// The incarnation of `peer` the suspicion was formed against.
+    pub incarnation: u64,
+}
+
+/// A bounded SWIM-style liveness digest piggybacked on grants and acks.
+///
+/// Carries the sender's own incarnation counter (its persistent seq-epoch
+/// floor — monotone within a life and raised past the pre-crash watermark
+/// on every rebirth) plus up to [`MAX_DIGEST_ENTRIES`] of the sender's
+/// current suspicions. A digest is firsthand proof its sender is alive at
+/// `incarnation`, so stale suspicions of a rejoined node are refuted by
+/// the very messages it sends.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SuspicionDigest {
+    /// The sender's own incarnation (seq-epoch floor).
+    pub incarnation: u64,
+    /// The sender's current suspicions, in ascending `peer` order (the
+    /// deterministic order every substrate must produce).
+    pub entries: Vec<SuspicionEntry>,
+}
+
+/// The Penelope peer protocol.
+///
+/// Grants and acks optionally piggyback a boxed [`SuspicionDigest`]; the
+/// option is `None` on every fault-free run, so the hot path allocates
+/// nothing and the message stays a few machine words.
+#[derive(Clone, Debug, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PeerMsg {
     /// Decider → pool.
     Request(PowerRequest),
     /// Pool → decider.
-    Grant(PowerGrant),
+    Grant(PowerGrant, Option<Box<SuspicionDigest>>),
     /// Decider → pool: the grant arrived; release its escrow.
-    Ack(GrantAck),
+    Ack(GrantAck, Option<Box<SuspicionDigest>>),
 }
 
 #[cfg(test)]
@@ -89,6 +128,19 @@ mod tests {
     #[test]
     fn ack_echoes_sequence() {
         let ack = GrantAck { seq: 42 };
-        assert_eq!(PeerMsg::Ack(ack), PeerMsg::Ack(GrantAck { seq: 42 }));
+        assert_eq!(
+            PeerMsg::Ack(ack, None),
+            PeerMsg::Ack(GrantAck { seq: 42 }, None)
+        );
+    }
+
+    #[test]
+    fn digest_rides_in_one_machine_word() {
+        // The digest slot must not grow the message: `Option<Box<_>>` is
+        // pointer-sized and `None` on the fault-free path.
+        assert_eq!(
+            std::mem::size_of::<Option<Box<SuspicionDigest>>>(),
+            std::mem::size_of::<usize>()
+        );
     }
 }

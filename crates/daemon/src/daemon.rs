@@ -280,6 +280,9 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                         let reply = WireMsg::Grant {
                             seq,
                             amount: entry.amount,
+                            // The net thread has no decider, so nothing
+                            // to gossip.
+                            digest: None,
                         }
                         .encode();
                         let _ = net_socket.send_to(&reply, src);
@@ -329,7 +332,12 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                             )
                         });
                     }
-                    let reply = WireMsg::Grant { seq, amount }.encode();
+                    let reply = WireMsg::Grant {
+                        seq,
+                        amount,
+                        digest: None,
+                    }
+                    .encode();
                     let _ = net_socket.send_to(&reply, src);
                     net_obs.emit(|| {
                         stamp(
@@ -363,7 +371,7 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                 Ok(grant @ WireMsg::Grant { .. }) => {
                     let _ = grant_tx.send((grant, src));
                 }
-                Ok(WireMsg::Ack { seq }) => {
+                Ok(WireMsg::Ack { seq, digest: _ }) => {
                     // The transfer committed on the requester; release the
                     // escrow entry. Duplicate acks are harmless.
                     let _ = escrow.release(src, seq);
@@ -447,7 +455,14 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                         break;
                     }
                     match grant_rx.recv_timeout(remaining) {
-                        Ok((WireMsg::Grant { seq: gseq, amount }, gsrc)) => {
+                        Ok((
+                            WireMsg::Grant {
+                                seq: gseq,
+                                amount,
+                                digest,
+                            },
+                            gsrc,
+                        )) => {
                             let now2 = SimTime::from_nanos(
                                 origin.elapsed().as_nanos().min(u64::MAX as u128) as u64,
                             );
@@ -460,6 +475,21 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                                     },
                                 )
                             });
+                            // Identify the granter by socket address so
+                            // piggybacked gossip lands under the right
+                            // peer id; a grant from an unknown address
+                            // still pays out but can't gossip.
+                            let gid = peers
+                                .iter()
+                                .position(|a| *a == gsrc)
+                                .map(|i| NodeId::new(i as u32));
+                            if let Some(gid) = gid {
+                                if let Some(d) = &digest {
+                                    decider.observe_digest(now2, gid, d);
+                                }
+                                // Any reply proves the granter alive.
+                                decider.note_peer_reply(now2, gid);
+                            }
                             let _ = decider.on_grant(
                                 now2,
                                 gseq,
@@ -470,7 +500,11 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                             if !amount.is_zero() {
                                 // Ack straight back to the granter so it
                                 // releases the grant's escrow entry.
-                                let ack = WireMsg::Ack { seq: gseq }.encode();
+                                let ack = WireMsg::Ack {
+                                    seq: gseq,
+                                    digest: decider.make_digest(),
+                                }
+                                .encode();
                                 let _ = decider_socket.send_to(&ack, gsrc);
                                 decider_obs.emit(|| {
                                     stamp(

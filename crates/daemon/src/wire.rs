@@ -6,26 +6,54 @@
 //! beyond the sequence number that pairs grants — and their acks — with
 //! requests.
 //!
+//! Two versions coexist. Version `0x01` is the original digest-free
+//! layout; version `0x02` appends a suspicion-digest section to grants
+//! and acks so liveness gossip can piggyback on protocol traffic. A
+//! sender emits `0x01` whenever it has nothing to gossip — the common
+//! fault-free datagram is byte-identical to the old format, and an old
+//! receiver only ever sees bytes it understands from a healthy cluster —
+//! and `0x02` only when a digest rides along. Receivers accept both.
+//!
 //! ```text
-//! Request: [0x01, 0x00, seq: u64, urgent: u8, alpha_mw: u64]   (19 bytes)
-//! Grant:   [0x01, 0x01, seq: u64, amount_mw: u64]              (18 bytes)
-//! Ack:     [0x01, 0x02, seq: u64]                              (10 bytes)
+//! v1 Request: [0x01, 0x00, seq: u64, urgent: u8, alpha_mw: u64]  (19 bytes)
+//! v1 Grant:   [0x01, 0x01, seq: u64, amount_mw: u64]             (18 bytes)
+//! v1 Ack:     [0x01, 0x02, seq: u64]                             (10 bytes)
+//!
+//! v2 Grant:   v1 body, then digest                               (≤75 bytes)
+//! v2 Ack:     v1 body, then digest                               (≤67 bytes)
+//! digest:     [incarnation: u64, count: u8,
+//!              count × (peer: u32, incarnation: u64)]
 //! ```
+//!
+//! The digest's leading `incarnation` is the *sender's own*; entries name
+//! third-party peers the sender currently suspects. `count` above
+//! [`MAX_DIGEST_ENTRIES`] is rejected: the bound is part of the format, so
+//! a hostile datagram cannot make a receiver loop over thousands of
+//! entries.
 
-use penelope_units::Power;
+use penelope_core::{SuspicionDigest, SuspicionEntry, MAX_DIGEST_ENTRIES};
+use penelope_units::{NodeId, Power};
 
-/// Protocol version byte.
+/// Protocol version byte for digest-free messages (the v1 format).
 pub const WIRE_VERSION: u8 = 0x01;
+
+/// Protocol version byte for messages carrying a suspicion digest.
+pub const WIRE_VERSION_DIGEST: u8 = 0x02;
 
 const KIND_REQUEST: u8 = 0x00;
 const KIND_GRANT: u8 = 0x01;
 const KIND_ACK: u8 = 0x02;
 
-/// Maximum encoded size (for receive buffers).
-pub const MAX_WIRE_LEN: usize = 19;
+/// Encoded digest section size at the entry cap: 8 (incarnation) + 1
+/// (count) + entries.
+const MAX_DIGEST_LEN: usize = 9 + MAX_DIGEST_ENTRIES * 12;
+
+/// Maximum encoded size (for receive buffers): a v2 grant with a full
+/// digest.
+pub const MAX_WIRE_LEN: usize = 18 + MAX_DIGEST_LEN;
 
 /// A message on the wire.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WireMsg {
     /// A power request addressed to a peer's pool.
     Request {
@@ -42,6 +70,8 @@ pub enum WireMsg {
         seq: u64,
         /// Power transferred (already debited from the sender's pool).
         amount: Power,
+        /// Piggybacked suspicion gossip, if the sender had any.
+        digest: Option<Box<SuspicionDigest>>,
     },
     /// The requester's acknowledgement of an applied non-zero grant; lets
     /// the granter release the grant's escrow entry. Unacknowledged grants
@@ -50,6 +80,8 @@ pub enum WireMsg {
     Ack {
         /// Echo of the granted request's sequence number.
         seq: u64,
+        /// Piggybacked suspicion gossip, if the sender had any.
+        digest: Option<Box<SuspicionDigest>>,
     },
 }
 
@@ -62,6 +94,8 @@ pub enum WireError {
     BadVersion(u8),
     /// Unknown message kind.
     BadKind(u8),
+    /// Digest section claims more entries than the format allows.
+    BadDigest(u8),
 }
 
 impl std::fmt::Display for WireError {
@@ -70,44 +104,76 @@ impl std::fmt::Display for WireError {
             WireError::Truncated => write!(f, "truncated datagram"),
             WireError::BadVersion(v) => write!(f, "unknown wire version {v:#x}"),
             WireError::BadKind(k) => write!(f, "unknown message kind {k:#x}"),
+            WireError::BadDigest(n) => write!(f, "digest claims {n} entries"),
         }
     }
 }
 
 impl std::error::Error for WireError {}
 
+fn encode_digest(buf: &mut Vec<u8>, digest: &SuspicionDigest) {
+    buf.extend_from_slice(&digest.incarnation.to_le_bytes());
+    let n = digest.entries.len().min(MAX_DIGEST_ENTRIES);
+    buf.push(n as u8);
+    for entry in digest.entries.iter().take(n) {
+        buf.extend_from_slice(&entry.peer.raw().to_le_bytes());
+        buf.extend_from_slice(&entry.incarnation.to_le_bytes());
+    }
+}
+
 impl WireMsg {
     /// Encode into a fresh buffer.
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(MAX_WIRE_LEN);
-        buf.push(WIRE_VERSION);
-        match *self {
+        let version = match self {
+            WireMsg::Grant {
+                digest: Some(_), ..
+            }
+            | WireMsg::Ack {
+                digest: Some(_), ..
+            } => WIRE_VERSION_DIGEST,
+            _ => WIRE_VERSION,
+        };
+        buf.push(version);
+        match self {
             WireMsg::Request { seq, urgent, alpha } => {
                 buf.push(KIND_REQUEST);
                 buf.extend_from_slice(&seq.to_le_bytes());
-                buf.push(u8::from(urgent));
+                buf.push(u8::from(*urgent));
                 buf.extend_from_slice(&alpha.milliwatts().to_le_bytes());
             }
-            WireMsg::Grant { seq, amount } => {
+            WireMsg::Grant {
+                seq,
+                amount,
+                digest,
+            } => {
                 buf.push(KIND_GRANT);
                 buf.extend_from_slice(&seq.to_le_bytes());
                 buf.extend_from_slice(&amount.milliwatts().to_le_bytes());
+                if let Some(d) = digest {
+                    encode_digest(&mut buf, d);
+                }
             }
-            WireMsg::Ack { seq } => {
+            WireMsg::Ack { seq, digest } => {
                 buf.push(KIND_ACK);
                 buf.extend_from_slice(&seq.to_le_bytes());
+                if let Some(d) = digest {
+                    encode_digest(&mut buf, d);
+                }
             }
         }
         buf
     }
 
-    /// Decode from a received datagram.
+    /// Decode from a received datagram. Accepts both wire versions; a v1
+    /// grant or ack decodes with `digest: None`.
     pub fn decode(buf: &[u8]) -> Result<WireMsg, WireError> {
         if buf.len() < 2 {
             return Err(WireError::Truncated);
         }
-        if buf[0] != WIRE_VERSION {
-            return Err(WireError::BadVersion(buf[0]));
+        let version = buf[0];
+        if version != WIRE_VERSION && version != WIRE_VERSION_DIGEST {
+            return Err(WireError::BadVersion(version));
         }
         let u64_at = |off: usize| -> Result<u64, WireError> {
             let bytes: [u8; 8] = buf
@@ -116,6 +182,39 @@ impl WireMsg {
                 .try_into()
                 .expect("slice is 8 bytes");
             Ok(u64::from_le_bytes(bytes))
+        };
+        let u32_at = |off: usize| -> Result<u32, WireError> {
+            let bytes: [u8; 4] = buf
+                .get(off..off + 4)
+                .ok_or(WireError::Truncated)?
+                .try_into()
+                .expect("slice is 4 bytes");
+            Ok(u32::from_le_bytes(bytes))
+        };
+        // A v2 grant/ack carries a digest section at `off`; v1 carries
+        // none.
+        let digest_at = |off: usize| -> Result<Option<Box<SuspicionDigest>>, WireError> {
+            if version == WIRE_VERSION {
+                return Ok(None);
+            }
+            let incarnation = u64_at(off)?;
+            let n = *buf.get(off + 8).ok_or(WireError::Truncated)?;
+            if n as usize > MAX_DIGEST_ENTRIES {
+                return Err(WireError::BadDigest(n));
+            }
+            let mut entries = Vec::with_capacity(n as usize);
+            let mut at = off + 9;
+            for _ in 0..n {
+                entries.push(SuspicionEntry {
+                    peer: NodeId::new(u32_at(at)?),
+                    incarnation: u64_at(at + 4)?,
+                });
+                at += 12;
+            }
+            Ok(Some(Box::new(SuspicionDigest {
+                incarnation,
+                entries,
+            })))
         };
         match buf[1] {
             KIND_REQUEST => {
@@ -127,11 +226,17 @@ impl WireMsg {
             KIND_GRANT => {
                 let seq = u64_at(2)?;
                 let amount = Power::from_milliwatts(u64_at(10)?);
-                Ok(WireMsg::Grant { seq, amount })
+                let digest = digest_at(18)?;
+                Ok(WireMsg::Grant {
+                    seq,
+                    amount,
+                    digest,
+                })
             }
             KIND_ACK => {
                 let seq = u64_at(2)?;
-                Ok(WireMsg::Ack { seq })
+                let digest = digest_at(10)?;
+                Ok(WireMsg::Ack { seq, digest })
             }
             k => Err(WireError::BadKind(k)),
         }
@@ -144,6 +249,19 @@ mod tests {
 
     fn w(x: u64) -> Power {
         Power::from_watts_u64(x)
+    }
+
+    fn digest(incarnation: u64, peers: &[(u32, u64)]) -> Box<SuspicionDigest> {
+        Box::new(SuspicionDigest {
+            incarnation,
+            entries: peers
+                .iter()
+                .map(|&(p, inc)| SuspicionEntry {
+                    peer: NodeId::new(p),
+                    incarnation: inc,
+                })
+                .collect(),
+        })
     }
 
     #[test]
@@ -165,6 +283,7 @@ mod tests {
         let msg = WireMsg::Grant {
             seq: u64::MAX,
             amount: Power::from_milliwatts(123_456),
+            digest: None,
         };
         let bytes = msg.encode();
         assert_eq!(bytes.len(), 18);
@@ -175,6 +294,7 @@ mod tests {
     fn ack_roundtrip() {
         let msg = WireMsg::Ack {
             seq: 0xFEED_F00D_4567,
+            digest: None,
         };
         let bytes = msg.encode();
         assert_eq!(bytes.len(), 10);
@@ -184,10 +304,106 @@ mod tests {
     }
 
     #[test]
+    fn digest_free_messages_stay_v1_bytes() {
+        // The fault-free path must emit datagrams an old receiver parses:
+        // version byte 0x01 and the original fixed lengths.
+        let g = WireMsg::Grant {
+            seq: 7,
+            amount: w(40),
+            digest: None,
+        }
+        .encode();
+        assert_eq!(g[0], WIRE_VERSION);
+        assert_eq!(g.len(), 18);
+        let a = WireMsg::Ack {
+            seq: 7,
+            digest: None,
+        }
+        .encode();
+        assert_eq!(a[0], WIRE_VERSION);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn grant_with_digest_roundtrips_as_v2() {
+        let msg = WireMsg::Grant {
+            seq: 9,
+            amount: w(25),
+            digest: Some(digest(4, &[(2, 1), (3, 7)])),
+        };
+        let bytes = msg.encode();
+        assert_eq!(bytes[0], WIRE_VERSION_DIGEST);
+        assert_eq!(bytes.len(), 18 + 9 + 2 * 12);
+        assert_eq!(WireMsg::decode(&bytes), Ok(msg));
+    }
+
+    #[test]
+    fn ack_with_empty_digest_carries_incarnation_only() {
+        // A rejoining node gossips a bare incarnation (no suspects) to
+        // refute stale suspicion of itself.
+        let msg = WireMsg::Ack {
+            seq: 3,
+            digest: Some(digest(12, &[])),
+        };
+        let bytes = msg.encode();
+        assert_eq!(bytes[0], WIRE_VERSION_DIGEST);
+        assert_eq!(bytes.len(), 10 + 9);
+        assert_eq!(WireMsg::decode(&bytes), Ok(msg));
+    }
+
+    #[test]
+    fn full_digest_fits_the_declared_max() {
+        let entries: Vec<(u32, u64)> = (0..MAX_DIGEST_ENTRIES as u32)
+            .map(|p| (p, u64::MAX))
+            .collect();
+        let msg = WireMsg::Grant {
+            seq: u64::MAX,
+            amount: Power::MAX,
+            digest: Some(digest(u64::MAX, &entries)),
+        };
+        assert_eq!(msg.encode().len(), MAX_WIRE_LEN);
+        assert_eq!(WireMsg::decode(&msg.encode()), Ok(msg));
+    }
+
+    #[test]
+    fn oversized_digest_count_is_rejected() {
+        let mut bytes = WireMsg::Ack {
+            seq: 1,
+            digest: Some(digest(1, &[])),
+        }
+        .encode();
+        // Forge the count byte past the cap; the decoder must refuse
+        // rather than trust it.
+        bytes[18] = MAX_DIGEST_ENTRIES as u8 + 1;
+        assert_eq!(
+            WireMsg::decode(&bytes),
+            Err(WireError::BadDigest(MAX_DIGEST_ENTRIES as u8 + 1))
+        );
+    }
+
+    #[test]
+    fn v2_truncated_digest_fails_cleanly() {
+        let bytes = WireMsg::Grant {
+            seq: 2,
+            amount: w(10),
+            digest: Some(digest(5, &[(1, 3)])),
+        }
+        .encode();
+        for cut in 18..bytes.len() {
+            assert_eq!(
+                WireMsg::decode(&bytes[..cut]),
+                Err(WireError::Truncated),
+                "prefix of length {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
     fn zero_grant_roundtrip() {
         let msg = WireMsg::Grant {
             seq: 0,
             amount: Power::ZERO,
+            digest: None,
         };
         assert_eq!(WireMsg::decode(&msg.encode()), Ok(msg));
     }
@@ -220,6 +436,7 @@ mod tests {
         let g = WireMsg::Grant {
             seq: u64::MAX,
             amount: Power::MAX,
+            digest: None,
         };
         assert!(g.encode().len() <= MAX_WIRE_LEN);
     }
@@ -229,6 +446,7 @@ mod tests {
         assert!(WireError::Truncated.to_string().contains("truncated"));
         assert!(WireError::BadVersion(3).to_string().contains("version"));
         assert!(WireError::BadKind(3).to_string().contains("kind"));
+        assert!(WireError::BadDigest(9).to_string().contains("entries"));
     }
 }
 
@@ -237,9 +455,31 @@ mod fuzz {
     use super::*;
     use proptest::prelude::*;
 
+    fn arb_digest() -> impl Strategy<Value = Option<Box<SuspicionDigest>>> {
+        (
+            any::<bool>(),
+            any::<u64>(),
+            proptest::collection::vec((any::<u32>(), any::<u64>()), 0..=MAX_DIGEST_ENTRIES),
+        )
+            .prop_map(|(present, incarnation, peers)| {
+                present.then(|| {
+                    Box::new(SuspicionDigest {
+                        incarnation,
+                        entries: peers
+                            .into_iter()
+                            .map(|(p, inc)| SuspicionEntry {
+                                peer: NodeId::new(p),
+                                incarnation: inc,
+                            })
+                            .collect(),
+                    })
+                })
+            })
+    }
+
     proptest! {
         #[test]
-        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
             let _ = WireMsg::decode(&bytes);
         }
 
@@ -249,11 +489,12 @@ mod fuzz {
             urgent in any::<bool>(),
             mw in any::<u64>(),
             kind in 0u8..3,
+            digest in arb_digest(),
         ) {
             let msg = match kind {
                 0 => WireMsg::Request { seq, urgent, alpha: Power::from_milliwatts(mw) },
-                1 => WireMsg::Grant { seq, amount: Power::from_milliwatts(mw) },
-                _ => WireMsg::Ack { seq },
+                1 => WireMsg::Grant { seq, amount: Power::from_milliwatts(mw), digest },
+                _ => WireMsg::Ack { seq, digest },
             };
             prop_assert_eq!(WireMsg::decode(&msg.encode()), Ok(msg));
         }
@@ -262,14 +503,16 @@ mod fuzz {
         fn decode_is_prefix_strict(
             seq in any::<u64>(),
             mw in any::<u64>(),
-            cut in 0usize..17,
+            cut in 0usize..74,
             is_ack in any::<bool>(),
+            digest in arb_digest(),
         ) {
-            // Any strict prefix of a valid grant or ack fails cleanly.
+            // Any strict prefix of a valid grant or ack fails cleanly —
+            // in both wire versions.
             let bytes = if is_ack {
-                WireMsg::Ack { seq }.encode()
+                WireMsg::Ack { seq, digest }.encode()
             } else {
-                WireMsg::Grant { seq, amount: Power::from_milliwatts(mw) }.encode()
+                WireMsg::Grant { seq, amount: Power::from_milliwatts(mw), digest }.encode()
             };
             let truncated = &bytes[..cut.min(bytes.len() - 1)];
             prop_assert!(WireMsg::decode(truncated).is_err());

@@ -17,6 +17,11 @@ pub struct FaultPlane {
     /// Partition groups. Empty means fully connected. When non-empty, two
     /// nodes can communicate iff some group contains both.
     partitions: Vec<HashSet<NodeId>>,
+    /// Directional link cuts: `(from, to)` present means messages from
+    /// `from` to `to` are blocked, independently of the reverse direction
+    /// and of any group partition. This is how asymmetric partitions
+    /// (A cannot reach B while B still reaches A) are expressed.
+    cuts: HashSet<(NodeId, NodeId)>,
     /// Probability in `[0, 1]` that any given message is silently lost.
     drop_rate: f64,
 }
@@ -59,14 +64,36 @@ impl FaultPlane {
         self.partitions = groups;
     }
 
-    /// Remove all partitions (the network is whole again).
+    /// Remove all partitions (the network is whole again). Directional
+    /// link cuts are cleared too: `heal` means *heal*, whichever primitive
+    /// caused the split.
     pub fn heal_partitions(&mut self) {
         self.partitions.clear();
+        self.cuts.clear();
     }
 
     /// True iff a partition is currently in force.
     pub fn is_partitioned(&self) -> bool {
-        !self.partitions.is_empty()
+        !self.partitions.is_empty() || !self.cuts.is_empty()
+    }
+
+    /// Cut the directional link `from → to`: messages in that direction are
+    /// dropped at the router; the reverse direction is unaffected. Cutting
+    /// an already-cut link is a no-op; self-links cannot be cut.
+    pub fn cut_link(&mut self, from: NodeId, to: NodeId) {
+        if from != to {
+            self.cuts.insert((from, to));
+        }
+    }
+
+    /// Restore the directional link `from → to`. A no-op if it was not cut.
+    pub fn heal_link(&mut self, from: NodeId, to: NodeId) {
+        self.cuts.remove(&(from, to));
+    }
+
+    /// True iff the directional link `from → to` is currently cut.
+    pub fn is_cut(&self, from: NodeId, to: NodeId) -> bool {
+        self.cuts.contains(&(from, to))
     }
 
     /// Set the background drop probability (clamped into `[0, 1]`).
@@ -92,7 +119,13 @@ impl FaultPlane {
         if !self.is_alive(src) || !self.is_alive(dst) {
             return false;
         }
-        if self.partitions.is_empty() || src == dst {
+        if src == dst {
+            return true;
+        }
+        if self.cuts.contains(&(src, dst)) {
+            return false;
+        }
+        if self.partitions.is_empty() {
             return true;
         }
         self.partitions
@@ -188,6 +221,70 @@ mod tests {
         f.partition(vec![[n(0), n(1)].into_iter().collect()]);
         f.kill(n(1));
         assert!(!f.can_communicate(n(0), n(1)));
+    }
+
+    #[test]
+    fn link_cut_is_directional() {
+        let mut f = FaultPlane::healthy();
+        f.cut_link(n(0), n(1));
+        assert!(f.is_partitioned());
+        assert!(f.is_cut(n(0), n(1)));
+        assert!(!f.can_communicate(n(0), n(1)));
+        // Asymmetry: the reverse direction still flows.
+        assert!(f.can_communicate(n(1), n(0)));
+        assert!(f.can_communicate(n(0), n(2)));
+    }
+
+    #[test]
+    fn heal_link_restores_one_direction_only() {
+        let mut f = FaultPlane::healthy();
+        f.cut_link(n(0), n(1));
+        f.cut_link(n(1), n(0));
+        assert!(!f.can_communicate(n(0), n(1)));
+        assert!(!f.can_communicate(n(1), n(0)));
+        f.heal_link(n(0), n(1));
+        assert!(f.can_communicate(n(0), n(1)));
+        assert!(!f.can_communicate(n(1), n(0)));
+    }
+
+    #[test]
+    fn self_links_cannot_be_cut() {
+        let mut f = FaultPlane::healthy();
+        f.cut_link(n(3), n(3));
+        assert!(f.can_communicate(n(3), n(3)));
+        assert!(!f.is_partitioned());
+    }
+
+    #[test]
+    fn link_cuts_compose_with_group_partitions() {
+        let mut f = FaultPlane::healthy();
+        f.partition(vec![[n(0), n(1), n(2)].into_iter().collect()]);
+        f.cut_link(n(0), n(1));
+        // In-group but cut: blocked one way only.
+        assert!(!f.can_communicate(n(0), n(1)));
+        assert!(f.can_communicate(n(1), n(0)));
+        assert!(f.can_communicate(n(0), n(2)));
+    }
+
+    #[test]
+    fn heal_partitions_clears_link_cuts_too() {
+        let mut f = FaultPlane::healthy();
+        f.cut_link(n(0), n(1));
+        f.partition(vec![[n(0)].into_iter().collect()]);
+        f.heal_partitions();
+        assert!(!f.is_partitioned());
+        assert!(f.can_communicate(n(0), n(1)));
+    }
+
+    #[test]
+    fn link_cuts_compose_with_death() {
+        let mut f = FaultPlane::healthy();
+        f.cut_link(n(0), n(1));
+        f.kill(n(0));
+        assert!(!f.can_communicate(n(1), n(0))); // dead beats open link
+        f.revive(n(0));
+        assert!(f.can_communicate(n(1), n(0)));
+        assert!(!f.can_communicate(n(0), n(1))); // cut survives revive
     }
 
     #[test]

@@ -178,6 +178,22 @@ mod tests {
     }
 
     #[test]
+    fn link_cut_drops_one_direction_only() {
+        let mut net = net_const(50);
+        net.faults_mut().cut_link(n(0), n(1));
+        let mut rng = TestRng::seed_from_u64(0);
+        assert_eq!(
+            net.route(n(0), n(1), (), SimTime::ZERO, &mut rng),
+            RouteOutcome::DroppedPartition
+        );
+        assert!(net
+            .route(n(1), n(0), (), SimTime::ZERO, &mut rng)
+            .delivered()
+            .is_some());
+        assert_eq!(net.stats().dropped_partition, 1);
+    }
+
+    #[test]
     fn random_drops_match_configured_rate() {
         let mut net = net_const(50);
         net.faults_mut().set_drop_rate(0.3);

@@ -261,10 +261,15 @@ impl ThreadedCluster {
                                     };
                                     let delivered = ep.send(
                                         req.from,
-                                        PeerMsg::Grant(PowerGrant {
-                                            amount: resend,
-                                            seq: req.seq,
-                                        }),
+                                        // Pool threads have no decider, so
+                                        // nothing to gossip.
+                                        PeerMsg::Grant(
+                                            PowerGrant {
+                                                amount: resend,
+                                                seq: req.seq,
+                                            },
+                                            None,
+                                        ),
                                     );
                                     em.emit(now, || EventKind::MsgSent {
                                         dst: requester,
@@ -302,10 +307,13 @@ impl ThreadedCluster {
                                 }
                                 let delivered = ep.send(
                                     req.from,
-                                    PeerMsg::Grant(PowerGrant {
-                                        amount,
-                                        seq: req.seq,
-                                    }),
+                                    PeerMsg::Grant(
+                                        PowerGrant {
+                                            amount,
+                                            seq: req.seq,
+                                        },
+                                        None,
+                                    ),
                                 );
                                 em.emit(now, || EventKind::MsgSent {
                                     dst: requester,
@@ -331,11 +339,11 @@ impl ThreadedCluster {
                                     });
                                 }
                             }
-                            PeerMsg::Ack(a) => {
+                            PeerMsg::Ack(a, _) => {
                                 // The transfer committed; drop the claim.
                                 let _ = escrow.release(env.src, a.seq);
                             }
-                            PeerMsg::Grant(_) => {}
+                            PeerMsg::Grant(..) => {}
                         }
                     }
                 }
@@ -439,12 +447,17 @@ impl ThreadedCluster {
                                 }
                             };
                             match env.msg {
-                                PeerMsg::Grant(g) => {
+                                PeerMsg::Grant(g, digest) => {
                                     let now2 = clock.now();
                                     em.emit(now2, || EventKind::MsgRecv {
                                         src: env.src,
                                         carried: g.amount,
                                     });
+                                    if let Some(d) = &digest {
+                                        decider.observe_digest(now2, env.src, d);
+                                    }
+                                    // Any reply proves the granter alive.
+                                    decider.note_peer_reply(now2, env.src);
                                     let _ = decider.on_grant(
                                         now2,
                                         g.seq,
@@ -455,8 +468,13 @@ impl ThreadedCluster {
                                     if !g.amount.is_zero() {
                                         // Commit the transfer so the
                                         // granter releases its escrow.
-                                        let _ =
-                                            ep.send(env.src, PeerMsg::Ack(GrantAck { seq: g.seq }));
+                                        let _ = ep.send(
+                                            env.src,
+                                            PeerMsg::Ack(
+                                                GrantAck { seq: g.seq },
+                                                decider.make_digest(),
+                                            ),
+                                        );
                                         em.emit(now2, || EventKind::MsgSent {
                                             dst: env.src,
                                             carried: Power::ZERO,
@@ -512,7 +530,7 @@ impl ThreadedCluster {
         let mut drained = Power::ZERO;
         for ep in decider_endpoints.iter().chain(pool_endpoints.iter()) {
             while let Some(env) = ep.try_recv() {
-                if let PeerMsg::Grant(g) = env.msg {
+                if let PeerMsg::Grant(g, _) = env.msg {
                     drained += g.amount;
                 }
             }

@@ -2,7 +2,7 @@
 
 use penelope_core::{
     fair_assignment, EscrowState, GrantAck, GrantEscrow, LocalDecider, PeerMsg, PowerGrant,
-    PowerPool, PowerRequest, TickAction,
+    PowerPool, PowerRequest, SuspicionDigest, TickAction,
 };
 use penelope_metrics::{OscillationStats, RedistributionTracker};
 use penelope_net::{RouteOutcome, SimNet};
@@ -239,10 +239,20 @@ impl ClusterSim {
     /// Install a fault script (schedules its entries as events). Entries
     /// are stably sorted by timestamp first, so a script composed out of
     /// time order still fires chronologically, with same-time entries
-    /// keeping their insertion order.
+    /// keeping their insertion order — except that `Kill`/`KillServer`
+    /// always apply *last* among the actions sharing their instant. A
+    /// partition (or drop-rate change, or restart) scheduled at the same
+    /// tick as a kill is therefore in force before the victim's holdings
+    /// are retired; killing first would make the composed script's
+    /// topology depend on insertion order, which is exactly the
+    /// nondeterminism the ordering contract rules out.
     pub fn install_faults(&mut self, script: &FaultScript) {
+        let kill_rank = |action: &FaultAction| match action {
+            FaultAction::Kill(_) | FaultAction::KillServer => 1u8,
+            _ => 0u8,
+        };
         let mut entries = script.entries().to_vec();
-        entries.sort_by_key(|(at, _)| *at);
+        entries.sort_by_key(|(at, action)| (*at, kill_rank(action)));
         for (at, action) in entries {
             self.queue.push(at, Event::Fault(action));
         }
@@ -589,7 +599,7 @@ impl ClusterSim {
                     }
                 }
             }
-            PeerMsg::Grant(g) => {
+            PeerMsg::Grant(g, digest) => {
                 let dst = env.dst;
                 let src = env.src;
                 self.ledger.land(g.amount);
@@ -607,6 +617,12 @@ impl ClusterSim {
                     self.ledger.lose_direct(g.amount);
                     return;
                 };
+                // Merge piggybacked suspicion gossip first: the digest may
+                // refute a stale suspicion of `src` itself, and the reply
+                // below must land on the post-merge state.
+                if let Some(d) = &digest {
+                    decider.observe_digest(now, src, d);
+                }
                 // Any reply — even a zero grant — proves the peer alive.
                 decider.note_peer_reply(now, src);
                 if decider.is_stale_grant(g.seq) {
@@ -645,7 +661,7 @@ impl ClusterSim {
                     self.send_ack(dst, env.src, g.seq);
                 }
             }
-            PeerMsg::Ack(a) => {
+            PeerMsg::Ack(a, digest) => {
                 let granter = env.dst;
                 if !self.is_alive(granter) {
                     return; // escrow already drained when the granter died
@@ -654,6 +670,14 @@ impl ClusterSim {
                     src: env.src,
                     carried: Power::ZERO,
                 });
+                if let Some(d) = &digest {
+                    let now = self.now;
+                    if let Manager::Penelope { decider, .. } =
+                        &mut self.nodes[granter.index()].manager
+                    {
+                        decider.observe_digest(now, env.src, d);
+                    }
+                }
                 if let Some(entry) = self.escrows[granter.index()].release(env.src, a.seq) {
                     // An ack proves delivery, so the entry cannot still be
                     // carrying accounting weight on the granter.
@@ -687,13 +711,17 @@ impl ClusterSim {
                     // a zero reminder unblocks the requester if its ack
                     // raced this retransmit (duplicates of the real amount
                     // are discarded by the decider's seq dedup).
+                    let digest = self.digest_of(pool_node);
                     self.route_peer(
                         pool_node,
                         req.from,
-                        PeerMsg::Grant(PowerGrant {
-                            amount: Power::ZERO,
-                            seq: req.seq,
-                        }),
+                        PeerMsg::Grant(
+                            PowerGrant {
+                                amount: Power::ZERO,
+                                seq: req.seq,
+                            },
+                            digest,
+                        ),
                         Power::ZERO,
                     );
                 }
@@ -725,13 +753,17 @@ impl ClusterSim {
         }
         if amount.is_zero() {
             // Nothing to conserve: an empty-handed reply is fire-and-forget.
+            let digest = self.digest_of(pool_node);
             self.route_peer(
                 pool_node,
                 req.from,
-                PeerMsg::Grant(PowerGrant {
-                    amount,
-                    seq: req.seq,
-                }),
+                PeerMsg::Grant(
+                    PowerGrant {
+                        amount,
+                        seq: req.seq,
+                    },
+                    digest,
+                ),
                 amount,
             );
         } else {
@@ -886,6 +918,12 @@ impl ClusterSim {
                         .collect(),
                 );
             }
+            FaultAction::PartitionLink { from, to } => {
+                self.net.faults_mut().cut_link(from, to);
+            }
+            FaultAction::HealLink { from, to } => {
+                self.net.faults_mut().heal_link(from, to);
+            }
             FaultAction::Heal => self.net.faults_mut().heal_partitions(),
             FaultAction::SetDropRate(p) => self.net.faults_mut().set_drop_rate(p),
         }
@@ -1038,7 +1076,7 @@ impl ClusterSim {
             dst: requester,
             carried: amount,
         });
-        let grant = PeerMsg::Grant(PowerGrant { amount, seq });
+        let grant = PeerMsg::Grant(PowerGrant { amount, seq }, self.digest_of(granter));
         let state = match self
             .net
             .route(granter, requester, grant, self.now, &mut self.net_rng)
@@ -1084,7 +1122,7 @@ impl ClusterSim {
             dst: granter,
             carried: Power::ZERO,
         });
-        let ack = PeerMsg::Ack(GrantAck { seq });
+        let ack = PeerMsg::Ack(GrantAck { seq }, self.digest_of(requester));
         match self
             .net
             .route(requester, granter, ack, self.now, &mut self.ack_rng)
@@ -1095,6 +1133,16 @@ impl ClusterSim {
             _ => {
                 self.emit(requester, || EventKind::AckDropped { dst: granter, seq });
             }
+        }
+    }
+
+    /// The suspicion digest `id` would piggyback on its next grant or ack:
+    /// `None` whenever the node has nothing to gossip (every fault-free
+    /// run) or is not a Penelope node.
+    fn digest_of(&self, id: NodeId) -> Option<Box<SuspicionDigest>> {
+        match &self.nodes[id.index()].manager {
+            Manager::Penelope { decider, .. } => decider.make_digest(),
+            _ => None,
         }
     }
 

@@ -20,7 +20,24 @@ pub enum FaultAction {
     Restart(NodeId),
     /// Split the network into groups; traffic flows only within a group.
     Partition(Vec<Vec<NodeId>>),
-    /// Remove all partitions.
+    /// Cut one directional link: messages `from → to` are dropped while
+    /// the reverse direction keeps flowing. Composable with group
+    /// partitions, drop rates and kills; this is the primitive behind
+    /// asymmetric partitions (A↛B while B↔A).
+    PartitionLink {
+        /// Sending side of the severed direction.
+        from: NodeId,
+        /// Receiving side of the severed direction.
+        to: NodeId,
+    },
+    /// Restore one directional link previously cut with `PartitionLink`.
+    HealLink {
+        /// Sending side of the restored direction.
+        from: NodeId,
+        /// Receiving side of the restored direction.
+        to: NodeId,
+    },
+    /// Remove all partitions — group partitions and directional link cuts.
     Heal,
     /// Set the background random message-loss probability.
     SetDropRate(f64),
@@ -68,9 +85,37 @@ impl FaultScript {
         FaultScript::kill_node_at(kill_at, node).restart_at(restart_at, node)
     }
 
+    /// Cut the directional link `from → to` at `at`.
+    pub fn partition_link_at(self, at: SimTime, from: NodeId, to: NodeId) -> Self {
+        self.at(at, FaultAction::PartitionLink { from, to })
+    }
+
+    /// Restore the directional link `from → to` at `at`.
+    pub fn heal_link_at(self, at: SimTime, from: NodeId, to: NodeId) -> Self {
+        self.at(at, FaultAction::HealLink { from, to })
+    }
+
+    /// Fully isolate `node` from every peer in `0..n` (both directions) at
+    /// `at`: the clean-partition scenario, expressed as link cuts so it
+    /// composes with other cuts and heals.
+    pub fn isolate_at(mut self, at: SimTime, node: NodeId, n: u32) -> Self {
+        for i in 0..n {
+            let peer = NodeId::new(i);
+            if peer != node {
+                self = self
+                    .partition_link_at(at, node, peer)
+                    .partition_link_at(at, peer, node);
+            }
+        }
+        self
+    }
+
     /// The scripted entries, in insertion order. Installers must not rely
     /// on this being time-sorted: the simulator stably sorts by timestamp
-    /// when scheduling, so scripts may be composed in any order.
+    /// when scheduling — with `Kill`/`KillServer` ordered *after* any other
+    /// action at the same instant, so a partition scheduled at the same
+    /// tick as a kill is in force before the victim's holdings are retired
+    /// — so scripts may be composed in any order.
     pub fn entries(&self) -> &[(SimTime, FaultAction)] {
         &self.entries
     }
@@ -102,6 +147,44 @@ mod tests {
         let s = FaultScript::kill_node_at(SimTime::from_secs(5), NodeId::new(7));
         assert_eq!(s.entries()[0].1, FaultAction::Kill(NodeId::new(7)));
         assert!(FaultScript::none().is_empty());
+    }
+
+    #[test]
+    fn link_builders_script_directional_cuts() {
+        let s = FaultScript::none()
+            .partition_link_at(SimTime::from_secs(2), NodeId::new(0), NodeId::new(1))
+            .heal_link_at(SimTime::from_secs(6), NodeId::new(0), NodeId::new(1));
+        assert_eq!(
+            s.entries()[0].1,
+            FaultAction::PartitionLink {
+                from: NodeId::new(0),
+                to: NodeId::new(1)
+            }
+        );
+        assert_eq!(
+            s.entries()[1].1,
+            FaultAction::HealLink {
+                from: NodeId::new(0),
+                to: NodeId::new(1)
+            }
+        );
+    }
+
+    #[test]
+    fn isolate_cuts_both_directions_for_every_peer() {
+        let s = FaultScript::none().isolate_at(SimTime::from_secs(3), NodeId::new(1), 4);
+        // 3 peers × 2 directions.
+        assert_eq!(s.entries().len(), 6);
+        for (at, action) in s.entries() {
+            assert_eq!(*at, SimTime::from_secs(3));
+            match action {
+                FaultAction::PartitionLink { from, to } => {
+                    assert!(*from == NodeId::new(1) || *to == NodeId::new(1));
+                    assert_ne!(from, to);
+                }
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -88,6 +88,67 @@ pub enum FaultSpec {
         /// Background drop probability in permille (0 = clean links).
         drop_permille: u16,
     },
+    /// Clean two-way partition: nodes `< split_at` and nodes `>= split_at`
+    /// stop hearing each other between the two period marks, then the
+    /// split heals. No node dies, so (as with [`FaultSpec::Lossy`]) every
+    /// grant stranded at the partition boundary must be escrow-reclaimed —
+    /// `lost` stays exactly zero.
+    Partition {
+        /// First node index of the second group.
+        split_at: u32,
+        /// Period index at which the split appears.
+        at_period: u64,
+        /// Period index at which it heals (must be later).
+        heal_at_period: u64,
+        /// Background drop probability in permille (0 = clean links).
+        drop_permille: u16,
+    },
+    /// Asymmetric partition of one node: every link *towards* `node` is
+    /// cut (it hears nobody) while its own sends still deliver. Its
+    /// requests keep arriving and being served, but every grant back to it
+    /// is dropped on the cut links — the adversarial case for the escrow
+    /// layer and for gossip (the victim's suspicions of everyone spread
+    /// cluster-wide while it is deaf, and must be refuted after the heal).
+    AsymmetricIsolate {
+        /// The node that goes deaf.
+        node: u32,
+        /// Period index at which its inbound links are cut.
+        at_period: u64,
+        /// Period index at which they are restored (must be later).
+        heal_at_period: u64,
+        /// Background drop probability in permille (0 = clean links).
+        drop_permille: u16,
+    },
+    /// Flapping node: `node` alternates between fully isolated (both
+    /// directions) and reachable, one period at a time — isolated on even
+    /// offsets from `at_period`, reachable on odd ones, restored for good
+    /// at `heal_at_period`. The worst case for suspicion stability, since
+    /// the node keeps refuting gossip about itself between flaps.
+    Flapping {
+        /// The node whose connectivity flaps.
+        node: u32,
+        /// Period index of the first flap window.
+        at_period: u64,
+        /// Period index after which connectivity stays restored.
+        heal_at_period: u64,
+    },
+    /// Concurrent churn and partition: the cluster splits in two at
+    /// `at_period` (as in [`FaultSpec::Partition`]), `node` hard-crashes
+    /// inside its group at `kill_at_period`, and at `heal_at_period` the
+    /// split heals and the node reboots in the same period. Power retired
+    /// by the crash is legitimately `lost` until the rebirth re-admits it.
+    PartitionChurn {
+        /// First node index of the second group.
+        split_at: u32,
+        /// The node that crashes mid-partition.
+        node: u32,
+        /// Period index at which the split appears.
+        at_period: u64,
+        /// Period index at which `node` dies (must be in `[at, heal)`).
+        kill_at_period: u64,
+        /// Period index at which the split heals and `node` reboots.
+        heal_at_period: u64,
+    },
 }
 
 impl FaultSpec {
@@ -95,11 +156,26 @@ impl FaultSpec {
     /// the non-lossy variants).
     pub fn drop_rate(&self) -> f64 {
         match self {
-            FaultSpec::Lossy { drop_permille } | FaultSpec::KillRestart { drop_permille, .. } => {
+            FaultSpec::Lossy { drop_permille }
+            | FaultSpec::KillRestart { drop_permille, .. }
+            | FaultSpec::Partition { drop_permille, .. }
+            | FaultSpec::AsymmetricIsolate { drop_permille, .. } => {
                 f64::from(*drop_permille) / 1000.0
             }
             _ => 0.0,
         }
+    }
+
+    /// True iff the fault can retire power for good (a node dies). The
+    /// pure-connectivity faults must keep `lost` at exactly zero: every
+    /// grant stranded by a cut link is escrowed and reclaimed.
+    pub fn kills_a_node(&self) -> bool {
+        matches!(
+            self,
+            FaultSpec::KillNode { .. }
+                | FaultSpec::KillRestart { .. }
+                | FaultSpec::PartitionChurn { .. }
+        )
     }
 }
 
@@ -228,6 +304,13 @@ pub enum Invariant {
     /// node died: every dropped grant must be escrowed and reclaimed, so
     /// `lost` has nothing legitimate to count.
     NoPeerLoss,
+    /// Suspicion state failed to converge within the required bound — with
+    /// gossip enabled, cluster-wide suspicion of an unreachable node must
+    /// appear within a few gossip rounds instead of every node paying its
+    /// own full timeout schedule. Emitted by scenario-level checks (the
+    /// partition matrix), not by [`check_run`]: snapshots do not carry
+    /// suspicion state.
+    ConvergenceBound,
 }
 
 /// One invariant violation, locatable and reproducible.
@@ -314,12 +397,15 @@ pub fn check_run(scenario: &Scenario, run: &SubstrateRun) -> Vec<Violation> {
             }
         }
 
-        // Under pure random loss nothing dies, so nothing may be retired:
-        // a non-zero `lost` means a dropped peer message burned power the
+        // Under pure connectivity faults (random loss, partitions, link
+        // cuts, flapping) nothing dies, so nothing may be retired: a
+        // non-zero `lost` means a dropped peer message burned power the
         // escrow should have reclaimed. Checked on every snapshot — the
         // counter is monotone and per-substrate-local, so it needs no
         // consistent cut.
-        if matches!(scenario.fault, FaultSpec::Lossy { .. }) && !snap.lost.is_zero() {
+        let pure_connectivity =
+            !matches!(scenario.fault, FaultSpec::None) && !scenario.fault.kills_a_node();
+        if pure_connectivity && !snap.lost.is_zero() {
             out.push(violation(
                 Invariant::NoPeerLoss,
                 snap.period,
@@ -803,6 +889,89 @@ mod tests {
         let v = check_run(&sc, &run);
         assert!(!v.iter().any(|v| v.invariant == Invariant::NoPeerLoss));
         assert!(!v.iter().any(|v| v.invariant == Invariant::ZeroSum));
+    }
+
+    #[test]
+    fn partition_faults_are_pure_connectivity() {
+        let split = FaultSpec::Partition {
+            split_at: 2,
+            at_period: 3,
+            heal_at_period: 9,
+            drop_permille: 200,
+        };
+        let deaf = FaultSpec::AsymmetricIsolate {
+            node: 1,
+            at_period: 3,
+            heal_at_period: 9,
+            drop_permille: 0,
+        };
+        let flap = FaultSpec::Flapping {
+            node: 1,
+            at_period: 3,
+            heal_at_period: 9,
+        };
+        assert!((split.drop_rate() - 0.2).abs() < 1e-12);
+        assert_eq!(deaf.drop_rate(), 0.0);
+        for f in [split, deaf, flap] {
+            assert!(!f.kills_a_node());
+            // A pure connectivity fault retires nothing: `lost` is a
+            // violation on every snapshot.
+            let mut sc = scenario();
+            sc.fault = f;
+            let snap = Snapshot {
+                period: 0,
+                consistent_cut: true,
+                in_flight: Power::ZERO,
+                lost: watts(10),
+                nodes: vec![node(0, 150, 0, 0, 0), node(1, 160, 0, 0, 0)],
+            };
+            let run = run_of(vec![snap], 320);
+            let v = check_run(&sc, &run);
+            assert!(
+                v.iter().any(|v| v.invariant == Invariant::NoPeerLoss),
+                "{f:?}: {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_churn_tolerates_retired_power() {
+        let mut sc = scenario();
+        sc.fault = FaultSpec::PartitionChurn {
+            split_at: 1,
+            node: 1,
+            at_period: 2,
+            kill_at_period: 3,
+            heal_at_period: 8,
+        };
+        assert!(sc.fault.kills_a_node());
+        let snap = Snapshot {
+            period: 4,
+            consistent_cut: true,
+            in_flight: Power::ZERO,
+            lost: watts(10),
+            nodes: vec![node(0, 150, 0, 0, 0), node(1, 160, 0, 0, 0)],
+        };
+        let run = run_of(vec![snap], 320);
+        let v = check_run(&sc, &run);
+        assert!(!v.iter().any(|v| v.invariant == Invariant::NoPeerLoss));
+    }
+
+    #[test]
+    fn convergence_bound_violation_renders() {
+        let v = Violation {
+            invariant: Invariant::ConvergenceBound,
+            substrate: "sim".into(),
+            seed: 0xFEED,
+            period: 7,
+            node: Some(3),
+            detail: "suspicion of node 1 took 5 rounds, bound 3".into(),
+        };
+        let s = v.to_string();
+        assert!(
+            s.contains("ConvergenceBound") && s.contains("node=3"),
+            "{s}"
+        );
     }
 
     #[test]

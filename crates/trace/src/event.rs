@@ -204,10 +204,25 @@ pub enum EventKind {
         /// The peer no longer suspected.
         peer: NodeId,
     },
+    /// A suspicion was adopted secondhand from a peer's gossiped digest
+    /// rather than earned through this node's own timeout schedule.
+    SuspicionGossiped {
+        /// The peer now suspected.
+        peer: NodeId,
+        /// The peer whose digest carried the suspicion.
+        via: NodeId,
+    },
+    /// A suspicion was dismissed because incarnation evidence proved it
+    /// stale: the suspected peer has re-incarnated (rejoined with a newer
+    /// seq-epoch) since the suspicion was formed.
+    SuspicionRefuted {
+        /// The peer no longer suspected.
+        peer: NodeId,
+    },
 }
 
 /// Number of distinct [`EventKind`] variants (size of per-kind counters).
-pub const KIND_COUNT: usize = 21;
+pub const KIND_COUNT: usize = 23;
 
 impl EventKind {
     /// Dense index of the variant, `0..KIND_COUNT` (counter bucket).
@@ -234,6 +249,8 @@ impl EventKind {
             EventKind::NodeRestarted { .. } => 18,
             EventKind::PeerSuspected { .. } => 19,
             EventKind::PeerCleared { .. } => 20,
+            EventKind::SuspicionGossiped { .. } => 21,
+            EventKind::SuspicionRefuted { .. } => 22,
         }
     }
 
@@ -246,7 +263,9 @@ impl EventKind {
     /// opposed to transport-level message bookkeeping). Cross-substrate
     /// stream diffs compare exactly these. The escrow/ack events are
     /// transport-level too: they narrate delivery reliability, which
-    /// legitimately differs between substrates.
+    /// legitimately differs between substrates. Gossip arrival depends on
+    /// which grants and acks happen to be in flight — transport timing —
+    /// so the suspicion-gossip kinds stay out of protocol diffs as well.
     pub fn is_protocol(&self) -> bool {
         !matches!(
             self,
@@ -258,6 +277,8 @@ impl EventKind {
                 | EventKind::AckDropped { .. }
                 | EventKind::NodeKilled { .. }
                 | EventKind::NodeRestarted { .. }
+                | EventKind::SuspicionGossiped { .. }
+                | EventKind::SuspicionRefuted { .. }
         )
     }
 }
@@ -285,6 +306,8 @@ pub const KIND_NAMES: [&str; KIND_COUNT] = [
     "node_restarted",
     "peer_suspected",
     "peer_cleared",
+    "suspicion_gossiped",
+    "suspicion_refuted",
 ];
 
 /// One protocol event: what happened, where, and when.
@@ -416,8 +439,12 @@ impl TraceEvent {
             EventKind::NodeRestarted { readmitted } => {
                 num(&mut s, "readmitted_mw", readmitted.milliwatts())
             }
-            EventKind::PeerSuspected { peer } | EventKind::PeerCleared { peer } => {
-                num(&mut s, "peer", u64::from(peer.raw()))
+            EventKind::PeerSuspected { peer }
+            | EventKind::PeerCleared { peer }
+            | EventKind::SuspicionRefuted { peer } => num(&mut s, "peer", u64::from(peer.raw())),
+            EventKind::SuspicionGossiped { peer, via } => {
+                num(&mut s, "peer", u64::from(peer.raw()));
+                num(&mut s, "via", u64::from(via.raw()));
             }
         }
         s.push('}');
@@ -545,6 +572,47 @@ mod tests {
         assert_eq!(
             sus.to_jsonl(),
             "{\"t_ns\":4000000000,\"node\":0,\"period\":4,\"kind\":\"peer_suspected\",\"peer\":5}"
+        );
+    }
+
+    #[test]
+    fn gossip_kinds_render_and_classify() {
+        // Gossip rides on grants/acks, so when a suspicion arrives is a
+        // transport-timing fact — keep both kinds out of protocol diffs.
+        assert!(!EventKind::SuspicionGossiped {
+            peer: NodeId::new(1),
+            via: NodeId::new(2),
+        }
+        .is_protocol());
+        assert!(!EventKind::SuspicionRefuted {
+            peer: NodeId::new(1)
+        }
+        .is_protocol());
+        let ev = TraceEvent {
+            at: SimTime::from_secs(5),
+            node: NodeId::new(0),
+            period: 5,
+            kind: EventKind::SuspicionGossiped {
+                peer: NodeId::new(3),
+                via: NodeId::new(2),
+            },
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            "{\"t_ns\":5000000000,\"node\":0,\"period\":5,\"kind\":\"suspicion_gossiped\",\
+             \"peer\":3,\"via\":2}"
+        );
+        let refuted = TraceEvent {
+            at: SimTime::from_secs(6),
+            node: NodeId::new(1),
+            period: 6,
+            kind: EventKind::SuspicionRefuted {
+                peer: NodeId::new(3),
+            },
+        };
+        assert_eq!(
+            refuted.to_jsonl(),
+            "{\"t_ns\":6000000000,\"node\":1,\"period\":6,\"kind\":\"suspicion_refuted\",\"peer\":3}"
         );
     }
 

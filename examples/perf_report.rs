@@ -18,7 +18,7 @@
 //! throughput drop, default `0.2` (20 %).
 
 use penelope::experiments::parallel::CellStats;
-use penelope::experiments::{nominal, parallel, scale, Effort};
+use penelope::experiments::{churn, nominal, parallel, scale, Effort};
 use penelope::prelude::{
     npb, ClusterConfig, ClusterSim, FaultAction, FaultScript, Power, SimTime, SystemKind,
 };
@@ -130,6 +130,14 @@ fn main() {
         wall,
         serial_wall,
     ));
+
+    // Churn matrix (crash/rejoin retention): liveness machinery — timeout
+    // suspicion, the lost-power ledger, restart re-admission and digest
+    // gossip — all sit on this path, so a slowdown there lands here.
+    let (serial, serial_wall) = time(|| churn::run_with_caps_jobs(effort, &caps, 1));
+    let (par, wall) = time(|| churn::run_with_caps_jobs(effort, &caps, jobs));
+    matches &= par == serial;
+    sweeps.push(SweepTiming::from_stats("churn", &par.1, wall, serial_wall));
 
     // Escrow/ack overhead: the same small Penelope cluster at increasing
     // message loss. The 0.0 row prices the escrow bookkeeping now paid on

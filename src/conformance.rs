@@ -29,7 +29,7 @@ use std::time::Duration;
 
 use penelope_core::{
     EscrowState, GrantAck, GrantEscrow, LocalDecider, PeerMsg, PowerGrant, PowerPool, PowerRequest,
-    TickAction,
+    SuspicionDigest, TickAction,
 };
 use penelope_net::ThreadNet;
 use penelope_power::{PowerInterface, SimulatedRapl};
@@ -96,13 +96,31 @@ pub fn sim_config(scenario: &Scenario) -> ClusterConfig {
     // Jitterless ticks: all substrates tick at exact period boundaries,
     // which keeps the per-node RNG streams aligned across substrates.
     cfg.tick_jitter = SimDuration::ZERO;
-    // Lossy and churn scenarios lean on the reliability layer: retry
-    // dropped requests instead of eating a full timeout per loss (and,
-    // under churn, feed the suspicion set fast enough to matter).
-    if let FaultSpec::Lossy { .. } | FaultSpec::KillRestart { .. } = scenario.fault {
+    // Lossy, churn and partition scenarios lean on the reliability layer:
+    // retry dropped requests instead of eating a full timeout per loss
+    // (and, under churn or cuts, feed the suspicion set fast enough to
+    // matter).
+    if matches!(
+        scenario.fault,
+        FaultSpec::Lossy { .. }
+            | FaultSpec::KillRestart { .. }
+            | FaultSpec::Partition { .. }
+            | FaultSpec::AsymmetricIsolate { .. }
+            | FaultSpec::Flapping { .. }
+            | FaultSpec::PartitionChurn { .. }
+    ) {
         cfg.node.decider.max_retransmits = 2;
     }
     cfg
+}
+
+/// The two node groups a `split_at` partition spec describes.
+fn split_groups(nodes: usize, split_at: u32) -> Vec<Vec<NodeId>> {
+    let split = (split_at as usize).min(nodes);
+    vec![
+        (0..split).map(|i| NodeId::new(i as u32)).collect(),
+        (split..nodes).map(|i| NodeId::new(i as u32)).collect(),
+    ]
 }
 
 // ---------------------------------------------------------------------
@@ -181,6 +199,107 @@ impl SimSubstrate {
                         FaultAction::SetDropRate(scenario.fault.drop_rate()),
                     );
                 }
+                sim.install_faults(&script);
+            }
+            FaultSpec::Partition {
+                split_at,
+                at_period,
+                heal_at_period,
+                drop_permille,
+            } => {
+                let mut script = FaultScript::none()
+                    .at(
+                        SimTime::ZERO + PERIOD * at_period,
+                        FaultAction::Partition(split_groups(scenario.nodes, split_at)),
+                    )
+                    .at(SimTime::ZERO + PERIOD * heal_at_period, FaultAction::Heal);
+                if drop_permille > 0 {
+                    script = script.at(
+                        SimTime::ZERO,
+                        FaultAction::SetDropRate(scenario.fault.drop_rate()),
+                    );
+                }
+                sim.install_faults(&script);
+            }
+            FaultSpec::AsymmetricIsolate {
+                node,
+                at_period,
+                heal_at_period,
+                drop_permille,
+            } => {
+                // Directional: every link *towards* the victim is cut; its
+                // own sends keep delivering.
+                let mut script = FaultScript::none();
+                for j in 0..scenario.nodes as u32 {
+                    if j != node {
+                        script = script
+                            .partition_link_at(
+                                SimTime::ZERO + PERIOD * at_period,
+                                NodeId::new(j),
+                                NodeId::new(node),
+                            )
+                            .heal_link_at(
+                                SimTime::ZERO + PERIOD * heal_at_period,
+                                NodeId::new(j),
+                                NodeId::new(node),
+                            );
+                    }
+                }
+                if drop_permille > 0 {
+                    script = script.at(
+                        SimTime::ZERO,
+                        FaultAction::SetDropRate(scenario.fault.drop_rate()),
+                    );
+                }
+                sim.install_faults(&script);
+            }
+            FaultSpec::Flapping {
+                node,
+                at_period,
+                heal_at_period,
+            } => {
+                // Alternate one-period isolation windows: cut on even
+                // offsets from `at_period`, restore on odd ones, restored
+                // for good at `heal_at_period`.
+                let mut script = FaultScript::none();
+                for q in at_period..=heal_at_period {
+                    let t = SimTime::ZERO + PERIOD * q;
+                    if q < heal_at_period && (q - at_period) % 2 == 0 {
+                        script = script.isolate_at(t, NodeId::new(node), scenario.nodes as u32);
+                    } else {
+                        for j in 0..scenario.nodes as u32 {
+                            if j != node {
+                                script = script
+                                    .heal_link_at(t, NodeId::new(j), NodeId::new(node))
+                                    .heal_link_at(t, NodeId::new(node), NodeId::new(j));
+                            }
+                        }
+                    }
+                }
+                sim.install_faults(&script);
+            }
+            FaultSpec::PartitionChurn {
+                split_at,
+                node,
+                at_period,
+                kill_at_period,
+                heal_at_period,
+            } => {
+                // Same-period heal + restart: the rebooted node must come
+                // back into an already-healed network, and the kill-last
+                // ordering contract keeps the kill leg from racing any
+                // same-tick connectivity change.
+                let script = FaultScript::none()
+                    .at(
+                        SimTime::ZERO + PERIOD * at_period,
+                        FaultAction::Partition(split_groups(scenario.nodes, split_at)),
+                    )
+                    .at(
+                        SimTime::ZERO + PERIOD * kill_at_period,
+                        FaultAction::Kill(NodeId::new(node)),
+                    )
+                    .at(SimTime::ZERO + PERIOD * heal_at_period, FaultAction::Heal)
+                    .restart_at(SimTime::ZERO + PERIOD * heal_at_period, NodeId::new(node));
                 sim.install_faults(&script);
             }
             FaultSpec::None => {}
@@ -335,6 +454,40 @@ impl LockstepRuntime {
                     .fetch_add(cap + drained.milliwatts(), Ordering::SeqCst);
             }
         };
+        // The restart leg shared by KillRestart and PartitionChurn:
+        // zero-sum re-admission — the reborn cap comes out of the lost
+        // balance, never exceeding it (nor the node's initial assignment),
+        // and only if it funds a cap inside the safe range.
+        let restart = |node: u32| {
+            let idx = node as usize;
+            if !shared.alive[idx].load(Ordering::SeqCst) {
+                let lost = shared.lost_mw.load(Ordering::SeqCst);
+                let readmit = scenario.budget_per_node.milliwatts().min(lost);
+                if readmit >= scenario.safe.min().milliwatts() {
+                    shared.lost_mw.fetch_sub(readmit, Ordering::SeqCst);
+                    shared.caps_mw[idx].store(readmit, Ordering::SeqCst);
+                    net.with_faults(|f| f.revive(NodeId::new(node)));
+                    shared.alive[idx].store(true, Ordering::SeqCst);
+                }
+            }
+        };
+        // Both directions of every link touching `node` — the flapping
+        // isolation window.
+        let isolate = |node: u32, cut: bool| {
+            net.with_faults(|f| {
+                for j in 0..n as u32 {
+                    if j != node {
+                        if cut {
+                            f.cut_link(NodeId::new(j), NodeId::new(node));
+                            f.cut_link(NodeId::new(node), NodeId::new(j));
+                        } else {
+                            f.heal_link(NodeId::new(j), NodeId::new(node));
+                            f.heal_link(NodeId::new(node), NodeId::new(j));
+                        }
+                    }
+                }
+            });
+        };
         for p in 0..scenario.periods {
             match scenario.fault {
                 FaultSpec::KillNode { node, at_period } if at_period == p => kill(node),
@@ -348,21 +501,79 @@ impl LockstepRuntime {
                         kill(node);
                     }
                     if restart_at_period == p {
-                        let idx = node as usize;
-                        if !shared.alive[idx].load(Ordering::SeqCst) {
-                            // Zero-sum re-admission: the reborn cap comes
-                            // out of the lost balance, never exceeding it
-                            // (nor the node's initial assignment), and only
-                            // if it funds a cap inside the safe range.
-                            let lost = shared.lost_mw.load(Ordering::SeqCst);
-                            let readmit = scenario.budget_per_node.milliwatts().min(lost);
-                            if readmit >= scenario.safe.min().milliwatts() {
-                                shared.lost_mw.fetch_sub(readmit, Ordering::SeqCst);
-                                shared.caps_mw[idx].store(readmit, Ordering::SeqCst);
-                                net.with_faults(|f| f.revive(NodeId::new(node)));
-                                shared.alive[idx].store(true, Ordering::SeqCst);
+                        restart(node);
+                    }
+                }
+                FaultSpec::Partition {
+                    split_at,
+                    at_period,
+                    heal_at_period,
+                    ..
+                } => {
+                    if at_period == p {
+                        let groups = split_groups(n, split_at)
+                            .into_iter()
+                            .map(|g| g.into_iter().collect())
+                            .collect();
+                        net.with_faults(|f| f.partition(groups));
+                    }
+                    if heal_at_period == p {
+                        net.with_faults(|f| f.heal_partitions());
+                    }
+                }
+                FaultSpec::AsymmetricIsolate {
+                    node,
+                    at_period,
+                    heal_at_period,
+                    ..
+                } => {
+                    // Inbound-only cut: the victim's own sends still land.
+                    net.with_faults(|f| {
+                        for j in 0..n as u32 {
+                            if j != node {
+                                if at_period == p {
+                                    f.cut_link(NodeId::new(j), NodeId::new(node));
+                                }
+                                if heal_at_period == p {
+                                    f.heal_link(NodeId::new(j), NodeId::new(node));
+                                }
                             }
                         }
+                    });
+                }
+                FaultSpec::Flapping {
+                    node,
+                    at_period,
+                    heal_at_period,
+                } => {
+                    if (at_period..heal_at_period).contains(&p) {
+                        isolate(node, (p - at_period) % 2 == 0);
+                    } else if heal_at_period == p {
+                        isolate(node, false);
+                    }
+                }
+                FaultSpec::PartitionChurn {
+                    split_at,
+                    node,
+                    at_period,
+                    kill_at_period,
+                    heal_at_period,
+                } => {
+                    if at_period == p {
+                        let groups = split_groups(n, split_at)
+                            .into_iter()
+                            .map(|g| g.into_iter().collect())
+                            .collect();
+                        net.with_faults(|f| f.partition(groups));
+                    }
+                    if kill_at_period == p {
+                        kill(node);
+                    }
+                    if heal_at_period == p {
+                        // Heal first, then reboot into the healed network —
+                        // the same order the simulator's fault script uses.
+                        net.with_faults(|f| f.heal_partitions());
+                        restart(node);
                     }
                 }
                 _ => {}
@@ -474,7 +685,7 @@ fn node_loop(
     };
     let mut decider =
         LocalDecider::new(decider_cfg, initial_cap, safe).with_observer(id, obs.clone());
-    let mut stashed_grants: Vec<(NodeId, PowerGrant)> = Vec::new();
+    let mut stashed_grants: Vec<(NodeId, PowerGrant, Option<Box<SuspicionDigest>>)> = Vec::new();
     // Granter-side escrow of unacknowledged grants; thread-local (only this
     // node serves from its pool), mirrored into `shared.escrowed_mw` so the
     // coordinator's snapshots see undelivered power as in-flight.
@@ -633,10 +844,13 @@ fn node_loop(
                                     drop_rate,
                                     &mut drop_rng,
                                     req.from,
-                                    PeerMsg::Grant(PowerGrant {
-                                        amount: entry.amount,
-                                        seq: req.seq,
-                                    }),
+                                    PeerMsg::Grant(
+                                        PowerGrant {
+                                            amount: entry.amount,
+                                            seq: req.seq,
+                                        },
+                                        decider.make_digest(),
+                                    ),
                                 );
                                 emit(
                                     now,
@@ -670,10 +884,13 @@ fn node_loop(
                                     drop_rate,
                                     &mut drop_rng,
                                     req.from,
-                                    PeerMsg::Grant(PowerGrant {
-                                        amount: Power::ZERO,
-                                        seq: req.seq,
-                                    }),
+                                    PeerMsg::Grant(
+                                        PowerGrant {
+                                            amount: Power::ZERO,
+                                            seq: req.seq,
+                                        },
+                                        decider.make_digest(),
+                                    ),
                                 );
                                 emit(
                                     now,
@@ -716,10 +933,13 @@ fn node_loop(
                         drop_rate,
                         &mut drop_rng,
                         req.from,
-                        PeerMsg::Grant(PowerGrant {
-                            amount,
-                            seq: req.seq,
-                        }),
+                        PeerMsg::Grant(
+                            PowerGrant {
+                                amount,
+                                seq: req.seq,
+                            },
+                            decider.make_digest(),
+                        ),
                     );
                     emit(
                         now,
@@ -771,7 +991,7 @@ fn node_loop(
                     }
                 }
                 PeerMsg::Request(_) => {} // dead node: request evaporates
-                PeerMsg::Grant(g) => {
+                PeerMsg::Grant(g, digest) => {
                     emit(
                         now,
                         EventKind::MsgRecv {
@@ -779,9 +999,9 @@ fn node_loop(
                             carried: g.amount,
                         },
                     );
-                    stashed_grants.push((env.src, g));
+                    stashed_grants.push((env.src, g, digest));
                 }
-                PeerMsg::Ack(a) if me_alive => {
+                PeerMsg::Ack(a, digest) if me_alive => {
                     emit(
                         now,
                         EventKind::MsgRecv {
@@ -789,9 +1009,12 @@ fn node_loop(
                             carried: Power::ZERO,
                         },
                     );
+                    if let Some(d) = &digest {
+                        decider.observe_digest(now, env.src, d);
+                    }
                     let _ = escrow.release(env.src, a.seq);
                 }
-                PeerMsg::Ack(_) => {} // dead node: ack evaporates
+                PeerMsg::Ack(..) => {} // dead node: ack evaporates
             }
         }
         shared.barrier.wait(); // serve done everywhere: all grants sent
@@ -800,7 +1023,7 @@ fn node_loop(
         if me_alive {
             while let Some(env) = endpoint.try_recv() {
                 match env.msg {
-                    PeerMsg::Grant(g) => {
+                    PeerMsg::Grant(g, digest) => {
                         emit(
                             now,
                             EventKind::MsgRecv {
@@ -808,13 +1031,13 @@ fn node_loop(
                                 carried: g.amount,
                             },
                         );
-                        stashed_grants.push((env.src, g));
+                        stashed_grants.push((env.src, g, digest));
                     }
                     // Acks race with the apply drain (they are sent from
                     // other nodes' apply phases); one missed here is
                     // handled by the next serve phase, well before any
                     // escrow deadline.
-                    PeerMsg::Ack(a) => {
+                    PeerMsg::Ack(a, digest) => {
                         emit(
                             now,
                             EventKind::MsgRecv {
@@ -822,12 +1045,22 @@ fn node_loop(
                                 carried: Power::ZERO,
                             },
                         );
+                        if let Some(d) = &digest {
+                            decider.observe_digest(now, env.src, d);
+                        }
                         let _ = escrow.release(env.src, a.seq);
                     }
                     PeerMsg::Request(_) => {} // all requests drained in serve
                 }
             }
-            for (src, g) in stashed_grants.drain(..) {
+            for (src, g, digest) in stashed_grants.drain(..) {
+                // Merge piggybacked gossip before booking the reply, the
+                // same order as the simulator's grant-delivery handler.
+                if let Some(d) = &digest {
+                    decider.observe_digest(now, src, d);
+                }
+                // Any reply — even a zero grant — proves the peer alive.
+                decider.note_peer_reply(now, src);
                 {
                     let mut pool = shared.pools[idx].lock().unwrap();
                     let _ = decider.on_grant(now, g.seq, g.amount, &mut pool);
@@ -841,7 +1074,7 @@ fn node_loop(
                         drop_rate,
                         &mut drop_rng,
                         src,
-                        PeerMsg::Ack(GrantAck { seq: g.seq }),
+                        PeerMsg::Ack(GrantAck { seq: g.seq }, decider.make_digest()),
                     );
                     emit(
                         now,
@@ -889,6 +1122,18 @@ impl Substrate for UdpDaemonSubstrate {
     fn run(&self, scenario: &Scenario) -> Result<SubstrateRun, String> {
         use penelope_daemon::{run_daemon_with_socket, DaemonConfig, PowerBackend};
         use std::net::UdpSocket;
+
+        if matches!(
+            scenario.fault,
+            FaultSpec::Partition { .. }
+                | FaultSpec::AsymmetricIsolate { .. }
+                | FaultSpec::Flapping { .. }
+                | FaultSpec::PartitionChurn { .. }
+        ) {
+            // UDP loopback has no link-level fault plane to cut; the
+            // partition matrix runs on the sim and lockstep substrates.
+            return Err("partition faults are not supported on the daemon substrate".into());
+        }
 
         let n = scenario.nodes;
         let scale = DAEMON_PERIOD_MS as f64 / 1000.0;
@@ -1192,6 +1437,96 @@ pub fn churn_scenario(seed: u64, drop_permille: u16, periods: u64) -> Scenario {
             kill_at_period: 3,
             restart_at_period: 10,
             drop_permille,
+        },
+        read_noise: 0.0,
+    }
+}
+
+/// Clean-partition scenario: the four nodes split 2|2 from period 3 to
+/// period 8, optionally under background loss. No node dies, so every
+/// grant stranded at the boundary must be escrow-reclaimed (`lost` stays
+/// zero) and the books must balance at every consistent cut.
+pub fn partition_scenario(seed: u64, drop_permille: u16, periods: u64) -> Scenario {
+    Scenario {
+        name: format!("partition-{drop_permille}permille"),
+        seed,
+        nodes: 4,
+        budget_per_node: watts(160),
+        safe: PowerRange::from_watts(80, 300),
+        periods,
+        workloads: mixed_workloads(),
+        fault: FaultSpec::Partition {
+            split_at: 2,
+            at_period: 3,
+            heal_at_period: 8,
+            drop_permille,
+        },
+        read_noise: 0.0,
+    }
+}
+
+/// Asymmetric-partition scenario: node 1 goes deaf (every link towards it
+/// cut, its own sends still deliver) from period 3 to period 8. Its
+/// requests keep being served while every grant back to it dies on the cut
+/// link — the worst case for the escrow layer.
+pub fn asymmetric_partition_scenario(seed: u64, drop_permille: u16, periods: u64) -> Scenario {
+    Scenario {
+        name: format!("asymmetric-{drop_permille}permille"),
+        seed,
+        nodes: 4,
+        budget_per_node: watts(160),
+        safe: PowerRange::from_watts(80, 300),
+        periods,
+        workloads: mixed_workloads(),
+        fault: FaultSpec::AsymmetricIsolate {
+            node: 1,
+            at_period: 3,
+            heal_at_period: 8,
+            drop_permille,
+        },
+        read_noise: 0.0,
+    }
+}
+
+/// Flapping-node scenario: node 1 alternates between isolated and
+/// reachable every period from period 3 until period 9 — suspicion forms,
+/// is refuted by the node's own gossip between flaps, forms again.
+pub fn flapping_scenario(seed: u64, periods: u64) -> Scenario {
+    Scenario {
+        name: "flapping".into(),
+        seed,
+        nodes: 4,
+        budget_per_node: watts(160),
+        safe: PowerRange::from_watts(80, 300),
+        periods,
+        workloads: mixed_workloads(),
+        fault: FaultSpec::Flapping {
+            node: 1,
+            at_period: 3,
+            heal_at_period: 9,
+        },
+        read_noise: 0.0,
+    }
+}
+
+/// Concurrent churn + partition: the cluster splits 2|2 at period 3,
+/// node 1 crashes inside its half at period 4, and at period 9 the split
+/// heals and the node reboots in the same period.
+pub fn partition_churn_scenario(seed: u64, periods: u64) -> Scenario {
+    Scenario {
+        name: "partition-churn".into(),
+        seed,
+        nodes: 4,
+        budget_per_node: watts(160),
+        safe: PowerRange::from_watts(80, 300),
+        periods,
+        workloads: mixed_workloads(),
+        fault: FaultSpec::PartitionChurn {
+            split_at: 2,
+            node: 1,
+            at_period: 3,
+            kill_at_period: 4,
+            heal_at_period: 9,
         },
         read_noise: 0.0,
     }
