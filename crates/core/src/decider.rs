@@ -301,6 +301,17 @@ impl LocalDecider {
         }
     }
 
+    /// True iff a suspicion of `peer` has outlived `probe_interval` and
+    /// is awaiting its probe: a request sent to `peer` now is the probe
+    /// that will either clear the suspicion (any reply) or re-confirm it
+    /// (another timeout).
+    pub fn is_probing(&self, now: SimTime, peer: NodeId) -> bool {
+        match self.suspected.get(&peer) {
+            Some(s) => now.saturating_since(s.since) >= self.cfg.probe_interval,
+            None => false,
+        }
+    }
+
     /// True iff any peer is currently filtered by suspicion — the fast
     /// path gate partner selection uses to keep fault-free runs on the
     /// paper's single blind-uniform draw. Costs O(suspected), which is

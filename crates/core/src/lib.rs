@@ -21,12 +21,16 @@
 //! initial cap on its next iteration — artificially creating excess when
 //! the system has none.
 //!
-//! The decider is a pure state machine: the caller (the discrete-event
-//! simulator or the threaded runtime) supplies power readings, random peer
-//! choices and message delivery, and applies the cap the decider publishes
-//! via [`LocalDecider::cap`] to the hardware. This is what lets every
+//! Both components — together with the grant escrow, applied-seq dedup,
+//! suspicion/gossip and peer selection — compose into [`NodeEngine`], the
+//! complete per-node protocol automaton behind a sans-IO API: the caller
+//! (the discrete-event simulator, the lockstep threaded runtime or the
+//! UDP daemon) pumps [`EngineInput`]s into [`NodeEngine::handle`] and
+//! executes the [`EngineOutput`]s it returns. This is what lets every
 //! experiment in the paper run the *same* algorithm code over different
-//! substrates.
+//! substrates, and what makes a protocol change land once and work
+//! everywhere. All engines are configured through one [`EngineConfig`],
+//! accepted verbatim by each substrate's builder.
 //!
 //! Everything is exact integer arithmetic over
 //! [`Power`](penelope_units::Power) (milliwatts), so a cluster-wide
@@ -38,6 +42,8 @@
 
 pub mod config;
 pub mod decider;
+pub mod discovery;
+pub mod engine;
 pub mod escrow;
 pub mod fair;
 pub mod pool;
@@ -45,6 +51,8 @@ pub mod protocol;
 
 pub use config::{DeciderConfig, NodeParams, PoolConfig};
 pub use decider::{Classification, DeciderStats, LocalDecider, TickAction, APPLIED_SEQ_WINDOW};
+pub use discovery::{choose_peer, initial_rr_cursor, DiscoveryStrategy, EngineRng};
+pub use engine::{EngineConfig, EngineInput, EngineOutput, NodeEngine};
 pub use escrow::{EscrowEntry, EscrowState, GrantEscrow};
 pub use fair::fair_assignment;
 pub use pool::PowerPool;

@@ -2,7 +2,7 @@
 
 use std::net::SocketAddr;
 
-use penelope_core::{DeciderConfig, NodeParams};
+use penelope_core::{DeciderConfig, DiscoveryStrategy, EngineConfig, NodeParams};
 use penelope_power::RaplConfig;
 use penelope_trace::SharedObserver;
 use penelope_units::{Power, PowerRange, SimDuration};
@@ -31,6 +31,13 @@ pub enum PowerBackend {
 pub struct DaemonConfig {
     /// Address to bind the UDP socket to.
     pub listen: SocketAddr,
+    /// This daemon's stable cluster-wide node id, stamped into every
+    /// outgoing request so peers key escrow and liveness state by *node*
+    /// rather than by socket address (a restarted daemon may rebind a
+    /// different port). Must be unique across the cluster; by convention
+    /// node `i` of `n` uses id `i` with `peers` listing the other `n - 1`
+    /// daemons in global order.
+    pub node_id: u32,
     /// The other nodes' daemon addresses (power discovery targets).
     pub peers: Vec<SocketAddr>,
     /// This node's initial powercap (the urgency threshold).
@@ -38,6 +45,8 @@ pub struct DaemonConfig {
     /// The per-node protocol knobs (decider, pool, safe range), shared
     /// verbatim with the simulator and the threaded runtime.
     pub node: NodeParams,
+    /// Peer-discovery strategy for the decider.
+    pub discovery: DiscoveryStrategy,
     /// The power substrate.
     pub power: PowerBackend,
     /// Simulated-RAPL parameters (ignored for the Linux backend).
@@ -61,6 +70,7 @@ impl DaemonConfig {
     pub fn demo(listen: SocketAddr, peers: Vec<SocketAddr>, demand: Power) -> Self {
         DaemonConfig {
             listen,
+            node_id: 0,
             peers,
             initial_cap: Power::from_watts_u64(160),
             node: NodeParams {
@@ -72,6 +82,7 @@ impl DaemonConfig {
                 safe_range: PowerRange::from_watts(80, 300),
                 ..NodeParams::default()
             },
+            discovery: DiscoveryStrategy::default(),
             power: PowerBackend::SimulatedConstant { demand },
             rapl: RaplConfig {
                 actuation_delay: SimDuration::ZERO,
@@ -87,6 +98,7 @@ impl DaemonConfig {
     /// Returns `Err` with a usage-style message on bad input.
     pub fn from_args(args: &[String]) -> Result<Self, String> {
         let mut listen: Option<SocketAddr> = None;
+        let mut node_id = 0u32;
         let mut peers: Vec<SocketAddr> = Vec::new();
         let mut initial_cap = Power::from_watts_u64(160);
         let mut safe_min = 80u64;
@@ -108,6 +120,11 @@ impl DaemonConfig {
                             .parse()
                             .map_err(|e| format!("--listen: {e}"))?,
                     )
+                }
+                "--node-id" => {
+                    node_id = value("--node-id")?
+                        .parse()
+                        .map_err(|e| format!("--node-id: {e}"))?
                 }
                 "--peers" => {
                     for p in value("--peers")?.split(',').filter(|s| !s.is_empty()) {
@@ -172,6 +189,7 @@ impl DaemonConfig {
         let period = SimDuration::from_millis(period_ms);
         Ok(DaemonConfig {
             listen,
+            node_id,
             peers,
             initial_cap,
             node: NodeParams {
@@ -183,6 +201,7 @@ impl DaemonConfig {
                 safe_range: PowerRange::from_watts(safe_min, safe_max),
                 ..NodeParams::default()
             },
+            discovery: DiscoveryStrategy::default(),
             power,
             rapl: RaplConfig {
                 safe_range: PowerRange::from_watts(safe_min, safe_max),
@@ -213,6 +232,12 @@ impl DaemonConfig {
 }
 
 impl DaemonConfigBuilder {
+    /// This daemon's stable cluster-wide node id (unique per cluster).
+    pub fn node_id(mut self, id: u32) -> Self {
+        self.cfg.node_id = id;
+        self
+    }
+
     /// The other nodes' daemon addresses.
     pub fn peers(mut self, peers: Vec<SocketAddr>) -> Self {
         self.cfg.peers = peers;
@@ -225,7 +250,24 @@ impl DaemonConfigBuilder {
         self
     }
 
+    /// Apply the unified engine configuration — node parameters,
+    /// discovery strategy and sequence watermark in one `penelope_core`
+    /// value. The same [`EngineConfig`] drives `ClusterSim::builder` and
+    /// `ThreadedCluster::builder`, so a tuned protocol setup moves
+    /// between substrates verbatim. The seq floor lands in
+    /// [`DaemonConfig::initial_seq`].
+    pub fn engine_config(mut self, engine: EngineConfig) -> Self {
+        self.cfg.node = engine.node;
+        self.cfg.discovery = engine.discovery;
+        self.cfg.initial_seq = engine.seq_floor;
+        self
+    }
+
     /// The shared per-node protocol knobs (decider, pool, safe range).
+    #[deprecated(
+        note = "use engine_config(EngineConfig::new(node)) — one config type across sim, \
+                runtime and daemon"
+    )]
     pub fn node_params(mut self, node: NodeParams) -> Self {
         self.cfg.node = node;
         self
@@ -245,6 +287,10 @@ impl DaemonConfigBuilder {
 
     /// Resume the request sequence namespace at `seq` — pass the previous
     /// incarnation's `next_seq` when restarting a crashed daemon.
+    #[deprecated(
+        note = "use engine_config(EngineConfig::new(node).with_seq_floor(seq)) — the seq \
+                epoch is part of the unified engine configuration"
+    )]
     pub fn initial_seq(mut self, seq: u64) -> Self {
         self.cfg.initial_seq = seq;
         self
@@ -280,12 +326,13 @@ mod tests {
     #[test]
     fn parses_a_full_command_line() {
         let cfg = DaemonConfig::from_args(&args(
-            "--listen 127.0.0.1:7700 --peers 127.0.0.1:7701,127.0.0.1:7702 \
+            "--listen 127.0.0.1:7700 --node-id 2 --peers 127.0.0.1:7701,127.0.0.1:7702 \
              --initial-cap-watts 140 --period-ms 250 --simulate-demand-watts 200 \
              --safe-min-watts 70 --safe-max-watts 280 --status-every 3",
         ))
         .unwrap();
         assert_eq!(cfg.listen.port(), 7700);
+        assert_eq!(cfg.node_id, 2);
         assert_eq!(cfg.peers.len(), 2);
         assert_eq!(cfg.initial_cap, Power::from_watts_u64(140));
         assert_eq!(cfg.node.decider.period, SimDuration::from_millis(250));
@@ -332,6 +379,24 @@ mod tests {
         assert!(e.contains("--peers"));
         let e = DaemonConfig::from_args(&args("--listen 0.0.0.0:1 --whatever")).unwrap_err();
         assert!(e.contains("unknown flag"));
+    }
+
+    #[test]
+    fn engine_config_applies_unified_fields() {
+        // The same EngineConfig value the sim and runtime builders take
+        // lands in the daemon config's node / discovery / initial_seq.
+        let node = NodeParams {
+            safe_range: PowerRange::from_watts(90, 250),
+            ..NodeParams::default()
+        };
+        let cfg = DaemonConfig::builder("127.0.0.1:0".parse().unwrap())
+            .node_id(3)
+            .engine_config(EngineConfig::new(node).with_seq_floor(42))
+            .build();
+        assert_eq!(cfg.node_id, 3);
+        assert_eq!(cfg.node.safe_range, PowerRange::from_watts(90, 250));
+        assert_eq!(cfg.initial_seq, 42);
+        assert_eq!(cfg.discovery, DiscoveryStrategy::default());
     }
 
     #[test]

@@ -1,5 +1,13 @@
 //! The daemon runtime: decider thread + network/pool thread over UDP.
+//!
+//! Both threads drive one shared [`NodeEngine`] — the same automaton the
+//! simulator and the threaded runtime run — behind a mutex (§3.3: "a
+//! simple lock"). The daemon's job reduces to transport: decode
+//! datagrams into [`EngineInput`]s, execute [`EngineOutput`]s as UDP
+//! sends and RAPL writes, and keep a node-id → socket-address table so
+//! engine-level peer ids resolve to real endpoints.
 
+use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -9,9 +17,12 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use penelope_core::decider::DeciderStats;
-use penelope_core::{EscrowState, GrantEscrow, LocalDecider, PowerPool, TickAction};
+use penelope_core::{
+    EngineConfig, EngineInput, EngineOutput, GrantAck, NodeEngine, PeerMsg, PowerGrant,
+    PowerRequest,
+};
 use penelope_power::{CappedDevice, ConstantDevice, LinuxRapl, PowerInterface, SimulatedRapl};
-use penelope_testkit::rng::{Rng, TestRng};
+use penelope_testkit::rng::TestRng;
 use penelope_trace::{
     CounterObserver, CounterSnapshot, EventKind, FanoutObserver, SharedObserver, TraceEvent,
 };
@@ -88,9 +99,9 @@ pub struct DaemonSummary {
 /// A running daemon: stop it to get the summary.
 pub struct DaemonHandle {
     shutdown: Arc<AtomicBool>,
-    decider_thread: JoinHandle<(LocalDecider, u64)>,
+    decider_thread: JoinHandle<u64>,
     net_thread: JoinHandle<()>,
-    pool: Arc<Mutex<PowerPool>>,
+    engine: Arc<Mutex<NodeEngine>>,
     counters: Arc<CounterObserver>,
     /// Status samples (`status_every` > 0) arrive here.
     pub status_rx: Receiver<DaemonStatus>,
@@ -105,23 +116,32 @@ impl DaemonHandle {
         self.counters.snapshot()
     }
 
+    /// Outstanding granter-side escrow entries, live. A healthy quiescent
+    /// daemon trends to zero as acks arrive or deadlines pass; tests use
+    /// this to prove an ack from a *rebound* requester address still
+    /// releases the node-keyed entry.
+    pub fn escrow_len(&self) -> usize {
+        self.engine.lock().unwrap().escrow_len()
+    }
+
     /// Signal shutdown and collect the final summary.
     pub fn stop(self) -> DaemonSummary {
         self.shutdown.store(true, Ordering::Relaxed);
-        let (decider, iterations) = self.decider_thread.join().expect("decider thread");
+        let iterations = self.decider_thread.join().expect("decider thread");
         self.net_thread.join().expect("net thread");
-        let pool = self.pool.lock().unwrap();
+        let engine = self.engine.lock().unwrap();
+        let pool = engine.pool();
         DaemonSummary {
             iterations,
-            final_cap: decider.cap(),
+            final_cap: engine.cap(),
             final_pool: pool.available(),
-            decider: decider.stats(),
+            decider: engine.stats(),
             granted_to_peers: pool.total_granted(),
             requests_served: pool.requests_served(),
             pool_deposited: pool.total_deposited(),
             taken_local: pool.total_taken_local(),
             pool_drained: pool.total_drained(),
-            next_seq: decider.next_seq(),
+            next_seq: engine.next_seq(),
             counters: self.counters.snapshot(),
         }
     }
@@ -193,6 +213,33 @@ fn build_hardware(cfg: &DaemonConfig) -> io::Result<Hardware> {
     })
 }
 
+/// Map a datagram source address to a cluster node id: a configured (or
+/// since-learned) peer address resolves to its logical id, anything else
+/// gets a stable synthetic id above the cluster range — so the engine's
+/// NodeId-keyed escrow still deduplicates retransmits from v1 senders
+/// that carry no identity of their own.
+fn resolve_src(
+    src: SocketAddr,
+    me: NodeId,
+    peer_addrs: &Mutex<Vec<SocketAddr>>,
+    extern_ids: &mut HashMap<SocketAddr, NodeId>,
+    next_extern: &mut u32,
+) -> NodeId {
+    {
+        let table = peer_addrs.lock().unwrap();
+        if let Some(j) = table.iter().position(|a| *a == src) {
+            if j != me.index() {
+                return NodeId::new(j as u32);
+            }
+        }
+    }
+    *extern_ids.entry(src).or_insert_with(|| {
+        let id = NodeId::new(*next_extern);
+        *next_extern += 1;
+        id
+    })
+}
+
 /// Start a daemon, binding a fresh socket to `cfg.listen`.
 pub fn run_daemon(cfg: DaemonConfig) -> io::Result<DaemonHandle> {
     let socket = UdpSocket::bind(cfg.listen)?;
@@ -204,7 +251,6 @@ pub fn run_daemon(cfg: DaemonConfig) -> io::Result<DaemonHandle> {
 pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Result<DaemonHandle> {
     let local_addr = socket.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let pool = Arc::new(Mutex::new(PowerPool::new(cfg.node.pool)));
     // Grants are forwarded with their source address so the decider can
     // ack the granter.
     #[allow(clippy::type_complexity)]
@@ -215,13 +261,14 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
     let (status_tx, status_rx) = channel();
 
     // Built-in counters always run; any configured observer fans in next
-    // to them. The daemon is always "node 0" from its own point of view.
+    // to them.
     let counters = Arc::new(CounterObserver::new());
     let obs = FanoutObserver::pair(
         cfg.observer.clone(),
         SharedObserver::from(Arc::clone(&counters)),
     );
-    let me = NodeId::new(0);
+    let me = NodeId::new(cfg.node_id);
+    let cluster_size = cfg.peers.len() + 1;
     let period_ns = cfg.node.decider.period.as_nanos().max(1);
     // One wall-clock origin for both threads, so event timestamps from the
     // serve path and the decider path share a time base.
@@ -233,31 +280,65 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
         kind,
     };
 
+    // The complete node automaton — decider, pool, escrow, suspicion —
+    // shared by both threads behind one lock.
+    let engine = Arc::new(Mutex::new(NodeEngine::new(
+        me,
+        cluster_size,
+        EngineConfig::new(cfg.node)
+            .with_discovery(cfg.discovery)
+            .with_seq_floor(cfg.initial_seq),
+        cfg.initial_cap,
+        obs.clone(),
+    )));
+
+    // Logical-id-indexed peer address table: slot `j` holds the last
+    // known address of node `j` (our own slot holds `local_addr`, never
+    // dialled). Config peers fill the table in global order; a v2 request
+    // carrying a peer's id refreshes its slot, which is how a rebound
+    // peer's new port propagates to our outgoing requests.
+    let peer_addrs = {
+        let mut table = vec![local_addr; cluster_size];
+        for (k, addr) in cfg.peers.iter().enumerate() {
+            let j = if k >= me.index() { k + 1 } else { k };
+            if j < cluster_size {
+                table[j] = *addr;
+            }
+        }
+        Arc::new(Mutex::new(table))
+    };
+
     // --- Network thread: serves peer requests, forwards grants. ---------
     let net_socket = socket.try_clone()?;
     net_socket.set_read_timeout(Some(Duration::from_millis(10)))?;
-    let net_pool = Arc::clone(&pool);
     let net_stop = Arc::clone(&shutdown);
     let net_obs = obs.clone();
-    let escrow_timeout = cfg.node.decider.escrow_timeout();
+    let net_engine = Arc::clone(&engine);
+    let net_addrs = Arc::clone(&peer_addrs);
     let net_thread = thread::spawn(move || {
         let mut buf = [0u8; MAX_WIRE_LEN + 16];
-        // The wire format carries no sender identity; remote requesters
-        // are reported under this placeholder id.
-        let remote = NodeId::new(u32::MAX);
-        // Served grants, keyed by the requester's socket address and seq
-        // echo, held until acked. UDP gives no delivery signal, so every
-        // entry is `AwaitingAck`: a retransmitted request is answered by
-        // re-sending the escrowed amount (the requester's seq dedup makes
-        // that idempotent), an ack releases the entry, and an entry whose
-        // deadline passes is *forgotten without credit* — the grant may
-        // have been applied with only its ack lost, and re-crediting the
-        // pool then would mint power.
-        let mut escrow: GrantEscrow<SocketAddr> = GrantEscrow::new();
+        let mut extern_ids: HashMap<SocketAddr, NodeId> = HashMap::new();
+        let mut next_extern = cluster_size as u32;
+        let mut outputs: Vec<EngineOutput> = Vec::new();
+        // The serve path never draws randomness; this stream exists only
+        // to satisfy `handle`'s signature.
+        let mut rng = TestRng::seed_from_u64(0);
         while !net_stop.load(Ordering::Relaxed) {
             let sweep_now =
                 SimTime::from_nanos(origin.elapsed().as_nanos().min(u64::MAX as u128) as u64);
-            let _ = escrow.take_expired(sweep_now);
+            // Bulk escrow expiry each wake, instead of per-entry timers:
+            // an entry whose deadline passes is *forgotten without
+            // credit* — the grant may have been applied with only its ack
+            // lost, and re-crediting the pool then would mint power. (The
+            // engine credits back only known-undelivered entries, which a
+            // UDP sender essentially never has.)
+            net_engine.lock().unwrap().handle(
+                sweep_now,
+                EngineInput::SweepEscrow,
+                &mut rng,
+                &mut outputs,
+            );
+            outputs.clear();
             let (len, src) = match net_socket.recv_from(&mut buf) {
                 Ok(x) => x,
                 Err(e)
@@ -268,113 +349,131 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                 }
                 Err(_) => continue,
             };
+            let now = SimTime::from_nanos(origin.elapsed().as_nanos().min(u64::MAX as u128) as u64);
             match WireMsg::decode(&buf[..len]) {
-                Ok(WireMsg::Request { seq, urgent, alpha }) => {
-                    let now = SimTime::from_nanos(
-                        origin.elapsed().as_nanos().min(u64::MAX as u128) as u64,
-                    );
-                    if let Some(entry) = escrow.get(src, seq).copied() {
-                        // Duplicate of an already-served request: re-send
-                        // the escrowed grant instead of debiting the pool
-                        // a second time.
-                        let reply = WireMsg::Grant {
-                            seq,
-                            amount: entry.amount,
-                            // The net thread has no decider, so nothing
-                            // to gossip.
-                            digest: None,
+                Ok(WireMsg::Request {
+                    seq,
+                    urgent,
+                    alpha,
+                    from,
+                }) => {
+                    let src_id = match from {
+                        Some(id) => {
+                            // A v2 request names its sender; refresh the
+                            // address table so replies *and* our own
+                            // outgoing requests follow a rebound peer to
+                            // its new port.
+                            if id != me && id.index() < cluster_size {
+                                net_addrs.lock().unwrap()[id.index()] = src;
+                            }
+                            id
                         }
-                        .encode();
-                        let _ = net_socket.send_to(&reply, src);
-                        net_obs.emit(|| {
-                            stamp(
-                                now,
-                                EventKind::MsgSent {
-                                    dst: remote,
-                                    carried: entry.amount,
-                                },
-                            )
-                        });
-                        let e = escrow.get_mut(src, seq).expect("entry present");
-                        e.deadline = now + escrow_timeout;
-                        continue;
-                    }
-                    // Algorithm 2, straight from the shared pool.
-                    let (before, amount, after) = {
-                        let mut p = net_pool.lock().unwrap();
-                        let before = p.local_urgency();
-                        let amount = p.handle_request(urgent, alpha);
-                        (before, amount, p.local_urgency())
+                        None => resolve_src(src, me, &net_addrs, &mut extern_ids, &mut next_extern),
                     };
-                    let now = SimTime::from_nanos(
-                        origin.elapsed().as_nanos().min(u64::MAX as u128) as u64,
-                    );
-                    net_obs.emit(|| {
-                        stamp(
-                            now,
-                            EventKind::RequestServed {
-                                requester: remote,
-                                seq,
-                                granted: amount,
+                    let mut eng = net_engine.lock().unwrap();
+                    eng.handle(
+                        now,
+                        EngineInput::Msg {
+                            src: src_id,
+                            msg: PeerMsg::Request(PowerRequest {
+                                from: src_id,
                                 urgent,
-                            },
-                        )
-                    });
-                    if !before && after {
-                        net_obs.emit(|| stamp(now, EventKind::UrgencyRaised { by: remote }));
-                    } else if before && !after {
-                        net_obs.emit(|| {
-                            stamp(
-                                now,
-                                EventKind::UrgencyCleared {
-                                    released: Power::ZERO,
-                                },
-                            )
-                        });
+                                alpha,
+                                seq,
+                            }),
+                        },
+                        &mut rng,
+                        &mut outputs,
+                    );
+                    // Iterate by index: the GrantOutcome feedback below
+                    // may append to the same buffer.
+                    let mut k = 0;
+                    while k < outputs.len() {
+                        let out = outputs[k].clone();
+                        k += 1;
+                        match out {
+                            // A zero grant: empty-handed serve or a
+                            // reminder for an already-escrowed duplicate.
+                            EngineOutput::Send {
+                                dst,
+                                msg: PeerMsg::Grant(g, digest),
+                                carried,
+                            } => {
+                                let reply = WireMsg::Grant {
+                                    seq: g.seq,
+                                    amount: g.amount,
+                                    digest,
+                                }
+                                .encode();
+                                let _ = net_socket.send_to(&reply, src);
+                                net_obs.emit(|| stamp(now, EventKind::MsgSent { dst, carried }));
+                            }
+                            EngineOutput::SendGrant {
+                                dst,
+                                msg,
+                                amount,
+                                seq: gseq,
+                            } => {
+                                let delivered = if let PeerMsg::Grant(g, digest) = msg {
+                                    let reply = WireMsg::Grant {
+                                        seq: g.seq,
+                                        amount: g.amount,
+                                        digest,
+                                    }
+                                    .encode();
+                                    net_socket.send_to(&reply, src).is_ok()
+                                } else {
+                                    false
+                                };
+                                net_obs.emit(|| {
+                                    stamp(
+                                        now,
+                                        EventKind::MsgSent {
+                                            dst,
+                                            carried: amount,
+                                        },
+                                    )
+                                });
+                                eng.handle(
+                                    now,
+                                    EngineInput::GrantOutcome {
+                                        requester: dst,
+                                        seq: gseq,
+                                        amount,
+                                        delivered,
+                                    },
+                                    &mut rng,
+                                    &mut outputs,
+                                );
+                            }
+                            // Swept in bulk at the top of the loop.
+                            EngineOutput::SetEscrowTimer { .. } => {}
+                            _ => {}
+                        }
                     }
-                    let reply = WireMsg::Grant {
-                        seq,
-                        amount,
-                        digest: None,
-                    }
-                    .encode();
-                    let _ = net_socket.send_to(&reply, src);
-                    net_obs.emit(|| {
-                        stamp(
-                            now,
-                            EventKind::MsgSent {
-                                dst: remote,
-                                carried: amount,
-                            },
-                        )
-                    });
-                    if !amount.is_zero() {
-                        escrow.insert(
-                            src,
-                            seq,
-                            amount,
-                            EscrowState::AwaitingAck,
-                            now + escrow_timeout,
-                        );
-                        net_obs.emit(|| {
-                            stamp(
-                                now,
-                                EventKind::GrantEscrowed {
-                                    requester: remote,
-                                    seq,
-                                    amount,
-                                },
-                            )
-                        });
-                    }
+                    outputs.clear();
                 }
                 Ok(grant @ WireMsg::Grant { .. }) => {
                     let _ = grant_tx.send((grant, src));
                 }
-                Ok(WireMsg::Ack { seq, digest: _ }) => {
+                Ok(WireMsg::Ack { seq, digest }) => {
                     // The transfer committed on the requester; release the
-                    // escrow entry. Duplicate acks are harmless.
-                    let _ = escrow.release(src, seq);
+                    // escrow entry. The entry is keyed by node id, so an
+                    // ack from a rebound (or simply different) source port
+                    // of the same node still lands. Duplicate acks are
+                    // harmless.
+                    let src_id =
+                        resolve_src(src, me, &net_addrs, &mut extern_ids, &mut next_extern);
+                    net_engine.lock().unwrap().handle(
+                        now,
+                        EngineInput::Msg {
+                            src: src_id,
+                            msg: PeerMsg::Ack(GrantAck { seq }, digest),
+                        },
+                        &mut rng,
+                        &mut outputs,
+                    );
+                    outputs.clear();
                 }
                 Err(_) => { /* garbage datagram: drop */ }
             }
@@ -384,69 +483,62 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
     // --- Decider thread: the Algorithm 1 loop. ---------------------------
     let mut hardware = build_hardware(&cfg)?;
     let decider_socket = socket;
-    let decider_pool = Arc::clone(&pool);
     let decider_stop = Arc::clone(&shutdown);
-    let peers = cfg.peers.clone();
     let period = Duration::from_nanos(cfg.node.decider.period.as_nanos());
     let timeout = Duration::from_nanos(cfg.node.decider.response_timeout.as_nanos());
     let status_every = cfg.status_every;
-    let decider_cfg = cfg.node.decider;
-    let initial_cap = cfg.initial_cap;
-    let initial_seq = cfg.initial_seq;
-    let safe_range = cfg.node.safe_range;
     let decider_obs = obs.clone();
+    let decider_engine = Arc::clone(&engine);
+    let decider_addrs = Arc::clone(&peer_addrs);
     let decider_thread = thread::spawn(move || {
-        let mut decider = LocalDecider::new(decider_cfg, initial_cap, safe_range)
-            .with_seq_floor(initial_seq)
-            .with_observer(me, decider_obs.clone());
         let mut rng = TestRng::seed_from_u64(local_addr.port() as u64 ^ 0xDAE0_0DAE);
+        let mut outputs: Vec<EngineOutput> = Vec::new();
         let mut iterations = 0u64;
-        hardware.set_cap(decider.cap());
+        hardware.set_cap(decider_engine.lock().unwrap().cap());
         while !decider_stop.load(Ordering::Relaxed) {
             let iter_start = Instant::now();
             iterations += 1;
             let now = SimTime::from_nanos(origin.elapsed().as_nanos().min(u64::MAX as u128) as u64);
             let reading = hardware.read_power();
-            // The decider asks for a *peer index*; it maps to a socket addr.
-            let peer = if peers.is_empty() {
-                None
-            } else {
-                Some(NodeId::new(rng.gen_range(0..peers.len()) as u32))
-            };
-            let action = decider.tick(now, reading, &mut decider_pool.lock().unwrap(), peer);
-            hardware.set_cap(decider.cap());
-            {
-                let cap_now = decider.cap();
-                let pool_now = decider_pool.lock().unwrap().available();
-                decider_obs.emit(|| {
-                    stamp(
-                        now,
-                        EventKind::CapActuated {
-                            cap: cap_now,
-                            reading,
-                            pool: pool_now,
-                        },
-                    )
-                });
+            decider_engine.lock().unwrap().handle(
+                now,
+                EngineInput::Tick { reading },
+                &mut rng,
+                &mut outputs,
+            );
+            let mut await_seq = None;
+            for out in outputs.drain(..) {
+                match out {
+                    EngineOutput::Actuate { cap } => hardware.set_cap(cap),
+                    EngineOutput::Send {
+                        dst,
+                        msg: PeerMsg::Request(req),
+                        ..
+                    } => {
+                        let wire = WireMsg::Request {
+                            seq: req.seq,
+                            urgent: req.urgent,
+                            alpha: req.alpha,
+                            from: Some(me),
+                        }
+                        .encode();
+                        let target = decider_addrs.lock().unwrap()[dst.index()];
+                        let _ = decider_socket.send_to(&wire, target);
+                        decider_obs.emit(|| {
+                            stamp(
+                                now,
+                                EventKind::MsgSent {
+                                    dst,
+                                    carried: Power::ZERO,
+                                },
+                            )
+                        });
+                        await_seq = Some(req.seq);
+                    }
+                    _ => {}
+                }
             }
-            if let TickAction::Request {
-                dst,
-                urgent,
-                alpha,
-                seq,
-            } = action
-            {
-                let msg = WireMsg::Request { seq, urgent, alpha }.encode();
-                let _ = decider_socket.send_to(&msg, peers[dst.index()]);
-                decider_obs.emit(|| {
-                    stamp(
-                        now,
-                        EventKind::MsgSent {
-                            dst,
-                            carried: Power::ZERO,
-                        },
-                    )
-                });
+            if let Some(seq) = await_seq {
                 // Block for the grant, as the paper's decider does.
                 let deadline = Instant::now() + timeout;
                 loop {
@@ -466,55 +558,66 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                             let now2 = SimTime::from_nanos(
                                 origin.elapsed().as_nanos().min(u64::MAX as u128) as u64,
                             );
+                            // Identify the granter by address so gossip
+                            // and liveness land under the right peer id; a
+                            // grant from an unknown address still pays
+                            // out.
+                            let gid = {
+                                let table = decider_addrs.lock().unwrap();
+                                table
+                                    .iter()
+                                    .position(|a| *a == gsrc)
+                                    .filter(|j| *j != me.index())
+                                    .map(|j| NodeId::new(j as u32))
+                                    .unwrap_or(NodeId::new(u32::MAX))
+                            };
                             decider_obs.emit(|| {
                                 stamp(
                                     now2,
                                     EventKind::MsgRecv {
-                                        src: dst,
+                                        src: gid,
                                         carried: amount,
                                     },
                                 )
                             });
-                            // Identify the granter by socket address so
-                            // piggybacked gossip lands under the right
-                            // peer id; a grant from an unknown address
-                            // still pays out but can't gossip.
-                            let gid = peers
-                                .iter()
-                                .position(|a| *a == gsrc)
-                                .map(|i| NodeId::new(i as u32));
-                            if let Some(gid) = gid {
-                                if let Some(d) = &digest {
-                                    decider.observe_digest(now2, gid, d);
-                                }
-                                // Any reply proves the granter alive.
-                                decider.note_peer_reply(now2, gid);
-                            }
-                            let _ = decider.on_grant(
+                            decider_engine.lock().unwrap().handle(
                                 now2,
-                                gseq,
-                                amount,
-                                &mut decider_pool.lock().unwrap(),
+                                EngineInput::Msg {
+                                    src: gid,
+                                    msg: PeerMsg::Grant(PowerGrant { amount, seq: gseq }, digest),
+                                },
+                                &mut rng,
+                                &mut outputs,
                             );
-                            hardware.set_cap(decider.cap());
-                            if !amount.is_zero() {
-                                // Ack straight back to the granter so it
-                                // releases the grant's escrow entry.
-                                let ack = WireMsg::Ack {
-                                    seq: gseq,
-                                    digest: decider.make_digest(),
+                            for out in outputs.drain(..) {
+                                match out {
+                                    EngineOutput::Actuate { cap } => hardware.set_cap(cap),
+                                    // The commit ack, straight back to
+                                    // the granter's source address so it
+                                    // releases the grant's escrow entry.
+                                    EngineOutput::Send {
+                                        dst,
+                                        msg: PeerMsg::Ack(a, d),
+                                        ..
+                                    } => {
+                                        let ack = WireMsg::Ack {
+                                            seq: a.seq,
+                                            digest: d,
+                                        }
+                                        .encode();
+                                        let _ = decider_socket.send_to(&ack, gsrc);
+                                        decider_obs.emit(|| {
+                                            stamp(
+                                                now2,
+                                                EventKind::MsgSent {
+                                                    dst,
+                                                    carried: Power::ZERO,
+                                                },
+                                            )
+                                        });
+                                    }
+                                    _ => {}
                                 }
-                                .encode();
-                                let _ = decider_socket.send_to(&ack, gsrc);
-                                decider_obs.emit(|| {
-                                    stamp(
-                                        now2,
-                                        EventKind::MsgSent {
-                                            dst,
-                                            carried: Power::ZERO,
-                                        },
-                                    )
-                                });
                             }
                             if gseq == seq {
                                 break;
@@ -528,12 +631,14 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                 }
             }
             if status_every > 0 && iterations.is_multiple_of(status_every) {
-                // One lock guard for all pool fields: the sample is an
-                // atomic per-node cut, so its lifetime counters always
-                // balance even while the net thread is granting.
-                let (pool, pool_deposited, pool_granted, pool_drained) = {
-                    let p = decider_pool.lock().unwrap();
+                // One lock guard for all fields: the sample is an atomic
+                // per-node cut, so its lifetime counters always balance
+                // even while the net thread is granting.
+                let (cap, pool, pool_deposited, pool_granted, pool_drained) = {
+                    let eng = decider_engine.lock().unwrap();
+                    let p = eng.pool();
                     (
+                        eng.cap(),
                         p.available(),
                         p.total_deposited(),
                         p.total_granted() + p.total_taken_local(),
@@ -543,7 +648,7 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                 let _ = status_tx.send(DaemonStatus {
                     iteration: iterations,
                     uptime_secs: origin.elapsed().as_secs_f64(),
-                    cap: decider.cap(),
+                    cap,
                     reading,
                     pool,
                     pool_deposited,
@@ -553,14 +658,14 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
             }
             thread::sleep(period.saturating_sub(iter_start.elapsed()));
         }
-        (decider, iterations)
+        iterations
     });
 
     Ok(DaemonHandle {
         shutdown,
         decider_thread,
         net_thread,
-        pool,
+        engine,
         counters,
         status_rx,
         local_addr,

@@ -1,24 +1,26 @@
 //! The datagram wire format.
 //!
-//! Three message kinds, fixed little-endian layout, one version byte. The
-//! requester's identity is the datagram's source address (the pool replies
-//! to wherever the request came from), so no addressing fields are needed
-//! beyond the sequence number that pairs grants — and their acks — with
-//! requests.
+//! Three message kinds, fixed little-endian layout, one version byte.
+//! Replies always travel to the datagram's source address, so addressing
+//! fields stay minimal: the sequence number pairs grants — and their acks
+//! — with requests, and a v2 request additionally carries the sender's
+//! stable cluster id so the granter's escrow survives the requester
+//! rebinding to a new port (the address identifies the *socket*, the id
+//! identifies the *node*).
 //!
-//! Two versions coexist. Version `0x01` is the original digest-free
-//! layout; version `0x02` appends a suspicion-digest section to grants
-//! and acks so liveness gossip can piggyback on protocol traffic. A
-//! sender emits `0x01` whenever it has nothing to gossip — the common
-//! fault-free datagram is byte-identical to the old format, and an old
-//! receiver only ever sees bytes it understands from a healthy cluster —
-//! and `0x02` only when a digest rides along. Receivers accept both.
+//! Two versions coexist. Version `0x01` is the original layout; version
+//! `0x02` appends a suspicion-digest section to grants and acks (so
+//! liveness gossip can piggyback on protocol traffic) and a sender-id
+//! section to requests. A sender emits `0x01` whenever it has nothing to
+//! add — the common fault-free grant/ack is byte-identical to the old
+//! format — and receivers accept both versions of every kind.
 //!
 //! ```text
 //! v1 Request: [0x01, 0x00, seq: u64, urgent: u8, alpha_mw: u64]  (19 bytes)
 //! v1 Grant:   [0x01, 0x01, seq: u64, amount_mw: u64]             (18 bytes)
 //! v1 Ack:     [0x01, 0x02, seq: u64]                             (10 bytes)
 //!
+//! v2 Request: v1 body, then from: u32                            (23 bytes)
 //! v2 Grant:   v1 body, then digest                               (≤75 bytes)
 //! v2 Ack:     v1 body, then digest                               (≤67 bytes)
 //! digest:     [incarnation: u64, count: u8,
@@ -63,6 +65,11 @@ pub enum WireMsg {
         urgent: bool,
         /// Power needed to return to the initial cap (urgent only).
         alpha: Power,
+        /// The requester's stable cluster id (v2 only). Grants key their
+        /// escrow by this id, so a requester that crashes and rebinds a
+        /// different port can still retransmit, be deduplicated, and ack.
+        /// `None` on v1 datagrams from older senders.
+        from: Option<NodeId>,
     },
     /// A pool's grant in response.
     Grant {
@@ -131,16 +138,25 @@ impl WireMsg {
             }
             | WireMsg::Ack {
                 digest: Some(_), ..
-            } => WIRE_VERSION_DIGEST,
+            }
+            | WireMsg::Request { from: Some(_), .. } => WIRE_VERSION_DIGEST,
             _ => WIRE_VERSION,
         };
         buf.push(version);
         match self {
-            WireMsg::Request { seq, urgent, alpha } => {
+            WireMsg::Request {
+                seq,
+                urgent,
+                alpha,
+                from,
+            } => {
                 buf.push(KIND_REQUEST);
                 buf.extend_from_slice(&seq.to_le_bytes());
                 buf.push(u8::from(*urgent));
                 buf.extend_from_slice(&alpha.milliwatts().to_le_bytes());
+                if let Some(id) = from {
+                    buf.extend_from_slice(&id.raw().to_le_bytes());
+                }
             }
             WireMsg::Grant {
                 seq,
@@ -221,7 +237,17 @@ impl WireMsg {
                 let seq = u64_at(2)?;
                 let urgent = *buf.get(10).ok_or(WireError::Truncated)? != 0;
                 let alpha = Power::from_milliwatts(u64_at(11)?);
-                Ok(WireMsg::Request { seq, urgent, alpha })
+                let from = if version == WIRE_VERSION {
+                    None
+                } else {
+                    Some(NodeId::new(u32_at(19)?))
+                };
+                Ok(WireMsg::Request {
+                    seq,
+                    urgent,
+                    alpha,
+                    from,
+                })
             }
             KIND_GRANT => {
                 let seq = u64_at(2)?;
@@ -271,11 +297,30 @@ mod tests {
                 seq: 0xDEAD_BEEF_0123,
                 urgent,
                 alpha: w(57),
+                from: None,
             };
             let bytes = msg.encode();
             assert_eq!(bytes.len(), 19);
+            assert_eq!(bytes[0], WIRE_VERSION);
             assert_eq!(WireMsg::decode(&bytes), Ok(msg));
         }
+    }
+
+    #[test]
+    fn request_with_sender_id_roundtrips_as_v2() {
+        let msg = WireMsg::Request {
+            seq: 42,
+            urgent: true,
+            alpha: w(30),
+            from: Some(NodeId::new(7)),
+        };
+        let bytes = msg.encode();
+        assert_eq!(bytes[0], WIRE_VERSION_DIGEST);
+        assert_eq!(bytes.len(), 23);
+        assert_eq!(WireMsg::decode(&bytes), Ok(msg));
+        // A v2 request truncated to the v1 body must not silently decode
+        // without its id section.
+        assert_eq!(WireMsg::decode(&bytes[..19]), Err(WireError::Truncated));
     }
 
     #[test]
@@ -419,6 +464,7 @@ mod tests {
             seq: 1,
             urgent: true,
             alpha: w(1),
+            from: None,
         }
         .encode();
         bytes.truncate(12);
@@ -431,6 +477,7 @@ mod tests {
             seq: u64::MAX,
             urgent: true,
             alpha: Power::MAX,
+            from: Some(NodeId::new(u32::MAX)),
         };
         assert!(r.encode().len() <= MAX_WIRE_LEN);
         let g = WireMsg::Grant {
@@ -488,11 +535,24 @@ mod fuzz {
             seq in any::<u64>(),
             urgent in any::<bool>(),
             mw in any::<u64>(),
-            kind in 0u8..3,
+            kind in 0u8..4,
             digest in arb_digest(),
         ) {
+            // kind 3 exercises the v2 request (sender id derived from the
+            // same entropy as the payload).
             let msg = match kind {
-                0 => WireMsg::Request { seq, urgent, alpha: Power::from_milliwatts(mw) },
+                0 => WireMsg::Request {
+                    seq,
+                    urgent,
+                    alpha: Power::from_milliwatts(mw),
+                    from: None,
+                },
+                3 => WireMsg::Request {
+                    seq,
+                    urgent,
+                    alpha: Power::from_milliwatts(mw),
+                    from: Some(NodeId::new((mw >> 16) as u32)),
+                },
                 1 => WireMsg::Grant { seq, amount: Power::from_milliwatts(mw), digest },
                 _ => WireMsg::Ack { seq, digest },
             };

@@ -37,6 +37,7 @@ fn launch(sockets: Vec<UdpSocket>, demands: &[u64]) -> Vec<penelope_daemon::Daem
                 .map(|(_, a)| *a)
                 .collect();
             let mut cfg = DaemonConfig::demo(addrs[i], peers, w(demands[i]));
+            cfg.node_id = i as u32;
             cfg.status_every = 5;
             run_daemon_with_socket(cfg, socket).expect("daemon start")
         })
@@ -122,6 +123,119 @@ fn status_stream_reports_progress() {
     assert!(seen.windows(2).all(|p| p[0].iteration < p[1].iteration));
     let line = seen[0].render();
     assert!(line.contains("cap=") && line.contains("pool="));
+}
+
+#[test]
+fn escrow_survives_requester_rebinding_a_new_port() {
+    // The granter keys escrow by *node id* (carried in v2 requests), not
+    // by socket address: a requester that crashes and comes back on a
+    // different port must still be deduplicated against its outstanding
+    // grant, and its ack — from the new port — must still release the
+    // entry. A SocketAddr-keyed escrow orphans the entry and double-debits
+    // the pool on the re-request.
+    use penelope_daemon::WireMsg;
+    use penelope_units::NodeId;
+
+    let daemon_socket = UdpSocket::bind("127.0.0.1:0").expect("bind daemon");
+    let daemon_addr = daemon_socket.local_addr().unwrap();
+    let s1 = UdpSocket::bind("127.0.0.1:0").expect("bind requester");
+    s1.set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    let mut cfg = DaemonConfig::demo(daemon_addr, vec![s1.local_addr().unwrap()], w(100));
+    // Widen the escrow window (2^(r+1) · response_timeout + period) so
+    // the rebind + re-request + ack comfortably fits inside it.
+    cfg.node.decider.max_retransmits = 5;
+    let handle = run_daemon_with_socket(cfg, daemon_socket).expect("start");
+
+    // Poll with urgent requests until the daemon's pool has surplus to
+    // grant (its decider deposits cap − demand over the first periods).
+    // Zero-grant serves leave no escrow, so each attempt uses a new seq.
+    let mut granted = Power::ZERO;
+    let mut granted_seq = 0u64;
+    let mut buf = [0u8; 128];
+    'outer: for attempt in 0..300u64 {
+        let req = WireMsg::Request {
+            seq: attempt,
+            urgent: true,
+            alpha: w(30),
+            from: Some(NodeId::new(1)),
+        };
+        s1.send_to(&req.encode(), daemon_addr).expect("send");
+        // The daemon's own decider also sends us requests; skip them.
+        while let Ok((len, _)) = s1.recv_from(&mut buf) {
+            if let Ok(WireMsg::Grant { seq, amount, .. }) = WireMsg::decode(&buf[..len]) {
+                if seq == attempt {
+                    if amount.is_zero() {
+                        continue 'outer; // pool still empty: try again
+                    }
+                    granted = amount;
+                    granted_seq = seq;
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert!(
+        !granted.is_zero(),
+        "pool never accumulated surplus to grant"
+    );
+    assert_eq!(handle.escrow_len(), 1, "non-zero grant must be escrowed");
+
+    // The requester "crashes" and rebinds a brand-new port, then
+    // retransmits the same request.
+    let s2 = UdpSocket::bind("127.0.0.1:0").expect("rebind requester");
+    s2.set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    assert_ne!(s1.local_addr().unwrap(), s2.local_addr().unwrap());
+    drop(s1);
+    let dup = WireMsg::Request {
+        seq: granted_seq,
+        urgent: true,
+        alpha: w(30),
+        from: Some(NodeId::new(1)),
+    };
+    s2.send_to(&dup.encode(), daemon_addr).expect("send dup");
+    // The reply is the escrow dedup answer for the already-served seq,
+    // not a second debit.
+    let mut reminded = false;
+    while let Ok((len, _)) = s2.recv_from(&mut buf) {
+        if let Ok(WireMsg::Grant { seq, .. }) = WireMsg::decode(&buf[..len]) {
+            if seq == granted_seq {
+                reminded = true;
+                break;
+            }
+        }
+    }
+    assert!(reminded, "duplicate request from the new port got no reply");
+    assert_eq!(
+        handle.escrow_len(),
+        1,
+        "dedup must not create a second entry"
+    );
+
+    // The ack — also from the new port — must release the original entry.
+    let ack = WireMsg::Ack {
+        seq: granted_seq,
+        digest: None,
+    };
+    s2.send_to(&ack.encode(), daemon_addr).expect("send ack");
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while handle.escrow_len() != 0 && std::time::Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(
+        handle.escrow_len(),
+        0,
+        "ack from the rebound port failed to release the escrow entry"
+    );
+
+    let summary = handle.stop();
+    // The pool paid out exactly once across both incarnations of the
+    // requester's socket.
+    assert_eq!(
+        summary.granted_to_peers, granted,
+        "pool debited more than the single escrowed grant"
+    );
 }
 
 #[test]

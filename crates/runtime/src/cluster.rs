@@ -7,8 +7,8 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use penelope_core::{
-    fair_assignment, DeciderConfig, EscrowState, GrantAck, GrantEscrow, LocalDecider, NodeParams,
-    PeerMsg, PowerGrant, PowerPool, PowerRequest, TickAction,
+    fair_assignment, DeciderConfig, DiscoveryStrategy, EngineConfig, EngineInput, EngineOutput,
+    NodeEngine, NodeParams, PeerMsg,
 };
 use penelope_net::{Envelope, ThreadEndpoint, ThreadNet};
 use penelope_power::RaplConfig;
@@ -34,6 +34,11 @@ pub struct RuntimeConfig {
     pub rapl: RaplConfig,
     /// Fractional daemon overhead on the workload (0 for Fair).
     pub management_overhead: f64,
+    /// Peer-discovery strategy for the Penelope deciders.
+    pub discovery: DiscoveryStrategy,
+    /// Starting request-sequence watermark applied to every node's engine
+    /// (`NodeEngine::with_seq_floor`). Zero for a fresh cluster.
+    pub seq_floor: u64,
     /// RNG seed for peer selection.
     pub seed: u64,
     /// Protocol-event sink shared by every node thread; defaults to the
@@ -59,6 +64,8 @@ impl RuntimeConfig {
                 ..Default::default()
             },
             management_overhead: 0.0,
+            discovery: DiscoveryStrategy::default(),
+            seq_floor: 0,
             seed: 1,
             observer: SharedObserver::noop(),
         }
@@ -174,9 +181,9 @@ impl ThreadedCluster {
     }
 
     /// Run Penelope: per node, a decider thread and a pool thread sharing
-    /// a locked [`PowerPool`] (§3.3: "a simple lock"). Pool endpoints are
-    /// node ids `0..n`; decider endpoints are `n..2n` so grants and
-    /// requests never share a queue.
+    /// the node's locked [`NodeEngine`] (§3.3: "a simple lock"). Pool
+    /// endpoints are node ids `0..n`; decider endpoints are `n..2n` so
+    /// grants and requests never share a queue.
     pub fn run_penelope(
         cfg: RuntimeConfig,
         workloads: Vec<Profile>,
@@ -202,15 +209,31 @@ impl ThreadedCluster {
         let (net, mut endpoints) = ThreadNet::<PeerMsg>::new(2 * n);
         let decider_eps = endpoints.split_off(n);
         let pool_eps = endpoints;
-        let pools: Vec<Arc<Mutex<PowerPool>>> = (0..n)
-            .map(|_| Arc::new(Mutex::new(PowerPool::new(cfg.node.pool))))
+        // One engine per node, shared by its decider and pool threads
+        // behind the §3.3 lock. The decider's safe range comes from the
+        // node's hardware, so the engine's does too.
+        let engines: Vec<Arc<Mutex<NodeEngine>>> = (0..n)
+            .map(|i| {
+                let node = NodeParams {
+                    safe_range: hw[i].safe_range(),
+                    ..cfg.node
+                };
+                Arc::new(Mutex::new(NodeEngine::new(
+                    NodeId::new(i as u32),
+                    n,
+                    EngineConfig::new(node)
+                        .with_discovery(cfg.discovery)
+                        .with_seq_floor(cfg.seq_floor),
+                    caps[i],
+                    cfg.observer.clone(),
+                )))
+            })
             .collect();
         let shutdown = Arc::new(AtomicBool::new(false));
 
-        let escrow_timeout = cfg.node.decider.escrow_timeout();
         let mut pool_threads = Vec::with_capacity(n);
         for (i, ep) in pool_eps.into_iter().enumerate() {
-            let pool = Arc::clone(&pools[i]);
+            let engine = Arc::clone(&engines[i]);
             let stop = Arc::clone(&shutdown);
             let em = Emitter::new(
                 cfg.observer.clone(),
@@ -219,129 +242,106 @@ impl ThreadedCluster {
             );
             let clock = clock.clone();
             pool_threads.push(thread::spawn(move || -> ThreadEndpoint<PeerMsg> {
-                // Granter-side escrow: every non-zero grant is held, keyed
-                // by the requester's endpoint and seq echo, until its ack.
-                // An undeliverable grant's power flows back into the pool
-                // at the deadline instead of silently vanishing.
-                let mut escrow: GrantEscrow<NodeId> = GrantEscrow::new();
+                // The engine owns the granter-side escrow: every non-zero
+                // grant is held, keyed by requester id and seq echo, until
+                // its ack; an undeliverable grant's power flows back into
+                // the pool at the deadline instead of silently vanishing.
+                // The rng is demanded by the `handle` signature but never
+                // drawn on the serve path.
+                let mut rng = TestRng::seed_from_u64(0);
+                let mut outputs: Vec<EngineOutput> = Vec::new();
                 while !stop.load(Ordering::Relaxed) {
-                    let wake = clock.now();
-                    for entry in escrow.take_expired(wake) {
-                        if entry.state == EscrowState::Undelivered {
-                            pool.lock().unwrap().deposit(entry.amount);
-                            let requester =
-                                NodeId::new(entry.requester.index().saturating_sub(n) as u32);
-                            em.emit(wake, || EventKind::GrantReclaimed {
-                                requester,
-                                seq: entry.seq,
-                                amount: entry.amount,
-                            });
-                        }
-                        // AwaitingAck entries expire without credit: the
-                        // power is with the requester (only the ack was
-                        // lost) and re-crediting it would mint.
-                    }
+                    // Bulk escrow expiry each wake; the per-entry timers
+                    // the engine requests are never armed on this
+                    // substrate. Sweeps produce no outputs.
+                    engine.lock().unwrap().handle(
+                        clock.now(),
+                        EngineInput::SweepEscrow,
+                        &mut rng,
+                        &mut outputs,
+                    );
                     if let Some(env) = ep.recv_timeout(Duration::from_millis(5)) {
+                        let now = clock.now();
                         match env.msg {
                             PeerMsg::Request(req) => {
-                                // Requests arrive from decider endpoints
-                                // (`n..2n`); report the logical node id.
-                                let requester =
-                                    NodeId::new(req.from.index().saturating_sub(n) as u32);
-                                let now = clock.now();
-                                if let Some(entry) = escrow.get(req.from, req.seq).copied() {
-                                    // Retransmitted request: this seq was
-                                    // already served and debited once.
-                                    // Re-send the escrowed amount if the
-                                    // first copy never made it; otherwise
-                                    // a zero reminder. Never a fresh serve.
-                                    let resend = match entry.state {
-                                        EscrowState::Undelivered => entry.amount,
-                                        EscrowState::AwaitingAck => Power::ZERO,
-                                    };
-                                    let delivered = ep.send(
-                                        req.from,
-                                        // Pool threads have no decider, so
-                                        // nothing to gossip.
-                                        PeerMsg::Grant(
-                                            PowerGrant {
-                                                amount: resend,
-                                                seq: req.seq,
-                                            },
-                                            None,
-                                        ),
-                                    );
-                                    em.emit(now, || EventKind::MsgSent {
-                                        dst: requester,
-                                        carried: resend,
-                                    });
-                                    if !resend.is_zero() {
-                                        let e = escrow
-                                            .get_mut(req.from, req.seq)
-                                            .expect("entry present");
-                                        e.deadline = now + escrow_timeout;
-                                        if delivered {
-                                            e.state = EscrowState::AwaitingAck;
-                                        }
-                                    }
-                                    continue;
-                                }
-                                let (before, amount, after) = {
-                                    let mut p = pool.lock().unwrap();
-                                    let before = p.local_urgency();
-                                    let amount = p.handle_request(req.urgent, req.alpha);
-                                    (before, amount, p.local_urgency())
-                                };
-                                em.emit(now, || EventKind::RequestServed {
-                                    requester,
-                                    seq: req.seq,
-                                    granted: amount,
-                                    urgent: req.urgent,
-                                });
-                                if !before && after {
-                                    em.emit(now, || EventKind::UrgencyRaised { by: requester });
-                                } else if before && !after {
-                                    em.emit(now, || EventKind::UrgencyCleared {
-                                        released: Power::ZERO,
-                                    });
-                                }
-                                let delivered = ep.send(
-                                    req.from,
-                                    PeerMsg::Grant(
-                                        PowerGrant {
-                                            amount,
-                                            seq: req.seq,
-                                        },
-                                        None,
-                                    ),
+                                // `req.from` carries the logical node id;
+                                // replies route to that node's *decider*
+                                // endpoint (`n..2n`), so grants and
+                                // requests never share a queue.
+                                let mut eng = engine.lock().unwrap();
+                                eng.handle(
+                                    now,
+                                    EngineInput::Msg {
+                                        src: req.from,
+                                        msg: PeerMsg::Request(req),
+                                    },
+                                    &mut rng,
+                                    &mut outputs,
                                 );
-                                em.emit(now, || EventKind::MsgSent {
-                                    dst: requester,
-                                    carried: amount,
-                                });
-                                if !amount.is_zero() {
-                                    let state = if delivered {
-                                        EscrowState::AwaitingAck
-                                    } else {
-                                        EscrowState::Undelivered
-                                    };
-                                    escrow.insert(
-                                        req.from,
-                                        req.seq,
-                                        amount,
-                                        state,
-                                        now + escrow_timeout,
-                                    );
-                                    em.emit(now, || EventKind::GrantEscrowed {
-                                        requester,
-                                        seq: req.seq,
-                                        amount,
-                                    });
+                                let mut k = 0;
+                                while k < outputs.len() {
+                                    let out = outputs[k].clone();
+                                    k += 1;
+                                    match out {
+                                        // A zero grant (empty-handed reply
+                                        // or ack-raced reminder) is
+                                        // fire-and-forget.
+                                        EngineOutput::Send { dst, msg, carried } => {
+                                            let _ =
+                                                ep.send(NodeId::new((n + dst.index()) as u32), msg);
+                                            em.emit(now, || EventKind::MsgSent { dst, carried });
+                                        }
+                                        EngineOutput::SendGrant {
+                                            dst,
+                                            msg,
+                                            amount,
+                                            seq,
+                                        } => {
+                                            let delivered =
+                                                ep.send(NodeId::new((n + dst.index()) as u32), msg);
+                                            em.emit(now, || EventKind::MsgSent {
+                                                dst,
+                                                carried: amount,
+                                            });
+                                            // The feedback appends the
+                                            // engine's escrow bookkeeping
+                                            // to this same buffer.
+                                            eng.handle(
+                                                now,
+                                                EngineInput::GrantOutcome {
+                                                    requester: dst,
+                                                    seq,
+                                                    amount,
+                                                    delivered,
+                                                },
+                                                &mut rng,
+                                                &mut outputs,
+                                            );
+                                        }
+                                        EngineOutput::SetEscrowTimer { .. } => {}
+                                        EngineOutput::Actuate { .. }
+                                        | EngineOutput::PowerLost { .. }
+                                        | EngineOutput::Resolved { .. } => {}
+                                    }
                                 }
+                                outputs.clear();
                             }
-                            PeerMsg::Ack(a, _) => {
+                            PeerMsg::Ack(a, digest) => {
                                 // The transfer committed; drop the claim.
-                                let _ = escrow.release(env.src, a.seq);
+                                // Acks arrive from decider endpoints
+                                // (`n..2n`); translate back to the logical
+                                // id the escrow is keyed by.
+                                let src = NodeId::new(env.src.index().saturating_sub(n) as u32);
+                                engine.lock().unwrap().handle(
+                                    now,
+                                    EngineInput::Msg {
+                                        src,
+                                        msg: PeerMsg::Ack(a, digest),
+                                    },
+                                    &mut rng,
+                                    &mut outputs,
+                                );
+                                outputs.clear();
                             }
                             PeerMsg::Grant(..) => {}
                         }
@@ -353,19 +353,16 @@ impl ThreadedCluster {
 
         let mut decider_threads = Vec::with_capacity(n);
         for (i, ep) in decider_eps.into_iter().enumerate() {
-            let pool = Arc::clone(&pools[i]);
+            let engine = Arc::clone(&engines[i]);
             let stop = Arc::clone(&shutdown);
             let hw_i = Arc::clone(&hw[i]);
             let clock = clock.clone();
             let cfg = cfg.clone();
-            let initial = caps[i];
             decider_threads.push(thread::spawn(move || -> ThreadEndpoint<PeerMsg> {
                 let me = NodeId::new(i as u32);
-                let mut decider = LocalDecider::new(cfg.node.decider, initial, hw_i.safe_range())
-                    .with_observer(me, cfg.observer.clone());
                 let em = Emitter::new(cfg.observer.clone(), me, cfg.node.decider.period);
                 let mut rng = TestRng::seed_from_u64(cfg.seed.wrapping_add(i as u64));
-                let decider_addr = NodeId::new((n + i) as u32);
+                let mut outputs: Vec<EngineOutput> = Vec::new();
                 // Messages that arrived during a grant wait but were not
                 // the reply being waited for; replayed into the next wait
                 // instead of being discarded.
@@ -374,57 +371,40 @@ impl ThreadedCluster {
                     let iter_start = Instant::now();
                     let now = clock.now();
                     let reading = hw_i.read_power();
-                    // Suspicion-aware uniform discovery: peers whose
-                    // requests keep timing out (crashed or partitioned)
-                    // are skipped until the decider's probe interval
-                    // re-admits them. Fault-free the suspicion set is
-                    // empty and this draws exactly the historical
-                    // uniform pick.
-                    let mut rr_cursor = 0u32;
-                    let peer = penelope_sim::choose_peer(
-                        penelope_sim::DiscoveryStrategy::UniformRandom,
+                    // One engine tick: suspicion-aware uniform discovery
+                    // (crashed or partitioned peers are skipped until the
+                    // probe interval re-admits them; fault-free this draws
+                    // exactly the historical uniform pick), Algorithm 1,
+                    // and the CapActuated sample — all inside the engine.
+                    engine.lock().unwrap().handle(
+                        now,
+                        EngineInput::Tick { reading },
                         &mut rng,
-                        i,
-                        n,
-                        &mut rr_cursor,
-                        None,
-                        decider.suspicion_active(now),
-                        |p| decider.is_suspected(now, p),
+                        &mut outputs,
                     );
-                    let action = decider.tick(now, reading, &mut pool.lock().unwrap(), peer);
-                    hw_i.set_cap(decider.cap());
-                    {
-                        let cap_now = decider.cap();
-                        let pool_now = pool.lock().unwrap().available();
-                        em.emit(now, || EventKind::CapActuated {
-                            cap: cap_now,
-                            reading,
-                            pool: pool_now,
-                        });
+                    let mut await_seq: Option<u64> = None;
+                    for out in outputs.drain(..) {
+                        match out {
+                            EngineOutput::Actuate { cap } => hw_i.set_cap(cap),
+                            EngineOutput::Send { dst, msg, .. } => {
+                                if let PeerMsg::Request(req) = &msg {
+                                    await_seq = Some(req.seq);
+                                }
+                                // The target's pool endpoint shares its
+                                // logical id, so `dst` routes as-is.
+                                let _ = ep.send(dst, msg);
+                                em.emit(now, || EventKind::MsgSent {
+                                    dst,
+                                    carried: Power::ZERO,
+                                });
+                            }
+                            _ => {}
+                        }
                     }
-                    if let TickAction::Request {
-                        dst,
-                        urgent,
-                        alpha,
-                        seq,
-                    } = action
-                    {
-                        let _ = ep.send(
-                            dst,
-                            PeerMsg::Request(PowerRequest {
-                                from: decider_addr,
-                                urgent,
-                                alpha,
-                                seq,
-                            }),
-                        );
-                        em.emit(now, || EventKind::MsgSent {
-                            dst,
-                            carried: Power::ZERO,
-                        });
+                    if let Some(seq) = await_seq {
                         // Block for the pool's reply, as the paper's
                         // decider does — but without discarding whatever
-                        // else arrives meanwhile. A stale grant (an older
+                        // else arrives meanwhile. A late grant (an older
                         // request answered after its timeout) is applied
                         // idempotently and acked; anything else is
                         // deferred; only the grant echoing *this*
@@ -453,34 +433,36 @@ impl ThreadedCluster {
                                         src: env.src,
                                         carried: g.amount,
                                     });
-                                    if let Some(d) = &digest {
-                                        decider.observe_digest(now2, env.src, d);
-                                    }
-                                    // Any reply proves the granter alive.
-                                    decider.note_peer_reply(now2, env.src);
-                                    let _ = decider.on_grant(
+                                    let g_seq = g.seq;
+                                    // Grants arrive from pool endpoints
+                                    // (`0..n`), so `env.src` is already
+                                    // the granter's logical id.
+                                    engine.lock().unwrap().handle(
                                         now2,
-                                        g.seq,
-                                        g.amount,
-                                        &mut pool.lock().unwrap(),
+                                        EngineInput::Msg {
+                                            src: env.src,
+                                            msg: PeerMsg::Grant(g, digest),
+                                        },
+                                        &mut rng,
+                                        &mut outputs,
                                     );
-                                    hw_i.set_cap(decider.cap());
-                                    if !g.amount.is_zero() {
-                                        // Commit the transfer so the
-                                        // granter releases its escrow.
-                                        let _ = ep.send(
-                                            env.src,
-                                            PeerMsg::Ack(
-                                                GrantAck { seq: g.seq },
-                                                decider.make_digest(),
-                                            ),
-                                        );
-                                        em.emit(now2, || EventKind::MsgSent {
-                                            dst: env.src,
-                                            carried: Power::ZERO,
-                                        });
+                                    for out in outputs.drain(..) {
+                                        match out {
+                                            EngineOutput::Actuate { cap } => hw_i.set_cap(cap),
+                                            // The commit ack, addressed to
+                                            // the granter's pool endpoint
+                                            // so it releases its escrow.
+                                            EngineOutput::Send { dst, msg, .. } => {
+                                                let _ = ep.send(dst, msg);
+                                                em.emit(now2, || EventKind::MsgSent {
+                                                    dst,
+                                                    carried: Power::ZERO,
+                                                });
+                                            }
+                                            _ => {}
+                                        }
                                     }
-                                    if g.seq == seq {
+                                    if g_seq == seq {
                                         break;
                                     }
                                 }
@@ -540,9 +522,9 @@ impl ThreadedCluster {
             finished_secs: finish_times(&hw),
             net: net.stats(),
             final_caps: hw.iter().map(|h| h.cap()).collect(),
-            final_pools: pools
+            final_pools: engines
                 .iter()
-                .map(|p| p.lock().unwrap().available())
+                .map(|e| e.lock().unwrap().pool().available())
                 .collect(),
             drained_in_flight: drained,
             server_cache: Power::ZERO,
@@ -761,7 +743,23 @@ impl ThreadedClusterBuilder {
         self
     }
 
+    /// Apply the unified engine configuration — node parameters,
+    /// discovery strategy and sequence watermark in one `penelope_core`
+    /// value. The same [`EngineConfig`] drives `ClusterSim::builder` and
+    /// `DaemonConfig::builder`, so a tuned protocol setup moves between
+    /// substrates verbatim.
+    pub fn engine_config(mut self, engine: EngineConfig) -> Self {
+        self.cfg.node = engine.node;
+        self.cfg.discovery = engine.discovery;
+        self.cfg.seq_floor = engine.seq_floor;
+        self
+    }
+
     /// The shared per-node protocol knobs (decider, pool, safe range).
+    #[deprecated(
+        note = "use engine_config(EngineConfig::new(node)) — one config type across sim, \
+                runtime and daemon"
+    )]
     pub fn node_params(mut self, node: NodeParams) -> Self {
         self.cfg.node = node;
         self

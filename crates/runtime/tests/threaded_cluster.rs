@@ -164,3 +164,27 @@ fn penelope_threads_survive_a_client_crash() {
     );
     assert!(r.net.dropped_dead > 0, "no traffic ever hit the dead node");
 }
+
+#[test]
+fn builder_accepts_the_unified_engine_config() {
+    // The same `penelope_core::EngineConfig` value that configures the
+    // simulator and the UDP daemon configures a threaded run.
+    use penelope_core::{EngineConfig, NodeParams};
+    use penelope_units::SimDuration;
+
+    let node = NodeParams {
+        decider: penelope_core::DeciderConfig {
+            period: SimDuration::from_millis(10),
+            response_timeout: SimDuration::from_millis(10),
+            ..Default::default()
+        },
+        ..NodeParams::default()
+    };
+    let r = ThreadedCluster::builder()
+        .budget(w(320))
+        .workloads(vec![profile("a", 100, 0.2), profile("b", 250, 0.2)])
+        .engine_config(EngineConfig::new(node).with_seq_floor(5))
+        .deadline(Duration::from_secs(5))
+        .run_penelope();
+    assert!(r.power_within_budget(), "budget exceeded");
+}

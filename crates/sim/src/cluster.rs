@@ -1,8 +1,7 @@
 //! The cluster simulator.
 
 use penelope_core::{
-    fair_assignment, EscrowState, GrantAck, GrantEscrow, LocalDecider, PeerMsg, PowerGrant,
-    PowerPool, PowerRequest, SuspicionDigest, TickAction,
+    fair_assignment, EngineConfig, EngineInput, EngineOutput, NodeEngine, PeerMsg,
 };
 use penelope_metrics::{OscillationStats, RedistributionTracker};
 use penelope_net::{RouteOutcome, SimNet};
@@ -17,11 +16,10 @@ use penelope_workload::{Profile, WorkloadState};
 use std::sync::Arc;
 
 use crate::config::{ClusterConfig, SystemKind};
-use crate::discovery::choose_peer;
 use crate::event::{Event, EventQueue, Scheduled};
 use crate::faults::{FaultAction, FaultScript};
 use crate::ledger::Ledger;
-use crate::node::{initial_rr_cursor, Manager, SimNode};
+use crate::node::{Manager, SimNode};
 use crate::report::RunReport;
 use crate::trace::ClusterTrace;
 
@@ -50,9 +48,10 @@ pub struct ClusterSim {
     /// differently than it did before the ack protocol existed.
     ack_rng: TestRng,
     nodes: Vec<SimNode>,
-    /// Per-node escrow of served-but-unacknowledged grants, indexed like
-    /// `nodes`. Kept out of [`SimNode`] so the node stays a plain record.
-    escrows: Vec<GrantEscrow<NodeId>>,
+    /// Reusable scratch buffer for engine outputs — taken, driven, cleared
+    /// and put back on every engine interaction so the hot path never
+    /// allocates.
+    engine_out: Vec<EngineOutput>,
     servers: Vec<ServerSide>,
     ledger: Ledger,
     redistribution: Option<(RedistributionTracker, std::collections::HashSet<NodeId>)>,
@@ -132,9 +131,15 @@ impl ClusterSim {
             let manager = match cfg.system {
                 SystemKind::Fair => Manager::Fair,
                 SystemKind::Penelope => Manager::Penelope {
-                    decider: LocalDecider::new(cfg.node.decider, caps[i], cfg.node.safe_range)
-                        .with_observer(id, cfg.observer.clone()),
-                    pool: PowerPool::new(cfg.node.pool),
+                    engine: NodeEngine::new(
+                        id,
+                        n,
+                        EngineConfig::new(cfg.node)
+                            .with_discovery(cfg.discovery)
+                            .with_seq_floor(cfg.seq_floor),
+                        caps[i],
+                        cfg.observer.clone(),
+                    ),
                     queue: ServerQueue::new(cfg.service, cfg.pool_queue_capacity),
                 },
                 SystemKind::Slurm => Manager::Slurm {
@@ -157,8 +162,6 @@ impl ClusterSim {
                 turnaround: Default::default(),
                 finished_seen: false,
                 initial_cap: caps[i],
-                rr_cursor: initial_rr_cursor(i as u32, n as u32),
-                last_success: None,
                 oscillation: OscillationStats::new(),
                 active_server: 0,
                 server_timeouts: 0,
@@ -185,7 +188,6 @@ impl ClusterSim {
 
         let net_rng = TestRng::seed_from_u64(node_seed(cfg.seed, u64::MAX - 1));
         let ack_rng = TestRng::seed_from_u64(node_seed(cfg.seed, u64::MAX - 2));
-        let escrows = (0..n).map(|_| GrantEscrow::new()).collect();
         let obs = cfg.observer.clone();
         let obs_on = obs.enabled();
         ClusterSim {
@@ -196,7 +198,7 @@ impl ClusterSim {
             net_rng,
             ack_rng,
             nodes,
-            escrows,
+            engine_out: Vec::new(),
             servers,
             ledger: Ledger::new(initial_total),
             redistribution: None,
@@ -226,6 +228,11 @@ impl ClusterSim {
             SharedObserver::from(trace.clone()),
         );
         self.obs_on = self.obs.enabled();
+        for node in &mut self.nodes {
+            if let Manager::Penelope { engine, .. } = &mut node.manager {
+                engine.set_observer(self.obs.clone());
+            }
+        }
         self.trace = Some(trace);
     }
 
@@ -352,12 +359,15 @@ impl ClusterSim {
             .iter()
             .map(|node| {
                 let (available, deposited, granted, drained) = match &node.manager {
-                    Manager::Penelope { pool, .. } => (
-                        pool.available(),
-                        pool.total_deposited(),
-                        pool.total_granted() + pool.total_taken_local(),
-                        pool.total_drained(),
-                    ),
+                    Manager::Penelope { engine, .. } => {
+                        let pool = engine.pool();
+                        (
+                            pool.available(),
+                            pool.total_deposited(),
+                            pool.total_granted() + pool.total_taken_local(),
+                            pool.total_drained(),
+                        )
+                    }
                     _ => (Power::ZERO, Power::ZERO, Power::ZERO, Power::ZERO),
                 };
                 NodeSnapshot {
@@ -383,7 +393,10 @@ impl ClusterSim {
             .nodes
             .iter()
             .filter(|n| self.is_alive(n.id))
-            .map(|n| self.escrows[n.id.index()].undelivered_total())
+            .map(|n| match &n.manager {
+                Manager::Penelope { engine, .. } => engine.escrowed_undelivered(),
+                _ => Power::ZERO,
+            })
             .sum();
         Snapshot {
             period,
@@ -418,7 +431,6 @@ impl ClusterSim {
         if !self.is_alive(id) {
             return; // dead nodes stop iterating
         }
-        let n = self.nodes.len();
         let now = self.now;
         let idx = id.index();
 
@@ -433,13 +445,11 @@ impl ClusterSim {
             self.finished_count += 1;
         }
 
-        // Run the manager.
+        // Run the manager. Penelope nodes are driven through the shared
+        // `NodeEngine`: one `Tick` input, then the outputs are mapped onto
+        // the event queue / network / RAPL by `drive_engine`.
         enum Outgoing {
             None,
-            PeerRequest {
-                dst: NodeId,
-                req: PowerRequest,
-            },
             SlurmReport {
                 excess: Power,
             },
@@ -450,50 +460,18 @@ impl ClusterSim {
             },
         }
         let mut outgoing = Outgoing::None;
+        let mut engine_out: Option<Vec<EngineOutput>> = None;
         match &mut node.manager {
             Manager::Fair => {}
-            Manager::Penelope { decider, pool, .. } => {
-                // Sticky-hint liveness fix: a hint whose peer has started
-                // timing out is dropped immediately instead of waiting for
-                // an empty grant that a crashed peer can never send.
-                if let Some(h) = node.last_success {
-                    if decider.peer_timeout_streak(h) > 0 {
-                        node.last_success = None;
-                    }
-                }
-                let peer = choose_peer(
-                    self.cfg.discovery,
+            Manager::Penelope { engine, .. } => {
+                let mut outputs = std::mem::take(&mut self.engine_out);
+                engine.handle(
+                    now,
+                    EngineInput::Tick { reading },
                     &mut node.rng,
-                    idx,
-                    n,
-                    &mut node.rr_cursor,
-                    node.last_success,
-                    decider.suspicion_active(now),
-                    |p| decider.is_suspected(now, p),
+                    &mut outputs,
                 );
-                match decider.tick(now, reading, pool, peer) {
-                    TickAction::Request {
-                        dst,
-                        urgent,
-                        alpha,
-                        seq,
-                    } => {
-                        // A retransmit reuses the seq: keep the original
-                        // send time so turnaround measures the full wait.
-                        node.pending.entry(seq).or_insert(now);
-                        outgoing = Outgoing::PeerRequest {
-                            dst,
-                            req: PowerRequest {
-                                from: id,
-                                urgent,
-                                alpha,
-                                seq,
-                            },
-                        };
-                    }
-                    TickAction::Deposited(_) | TickAction::TookLocal(_) | TickAction::Idle => {}
-                }
-                node.rapl.set_cap(decider.cap(), now);
+                engine_out = Some(outputs);
             }
             Manager::Slurm { client } => {
                 let had_unanswered = !node.pending.is_empty();
@@ -519,6 +497,19 @@ impl ClusterSim {
             }
         }
 
+        if let Some(mut outputs) = engine_out {
+            // The engine emitted `CapActuated` itself; its `Actuate` output
+            // records oscillation (tick path) and the rest map onto the
+            // queue and the network.
+            self.drive_engine(id, &mut outputs, 0, true);
+            outputs.clear();
+            self.engine_out = outputs;
+            let next = now + self.cfg.node.decider.period;
+            self.nodes[idx].next_tick_at = next;
+            self.queue.push(next, Event::Tick(id));
+            return;
+        }
+
         // Per-tick telemetry. `CapActuated` is the one event every manager
         // kind emits each iteration; the `ClusterTrace` observer projects
         // it into the plottable (cap, reading, pool) series.
@@ -534,9 +525,6 @@ impl ClusterSim {
         // Route any message (node borrow released).
         match outgoing {
             Outgoing::None => {}
-            Outgoing::PeerRequest { dst, req } => {
-                self.route_peer(id, dst, PeerMsg::Request(req), Power::ZERO);
-            }
             Outgoing::SlurmReport { excess } => {
                 let mut server_id = self.active_server_for(id);
                 // Reports are connection-oriented in real SLURM: sending to
@@ -612,54 +600,25 @@ impl ClusterSim {
                     carried: g.amount,
                 });
                 let now = self.now;
+                let mut outputs = std::mem::take(&mut self.engine_out);
                 let node = &mut self.nodes[dst.index()];
-                let Manager::Penelope { decider, pool, .. } = &mut node.manager else {
+                let Manager::Penelope { engine, .. } = &mut node.manager else {
+                    self.engine_out = outputs;
                     self.ledger.lose_direct(g.amount);
                     return;
                 };
-                // Merge piggybacked suspicion gossip first: the digest may
-                // refute a stale suspicion of `src` itself, and the reply
-                // below must land on the post-merge state.
-                if let Some(d) = &digest {
-                    decider.observe_digest(now, src, d);
-                }
-                // Any reply — even a zero grant — proves the peer alive.
-                decider.note_peer_reply(now, src);
-                if decider.is_stale_grant(g.seq) {
-                    // A pre-crash grant caught up with its reborn requester:
-                    // the crash already retired this node's whole pre-crash
-                    // epoch, so applying the grant now would pay the new
-                    // epoch with the old one's money. The decider discards
-                    // it (counted in `stale_discards`) and the amount joins
-                    // the crash's losses. No ack: the granter's escrow entry
-                    // expires creditless, exactly as if the requester died.
-                    let _ = decider.on_grant(now, g.seq, g.amount, pool);
-                    if !g.amount.is_zero() {
-                        self.ledger.lose_direct(g.amount);
-                    }
-                    return;
-                }
-                let _ = decider.on_grant(now, g.seq, g.amount, pool);
-                node.rapl.set_cap(decider.cap(), now);
-                if let Some(sent) = node.pending.remove(&g.seq) {
-                    node.turnaround.record(now.saturating_since(sent));
-                }
-                // Gossip-hint maintenance: remember productive pools,
-                // forget dry ones.
-                if g.amount.is_zero() {
-                    if node.last_success == Some(env.src) {
-                        node.last_success = None;
-                    }
-                } else {
-                    node.last_success = Some(env.src);
-                }
-                self.credit_redistribution(dst, g.amount);
-                // Commit the transfer: the granter holds the amount in
-                // escrow until this ack lands (zero grants debit nothing
-                // and are never escrowed, so nothing to acknowledge).
-                if !g.amount.is_zero() {
-                    self.send_ack(dst, env.src, g.seq);
-                }
+                engine.handle(
+                    now,
+                    EngineInput::Msg {
+                        src,
+                        msg: PeerMsg::Grant(g, digest),
+                    },
+                    &mut node.rng,
+                    &mut outputs,
+                );
+                self.drive_engine(dst, &mut outputs, 0, false);
+                outputs.clear();
+                self.engine_out = outputs;
             }
             PeerMsg::Ack(a, digest) => {
                 let granter = env.dst;
@@ -670,18 +629,22 @@ impl ClusterSim {
                     src: env.src,
                     carried: Power::ZERO,
                 });
-                if let Some(d) = &digest {
-                    let now = self.now;
-                    if let Manager::Penelope { decider, .. } =
-                        &mut self.nodes[granter.index()].manager
-                    {
-                        decider.observe_digest(now, env.src, d);
-                    }
-                }
-                if let Some(entry) = self.escrows[granter.index()].release(env.src, a.seq) {
-                    // An ack proves delivery, so the entry cannot still be
-                    // carrying accounting weight on the granter.
-                    debug_assert_eq!(entry.state, EscrowState::AwaitingAck);
+                let now = self.now;
+                let node = &mut self.nodes[granter.index()];
+                if let Manager::Penelope { engine, .. } = &mut node.manager {
+                    let mut outputs = std::mem::take(&mut self.engine_out);
+                    engine.handle(
+                        now,
+                        EngineInput::Msg {
+                            src: env.src,
+                            msg: PeerMsg::Ack(a, digest),
+                        },
+                        &mut node.rng,
+                        &mut outputs,
+                    );
+                    self.drive_engine(granter, &mut outputs, 0, false);
+                    outputs.clear();
+                    self.engine_out = outputs;
                 }
             }
         }
@@ -695,80 +658,27 @@ impl ClusterSim {
         if !self.is_alive(pool_node) {
             return; // pool crashed before servicing; nothing was debited
         }
-        // Retransmit idempotence: an escrow hit means this (requester, seq)
-        // was already served — re-send the escrowed amount, never re-debit
-        // the pool.
-        if let Some(entry) = self.escrows[pool_node.index()]
-            .get(req.from, req.seq)
-            .copied()
-        {
-            match entry.state {
-                EscrowState::Undelivered => {
-                    self.send_escrowed_grant(pool_node, req.from, req.seq, entry.amount, false);
-                }
-                EscrowState::AwaitingAck => {
-                    // The original grant is in flight or already applied;
-                    // a zero reminder unblocks the requester if its ack
-                    // raced this retransmit (duplicates of the real amount
-                    // are discarded by the decider's seq dedup).
-                    let digest = self.digest_of(pool_node);
-                    self.route_peer(
-                        pool_node,
-                        req.from,
-                        PeerMsg::Grant(
-                            PowerGrant {
-                                amount: Power::ZERO,
-                                seq: req.seq,
-                            },
-                            digest,
-                        ),
-                        Power::ZERO,
-                    );
-                }
-            }
-            return;
-        }
+        // The engine owns the whole serve path: retransmit idempotence via
+        // its escrow, urgency bookkeeping, and the grant/zero-grant reply.
+        let now = self.now;
+        let mut outputs = std::mem::take(&mut self.engine_out);
         let node = &mut self.nodes[pool_node.index()];
-        let Manager::Penelope { pool, .. } = &mut node.manager else {
+        let Manager::Penelope { engine, .. } = &mut node.manager else {
+            self.engine_out = outputs;
             return;
         };
-        let urgency_before = pool.local_urgency();
-        let amount = pool.handle_request(req.urgent, req.alpha);
-        let urgency_after = pool.local_urgency();
-        self.emit(pool_node, || EventKind::RequestServed {
-            requester: req.from,
-            seq: req.seq,
-            granted: amount,
-            urgent: req.urgent,
-        });
-        // The urgency flag has *assignment* semantics (Algorithm 2): an
-        // urgent request raises it, a non-urgent one clears it. Emitting
-        // both transitions keeps raise/clear strictly alternating per node.
-        if !urgency_before && urgency_after {
-            self.emit(pool_node, || EventKind::UrgencyRaised { by: req.from });
-        } else if urgency_before && !urgency_after {
-            self.emit(pool_node, || EventKind::UrgencyCleared {
-                released: Power::ZERO,
-            });
-        }
-        if amount.is_zero() {
-            // Nothing to conserve: an empty-handed reply is fire-and-forget.
-            let digest = self.digest_of(pool_node);
-            self.route_peer(
-                pool_node,
-                req.from,
-                PeerMsg::Grant(
-                    PowerGrant {
-                        amount,
-                        seq: req.seq,
-                    },
-                    digest,
-                ),
-                amount,
-            );
-        } else {
-            self.send_escrowed_grant(pool_node, req.from, req.seq, amount, true);
-        }
+        engine.handle(
+            now,
+            EngineInput::Msg {
+                src: env.src,
+                msg: PeerMsg::Request(req),
+            },
+            &mut node.rng,
+            &mut outputs,
+        );
+        self.drive_engine(pool_node, &mut outputs, 0, false);
+        outputs.clear();
+        self.engine_out = outputs;
     }
 
     fn handle_deliver_slurm(&mut self, env: penelope_net::Envelope<SlurmMsg>) {
@@ -876,29 +786,26 @@ impl ClusterSim {
         }
     }
 
-    /// A per-entry escrow timer fired: if the entry is still live and still
-    /// known undelivered, the granter takes its power back.
+    /// A per-entry escrow timer fired: the engine reclaims the entry if it
+    /// is still live and still known undelivered.
     fn handle_escrow_timeout(&mut self, granter: NodeId, requester: NodeId, seq: u64) {
         if !self.is_alive(granter) {
             return; // the escrow was drained (and booked lost) at death
         }
-        let Some(entry) = self.escrows[granter.index()].expire_one(requester, seq, self.now) else {
-            return; // acked, or a re-send pushed the deadline out
-        };
-        if entry.state == EscrowState::Undelivered {
-            let node = &mut self.nodes[granter.index()];
-            if let Manager::Penelope { pool, .. } = &mut node.manager {
-                pool.deposit(entry.amount);
-            }
-            self.emit(granter, || EventKind::GrantReclaimed {
-                requester,
-                seq,
-                amount: entry.amount,
-            });
+        let now = self.now;
+        let node = &mut self.nodes[granter.index()];
+        if let Manager::Penelope { engine, .. } = &mut node.manager {
+            let mut outputs = std::mem::take(&mut self.engine_out);
+            engine.handle(
+                now,
+                EngineInput::EscrowDeadline { requester, seq },
+                &mut node.rng,
+                &mut outputs,
+            );
+            self.drive_engine(granter, &mut outputs, 0, false);
+            outputs.clear();
+            self.engine_out = outputs;
         }
-        // An AwaitingAck entry expires without credit: the power either
-        // reached the requester (whose ack was lost) or died with it, and
-        // both cases are already accounted elsewhere.
     }
 
     fn handle_fault(&mut self, action: FaultAction) {
@@ -944,13 +851,12 @@ impl ClusterSim {
         }
         let node = &mut self.nodes[id.index()];
         let cap = node.cap();
-        let pooled = match &mut node.manager {
-            Manager::Penelope { pool, .. } => pool.drain(),
-            _ => Power::ZERO,
+        // The pool dies with the node and so do undelivered escrowed
+        // grants, exactly like its cap.
+        let (pooled, escrowed) = match &mut node.manager {
+            Manager::Penelope { engine, .. } => engine.retire(),
+            _ => (Power::ZERO, Power::ZERO),
         };
-        // Undelivered escrowed grants die with their granter, exactly like
-        // its cap and pool.
-        let escrowed = self.escrows[id.index()].drain();
         let lost = cap + pooled + escrowed;
         self.ledger.lose_direct(lost);
         if !node.finished_seen {
@@ -981,32 +887,23 @@ impl ClusterSim {
         self.ledger.readmit(readmitted);
         self.net.faults_mut().revive(id);
         let now = self.now;
-        let manager = match &self.nodes[id.index()].manager {
-            Manager::Penelope { decider, .. } => Manager::Penelope {
-                decider: LocalDecider::new(
-                    self.cfg.node.decider,
-                    readmitted,
-                    self.cfg.node.safe_range,
-                )
-                .with_seq_floor(decider.next_seq())
-                .with_observer(id, self.cfg.observer.clone()),
-                pool: PowerPool::new(self.cfg.node.pool),
-                queue: ServerQueue::new(self.cfg.service, self.cfg.pool_queue_capacity),
-            },
-            Manager::Fair => Manager::Fair,
-            Manager::Slurm { .. } => Manager::Slurm {
-                client: SlurmClient::new(
-                    self.cfg.node.decider,
-                    readmitted,
-                    self.cfg.node.safe_range,
-                ),
-            },
-        };
         let node = &mut self.nodes[id.index()];
-        node.manager = manager;
+        match &mut node.manager {
+            // `reincarnate` advances the seq floor past the pre-crash
+            // watermark and rebuilds decider/pool/escrow at the readmitted
+            // cap; the serve queue is the driver's and is replaced here.
+            Manager::Penelope { engine, queue } => {
+                engine.reincarnate(readmitted);
+                *queue = ServerQueue::new(self.cfg.service, self.cfg.pool_queue_capacity);
+            }
+            Manager::Fair => {}
+            Manager::Slurm { client } => {
+                *client =
+                    SlurmClient::new(self.cfg.node.decider, readmitted, self.cfg.node.safe_range);
+            }
+        }
         node.rapl.set_cap(readmitted, now);
         node.pending.clear();
-        node.last_success = None;
         node.active_server = 0;
         node.server_timeouts = 0;
         // Resume ticking immediately, with no jitter draw: the node's RNG
@@ -1027,7 +924,7 @@ impl ClusterSim {
     /// grants were actually observed and discarded.
     pub fn decider_stats(&self, id: NodeId) -> Option<penelope_core::decider::DeciderStats> {
         match &self.nodes.get(id.index())?.manager {
-            Manager::Penelope { decider, .. } => Some(decider.stats()),
+            Manager::Penelope { engine, .. } => Some(engine.stats()),
             _ => None,
         }
     }
@@ -1054,95 +951,143 @@ impl ClusterSim {
         }
     }
 
-    /// Send (or re-send) a non-zero grant whose amount is already debited
-    /// from the granter's pool, tracking delivery in escrow until the
-    /// requester's ack. Unlike [`route_peer`](Self::route_peer), the ledger
-    /// only `depart`s when the transport actually carries the message: a
-    /// grant known-dropped at send keeps its accounting weight on the
-    /// granter (as an [`EscrowState::Undelivered`] entry) instead of being
-    /// booked as permanently lost — the §3.2 atomicity fix for lossy
-    /// networks.
-    fn send_escrowed_grant(
+    /// Map one batch of [`NodeEngine`] outputs for node `id` onto the
+    /// simulator's substrate: the event queue, the lossy network, RAPL,
+    /// and the conservation ledger.
+    ///
+    /// The buffer is iterated by index because executing a `SendGrant`
+    /// feeds the delivery outcome *back into the engine*, which appends
+    /// its escrow bookkeeping (`SetEscrowTimer`, `GrantEscrowed` trace
+    /// event) to the same buffer mid-iteration — the sans-IO equivalent of
+    /// the old `send_escrowed_grant` helper.
+    ///
+    /// `tick` marks the once-per-period path: only there does an `Actuate`
+    /// also record an oscillation sample, matching the old per-tick
+    /// telemetry (grant-path actuations adjust the cap silently).
+    fn drive_engine(
         &mut self,
-        granter: NodeId,
-        requester: NodeId,
-        seq: u64,
-        amount: Power,
-        fresh: bool,
+        id: NodeId,
+        outputs: &mut Vec<EngineOutput>,
+        start: usize,
+        tick: bool,
     ) {
-        debug_assert!(!amount.is_zero(), "zero grants are never escrowed");
-        let deadline = self.now + self.cfg.node.decider.escrow_timeout();
-        self.emit(granter, || EventKind::MsgSent {
-            dst: requester,
-            carried: amount,
-        });
-        let grant = PeerMsg::Grant(PowerGrant { amount, seq }, self.digest_of(granter));
-        let state = match self
-            .net
-            .route(granter, requester, grant, self.now, &mut self.net_rng)
-        {
-            RouteOutcome::Deliver(env) => {
-                self.ledger.depart(amount);
-                self.queue.push(env.deliver_at, Event::DeliverPeer(env));
-                EscrowState::AwaitingAck
+        let mut i = start;
+        while i < outputs.len() {
+            let out = outputs[i].clone();
+            i += 1;
+            match out {
+                EngineOutput::Actuate { cap } => {
+                    let now = self.now;
+                    let node = &mut self.nodes[id.index()];
+                    node.rapl.set_cap(cap, now);
+                    if tick {
+                        node.oscillation.record(cap);
+                    }
+                }
+                EngineOutput::Send { dst, msg, carried } => match &msg {
+                    // Acks ride the dedicated `ack_rng` stream so loss-free
+                    // runs draw exactly the same `net_rng` sequence they
+                    // did before the ack protocol existed. A dropped ack is
+                    // not retried: the granter's `AwaitingAck` entry simply
+                    // expires without credit.
+                    PeerMsg::Ack(a, _) => {
+                        let seq = a.seq;
+                        self.emit(id, || EventKind::MsgSent {
+                            dst,
+                            carried: Power::ZERO,
+                        });
+                        match self.net.route(id, dst, msg, self.now, &mut self.ack_rng) {
+                            RouteOutcome::Deliver(env) => {
+                                self.queue.push(env.deliver_at, Event::DeliverPeer(env));
+                            }
+                            _ => {
+                                self.emit(id, || EventKind::AckDropped { dst, seq });
+                            }
+                        }
+                    }
+                    PeerMsg::Request(req) => {
+                        // A retransmit reuses the seq: keep the original
+                        // send time so turnaround measures the full wait.
+                        let seq = req.seq;
+                        let now = self.now;
+                        self.nodes[id.index()].pending.entry(seq).or_insert(now);
+                        self.route_peer(id, dst, msg, carried);
+                    }
+                    PeerMsg::Grant(..) => {
+                        self.route_peer(id, dst, msg, carried);
+                    }
+                },
+                EngineOutput::SendGrant {
+                    dst,
+                    msg,
+                    amount,
+                    seq,
+                } => {
+                    // A non-zero grant's amount is already debited from the
+                    // pool; the ledger only `depart`s when the transport
+                    // actually carries it — a grant known-dropped at send
+                    // keeps its accounting weight on the granter (as an
+                    // undelivered escrow entry) instead of being booked as
+                    // permanently lost, the §3.2 atomicity fix for lossy
+                    // networks. The engine learns the outcome immediately
+                    // and escrows accordingly.
+                    self.emit(id, || EventKind::MsgSent {
+                        dst,
+                        carried: amount,
+                    });
+                    let delivered = match self.net.route(id, dst, msg, self.now, &mut self.net_rng)
+                    {
+                        RouteOutcome::Deliver(env) => {
+                            self.ledger.depart(amount);
+                            self.queue.push(env.deliver_at, Event::DeliverPeer(env));
+                            true
+                        }
+                        _ => {
+                            self.emit(id, || EventKind::MsgDropped {
+                                dst,
+                                carried: amount,
+                            });
+                            false
+                        }
+                    };
+                    let now = self.now;
+                    let node = &mut self.nodes[id.index()];
+                    if let Manager::Penelope { engine, .. } = &mut node.manager {
+                        engine.handle(
+                            now,
+                            EngineInput::GrantOutcome {
+                                requester: dst,
+                                seq,
+                                amount,
+                                delivered,
+                            },
+                            &mut node.rng,
+                            outputs,
+                        );
+                    }
+                }
+                EngineOutput::SetEscrowTimer { requester, seq, at } => {
+                    self.queue.push(
+                        at,
+                        Event::EscrowTimeout {
+                            granter: id,
+                            requester,
+                            seq,
+                        },
+                    );
+                }
+                EngineOutput::PowerLost { amount } => {
+                    self.ledger.lose_direct(amount);
+                }
+                EngineOutput::Resolved { seq, amount } => {
+                    let now = self.now;
+                    let node = &mut self.nodes[id.index()];
+                    if let Some(sent) = node.pending.remove(&seq) {
+                        node.turnaround.record(now.saturating_since(sent));
+                    }
+                    self.credit_redistribution(id, amount);
+                }
             }
-            _ => {
-                self.emit(granter, || EventKind::MsgDropped {
-                    dst: requester,
-                    carried: amount,
-                });
-                EscrowState::Undelivered
-            }
-        };
-        self.escrows[granter.index()].insert(requester, seq, amount, state, deadline);
-        if fresh {
-            self.emit(granter, || EventKind::GrantEscrowed {
-                requester,
-                seq,
-                amount,
-            });
-        }
-        self.queue.push(
-            deadline,
-            Event::EscrowTimeout {
-                granter,
-                requester,
-                seq,
-            },
-        );
-    }
-
-    /// Acknowledge an applied non-zero grant. Acks ride the dedicated
-    /// `ack_rng` stream so loss-free runs draw exactly the same `net_rng`
-    /// sequence they did before the ack protocol existed. A dropped ack is
-    /// not retried: the granter's `AwaitingAck` entry simply expires
-    /// without credit, which costs nothing to conservation.
-    fn send_ack(&mut self, requester: NodeId, granter: NodeId, seq: u64) {
-        self.emit(requester, || EventKind::MsgSent {
-            dst: granter,
-            carried: Power::ZERO,
-        });
-        let ack = PeerMsg::Ack(GrantAck { seq }, self.digest_of(requester));
-        match self
-            .net
-            .route(requester, granter, ack, self.now, &mut self.ack_rng)
-        {
-            RouteOutcome::Deliver(env) => {
-                self.queue.push(env.deliver_at, Event::DeliverPeer(env));
-            }
-            _ => {
-                self.emit(requester, || EventKind::AckDropped { dst: granter, seq });
-            }
-        }
-    }
-
-    /// The suspicion digest `id` would piggyback on its next grant or ack:
-    /// `None` whenever the node has nothing to gossip (every fault-free
-    /// run) or is not a Penelope node.
-    fn digest_of(&self, id: NodeId) -> Option<Box<SuspicionDigest>> {
-        match &self.nodes[id.index()].manager {
-            Manager::Penelope { decider, .. } => decider.make_digest(),
-            _ => None,
         }
     }
 
@@ -1210,7 +1155,10 @@ impl ClusterSim {
             .nodes
             .iter()
             .filter(|n| self.net.faults().is_alive(n.id))
-            .map(|n| self.escrows[n.id.index()].undelivered_total())
+            .map(|n| match &n.manager {
+                Manager::Penelope { engine, .. } => engine.escrowed_undelivered(),
+                _ => Power::ZERO,
+            })
             .sum();
         nodes + servers + escrowed
     }
@@ -1359,7 +1307,23 @@ impl ClusterSimBuilder {
         self
     }
 
+    /// Apply the unified engine configuration — node parameters,
+    /// discovery strategy and sequence watermark in one `penelope_core`
+    /// value. The same [`EngineConfig`] drives `ThreadedCluster::builder`
+    /// and `DaemonConfig::builder`, so a tuned protocol setup moves
+    /// between substrates verbatim.
+    pub fn engine_config(mut self, engine: EngineConfig) -> Self {
+        self.cfg.node = engine.node;
+        self.cfg.discovery = engine.discovery;
+        self.cfg.seq_floor = engine.seq_floor;
+        self
+    }
+
     /// The shared per-node protocol knobs (decider, pool, safe range).
+    #[deprecated(
+        note = "use engine_config(EngineConfig::new(node)) — one config type across sim, \
+                runtime and daemon"
+    )]
     pub fn node_params(mut self, node: penelope_core::NodeParams) -> Self {
         self.cfg.node = node;
         self

@@ -30,23 +30,10 @@ impl SystemKind {
     }
 }
 
-/// How a power-hungry Penelope decider picks which pool to query.
-#[derive(Clone, Copy, Debug, PartialEq, Default)]
-pub enum DiscoveryStrategy {
-    /// Uniformly random peer (the paper's design, §3.1).
-    #[default]
-    UniformRandom,
-    /// Deterministic round-robin sweep — the ablation arm: discovery
-    /// without randomness.
-    RoundRobin,
-    /// Gossip hints — a future-work extension: remember the pool that last
-    /// granted power and re-query it, falling back to a uniformly random
-    /// peer with probability `explore` (and whenever the hint goes dry).
-    GossipHint {
-        /// Probability of ignoring the hint and exploring randomly.
-        explore: f64,
-    },
-}
+// `DiscoveryStrategy` moved into `penelope_core::discovery` with the
+// NodeEngine extraction; re-exported here so existing config-based call
+// sites keep compiling unchanged.
+pub use penelope_core::DiscoveryStrategy;
 
 /// Full configuration of a simulated cluster run.
 #[derive(Clone, Debug)]
@@ -86,6 +73,10 @@ pub struct ClusterConfig {
     pub management_overhead: f64,
     /// Peer-discovery strategy for Penelope deciders.
     pub discovery: DiscoveryStrategy,
+    /// Starting request-sequence watermark applied to every node's engine
+    /// (`NodeEngine::with_seq_floor`). Zero for a fresh cluster; restart
+    /// faults manage per-node watermarks on top of this.
+    pub seq_floor: u64,
     /// Master RNG seed; all per-node and network streams derive from it.
     pub seed: u64,
     /// Check the conservation ledger after every event (O(n) per event;
@@ -116,6 +107,7 @@ impl ClusterConfig {
             backup_server: false,
             tick_jitter: SimDuration::from_millis(30),
             discovery: DiscoveryStrategy::default(),
+            seq_floor: 0,
             management_overhead: match system {
                 SystemKind::Fair => 0.0,
                 _ => 0.013,

@@ -1,117 +1,20 @@
-//! Peer discovery for Penelope deciders.
+//! Peer discovery for Penelope deciders — now a re-export.
 //!
-//! One function, [`choose_peer`], implements all three
-//! [`DiscoveryStrategy`] arms plus the timeout-driven liveness filter:
-//! when the decider's suspicion set is non-empty, selection avoids
-//! suspected peers, falling back to the paper's blind uniform choice when
-//! every peer is suspected. When no suspicion is active (every fault-free
-//! run), each arm draws from the RNG *exactly* as the original inline
-//! code did — one `gen_range` for uniform, one `gen_bool` for a held
-//! gossip hint — so loss-free seeds replay byte-identically.
+//! The implementation moved into `penelope_core::discovery` when the
+//! [`NodeEngine`](penelope_core::engine::NodeEngine) absorbed peer
+//! selection; this module re-exports it for existing call sites and
+//! keeps the original draw-identity test suite running against the
+//! moved code with the real testkit PRNG (the core-side unit tests use
+//! a local stand-in generator).
 
-use penelope_testkit::rng::Rng;
-use penelope_units::NodeId;
+pub use penelope_core::discovery::choose_peer;
 
+#[cfg(test)]
 use crate::config::DiscoveryStrategy;
-
-/// Pick the peer a power-hungry node at `idx` (of `n` client nodes)
-/// queries this iteration. Returns `None` when the node has no peers.
-///
-/// Liveness filtering: `suspicion_active` says whether the caller's
-/// decider currently suspects *any* peer, and `is_suspected` classifies
-/// one candidate. The filter is only consulted when suspicion is active,
-/// which keeps the nominal path's RNG draw sequence untouched.
-///
-/// Every arm guarantees the returned peer is never the node itself —
-/// including `RoundRobin` with a self-pointing cursor, which the old
-/// inline code returned verbatim.
-#[allow(clippy::too_many_arguments)]
-pub fn choose_peer<R: Rng>(
-    strategy: DiscoveryStrategy,
-    rng: &mut R,
-    idx: usize,
-    n: usize,
-    rr_cursor: &mut u32,
-    last_success: Option<NodeId>,
-    suspicion_active: bool,
-    is_suspected: impl Fn(NodeId) -> bool,
-) -> Option<NodeId> {
-    if n < 2 {
-        return None;
-    }
-    match strategy {
-        DiscoveryStrategy::UniformRandom => {
-            Some(uniform_peer(rng, idx, n, suspicion_active, &is_suspected))
-        }
-        DiscoveryStrategy::RoundRobin => {
-            // The cursor itself must never name the node: a stale or
-            // mis-seeded cursor would otherwise make the node "request
-            // power from itself" and burn a period waiting for a reply
-            // that can never come.
-            let mut p = *rr_cursor;
-            if p as usize >= n || p as usize == idx {
-                p = next_cursor(p % n as u32, idx, n);
-            }
-            // Under suspicion, sweep past suspected peers (at most one
-            // full lap; if everyone is suspected, keep the blind pick).
-            if suspicion_active {
-                for _ in 0..n {
-                    if !is_suspected(NodeId::new(p)) {
-                        break;
-                    }
-                    p = next_cursor(p, idx, n);
-                }
-            }
-            *rr_cursor = next_cursor(p, idx, n);
-            Some(NodeId::new(p))
-        }
-        DiscoveryStrategy::GossipHint { explore } => {
-            let hint = last_success
-                .filter(|h| h.index() != idx)
-                .filter(|h| !(suspicion_active && is_suspected(*h)));
-            match hint {
-                Some(h) if !rng.gen_bool(explore.clamp(0.0, 1.0)) => Some(h),
-                _ => Some(uniform_peer(rng, idx, n, suspicion_active, &is_suspected)),
-            }
-        }
-    }
-}
-
-/// Uniform choice over the other client nodes (§3.1: chosen at random; the
-/// decider has no liveness oracle beyond its own timeout bookkeeping, so
-/// without suspicion a dead peer can be picked and the request simply
-/// times out). Exactly one `gen_range` draw on every path.
-fn uniform_peer<R: Rng>(
-    rng: &mut R,
-    idx: usize,
-    n: usize,
-    suspicion_active: bool,
-    is_suspected: &impl Fn(NodeId) -> bool,
-) -> NodeId {
-    if suspicion_active {
-        let candidates: Vec<u32> = (0..n as u32)
-            .filter(|&p| p as usize != idx && !is_suspected(NodeId::new(p)))
-            .collect();
-        if !candidates.is_empty() {
-            let k = rng.gen_range(0..candidates.len());
-            return NodeId::new(candidates[k]);
-        }
-        // Everyone is suspected: fall back to the paper's blind pick so a
-        // lone survivor keeps probing instead of going mute.
-    }
-    let r = rng.gen_range(0..n - 1);
-    let p = if r >= idx { r + 1 } else { r };
-    NodeId::new(p as u32)
-}
-
-/// Advance a round-robin cursor one step, skipping the node itself.
-fn next_cursor(p: u32, idx: usize, n: usize) -> u32 {
-    let mut next = (p + 1) % n as u32;
-    if next as usize == idx {
-        next = (next + 1) % n as u32;
-    }
-    next
-}
+#[cfg(test)]
+use penelope_testkit::rng::Rng;
+#[cfg(test)]
+use penelope_units::NodeId;
 
 #[cfg(test)]
 mod tests {

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use penelope_core::{LocalDecider, PowerPool};
+use penelope_core::NodeEngine;
 use penelope_metrics::{OscillationStats, TurnaroundStats};
 use penelope_power::{PowerInterface, SimulatedRapl};
 use penelope_slurm::{ServerQueue, SlurmClient};
@@ -14,19 +14,19 @@ use penelope_workload::WorkloadState;
 #[derive(Debug)]
 // One Manager lives per node for the whole run, and in a Penelope
 // cluster nearly every node carries the largest variant — boxing the
-// decider would buy nothing but a pointer chase in the per-event path.
+// engine would buy nothing but a pointer chase in the per-event path.
 #[allow(clippy::large_enum_variant)]
 pub enum Manager {
     /// Static cap; no control loop.
     Fair,
-    /// Penelope: decider + pool, plus the pool's request-service queue
-    /// (each pool is a miniature server with the same per-request service
-    /// time as SLURM's — the difference at scale is *load*, not speed).
+    /// Penelope: the full per-node protocol automaton, plus the pool's
+    /// request-service queue (each pool is a miniature server with the
+    /// same per-request service time as SLURM's — the difference at scale
+    /// is *load*, not speed).
     Penelope {
-        /// The Algorithm 1 controller.
-        decider: LocalDecider,
-        /// The Algorithm 2 cache/server.
-        pool: PowerPool,
+        /// The sans-IO protocol engine (decider + pool + escrow +
+        /// suspicion + discovery); the simulator is just its driver.
+        engine: NodeEngine,
         /// Service-time model for incoming requests.
         queue: ServerQueue,
     },
@@ -37,12 +37,10 @@ pub enum Manager {
     },
 }
 
-/// Where a node's round-robin discovery cursor must start: the next node
-/// ring-wise, never the node itself. The old hard-coded `1` made node
-/// index 1 select *itself* on its first pick.
-pub fn initial_rr_cursor(idx: u32, n: u32) -> u32 {
-    (idx + 1) % n.max(1)
-}
+// `initial_rr_cursor` moved into `penelope_core::discovery` with the
+// NodeEngine extraction; re-exported so existing call sites (and the
+// conformance harness) keep compiling unchanged.
+pub use penelope_core::initial_rr_cursor;
 
 /// One simulated cluster node: hardware model + manager + RNG + metrics.
 #[derive(Debug)]
@@ -63,11 +61,6 @@ pub struct SimNode {
     pub finished_seen: bool,
     /// The cap this node was initially assigned.
     pub initial_cap: Power,
-    /// Round-robin discovery cursor (used when the cluster is configured
-    /// with `DiscoveryStrategy::RoundRobin`).
-    pub rr_cursor: u32,
-    /// Where this decider last found power (gossip-hint discovery).
-    pub last_success: Option<NodeId>,
     /// Cap-trajectory oscillation collector (fed once per tick).
     pub oscillation: OscillationStats,
     /// Index of the server this SLURM client currently addresses
@@ -87,7 +80,7 @@ impl SimNode {
     pub fn cap(&self) -> Power {
         match &self.manager {
             Manager::Fair => self.rapl.cap(),
-            Manager::Penelope { decider, .. } => decider.cap(),
+            Manager::Penelope { engine, .. } => engine.cap(),
             Manager::Slurm { client } => client.cap(),
         }
     }
@@ -95,7 +88,7 @@ impl SimNode {
     /// Power cached in the node's local pool (zero for Fair/SLURM).
     pub fn pooled(&self) -> Power {
         match &self.manager {
-            Manager::Penelope { pool, .. } => pool.available(),
+            Manager::Penelope { engine, .. } => engine.pool().available(),
             _ => Power::ZERO,
         }
     }
@@ -116,9 +109,10 @@ impl SimNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use penelope_core::{DeciderConfig, LocalDecider, PoolConfig};
+    use penelope_core::{EngineConfig, NodeParams};
     use penelope_power::RaplConfig;
     use penelope_slurm::{ServerQueue, ServiceModel};
+    use penelope_trace::SharedObserver;
     use penelope_units::PowerRange;
     use penelope_workload::{PerfModel, Phase, Profile};
 
@@ -145,8 +139,6 @@ mod tests {
             turnaround: Default::default(),
             finished_seen: false,
             initial_cap: w(160),
-            rr_cursor: initial_rr_cursor(0, 2),
-            last_success: None,
             oscillation: OscillationStats::new(),
             active_server: 0,
             server_timeouts: 0,
@@ -165,16 +157,20 @@ mod tests {
 
     #[test]
     fn penelope_node_holdings_include_pool() {
-        let mut pool = penelope_core::PowerPool::new(PoolConfig::default());
-        pool.deposit(w(25));
-        let decider = LocalDecider::new(
-            DeciderConfig::default(),
+        let params = NodeParams {
+            safe_range: PowerRange::from_watts(80, 300),
+            ..NodeParams::default()
+        };
+        let mut engine = NodeEngine::new(
+            NodeId::new(0),
+            2,
+            EngineConfig::new(params),
             w(160),
-            PowerRange::from_watts(80, 300),
+            SharedObserver::noop(),
         );
+        engine.pool_mut().deposit(w(25));
         let n = node(Manager::Penelope {
-            decider,
-            pool,
+            engine,
             queue: ServerQueue::new(ServiceModel::default(), 16),
         });
         assert_eq!(n.pooled(), w(25));

@@ -508,3 +508,25 @@ fn fault_scripts_fire_in_timestamp_order_regardless_of_composition_order() {
         "messages dropped after same-tick reset"
     );
 }
+
+#[test]
+fn builder_accepts_the_unified_engine_config() {
+    // The same `penelope_core::EngineConfig` value that configures the
+    // threaded runtime and the UDP daemon configures the simulator: node
+    // params, discovery and seq floor land in the built cluster.
+    use penelope_core::{EngineConfig, NodeParams};
+
+    let node = NodeParams {
+        safe_range: PowerRange::from_watts(80, 300),
+        ..NodeParams::default()
+    };
+    let report = ClusterSim::builder()
+        .system(SystemKind::Penelope)
+        .budget(w(320))
+        .workloads(vec![profile("a", 100, 1.0), profile("b", 250, 1.0)])
+        .engine_config(EngineConfig::new(node).with_seq_floor(7))
+        .check_invariants(true)
+        .build()
+        .run(SimTime::from_secs(10));
+    assert!(report.conservation_ok);
+}

@@ -109,6 +109,26 @@ impl Rng for TestRng {
     }
 }
 
+/// The randomness seam of `penelope_core`'s [`NodeEngine`]
+/// (`penelope_core::EngineRng`), implemented by literal delegation to
+/// [`Rng::gen_range`] / [`Rng::gen_bool`]: an engine draw consumes
+/// exactly the same generator positions the historical inline protocol
+/// code did, so recorded seeds replay byte-identically through the
+/// engine.
+///
+/// [`NodeEngine`]: penelope_core::engine::NodeEngine
+impl penelope_core::EngineRng for TestRng {
+    #[inline]
+    fn gen_index(&mut self, upper: usize) -> usize {
+        self.gen_range(0..upper)
+    }
+
+    #[inline]
+    fn gen_chance(&mut self, p: f64) -> bool {
+        self.gen_bool(p)
+    }
+}
+
 /// The uniform-sampling surface used across the workspace.
 ///
 /// Mirrors the `rand::Rng` methods the codebase calls, with the same

@@ -219,10 +219,18 @@ pub enum EventKind {
         /// The peer no longer suspected.
         peer: NodeId,
     },
+    /// A request was sent to a peer whose suspicion outlived the probe
+    /// interval: this is the liveness probe that will either clear the
+    /// suspicion (any reply) or re-confirm it (another timeout). Emitted
+    /// alongside the probe's `RequestSent`.
+    PeerProbed {
+        /// The suspected peer being probed.
+        peer: NodeId,
+    },
 }
 
 /// Number of distinct [`EventKind`] variants (size of per-kind counters).
-pub const KIND_COUNT: usize = 23;
+pub const KIND_COUNT: usize = 24;
 
 impl EventKind {
     /// Dense index of the variant, `0..KIND_COUNT` (counter bucket).
@@ -251,6 +259,7 @@ impl EventKind {
             EventKind::PeerCleared { .. } => 20,
             EventKind::SuspicionGossiped { .. } => 21,
             EventKind::SuspicionRefuted { .. } => 22,
+            EventKind::PeerProbed { .. } => 23,
         }
     }
 
@@ -308,6 +317,7 @@ pub const KIND_NAMES: [&str; KIND_COUNT] = [
     "peer_cleared",
     "suspicion_gossiped",
     "suspicion_refuted",
+    "peer_probed",
 ];
 
 /// One protocol event: what happened, where, and when.
@@ -441,7 +451,8 @@ impl TraceEvent {
             }
             EventKind::PeerSuspected { peer }
             | EventKind::PeerCleared { peer }
-            | EventKind::SuspicionRefuted { peer } => num(&mut s, "peer", u64::from(peer.raw())),
+            | EventKind::SuspicionRefuted { peer }
+            | EventKind::PeerProbed { peer } => num(&mut s, "peer", u64::from(peer.raw())),
             EventKind::SuspicionGossiped { peer, via } => {
                 num(&mut s, "peer", u64::from(peer.raw()));
                 num(&mut s, "via", u64::from(via.raw()));
@@ -613,6 +624,29 @@ mod tests {
         assert_eq!(
             refuted.to_jsonl(),
             "{\"t_ns\":6000000000,\"node\":1,\"period\":6,\"kind\":\"suspicion_refuted\",\"peer\":3}"
+        );
+    }
+
+    #[test]
+    fn probe_kind_renders_and_classifies() {
+        // The probe is a pure function of decider state (suspicion age)
+        // and the selection that produced the accompanying RequestSent,
+        // so it belongs in cross-substrate protocol diffs.
+        assert!(EventKind::PeerProbed {
+            peer: NodeId::new(1)
+        }
+        .is_protocol());
+        let ev = TraceEvent {
+            at: SimTime::from_secs(7),
+            node: NodeId::new(2),
+            period: 7,
+            kind: EventKind::PeerProbed {
+                peer: NodeId::new(4),
+            },
+        };
+        assert_eq!(
+            ev.to_jsonl(),
+            "{\"t_ns\":7000000000,\"node\":2,\"period\":7,\"kind\":\"peer_probed\",\"peer\":4}"
         );
     }
 

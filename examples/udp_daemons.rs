@@ -36,6 +36,7 @@ fn main() {
                 .map(|(_, a)| *a)
                 .collect();
             let mut cfg = DaemonConfig::demo(addrs[i], peers, Power::from_watts_u64(demands[i]));
+            cfg.node_id = i as u32;
             cfg.status_every = 10;
             run_daemon_with_socket(cfg, socket).expect("daemon start")
         })

@@ -28,15 +28,11 @@ use std::sync::{Arc, Barrier, Mutex};
 use std::time::Duration;
 
 use penelope_core::{
-    EscrowState, GrantAck, GrantEscrow, LocalDecider, PeerMsg, PowerGrant, PowerPool, PowerRequest,
-    SuspicionDigest, TickAction,
+    EngineConfig, EngineInput, EngineOutput, NodeEngine, PeerMsg, PowerGrant, SuspicionDigest,
 };
 use penelope_net::ThreadNet;
 use penelope_power::{PowerInterface, SimulatedRapl};
-use penelope_sim::{
-    choose_peer, node_seed, ClusterConfig, ClusterSim, DiscoveryStrategy, FaultAction, FaultScript,
-    SystemKind,
-};
+use penelope_sim::{node_seed, ClusterConfig, ClusterSim, FaultAction, FaultScript, SystemKind};
 use penelope_testkit::conformance::{
     FaultSpec, NodeSnapshot, PhaseSpec, Scenario, Snapshot, Substrate, SubstrateRun, WorkloadSpec,
 };
@@ -347,18 +343,20 @@ impl Substrate for SimSubstrate {
 pub struct LockstepRuntime;
 
 /// Everything the coordinator shares with the node threads.
+///
+/// Each node's whole protocol automaton is one [`NodeEngine`] behind a
+/// mutex: the owning thread locks it for the duration of a phase, and the
+/// coordinator locks it only between barriers (faults, snapshots), when
+/// every node thread is parked — so the locks are never contended and the
+/// period-boundary reads are consistent cuts.
 struct Shared {
-    pools: Vec<Mutex<PowerPool>>,
-    /// Caps mirrored out of each decider, in milliwatts.
+    engines: Vec<Mutex<NodeEngine>>,
+    /// Caps mirrored out of each engine, in milliwatts (kept so dead
+    /// nodes' retired caps stay visible in snapshots).
     caps_mw: Vec<AtomicU64>,
     alive: Vec<AtomicBool>,
     /// Power retired from the system (killed nodes), in milliwatts.
     lost_mw: AtomicU64,
-    /// Per-node mirror of the *undelivered* escrow total, in milliwatts.
-    /// Escrow tables live on the node threads; the coordinator reads these
-    /// mirrors so period snapshots can report escrowed power as in-flight
-    /// instead of booking it lost.
-    escrowed_mw: Vec<AtomicU64>,
     barrier: Barrier,
 }
 
@@ -385,15 +383,22 @@ impl LockstepRuntime {
         let cfg = sim_config(scenario);
         let (net, endpoints) = ThreadNet::<PeerMsg>::new(n);
         let shared = Arc::new(Shared {
-            pools: (0..n)
-                .map(|_| Mutex::new(PowerPool::new(cfg.node.pool)))
+            engines: (0..n)
+                .map(|i| {
+                    Mutex::new(NodeEngine::new(
+                        NodeId::new(i as u32),
+                        n,
+                        EngineConfig::new(cfg.node),
+                        scenario.budget_per_node,
+                        observer.clone(),
+                    ))
+                })
                 .collect(),
             caps_mw: (0..n)
                 .map(|_| AtomicU64::new(scenario.budget_per_node.milliwatts()))
                 .collect(),
             alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
             lost_mw: AtomicU64::new(0),
-            escrowed_mw: (0..n).map(|_| AtomicU64::new(0)).collect(),
             barrier: Barrier::new(n + 1),
         });
         let profiles = profiles_for(scenario);
@@ -402,11 +407,10 @@ impl LockstepRuntime {
         for (i, endpoint) in endpoints.into_iter().enumerate() {
             let shared = Arc::clone(&shared);
             let profile = profiles[i].clone();
-            let decider_cfg = cfg.node.decider;
             let rapl_cfg = cfg.rapl.clone();
             let overhead = cfg.management_overhead;
             let initial_cap = scenario.budget_per_node;
-            let safe = scenario.safe;
+            let period = cfg.node.decider.period;
             let seed = node_seed(scenario.seed, i as u64);
             let periods = scenario.periods;
             let obs = observer.clone();
@@ -417,13 +421,10 @@ impl LockstepRuntime {
             threads.push(std::thread::spawn(move || {
                 node_loop(
                     i,
-                    n,
                     periods,
+                    period,
                     endpoint,
                     shared,
-                    decider_cfg,
-                    initial_cap,
-                    safe,
                     SimulatedRapl::new(
                         WorkloadState::with_overhead(profile, overhead),
                         initial_cap,
@@ -447,11 +448,15 @@ impl LockstepRuntime {
             let idx = node as usize;
             if shared.alive[idx].swap(false, Ordering::SeqCst) {
                 net.with_faults(|f| f.kill(NodeId::new(node)));
-                let drained = shared.pools[idx].lock().unwrap().drain();
+                // The engine retires its pool *and* any escrowed grants —
+                // undelivered power dies with its granter, exactly like
+                // its cap.
+                let (pooled, escrowed) = shared.engines[idx].lock().unwrap().retire();
                 let cap = shared.caps_mw[idx].load(Ordering::SeqCst);
-                shared
-                    .lost_mw
-                    .fetch_add(cap + drained.milliwatts(), Ordering::SeqCst);
+                shared.lost_mw.fetch_add(
+                    cap + pooled.milliwatts() + escrowed.milliwatts(),
+                    Ordering::SeqCst,
+                );
             }
         };
         // The restart leg shared by KillRestart and PartitionChurn:
@@ -602,35 +607,34 @@ impl LockstepRuntime {
 
 /// One period-boundary consistent cut of the lockstep cluster.
 fn snapshot_shared(shared: &Shared, period: u64) -> Snapshot {
+    // At the period boundary every sent message has been consumed, so the
+    // only in-flight power is what granters hold in escrow for grants that
+    // never reached their requester (undelivered entries). Killed nodes'
+    // engines were retired at the kill, so they report zero.
+    let mut escrowed = Power::ZERO;
     let nodes = shared
-        .pools
+        .engines
         .iter()
         .enumerate()
-        .map(|(i, pool)| {
-            let p = pool.lock().unwrap();
+        .map(|(i, engine)| {
+            let e = engine.lock().unwrap();
+            escrowed += e.escrowed_undelivered();
+            let pool = e.pool();
             NodeSnapshot {
                 node: i as u32,
                 alive: shared.alive[i].load(Ordering::SeqCst),
                 cap: Power::from_milliwatts(shared.caps_mw[i].load(Ordering::SeqCst)),
-                pool_available: p.available(),
-                pool_deposited: p.total_deposited(),
-                pool_granted: p.total_granted() + p.total_taken_local(),
-                pool_drained: p.total_drained(),
+                pool_available: pool.available(),
+                pool_deposited: pool.total_deposited(),
+                pool_granted: pool.total_granted() + pool.total_taken_local(),
+                pool_drained: pool.total_drained(),
             }
         })
         .collect();
-    // At the period boundary every sent message has been consumed, so the
-    // only in-flight power is what granters hold in escrow for grants that
-    // never reached their requester (undelivered entries).
-    let escrowed: u64 = shared
-        .escrowed_mw
-        .iter()
-        .map(|e| e.load(Ordering::SeqCst))
-        .sum();
     Snapshot {
         period,
         consistent_cut: true,
-        in_flight: Power::from_milliwatts(escrowed),
+        in_flight: escrowed,
         lost: Power::from_milliwatts(shared.lost_mw.load(Ordering::SeqCst)),
         nodes,
     }
@@ -652,18 +656,136 @@ fn send_lossy(
     endpoint.send(dst, msg)
 }
 
-/// The per-node thread body: the same Algorithm 1/2 calls as the
-/// simulator's tick handler, phased by barriers instead of an event queue.
+/// Map one batch of [`NodeEngine`] outputs onto the lockstep substrate:
+/// the thread's RAPL + the shared cap mirror, the thread-net (with
+/// scenario-level loss injected at the sender), and the shared lost
+/// balance.
+///
+/// The buffer is iterated by index because executing a `SendGrant` feeds
+/// the delivery outcome straight back into the engine, which appends its
+/// escrow bookkeeping to the same buffer mid-iteration.
+///
+/// `SetEscrowTimer` outputs are dropped on purpose: this substrate has no
+/// timer wheel — the tick phase starts with an `EngineInput::SweepEscrow`,
+/// and one sweep per period boundary subsumes every per-entry deadline.
+#[allow(clippy::too_many_arguments)]
+fn drive_outputs(
+    idx: usize,
+    now: SimTime,
+    engine: &mut NodeEngine,
+    outputs: &mut Vec<EngineOutput>,
+    rng: &mut TestRng,
+    endpoint: &penelope_net::ThreadEndpoint<PeerMsg>,
+    drop_rate: f64,
+    drop_rng: &mut TestRng,
+    rapl: &mut SimulatedRapl<WorkloadState>,
+    shared: &Shared,
+    emit: &impl Fn(SimTime, EventKind),
+) {
+    enum SendKind {
+        Request,
+        Grant,
+        Ack(u64),
+    }
+    let mut i = 0;
+    while i < outputs.len() {
+        let out = outputs[i].clone();
+        i += 1;
+        match out {
+            EngineOutput::Actuate { cap } => {
+                rapl.set_cap(cap, now);
+                shared.caps_mw[idx].store(cap.milliwatts(), Ordering::SeqCst);
+            }
+            EngineOutput::Send { dst, msg, carried } => {
+                let kind = match &msg {
+                    PeerMsg::Request(_) => SendKind::Request,
+                    PeerMsg::Grant(..) => SendKind::Grant,
+                    PeerMsg::Ack(a, _) => SendKind::Ack(a.seq),
+                };
+                let delivered = send_lossy(endpoint, drop_rate, drop_rng, dst, msg);
+                emit(now, EventKind::MsgSent { dst, carried });
+                match kind {
+                    // A refused send (dead peer) or a random drop just
+                    // means the decider times out and retries (bounded
+                    // retransmits under lossy scenarios).
+                    SendKind::Request => {
+                        if !delivered {
+                            emit(now, EventKind::MsgDropped { dst, carried });
+                        }
+                    }
+                    // Zero grants (empty-handed replies, ack-raced
+                    // reminders) are fire-and-forget.
+                    SendKind::Grant => {}
+                    // A dropped ack is not retried: the granter's
+                    // AwaitingAck entry simply expires without credit.
+                    SendKind::Ack(seq) => {
+                        if !delivered {
+                            emit(now, EventKind::AckDropped { dst, seq });
+                        }
+                    }
+                }
+            }
+            EngineOutput::SendGrant {
+                dst,
+                msg,
+                amount,
+                seq,
+            } => {
+                // Power already debited from the pool: the engine learns
+                // the delivery outcome immediately and escrows the amount
+                // (AwaitingAck when carried, Undelivered when dropped — the
+                // §3.2 atomicity fix), so an undeliverable grant keeps its
+                // accounting weight on the granter instead of being lost.
+                let delivered = send_lossy(endpoint, drop_rate, drop_rng, dst, msg);
+                emit(
+                    now,
+                    EventKind::MsgSent {
+                        dst,
+                        carried: amount,
+                    },
+                );
+                if !delivered {
+                    emit(
+                        now,
+                        EventKind::MsgDropped {
+                            dst,
+                            carried: amount,
+                        },
+                    );
+                }
+                engine.handle(
+                    now,
+                    EngineInput::GrantOutcome {
+                        requester: dst,
+                        seq,
+                        amount,
+                        delivered,
+                    },
+                    rng,
+                    outputs,
+                );
+            }
+            EngineOutput::SetEscrowTimer { .. } => {}
+            EngineOutput::PowerLost { amount } => {
+                shared
+                    .lost_mw
+                    .fetch_add(amount.milliwatts(), Ordering::SeqCst);
+            }
+            EngineOutput::Resolved { .. } => {}
+        }
+    }
+    outputs.clear();
+}
+
+/// The per-node thread body: the same [`NodeEngine`] the simulator drives,
+/// phased by barriers instead of an event queue.
 #[allow(clippy::too_many_arguments)]
 fn node_loop(
     idx: usize,
-    n: usize,
     periods: u64,
+    period: SimDuration,
     endpoint: penelope_net::ThreadEndpoint<PeerMsg>,
     shared: Arc<Shared>,
-    decider_cfg: penelope_core::DeciderConfig,
-    initial_cap: Power,
-    safe: PowerRange,
     mut rapl: SimulatedRapl<WorkloadState>,
     mut rng: TestRng,
     drop_rate: f64,
@@ -671,8 +793,8 @@ fn node_loop(
     obs: SharedObserver,
 ) {
     let id = NodeId::new(idx as u32);
-    let period_ns = decider_cfg.period.as_nanos().max(1);
-    // Substrate-level emissions; the decider emits its own events through
+    let period_ns = period.as_nanos().max(1);
+    // Substrate-level emissions; the engine emits its own events through
     // the same observer. Kinds are tiny `Copy` values, so building one
     // eagerly costs nothing even with the observer off.
     let emit = |at: SimTime, kind: EventKind| {
@@ -683,344 +805,173 @@ fn node_loop(
             kind,
         });
     };
-    let mut decider =
-        LocalDecider::new(decider_cfg, initial_cap, safe).with_observer(id, obs.clone());
+    let mut outputs: Vec<EngineOutput> = Vec::new();
     let mut stashed_grants: Vec<(NodeId, PowerGrant, Option<Box<SuspicionDigest>>)> = Vec::new();
-    // Granter-side escrow of unacknowledged grants; thread-local (only this
-    // node serves from its pool), mirrored into `shared.escrowed_mw` so the
-    // coordinator's snapshots see undelivered power as in-flight.
-    let mut escrow: GrantEscrow<NodeId> = GrantEscrow::new();
     let mut was_alive = true;
     for p in 0..periods {
         shared.barrier.wait(); // coordinator finished faults/snapshot
-        let now = SimTime::ZERO + PERIOD * p;
+        let now = SimTime::ZERO + period * p;
         let me_alive = shared.alive[idx].load(Ordering::SeqCst);
         if !was_alive && me_alive {
             // Reborn between periods: the coordinator re-admitted a cap
-            // out of the lost balance. Controller and pool state start
-            // fresh, but the sequence namespace continues *after* the
-            // pre-crash watermark, so peers' escrow entries keyed by the
-            // old (requester, seq) pairs can never collide with — or be
-            // replayed into — the new epoch.
+            // out of the lost balance. The engine rebuilds controller and
+            // pool state fresh, but continues the sequence namespace
+            // *after* the pre-crash watermark, so peers' escrow entries
+            // keyed by the old (requester, seq) pairs can never collide
+            // with — or be replayed into — the new epoch.
             let reborn = Power::from_milliwatts(shared.caps_mw[idx].load(Ordering::SeqCst));
-            decider = LocalDecider::new(decider_cfg, reborn, safe)
-                .with_seq_floor(decider.next_seq())
-                .with_observer(id, obs.clone());
+            shared.engines[idx].lock().unwrap().reincarnate(reborn);
             rapl.set_cap(reborn, now);
             stashed_grants.clear();
             was_alive = true;
             emit(now, EventKind::NodeRestarted { readmitted: reborn });
         }
         if was_alive && !me_alive {
-            // Killed between periods: escrowed power this node was still
-            // holding for undelivered grants dies with it, exactly like
-            // its cap and pool (which the coordinator already retired).
-            let retired = escrow.drain();
-            if !retired.is_zero() {
-                shared
-                    .lost_mw
-                    .fetch_add(retired.milliwatts(), Ordering::SeqCst);
-            }
-            shared.escrowed_mw[idx].store(0, Ordering::SeqCst);
+            // Killed between periods: the coordinator's kill leg already
+            // retired cap, pool *and* escrow through `NodeEngine::retire`;
+            // nothing is left thread-side.
             was_alive = false;
         }
 
         // --- Tick phase -------------------------------------------------
         if me_alive {
+            let mut engine = shared.engines[idx].lock().unwrap();
             // Reclaim escrowed grants whose ack deadline has passed before
             // deciding: an Undelivered amount flows back into this node's
             // own pool (the §3.2 abort path); an AwaitingAck entry expires
             // without credit — the power is with the requester or died
             // with it, and re-crediting it would mint.
-            for entry in escrow.take_expired(now) {
-                if entry.state == EscrowState::Undelivered {
-                    shared.pools[idx].lock().unwrap().deposit(entry.amount);
-                    shared.escrowed_mw[idx].fetch_sub(entry.amount.milliwatts(), Ordering::SeqCst);
-                    emit(
-                        now,
-                        EventKind::GrantReclaimed {
-                            requester: entry.requester,
-                            seq: entry.seq,
-                            amount: entry.amount,
-                        },
-                    );
-                }
-            }
-            let reading = rapl.read_power_with(now, &mut rng);
-            // Uniform peer choice through the same suspicion-aware chooser
-            // as the simulator: with no suspicion active (every fault-free
-            // run) it replays the exact historical draw sequence, and under
-            // churn both substrates route around suspected peers alike.
-            let mut rr_cursor = penelope_sim::node::initial_rr_cursor(idx as u32, n as u32);
-            let peer = choose_peer(
-                DiscoveryStrategy::UniformRandom,
-                &mut rng,
+            engine.handle(now, EngineInput::SweepEscrow, &mut rng, &mut outputs);
+            drive_outputs(
                 idx,
-                n,
-                &mut rr_cursor,
-                None,
-                decider.suspicion_active(now),
-                |pid| decider.is_suspected(now, pid),
-            );
-            let (action, pool_now) = {
-                let mut pool = shared.pools[idx].lock().unwrap();
-                let action = decider.tick(now, reading, &mut pool, peer);
-                (action, pool.available())
-            };
-            rapl.set_cap(decider.cap(), now);
-            shared.caps_mw[idx].store(decider.cap().milliwatts(), Ordering::SeqCst);
-            emit(
                 now,
-                EventKind::CapActuated {
-                    cap: decider.cap(),
-                    reading,
-                    pool: pool_now,
-                },
+                &mut engine,
+                &mut outputs,
+                &mut rng,
+                &endpoint,
+                drop_rate,
+                &mut drop_rng,
+                &mut rapl,
+                &shared,
+                &emit,
             );
-            if let TickAction::Request {
-                dst,
-                urgent,
-                alpha,
-                seq,
-            } = action
-            {
-                // Requests carry no power; a refused send (dead peer) or a
-                // random drop just means the decider times out and retries
-                // (bounded retransmits under lossy scenarios).
-                let delivered = send_lossy(
-                    &endpoint,
-                    drop_rate,
-                    &mut drop_rng,
-                    dst,
-                    PeerMsg::Request(PowerRequest {
-                        from: id,
-                        urgent,
-                        alpha,
-                        seq,
-                    }),
-                );
-                emit(
-                    now,
-                    EventKind::MsgSent {
-                        dst,
-                        carried: Power::ZERO,
-                    },
-                );
-                if !delivered {
-                    emit(
-                        now,
-                        EventKind::MsgDropped {
-                            dst,
-                            carried: Power::ZERO,
-                        },
-                    );
-                }
-            }
+            let reading = rapl.read_power_with(now, &mut rng);
+            engine.handle(now, EngineInput::Tick { reading }, &mut rng, &mut outputs);
+            drive_outputs(
+                idx,
+                now,
+                &mut engine,
+                &mut outputs,
+                &mut rng,
+                &endpoint,
+                drop_rate,
+                &mut drop_rng,
+                &mut rapl,
+                &shared,
+                &emit,
+            );
         }
         shared.barrier.wait(); // tick done everywhere: all requests sent
 
         // --- Serve phase ------------------------------------------------
-        // Drain this node's queue, answering requests from the local pool.
-        // Grants from other nodes' serve phases may interleave into the
-        // queue; stash them for the apply phase.
-        while let Some(env) = endpoint.try_recv() {
-            match env.msg {
-                PeerMsg::Request(req) if me_alive => {
-                    emit(
-                        now,
-                        EventKind::MsgRecv {
-                            src: env.src,
-                            carried: Power::ZERO,
-                        },
-                    );
-                    // Retransmit dedup: a seq already in escrow was served
-                    // before — answer from the escrow entry, never a fresh
-                    // pool debit, so duplicates cannot double-pay.
-                    if let Some(entry) = escrow.get(req.from, req.seq).copied() {
-                        match entry.state {
-                            EscrowState::Undelivered => {
-                                let delivered = send_lossy(
-                                    &endpoint,
-                                    drop_rate,
-                                    &mut drop_rng,
-                                    req.from,
-                                    PeerMsg::Grant(
-                                        PowerGrant {
-                                            amount: entry.amount,
-                                            seq: req.seq,
-                                        },
-                                        decider.make_digest(),
-                                    ),
-                                );
-                                emit(
-                                    now,
-                                    EventKind::MsgSent {
-                                        dst: req.from,
-                                        carried: entry.amount,
-                                    },
-                                );
-                                let e = escrow.get_mut(req.from, req.seq).expect("entry checked");
-                                e.deadline = now + decider_cfg.escrow_timeout();
-                                if delivered {
-                                    e.state = EscrowState::AwaitingAck;
-                                    shared.escrowed_mw[idx]
-                                        .fetch_sub(entry.amount.milliwatts(), Ordering::SeqCst);
-                                } else {
-                                    emit(
-                                        now,
-                                        EventKind::MsgDropped {
-                                            dst: req.from,
-                                            carried: entry.amount,
-                                        },
-                                    );
-                                }
-                            }
-                            EscrowState::AwaitingAck => {
-                                // Grant delivered but its ack is missing:
-                                // send a zero reminder (idempotent at the
-                                // requester) so its retry loop settles.
-                                let _ = send_lossy(
-                                    &endpoint,
-                                    drop_rate,
-                                    &mut drop_rng,
-                                    req.from,
-                                    PeerMsg::Grant(
-                                        PowerGrant {
-                                            amount: Power::ZERO,
-                                            seq: req.seq,
-                                        },
-                                        decider.make_digest(),
-                                    ),
-                                );
-                                emit(
-                                    now,
-                                    EventKind::MsgSent {
-                                        dst: req.from,
-                                        carried: Power::ZERO,
-                                    },
-                                );
-                            }
-                        }
-                        continue;
-                    }
-                    let (amount, urgency_before, urgency_after) = {
-                        let mut pool = shared.pools[idx].lock().unwrap();
-                        let before = pool.local_urgency();
-                        let amount = pool.handle_request(req.urgent, req.alpha);
-                        (amount, before, pool.local_urgency())
-                    };
-                    emit(
-                        now,
-                        EventKind::RequestServed {
-                            requester: req.from,
-                            seq: req.seq,
-                            granted: amount,
-                            urgent: req.urgent,
-                        },
-                    );
-                    if !urgency_before && urgency_after {
-                        emit(now, EventKind::UrgencyRaised { by: req.from });
-                    } else if urgency_before && !urgency_after {
-                        emit(
-                            now,
-                            EventKind::UrgencyCleared {
-                                released: Power::ZERO,
-                            },
-                        );
-                    }
-                    let delivered = send_lossy(
-                        &endpoint,
-                        drop_rate,
-                        &mut drop_rng,
-                        req.from,
-                        PeerMsg::Grant(
-                            PowerGrant {
-                                amount,
-                                seq: req.seq,
-                            },
-                            decider.make_digest(),
-                        ),
-                    );
-                    emit(
-                        now,
-                        EventKind::MsgSent {
-                            dst: req.from,
-                            carried: amount,
-                        },
-                    );
-                    if !amount.is_zero() {
-                        // Power debited: hold it in escrow until the ack
-                        // commits the transfer. An undeliverable grant
-                        // keeps its accounting weight here and flows back
-                        // into this pool at the deadline — never lost.
-                        let deadline = now + decider_cfg.escrow_timeout();
-                        if delivered {
-                            escrow.insert(
-                                req.from,
-                                req.seq,
-                                amount,
-                                EscrowState::AwaitingAck,
-                                deadline,
-                            );
-                        } else {
-                            escrow.insert(
-                                req.from,
-                                req.seq,
-                                amount,
-                                EscrowState::Undelivered,
-                                deadline,
-                            );
-                            shared.escrowed_mw[idx]
-                                .fetch_add(amount.milliwatts(), Ordering::SeqCst);
+        // Drain this node's queue, answering requests from the local pool
+        // (the engine dedups retransmits against its escrow and never
+        // double-debits). Grants from other nodes' serve phases may
+        // interleave into the queue; stash them for the apply phase.
+        {
+            let mut guard = if me_alive {
+                Some(shared.engines[idx].lock().unwrap())
+            } else {
+                None
+            };
+            while let Some(env) = endpoint.try_recv() {
+                match env.msg {
+                    PeerMsg::Request(req) => {
+                        if let Some(engine) = guard.as_deref_mut() {
                             emit(
                                 now,
-                                EventKind::MsgDropped {
-                                    dst: req.from,
-                                    carried: amount,
+                                EventKind::MsgRecv {
+                                    src: env.src,
+                                    carried: Power::ZERO,
                                 },
                             );
+                            engine.handle(
+                                now,
+                                EngineInput::Msg {
+                                    src: env.src,
+                                    msg: PeerMsg::Request(req),
+                                },
+                                &mut rng,
+                                &mut outputs,
+                            );
+                            drive_outputs(
+                                idx,
+                                now,
+                                engine,
+                                &mut outputs,
+                                &mut rng,
+                                &endpoint,
+                                drop_rate,
+                                &mut drop_rng,
+                                &mut rapl,
+                                &shared,
+                                &emit,
+                            );
                         }
+                        // dead node: request evaporates
+                    }
+                    PeerMsg::Grant(g, digest) => {
                         emit(
                             now,
-                            EventKind::GrantEscrowed {
-                                requester: req.from,
-                                seq: req.seq,
-                                amount,
+                            EventKind::MsgRecv {
+                                src: env.src,
+                                carried: g.amount,
                             },
                         );
+                        stashed_grants.push((env.src, g, digest));
+                    }
+                    PeerMsg::Ack(a, digest) => {
+                        if let Some(engine) = guard.as_deref_mut() {
+                            emit(
+                                now,
+                                EventKind::MsgRecv {
+                                    src: env.src,
+                                    carried: Power::ZERO,
+                                },
+                            );
+                            engine.handle(
+                                now,
+                                EngineInput::Msg {
+                                    src: env.src,
+                                    msg: PeerMsg::Ack(a, digest),
+                                },
+                                &mut rng,
+                                &mut outputs,
+                            );
+                            drive_outputs(
+                                idx,
+                                now,
+                                engine,
+                                &mut outputs,
+                                &mut rng,
+                                &endpoint,
+                                drop_rate,
+                                &mut drop_rng,
+                                &mut rapl,
+                                &shared,
+                                &emit,
+                            );
+                        }
+                        // dead node: ack evaporates
                     }
                 }
-                PeerMsg::Request(_) => {} // dead node: request evaporates
-                PeerMsg::Grant(g, digest) => {
-                    emit(
-                        now,
-                        EventKind::MsgRecv {
-                            src: env.src,
-                            carried: g.amount,
-                        },
-                    );
-                    stashed_grants.push((env.src, g, digest));
-                }
-                PeerMsg::Ack(a, digest) if me_alive => {
-                    emit(
-                        now,
-                        EventKind::MsgRecv {
-                            src: env.src,
-                            carried: Power::ZERO,
-                        },
-                    );
-                    if let Some(d) = &digest {
-                        decider.observe_digest(now, env.src, d);
-                    }
-                    let _ = escrow.release(env.src, a.seq);
-                }
-                PeerMsg::Ack(..) => {} // dead node: ack evaporates
             }
         }
         shared.barrier.wait(); // serve done everywhere: all grants sent
 
         // --- Apply phase ------------------------------------------------
         if me_alive {
+            let mut engine = shared.engines[idx].lock().unwrap();
             while let Some(env) = endpoint.try_recv() {
                 match env.msg {
                     PeerMsg::Grant(g, digest) => {
@@ -1045,57 +996,59 @@ fn node_loop(
                                 carried: Power::ZERO,
                             },
                         );
-                        if let Some(d) = &digest {
-                            decider.observe_digest(now, env.src, d);
-                        }
-                        let _ = escrow.release(env.src, a.seq);
+                        engine.handle(
+                            now,
+                            EngineInput::Msg {
+                                src: env.src,
+                                msg: PeerMsg::Ack(a, digest),
+                            },
+                            &mut rng,
+                            &mut outputs,
+                        );
+                        drive_outputs(
+                            idx,
+                            now,
+                            &mut engine,
+                            &mut outputs,
+                            &mut rng,
+                            &endpoint,
+                            drop_rate,
+                            &mut drop_rng,
+                            &mut rapl,
+                            &shared,
+                            &emit,
+                        );
                     }
                     PeerMsg::Request(_) => {} // all requests drained in serve
                 }
             }
             for (src, g, digest) in stashed_grants.drain(..) {
-                // Merge piggybacked gossip before booking the reply, the
-                // same order as the simulator's grant-delivery handler.
-                if let Some(d) = &digest {
-                    decider.observe_digest(now, src, d);
-                }
-                // Any reply — even a zero grant — proves the peer alive.
-                decider.note_peer_reply(now, src);
-                {
-                    let mut pool = shared.pools[idx].lock().unwrap();
-                    let _ = decider.on_grant(now, g.seq, g.amount, &mut pool);
-                }
-                if !g.amount.is_zero() {
-                    // Commit the transfer back to the granter. A dropped
-                    // ack is safe: the escrow entry expires without credit
-                    // since the power is already here.
-                    let delivered = send_lossy(
-                        &endpoint,
-                        drop_rate,
-                        &mut drop_rng,
+                // The engine merges piggybacked gossip before booking the
+                // reply, applies the grant, actuates the new cap and acks
+                // non-zero amounts back to the granter.
+                engine.handle(
+                    now,
+                    EngineInput::Msg {
                         src,
-                        PeerMsg::Ack(GrantAck { seq: g.seq }, decider.make_digest()),
-                    );
-                    emit(
-                        now,
-                        EventKind::MsgSent {
-                            dst: src,
-                            carried: Power::ZERO,
-                        },
-                    );
-                    if !delivered {
-                        emit(
-                            now,
-                            EventKind::AckDropped {
-                                dst: src,
-                                seq: g.seq,
-                            },
-                        );
-                    }
-                }
+                        msg: PeerMsg::Grant(g, digest),
+                    },
+                    &mut rng,
+                    &mut outputs,
+                );
+                drive_outputs(
+                    idx,
+                    now,
+                    &mut engine,
+                    &mut outputs,
+                    &mut rng,
+                    &endpoint,
+                    drop_rate,
+                    &mut drop_rng,
+                    &mut rapl,
+                    &shared,
+                    &emit,
+                );
             }
-            rapl.set_cap(decider.cap(), now);
-            shared.caps_mw[idx].store(decider.cap().milliwatts(), Ordering::SeqCst);
         }
         shared.barrier.wait(); // apply done: nothing in flight
     }
@@ -1163,6 +1116,7 @@ impl Substrate for UdpDaemonSubstrate {
                 .collect();
             DaemonConfig {
                 listen: addrs[i],
+                node_id: i as u32,
                 peers,
                 initial_cap,
                 node: penelope_core::NodeParams {
@@ -1174,6 +1128,7 @@ impl Substrate for UdpDaemonSubstrate {
                     pool: penelope_core::PoolConfig::default(),
                     safe_range: scenario.safe,
                 },
+                discovery: penelope_core::DiscoveryStrategy::default(),
                 power: PowerBackend::SimulatedProfile {
                     profile: profile_from_spec_scaled(spec, &format!("w{i}"), scale),
                 },
