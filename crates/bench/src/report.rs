@@ -28,6 +28,10 @@ pub struct SweepTiming {
     pub wall_s: f64,
     /// Wall seconds for the serial (jobs = 1) reference run.
     pub serial_wall_s: f64,
+    /// Shard count for sharded-engine sweeps (`None` for the classic
+    /// single-queue sweeps). Optional in the JSON, so old baselines and
+    /// new reports stay mutually readable.
+    pub shards: Option<usize>,
 }
 
 impl SweepTiming {
@@ -40,7 +44,14 @@ impl SweepTiming {
             sim_secs: stats.sim_secs,
             wall_s,
             serial_wall_s,
+            shards: None,
         }
+    }
+
+    /// Tag the row with the shard count a sharded-engine sweep used.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
     }
 
     /// Simulator throughput: events per wall second (parallel run).
@@ -80,13 +91,18 @@ impl SweepTiming {
     }
 
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("name".to_string(), Json::Str(self.name.clone())),
             ("cells".to_string(), Json::Num(self.cells as f64)),
             ("events".to_string(), Json::Num(self.events as f64)),
             ("sim_secs".to_string(), Json::Num(self.sim_secs)),
             ("wall_s".to_string(), Json::Num(self.wall_s)),
             ("serial_wall_s".to_string(), Json::Num(self.serial_wall_s)),
+        ];
+        if let Some(shards) = self.shards {
+            fields.push(("shards".to_string(), Json::Num(shards as f64)));
+        }
+        fields.extend([
             // Derived fields are redundant but make the artifact readable
             // without a calculator; `from_json` ignores them.
             (
@@ -95,7 +111,8 @@ impl SweepTiming {
             ),
             ("speedup".to_string(), Json::Num(self.speedup())),
             ("sim_per_wall".to_string(), Json::Num(self.sim_per_wall())),
-        ])
+        ]);
+        Json::Obj(fields)
     }
 
     fn from_json(v: &Json) -> Result<Self, String> {
@@ -116,6 +133,7 @@ impl SweepTiming {
             serial_wall_s: field("serial_wall_s")?
                 .as_f64()
                 .ok_or("serial_wall_s must be a number")?,
+            shards: v.get("shards").and_then(Json::as_u64).map(|s| s as usize),
         })
     }
 }
@@ -285,6 +303,7 @@ mod tests {
                     sim_secs: 480.0,
                     wall_s: 0.5,
                     serial_wall_s: 1.6,
+                    shards: None,
                 },
                 SweepTiming {
                     name: "nominal".to_string(),
@@ -293,6 +312,7 @@ mod tests {
                     sim_secs: 300.0,
                     wall_s: 0.3,
                     serial_wall_s: 0.9,
+                    shards: None,
                 },
             ],
         }
@@ -305,6 +325,20 @@ mod tests {
         assert!(text.ends_with('\n'));
         let back = BenchReport::from_json(&text).expect("round-trip");
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn shards_field_round_trips_and_stays_optional() {
+        let mut r = sample();
+        r.sweeps[0] = r.sweeps[0].clone().with_shards(8);
+        let text = r.to_json();
+        assert!(text.contains("\"shards\":8"), "{text}");
+        let back = BenchReport::from_json(&text).expect("round-trip");
+        assert_eq!(back, r);
+        assert_eq!(back.sweeps[0].shards, Some(8));
+        // The untagged sweep omits the key entirely, so pre-shards
+        // baselines parse unchanged (covered by report_round_trips).
+        assert_eq!(back.sweeps[1].shards, None);
     }
 
     #[test]

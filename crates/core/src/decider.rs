@@ -482,6 +482,55 @@ impl LocalDecider {
         self.cap < self.initial_cap
     }
 
+    /// Earliest future time at which [`tick`](LocalDecider::tick) could do
+    /// anything beyond counting one iteration and returning
+    /// [`TickAction::Idle`] — or `None` when the very next tick may act.
+    ///
+    /// Two decider states are *quiescent*:
+    ///
+    /// * **Blocked, deadline pending** — a request is in flight and its
+    ///   attempt-scaled timeout has not elapsed. Every tick strictly
+    ///   before `sent_at + response_timeout · 2^attempt` takes the early
+    ///   `Idle` return in [`tick`](LocalDecider::tick) without touching
+    ///   any state, so the decider is quiescent until exactly that
+    ///   deadline (the tick *at* the deadline retransmits or abandons).
+    /// * **At the margin** — no request outstanding and
+    ///   [`classify`]`(reading, cap, ε)` is
+    ///   [`AtMargin`](Classification::AtMargin): Algorithm 1's strict
+    ///   comparisons leave the node unclassified and the iteration is a
+    ///   pure no-op, for as long as the reading holds —
+    ///   [`SimTime::MAX`].
+    ///
+    /// A host eliding ticks across such a window must keep the lifetime
+    /// counters truthful with
+    /// [`note_elided_ticks`](LocalDecider::note_elided_ticks) and must
+    /// re-evaluate quiescence on *any* other input (reading change, cap
+    /// change, grant, incoming request, digest): quiescence is a
+    /// statement about ticks under frozen inputs, nothing more. Excess
+    /// and hungry classifications are never quiescent, and the
+    /// margin case assumes tracing is off (the skipped `Classified`
+    /// emissions are observable) — observer-bearing hosts must not elide.
+    #[inline]
+    pub fn quiescent_until(&self, now: SimTime, reading: Power) -> Option<SimTime> {
+        if let Some(out) = self.outstanding {
+            let wait = self.cfg.response_timeout * (1u64 << out.attempt.min(16));
+            let due = out.sent_at + wait;
+            return (now < due).then_some(due);
+        }
+        (classify(reading, self.cap, self.cfg.epsilon) == Classification::AtMargin)
+            .then_some(SimTime::MAX)
+    }
+
+    /// Account `n` ticks a host elided after proving them quiescent via
+    /// [`quiescent_until`](LocalDecider::quiescent_until). Each elided
+    /// tick would have executed as a pure `Idle` iteration, so only the
+    /// iteration counter moves — every other observable is untouched by
+    /// construction.
+    #[inline]
+    pub fn note_elided_ticks(&mut self, n: u64) {
+        self.stats.ticks += n;
+    }
+
     /// One iteration of Algorithm 1.
     ///
     /// * `now` — current virtual time.
@@ -762,6 +811,59 @@ mod tests {
         // ε > C: P + ε > C for any P ≥ 0 unless... P + ε can equal C only
         // if ε ≤ C. Here every reading is hungry.
         assert_eq!(classify(Power::ZERO, w(3), w(5)), Classification::Hungry);
+    }
+
+    #[test]
+    fn quiescent_at_margin_is_open_ended_and_tick_agrees() {
+        let mut d = decider(150);
+        let mut p = PowerPool::default();
+        let margin = w(150) - d.config().epsilon;
+        assert_eq!(d.quiescent_until(t(1), margin), Some(SimTime::MAX));
+        // The vouched-for tick really is a pure Idle no-op.
+        let before = d.stats();
+        assert_eq!(
+            d.tick(t(1), margin, &mut p, Some(NodeId::new(3))),
+            TickAction::Idle
+        );
+        assert_eq!(d.cap(), w(150));
+        assert_eq!(p.available(), Power::ZERO);
+        assert_eq!(d.stats().ticks, before.ticks + 1);
+        assert_eq!(d.stats().requests_sent, before.requests_sent);
+        // Off the margin, quiescence ends immediately.
+        assert_eq!(d.quiescent_until(t(1), w(100)), None);
+        assert_eq!(d.quiescent_until(t(1), w(150)), None);
+    }
+
+    #[test]
+    fn quiescent_while_blocked_ends_exactly_at_the_retransmit_deadline() {
+        let mut d = decider(150);
+        let mut p = PowerPool::default();
+        // Go hungry with an empty pool: a request goes out at t=1.
+        assert!(matches!(
+            d.tick(t(1), w(150), &mut p, Some(NodeId::new(4))),
+            TickAction::Request { .. }
+        ));
+        let due = t(1) + d.config().response_timeout;
+        assert_eq!(d.quiescent_until(t(1), w(150)), Some(due));
+        let just_before = due - SimDuration::from_nanos(1);
+        assert_eq!(d.quiescent_until(just_before, w(150)), Some(due));
+        // At the deadline the tick acts (retransmit/abandon): not quiescent.
+        assert_eq!(d.quiescent_until(due, w(150)), None);
+        // Eliding the in-window ticks matches really executing them:
+        // each is a counted Idle.
+        let mut ticked = d.clone();
+        for step in 1..=3u64 {
+            let at = t(1) + SimDuration::from_millis(step);
+            assert!(at < due, "steps stay inside the window");
+            assert_eq!(
+                ticked.tick(at, w(150), &mut p, Some(NodeId::new(4))),
+                TickAction::Idle
+            );
+        }
+        d.note_elided_ticks(3);
+        assert_eq!(d.stats(), ticked.stats());
+        assert_eq!(d.cap(), ticked.cap());
+        assert_eq!(d.is_blocked(), ticked.is_blocked());
     }
 
     #[test]

@@ -363,6 +363,60 @@ impl NodeEngine {
         self.decider.suspected_count()
     }
 
+    /// Earliest future time at which a `Tick { reading }` input could do
+    /// anything beyond `Actuate { cap }` (idempotent — the cap is
+    /// unchanged) and one iteration-counter bump — or `None` when the
+    /// very next tick may act.
+    ///
+    /// This is the hot-path contract mega-scale drivers elide ticks
+    /// against: across a window this method vouches for, the driver may
+    /// skip delivering tick inputs entirely, account them with
+    /// [`note_elided_ticks`](NodeEngine::note_elided_ticks), and wake
+    /// the node at the returned deadline (or earlier, on any message
+    /// arrival or reading change — quiescence assumes frozen inputs).
+    ///
+    /// The engine layers its own gates over
+    /// [`LocalDecider::quiescent_until`]; all must hold, else `None`:
+    ///
+    /// * tracing off — a real tick emits `CapActuated` (and the decider a
+    ///   `Classified`) per iteration, so elision under an observer would
+    ///   be visible;
+    /// * no sticky success hint — a hint makes `choose_peer`
+    ///   deterministic-per-hint rather than a skippable unused draw, and
+    ///   the hint-drop check at the top of the tick mutates state;
+    /// * no suspicions held — probe scheduling piggybacks on tick-time
+    ///   partner selection;
+    /// * no local urgency latched — `finish_iteration` releases power on
+    ///   the next tick.
+    ///
+    /// Elision *does* skip the per-tick partner-selection RNG draw (and
+    /// round-robin cursor advance), so an eliding driver's per-node
+    /// random streams diverge from a non-eliding one's. Elision is only
+    /// sound where that stream is unobservable — fault-free steady state,
+    /// where quiescent nodes never spend the draw. The decision itself
+    /// depends only on this node's state, never on how the driver
+    /// partitions nodes, so any two eliding drivers agree exactly.
+    #[inline]
+    pub fn tick_quiescent_until(&self, now: SimTime, reading: Power) -> Option<SimTime> {
+        if self.obs_on
+            || self.last_success.is_some()
+            || self.decider.suspected_count() != 0
+            || self.pool.local_urgency()
+        {
+            return None;
+        }
+        self.decider.quiescent_until(now, reading)
+    }
+
+    /// Account `n` ticks elided under a
+    /// [`tick_quiescent_until`](NodeEngine::tick_quiescent_until) window,
+    /// keeping `stats().ticks` equal to the count a non-eliding driver
+    /// would have produced.
+    #[inline]
+    pub fn note_elided_ticks(&mut self, n: u64) {
+        self.decider.note_elided_ticks(n);
+    }
+
     /// Rebirth in place after a crash: the node rejoins with
     /// `initial_cap`, a fresh pool and escrow, and its sequence namespace
     /// floored at the dead incarnation's watermark so stale pre-crash

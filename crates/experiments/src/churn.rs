@@ -156,7 +156,7 @@ pub fn run_with_caps_jobs(effort: Effort, caps: &[u64], jobs: usize) -> (ChurnRe
             cells.push((cap, pair, seed));
         }
     }
-    let outcomes = parallel::par_map(jobs, &cells, |&(cap, pair, seed)| {
+    let outcomes = parallel::par_map_adaptive(jobs, &cells, |&(cap, pair, seed)| {
         let fair = crate::nominal::run_cell_outcome(SystemKind::Fair, cap, pair, nodes, ts, seed);
         let nominal =
             crate::nominal::run_cell_outcome(SystemKind::Penelope, cap, pair, nodes, ts, seed);

@@ -150,7 +150,7 @@ pub fn run_with_caps_jobs(effort: Effort, caps: &[u64], jobs: usize) -> (Fig2Res
             }
         }
     }
-    let outcomes = parallel::par_map(jobs, &cells, |&(system, cap, pair, seed)| {
+    let outcomes = parallel::par_map_adaptive(jobs, &cells, |&(system, cap, pair, seed)| {
         run_cell_outcome(system, cap, pair, nodes, ts, seed)
     });
     let mut stats = CellStats::default();

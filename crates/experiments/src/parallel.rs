@@ -13,6 +13,11 @@
 //! parallelism); `PENELOPE_JOBS=1` takes the plain serial path with no
 //! threads at all, which is what the perf harness times as its speedup
 //! baseline.
+//!
+//! Tiny sweeps are cheaper than a thread pool: [`par_map_adaptive`]
+//! times the first cell inline and only spawns workers when the
+//! projected sweep cost clears [`PAR_MIN_TOTAL_S`], so smoke-effort
+//! matrices no longer pay for parallelism they cannot amortize.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -90,6 +95,69 @@ where
         .collect()
 }
 
+/// Projected sweep wall time (seconds) below which [`par_map_adaptive`]
+/// stays serial: spawning a scoped thread pool costs on the order of a
+/// hundred microseconds plus cache-warming, so fanning out a sweep that
+/// finishes in a few milliseconds *loses* wall time (the nominal and
+/// churn matrices at smoke effort measured 0.5–0.6× "speedups").
+pub const PAR_MIN_TOTAL_S: f64 = 0.01;
+
+/// Should a sweep whose first cell took `first_cell_s` seconds, with
+/// `cells` cells in total, skip the worker pool? True when the serial
+/// projection (`first_cell_s * cells`) is under `threshold_s`.
+///
+/// The first cell is the sample because sweep cells are near-uniform in
+/// cost (same scenario shape, different parameters); a sweep whose cost
+/// is front-loaded just pays the pool it would have paid anyway.
+pub fn should_stay_serial(first_cell_s: f64, cells: usize, threshold_s: f64) -> bool {
+    first_cell_s * cells as f64 <= threshold_s
+}
+
+/// [`par_map`] with a measured serial fallback: the first cell runs (and
+/// is timed) on the caller's thread, and the pool is spawned for the
+/// remainder only when the projected total exceeds `threshold_s`.
+///
+/// Results are bit-identical to [`par_map`] in either regime — cells are
+/// independent and land in input order — so sweeps can adopt this
+/// without disturbing the serial-vs-parallel conformance checks.
+pub fn par_map_adaptive_with_threshold<T, R, F>(
+    jobs: usize,
+    items: &[T],
+    threshold_s: f64,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let start = std::time::Instant::now();
+    let first = f(&items[0]);
+    let first_cell_s = start.elapsed().as_secs_f64();
+    let mut out = Vec::with_capacity(n);
+    out.push(first);
+    if should_stay_serial(first_cell_s, n, threshold_s) {
+        out.extend(items[1..].iter().map(f));
+    } else {
+        out.append(&mut par_map(jobs, &items[1..], f));
+    }
+    out
+}
+
+/// [`par_map_adaptive_with_threshold`] at the default [`PAR_MIN_TOTAL_S`].
+pub fn par_map_adaptive<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_adaptive_with_threshold(jobs, items, PAR_MIN_TOTAL_S, f)
+}
+
 /// Aggregate simulator work done by a batch of cells, reported by the
 /// sweeps so the perf harness can turn wall time into events/sec and
 /// sim-seconds/wall-second.
@@ -145,6 +213,33 @@ mod tests {
         let out = par_map(3, &items, |&x| x + 1);
         assert_eq!(out.len(), 1000);
         assert!(out.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[test]
+    fn serial_projection_decides_the_fallback() {
+        // 1 ms cells, 5 of them -> 5 ms projected, under a 10 ms floor.
+        assert!(should_stay_serial(0.001, 5, 0.01));
+        // 5 ms cells, 36 of them -> 180 ms projected, worth the pool.
+        assert!(!should_stay_serial(0.005, 36, 0.01));
+        // Degenerate inputs stay serial rather than spawning for nothing.
+        assert!(should_stay_serial(0.0, 1000, 0.01));
+    }
+
+    #[test]
+    fn adaptive_map_matches_par_map_in_both_regimes() {
+        let items: Vec<u64> = (0..57).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        // Threshold so high every sweep stays serial...
+        let serial = par_map_adaptive_with_threshold(8, &items, f64::INFINITY, |&x| x * 3 + 1);
+        // ...and so low (negative) every sweep takes the pool.
+        let pooled = par_map_adaptive_with_threshold(8, &items, -1.0, |&x| x * 3 + 1);
+        assert_eq!(serial, expect);
+        assert_eq!(pooled, expect);
+        // Default threshold, jobs=1 and tiny inputs: still exact.
+        assert_eq!(par_map_adaptive(1, &items, |&x| x * 3 + 1), expect);
+        let empty: Vec<u64> = vec![];
+        assert!(par_map_adaptive(4, &empty, |&x| x).is_empty());
+        assert_eq!(par_map_adaptive(4, &[9u64], |&x| x + 1), vec![10]);
     }
 
     #[test]

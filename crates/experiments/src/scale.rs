@@ -170,7 +170,7 @@ fn run_sweep(pairs: &[(Profile, Profile)], points: &[(usize, f64, f64)], jobs: u
             });
         }
     }
-    let outcomes = parallel::par_map(jobs, &cells, |c| run_point(c.system, &c.scenario));
+    let outcomes = parallel::par_map_adaptive(jobs, &cells, |c| run_point(c.system, &c.scenario));
     let mut stats = CellStats::default();
     for o in &outcomes {
         stats.absorb(o.events, o.sim_secs);

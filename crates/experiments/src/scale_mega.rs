@@ -1,0 +1,179 @@
+//! The mega-scale sweep: sharded runs at 10^5–10^6 nodes.
+//!
+//! The paper's scale study (§4.5) stops at 1056 simulated nodes because
+//! the straight-line simulator walks every node every protocol period.
+//! This sweep drives the sharded engine ([`ShardedSim`]) instead, whose
+//! quiescent-tick elision makes the per-period cost proportional to the
+//! *active* minority only, and sweeps node counts two to four orders of
+//! magnitude beyond the paper.
+//!
+//! Each cell is one [`ShardedConfig::mega`] scenario: a 1-in-64 hungry
+//! minority sustains request/grant/ack traffic against a donor majority
+//! that sheds once and quiesces at the margin. Cells derive their seeds
+//! from their position in the axis, so the sweep is deterministic, and
+//! — because the sharded schedule is shard-count and thread-count
+//! invariant by construction — `PENELOPE_SHARDS` may be set freely
+//! without changing a single row.
+
+use penelope_sim::{ShardReport, ShardedConfig, ShardedSim};
+
+use crate::effort::Effort;
+use crate::parallel::{self, CellStats};
+
+/// Master seed the sweep derives per-cell seeds from.
+pub const MEGA_SEED: u64 = 0x4d45_4741; // "MEGA"
+
+/// The node-count axis for one effort preset. Smoke (CI) stops at 10^5;
+/// the full preset reaches the 10^6-node headline point.
+pub fn node_axis(effort: Effort) -> Vec<usize> {
+    match effort {
+        Effort::Smoke => vec![100_000],
+        Effort::Quick => vec![100_000, 300_000],
+        Effort::Full => vec![100_000, 300_000, 1_000_000],
+    }
+}
+
+/// Protocol periods simulated per cell. Enough to amortize the one-off
+/// engine construction cost and reach the drained-pool steady state.
+pub fn periods(effort: Effort) -> u64 {
+    match effort {
+        Effort::Smoke => 250,
+        Effort::Quick => 250,
+        Effort::Full => 300,
+    }
+}
+
+/// One sweep point: a node count and the sharded run's report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MegaRow {
+    /// Cluster size of this cell.
+    pub n_nodes: usize,
+    /// Shards the run was partitioned into.
+    pub shards: usize,
+    /// Events the engine actually executed (ticks, deliveries, expiries).
+    pub executed_events: u64,
+    /// Provably-idle ticks elided (still protocol work, done in O(1)).
+    pub elided_ticks: u64,
+    /// Peer messages delivered.
+    pub messages: u64,
+    /// Order-insensitive digest of every node's inputs and final state;
+    /// equal across shard counts and thread counts for the same seed.
+    pub fingerprint: u64,
+}
+
+/// The whole sweep: typed rows plus the aggregate cell statistics the
+/// perf harness turns into events/sec.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MegaSweep {
+    /// One row per node-count axis point.
+    pub rows: Vec<MegaRow>,
+    /// Aggregate work done (events include elided ticks; sim seconds are
+    /// virtual protocol time).
+    pub stats: CellStats,
+}
+
+/// Build the cell configuration for axis point `i` at `n_nodes`.
+///
+/// Shard count comes from `PENELOPE_SHARDS` when set, else one shard per
+/// 32 768 nodes (at least 2, at most 16) — enough partitioning that even
+/// the CI smoke point exercises the cross-shard exchange path, without
+/// drowning small cells in barrier overhead.
+pub fn cell_config(effort: Effort, i: usize, n_nodes: usize) -> ShardedConfig {
+    let mut cfg = ShardedConfig::mega(n_nodes, periods(effort), MEGA_SEED ^ (i as u64) << 32);
+    cfg.shards = ShardedConfig::shards_from_env()
+        .unwrap_or_else(|| (n_nodes / 32_768).clamp(2, 16))
+        .min(n_nodes);
+    cfg
+}
+
+fn run_cell(effort: Effort, i: usize, n_nodes: usize) -> (MegaRow, f64) {
+    let cfg = cell_config(effort, i, n_nodes);
+    let sim_secs = cfg.periods as f64 * cfg.node.decider.period.as_secs_f64();
+    let report: ShardReport = ShardedSim::new(cfg).run();
+    assert!(
+        report.conservation_ok,
+        "mega cell n={n_nodes} violated power conservation"
+    );
+    (
+        MegaRow {
+            n_nodes,
+            shards: report.shards,
+            executed_events: report.executed_events,
+            elided_ticks: report.elided_ticks,
+            messages: report.messages,
+            fingerprint: report.fingerprint,
+        },
+        sim_secs,
+    )
+}
+
+/// Run the mega sweep over `nodes` with an explicit cell worker count.
+///
+/// `jobs` parallelizes *cells*; within a cell the sharded engine runs
+/// serially (its own `jobs` stays 1) so the two layers of parallelism
+/// never nest. Rows are bit-identical for every `jobs` value.
+pub fn mega_sweep_with_jobs(effort: Effort, nodes: &[usize], jobs: usize) -> MegaSweep {
+    let cells: Vec<(usize, usize)> = nodes.iter().copied().enumerate().collect();
+    let outcomes = parallel::par_map(jobs, &cells, |&(i, n)| run_cell(effort, i, n));
+    let mut stats = CellStats::default();
+    let mut rows = Vec::with_capacity(outcomes.len());
+    for (row, sim_secs) in outcomes {
+        stats.absorb(row.executed_events + row.elided_ticks, sim_secs);
+        rows.push(row);
+    }
+    MegaSweep { rows, stats }
+}
+
+/// Run the mega sweep with the worker count from `PENELOPE_JOBS`.
+pub fn mega_sweep(effort: Effort, nodes: &[usize]) -> MegaSweep {
+    mega_sweep_with_jobs(effort, nodes, parallel::jobs_from_env())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Small axis so the suite stays fast; the real 10^5+ points run in
+    // the perf harness and the CI scale job.
+    const TEST_NODES: [usize; 2] = [2_048, 4_096];
+
+    #[test]
+    fn mega_sweep_rows_conserve_and_mostly_elide() {
+        let sweep = mega_sweep_with_jobs(Effort::Smoke, &TEST_NODES, 1);
+        assert_eq!(sweep.rows.len(), 2);
+        assert_eq!(sweep.stats.cells, 2);
+        for row in &sweep.rows {
+            // The donor majority (63 of every 64 nodes) must be elided
+            // most of the time or the scaling story is broken.
+            let slots = row.n_nodes as u64 * periods(Effort::Smoke);
+            assert!(
+                row.elided_ticks > slots / 2,
+                "n={}: only {} of {} tick slots elided",
+                row.n_nodes,
+                row.elided_ticks,
+                slots
+            );
+            assert!(row.messages > 0, "n={}: no protocol traffic", row.n_nodes);
+            assert!(
+                row.executed_events + row.elided_ticks >= slots,
+                "every node ticks every period, executed or elided"
+            );
+        }
+        // Events scale with the axis, so the larger cell dominates.
+        assert!(sweep.rows[1].elided_ticks > sweep.rows[0].elided_ticks);
+    }
+
+    #[test]
+    fn parallel_cells_match_serial_bitwise() {
+        let serial = mega_sweep_with_jobs(Effort::Smoke, &TEST_NODES, 1);
+        let par = mega_sweep_with_jobs(Effort::Smoke, &TEST_NODES, 4);
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn cell_seeds_differ_across_the_axis() {
+        let a = cell_config(Effort::Smoke, 0, 1024).seed;
+        let b = cell_config(Effort::Smoke, 1, 1024).seed;
+        assert_ne!(a, b);
+    }
+}

@@ -3,7 +3,7 @@
 use penelope_core::{
     fair_assignment, EngineConfig, EngineInput, EngineOutput, NodeEngine, PeerMsg,
 };
-use penelope_metrics::{OscillationStats, RedistributionTracker};
+use penelope_metrics::RedistributionTracker;
 use penelope_net::{RouteOutcome, SimNet};
 use penelope_power::{PowerInterface, SimulatedRapl};
 use penelope_slurm::{ClientAction, PowerServer, ServerGrant, ServerQueue, SlurmClient, SlurmMsg};
@@ -19,8 +19,9 @@ use crate::config::{ClusterConfig, SystemKind};
 use crate::event::{Event, EventQueue, Scheduled};
 use crate::faults::{FaultAction, FaultScript};
 use crate::ledger::Ledger;
-use crate::node::{Manager, SimNode};
+use crate::node::Manager;
 use crate::report::RunReport;
+use crate::soa::NodeTable;
 use crate::trace::ClusterTrace;
 
 /// The SLURM server side: policy + queue model, hosted on a dedicated node.
@@ -47,7 +48,7 @@ pub struct ClusterSim {
     /// `net_rng` draw sequence, or every loss-free seed would replay
     /// differently than it did before the ack protocol existed.
     ack_rng: TestRng,
-    nodes: Vec<SimNode>,
+    nodes: NodeTable,
     /// Reusable scratch buffer for engine outputs — taken, driven, cleared
     /// and put back on every engine interaction so the hot path never
     /// allocates.
@@ -118,7 +119,7 @@ impl ClusterSim {
         );
 
         let mut queue = EventQueue::with_capacity(2 * n);
-        let mut nodes = Vec::with_capacity(n);
+        let mut nodes = NodeTable::with_capacity(n);
         for (i, profile) in workloads.into_iter().enumerate() {
             let id = NodeId::new(i as u32);
             let mut rng = TestRng::seed_from_u64(node_seed(cfg.seed, i as u64));
@@ -153,20 +154,7 @@ impl ClusterSim {
                 SimDuration::from_nanos(rng.gen_range(0..=cfg.tick_jitter.as_nanos()))
             };
             queue.push(SimTime::ZERO + jitter, Event::Tick(id));
-            nodes.push(SimNode {
-                id,
-                rapl,
-                manager,
-                rng,
-                pending: Default::default(),
-                turnaround: Default::default(),
-                finished_seen: false,
-                initial_cap: caps[i],
-                oscillation: OscillationStats::new(),
-                active_server: 0,
-                server_timeouts: 0,
-                next_tick_at: SimTime::ZERO + jitter,
-            });
+            nodes.push(manager, rapl, rng, caps[i], SimTime::ZERO + jitter);
         }
 
         let servers = match cfg.system {
@@ -228,8 +216,8 @@ impl ClusterSim {
             SharedObserver::from(trace.clone()),
         );
         self.obs_on = self.obs.enabled();
-        for node in &mut self.nodes {
-            if let Manager::Penelope { engine, .. } = &mut node.manager {
+        for manager in &mut self.nodes.manager {
+            if let Manager::Penelope { engine, .. } = manager {
                 engine.set_observer(self.obs.clone());
             }
         }
@@ -354,11 +342,9 @@ impl ClusterSim {
     /// every system kind.
     pub fn conformance_snapshot(&self, period: u64) -> penelope_testkit::conformance::Snapshot {
         use penelope_testkit::conformance::{NodeSnapshot, Snapshot};
-        let nodes = self
-            .nodes
-            .iter()
-            .map(|node| {
-                let (available, deposited, granted, drained) = match &node.manager {
+        let nodes = (0..self.nodes.len())
+            .map(|i| {
+                let (available, deposited, granted, drained) = match &self.nodes.manager[i] {
                     Manager::Penelope { engine, .. } => {
                         let pool = engine.pool();
                         (
@@ -371,9 +357,9 @@ impl ClusterSim {
                     _ => (Power::ZERO, Power::ZERO, Power::ZERO, Power::ZERO),
                 };
                 NodeSnapshot {
-                    node: node.id.index() as u32,
-                    alive: self.is_alive(node.id),
-                    cap: node.cap(),
+                    node: i as u32,
+                    alive: self.is_alive(NodeId::new(i as u32)),
+                    cap: self.nodes.cap(i),
                     pool_available: available,
                     pool_deposited: deposited,
                     pool_granted: granted,
@@ -391,9 +377,11 @@ impl ClusterSim {
         // (exactly like in-flight power) until acked or reclaimed.
         let escrowed: Power = self
             .nodes
+            .manager
             .iter()
-            .filter(|n| self.is_alive(n.id))
-            .map(|n| match &n.manager {
+            .enumerate()
+            .filter(|(i, _)| self.is_alive(NodeId::new(*i as u32)))
+            .map(|(_, m)| match m {
                 Manager::Penelope { engine, .. } => engine.escrowed_undelivered(),
                 _ => Power::ZERO,
             })
@@ -435,13 +423,12 @@ impl ClusterSim {
         let idx = id.index();
 
         // Read power and advance the workload model.
-        let node = &mut self.nodes[idx];
-        if now != node.next_tick_at {
+        if now != self.nodes.next_tick_at[idx] {
             return; // superseded chain (a pre-crash tick racing a restart)
         }
-        let reading = node.rapl.read_power_with(now, &mut node.rng);
-        if !node.finished_seen && node.rapl.device().is_finished() {
-            node.finished_seen = true;
+        let reading = self.nodes.rapl[idx].read_power_with(now, &mut self.nodes.rng[idx]);
+        if !self.nodes.finished_seen[idx] && self.nodes.rapl[idx].device().is_finished() {
+            self.nodes.finished_seen[idx] = true;
             self.finished_count += 1;
         }
 
@@ -461,20 +448,20 @@ impl ClusterSim {
         }
         let mut outgoing = Outgoing::None;
         let mut engine_out: Option<Vec<EngineOutput>> = None;
-        match &mut node.manager {
+        match &mut self.nodes.manager[idx] {
             Manager::Fair => {}
             Manager::Penelope { engine, .. } => {
                 let mut outputs = std::mem::take(&mut self.engine_out);
                 engine.handle(
                     now,
                     EngineInput::Tick { reading },
-                    &mut node.rng,
+                    &mut self.nodes.rng[idx],
                     &mut outputs,
                 );
                 engine_out = Some(outputs);
             }
             Manager::Slurm { client } => {
-                let had_unanswered = !node.pending.is_empty();
+                let had_unanswered = !self.nodes.pending[idx].is_empty();
                 match client.tick(now, reading) {
                     ClientAction::Report { excess } => outgoing = Outgoing::SlurmReport { excess },
                     ClientAction::Request { urgent, alpha, seq } => {
@@ -483,17 +470,21 @@ impl ClusterSim {
                         // client's only liveness signal. Two in a row
                         // triggers failover to the standby, if one exists.
                         if had_unanswered {
-                            node.server_timeouts = node.server_timeouts.saturating_add(1);
-                            if node.server_timeouts >= 2 && node.active_server == 0 {
-                                node.active_server = 1;
+                            self.nodes.server_timeouts[idx] =
+                                self.nodes.server_timeouts[idx].saturating_add(1);
+                            if self.nodes.server_timeouts[idx] >= 2
+                                && self.nodes.active_server[idx] == 0
+                            {
+                                self.nodes.active_server[idx] = 1;
                             }
                         }
-                        node.pending.insert(seq, now);
+                        self.nodes.pending[idx].insert(seq, now);
                         outgoing = Outgoing::SlurmRequest { urgent, alpha, seq };
                     }
                     ClientAction::Idle => {}
                 }
-                node.rapl.set_cap(client.cap(), now);
+                let cap = client.cap();
+                self.nodes.rapl[idx].set_cap(cap, now);
             }
         }
 
@@ -505,7 +496,7 @@ impl ClusterSim {
             outputs.clear();
             self.engine_out = outputs;
             let next = now + self.cfg.node.decider.period;
-            self.nodes[idx].next_tick_at = next;
+            self.nodes.next_tick_at[idx] = next;
             self.queue.push(next, Event::Tick(id));
             return;
         }
@@ -513,9 +504,9 @@ impl ClusterSim {
         // Per-tick telemetry. `CapActuated` is the one event every manager
         // kind emits each iteration; the `ClusterTrace` observer projects
         // it into the plottable (cap, reading, pool) series.
-        let cap_now = node.cap();
-        let pool_now = node.pooled();
-        node.oscillation.record(cap_now);
+        let cap_now = self.nodes.cap(idx);
+        let pool_now = self.nodes.pooled(idx);
+        self.nodes.oscillation[idx].record(cap_now);
         self.emit(id, || EventKind::CapActuated {
             cap: cap_now,
             reading,
@@ -532,7 +523,7 @@ impl ClusterSim {
                 // standby configured fails over immediately instead of
                 // pouring freed power into the void.
                 if !self.is_alive(server_id) && self.servers.len() > 1 {
-                    self.nodes[idx].active_server = 1;
+                    self.nodes.active_server[idx] = 1;
                     server_id = self.active_server_for(id);
                 }
                 self.route_slurm(id, server_id, SlurmMsg::Report { from: id, excess }, excess);
@@ -555,7 +546,7 @@ impl ClusterSim {
 
         // Next iteration.
         let next = now + self.cfg.node.decider.period;
-        self.nodes[idx].next_tick_at = next;
+        self.nodes.next_tick_at[idx] = next;
         self.queue.push(next, Event::Tick(id));
     }
 
@@ -571,11 +562,11 @@ impl ClusterSim {
                     src,
                     carried: Power::ZERO,
                 });
-                let node = &mut self.nodes[dst.index()];
-                let Manager::Penelope { queue, .. } = &mut node.manager else {
+                let di = dst.index();
+                let Manager::Penelope { queue, .. } = &mut self.nodes.manager[di] else {
                     return; // stray message; ignore
                 };
-                match queue.offer(self.now, &mut node.rng) {
+                match queue.offer(self.now, &mut self.nodes.rng[di]) {
                     Some(done) => self.queue.push(done, Event::PoolProcess(env)),
                     None => {
                         // Pool overloaded, request dropped; requester
@@ -601,8 +592,8 @@ impl ClusterSim {
                 });
                 let now = self.now;
                 let mut outputs = std::mem::take(&mut self.engine_out);
-                let node = &mut self.nodes[dst.index()];
-                let Manager::Penelope { engine, .. } = &mut node.manager else {
+                let di = dst.index();
+                let Manager::Penelope { engine, .. } = &mut self.nodes.manager[di] else {
                     self.engine_out = outputs;
                     self.ledger.lose_direct(g.amount);
                     return;
@@ -613,7 +604,7 @@ impl ClusterSim {
                         src,
                         msg: PeerMsg::Grant(g, digest),
                     },
-                    &mut node.rng,
+                    &mut self.nodes.rng[di],
                     &mut outputs,
                 );
                 self.drive_engine(dst, &mut outputs, 0, false);
@@ -630,8 +621,8 @@ impl ClusterSim {
                     carried: Power::ZERO,
                 });
                 let now = self.now;
-                let node = &mut self.nodes[granter.index()];
-                if let Manager::Penelope { engine, .. } = &mut node.manager {
+                let gi = granter.index();
+                if let Manager::Penelope { engine, .. } = &mut self.nodes.manager[gi] {
                     let mut outputs = std::mem::take(&mut self.engine_out);
                     engine.handle(
                         now,
@@ -639,7 +630,7 @@ impl ClusterSim {
                             src: env.src,
                             msg: PeerMsg::Ack(a, digest),
                         },
-                        &mut node.rng,
+                        &mut self.nodes.rng[gi],
                         &mut outputs,
                     );
                     self.drive_engine(granter, &mut outputs, 0, false);
@@ -662,8 +653,8 @@ impl ClusterSim {
         // its escrow, urgency bookkeeping, and the grant/zero-grant reply.
         let now = self.now;
         let mut outputs = std::mem::take(&mut self.engine_out);
-        let node = &mut self.nodes[pool_node.index()];
-        let Manager::Penelope { engine, .. } = &mut node.manager else {
+        let pi = pool_node.index();
+        let Manager::Penelope { engine, .. } = &mut self.nodes.manager[pi] else {
             self.engine_out = outputs;
             return;
         };
@@ -673,7 +664,7 @@ impl ClusterSim {
                 src: env.src,
                 msg: PeerMsg::Request(req),
             },
-            &mut node.rng,
+            &mut self.nodes.rng[pi],
             &mut outputs,
         );
         self.drive_engine(pool_node, &mut outputs, 0, false);
@@ -725,18 +716,19 @@ impl ClusterSim {
                 carried: g.amount,
             });
             let now = self.now;
-            let node = &mut self.nodes[dst.index()];
-            let Manager::Slurm { client } = &mut node.manager else {
+            let di = dst.index();
+            let Manager::Slurm { client } = &mut self.nodes.manager[di] else {
                 self.ledger.lose_direct(g.amount);
                 return;
             };
             let eff = client.on_grant(g.seq, g.amount, g.release_to_initial);
-            node.rapl.set_cap(client.cap(), now);
-            if let Some(sent) = node.pending.remove(&g.seq) {
-                node.turnaround.record(now.saturating_since(sent));
+            let cap = client.cap();
+            self.nodes.rapl[di].set_cap(cap, now);
+            if let Some(sent) = self.nodes.pending[di].remove(&g.seq) {
+                self.nodes.turnaround[di].record(now.saturating_since(sent));
             }
             // A response arrived: the node's server is healthy again.
-            self.nodes[dst.index()].server_timeouts = 0;
+            self.nodes.server_timeouts[di] = 0;
             let released = eff.released;
             if !released.is_zero() {
                 let server_id = self.active_server_for(dst);
@@ -793,13 +785,13 @@ impl ClusterSim {
             return; // the escrow was drained (and booked lost) at death
         }
         let now = self.now;
-        let node = &mut self.nodes[granter.index()];
-        if let Manager::Penelope { engine, .. } = &mut node.manager {
+        let gi = granter.index();
+        if let Manager::Penelope { engine, .. } = &mut self.nodes.manager[gi] {
             let mut outputs = std::mem::take(&mut self.engine_out);
             engine.handle(
                 now,
                 EngineInput::EscrowDeadline { requester, seq },
-                &mut node.rng,
+                &mut self.nodes.rng[gi],
                 &mut outputs,
             );
             self.drive_engine(granter, &mut outputs, 0, false);
@@ -849,17 +841,17 @@ impl ClusterSim {
             self.emit(id, || EventKind::NodeKilled { lost: cached });
             return;
         }
-        let node = &mut self.nodes[id.index()];
-        let cap = node.cap();
+        let i = id.index();
+        let cap = self.nodes.cap(i);
         // The pool dies with the node and so do undelivered escrowed
         // grants, exactly like its cap.
-        let (pooled, escrowed) = match &mut node.manager {
+        let (pooled, escrowed) = match &mut self.nodes.manager[i] {
             Manager::Penelope { engine, .. } => engine.retire(),
             _ => (Power::ZERO, Power::ZERO),
         };
         let lost = cap + pooled + escrowed;
         self.ledger.lose_direct(lost);
-        if !node.finished_seen {
+        if !self.nodes.finished_seen[i] {
             self.dead_unfinished += 1;
         }
         self.dead.push(id);
@@ -880,15 +872,15 @@ impl ClusterSim {
         if id.index() >= self.nodes.len() || self.is_alive(id) {
             return;
         }
-        let readmitted = self.nodes[id.index()].initial_cap.min(self.ledger.lost);
+        let i = id.index();
+        let readmitted = self.nodes.initial_cap[i].min(self.ledger.lost);
         if !self.cfg.node.safe_range.contains(readmitted) {
             return; // the ledger cannot fund a safe cap; stay down
         }
         self.ledger.readmit(readmitted);
         self.net.faults_mut().revive(id);
         let now = self.now;
-        let node = &mut self.nodes[id.index()];
-        match &mut node.manager {
+        match &mut self.nodes.manager[i] {
             // `reincarnate` advances the seq floor past the pre-crash
             // watermark and rebuilds decider/pool/escrow at the readmitted
             // cap; the serve queue is the driver's and is replaced here.
@@ -902,15 +894,15 @@ impl ClusterSim {
                     SlurmClient::new(self.cfg.node.decider, readmitted, self.cfg.node.safe_range);
             }
         }
-        node.rapl.set_cap(readmitted, now);
-        node.pending.clear();
-        node.active_server = 0;
-        node.server_timeouts = 0;
+        self.nodes.rapl[i].set_cap(readmitted, now);
+        self.nodes.pending[i].clear();
+        self.nodes.active_server[i] = 0;
+        self.nodes.server_timeouts[i] = 0;
         // Resume ticking immediately, with no jitter draw: the node's RNG
         // stream (and every other stream) stays exactly where the crash
         // left it, so fault scripts perturb nothing they don't touch.
-        node.next_tick_at = now;
-        let finished = node.finished_seen;
+        self.nodes.next_tick_at[i] = now;
+        let finished = self.nodes.finished_seen[i];
         self.dead.retain(|&d| d != id);
         if !finished {
             self.dead_unfinished -= 1;
@@ -923,7 +915,7 @@ impl ClusterSim {
     /// Fair/SLURM nodes) — lets churn tests assert that stale pre-crash
     /// grants were actually observed and discarded.
     pub fn decider_stats(&self, id: NodeId) -> Option<penelope_core::decider::DeciderStats> {
-        match &self.nodes.get(id.index())?.manager {
+        match self.nodes.manager.get(id.index())? {
             Manager::Penelope { engine, .. } => Some(engine.stats()),
             _ => None,
         }
@@ -978,10 +970,10 @@ impl ClusterSim {
             match out {
                 EngineOutput::Actuate { cap } => {
                     let now = self.now;
-                    let node = &mut self.nodes[id.index()];
-                    node.rapl.set_cap(cap, now);
+                    let i = id.index();
+                    self.nodes.rapl[i].set_cap(cap, now);
                     if tick {
-                        node.oscillation.record(cap);
+                        self.nodes.oscillation[i].record(cap);
                     }
                 }
                 EngineOutput::Send { dst, msg, carried } => match &msg {
@@ -1010,7 +1002,7 @@ impl ClusterSim {
                         // send time so turnaround measures the full wait.
                         let seq = req.seq;
                         let now = self.now;
-                        self.nodes[id.index()].pending.entry(seq).or_insert(now);
+                        self.nodes.pending[id.index()].entry(seq).or_insert(now);
                         self.route_peer(id, dst, msg, carried);
                     }
                     PeerMsg::Grant(..) => {
@@ -1051,8 +1043,8 @@ impl ClusterSim {
                         }
                     };
                     let now = self.now;
-                    let node = &mut self.nodes[id.index()];
-                    if let Manager::Penelope { engine, .. } = &mut node.manager {
+                    let i = id.index();
+                    if let Manager::Penelope { engine, .. } = &mut self.nodes.manager[i] {
                         engine.handle(
                             now,
                             EngineInput::GrantOutcome {
@@ -1061,7 +1053,7 @@ impl ClusterSim {
                                 amount,
                                 delivered,
                             },
-                            &mut node.rng,
+                            &mut self.nodes.rng[i],
                             outputs,
                         );
                     }
@@ -1081,9 +1073,9 @@ impl ClusterSim {
                 }
                 EngineOutput::Resolved { seq, amount } => {
                     let now = self.now;
-                    let node = &mut self.nodes[id.index()];
-                    if let Some(sent) = node.pending.remove(&seq) {
-                        node.turnaround.record(now.saturating_since(sent));
+                    let i = id.index();
+                    if let Some(sent) = self.nodes.pending[i].remove(&seq) {
+                        self.nodes.turnaround[i].record(now.saturating_since(sent));
                     }
                     self.credit_redistribution(id, amount);
                 }
@@ -1121,9 +1113,7 @@ impl ClusterSim {
     /// configured, a client fails over after two consecutive request
     /// timeouts (it has no other liveness oracle) and stays there.
     fn active_server_for(&self, node: NodeId) -> NodeId {
-        let idx = self.nodes[node.index()]
-            .active_server
-            .min(self.servers.len() - 1);
+        let idx = self.nodes.active_server[node.index()].min(self.servers.len() - 1);
         self.servers[idx].id
     }
 
@@ -1137,28 +1127,25 @@ impl ClusterSim {
     }
 
     fn live_total(&self) -> Power {
-        let nodes: Power = self
-            .nodes
-            .iter()
-            .filter(|n| self.net.faults().is_alive(n.id))
-            .map(|n| n.holdings())
-            .sum();
+        let mut nodes = Power::ZERO;
+        let mut escrowed = Power::ZERO;
+        for i in 0..self.nodes.len() {
+            if !self.net.faults().is_alive(NodeId::new(i as u32)) {
+                continue;
+            }
+            nodes += self.nodes.holdings(i);
+            // Undelivered escrowed grants still belong to their (live)
+            // granter: the pool debited them but the transport never
+            // carried them.
+            if let Manager::Penelope { engine, .. } = &self.nodes.manager[i] {
+                escrowed += engine.escrowed_undelivered();
+            }
+        }
         let servers: Power = self
             .servers
             .iter()
             .filter(|s| self.net.faults().is_alive(s.id))
             .map(|s| s.policy.cached())
-            .sum();
-        // Undelivered escrowed grants still belong to their (live) granter:
-        // the pool debited them but the transport never carried them.
-        let escrowed: Power = self
-            .nodes
-            .iter()
-            .filter(|n| self.net.faults().is_alive(n.id))
-            .map(|n| match &n.manager {
-                Manager::Penelope { engine, .. } => engine.escrowed_undelivered(),
-                _ => Power::ZERO,
-            })
             .sum();
         nodes + servers + escrowed
     }
@@ -1175,9 +1162,11 @@ impl ClusterSim {
         // both see the same actuation delay.
         let effective: Power = self
             .nodes
+            .rapl
             .iter()
-            .filter(|n| self.net.faults().is_alive(n.id))
-            .map(|n| n.rapl.effective_cap(self.now))
+            .enumerate()
+            .filter(|(i, _)| self.net.faults().is_alive(NodeId::new(*i as u32)))
+            .map(|(_, r)| r.effective_cap(self.now))
             .sum();
         if effective > self.ledger.initial_total {
             self.conservation_ok = false;
@@ -1193,14 +1182,14 @@ impl ClusterSim {
         let mut oscillation = penelope_metrics::OscillationStats::new();
         let mut finished = Vec::with_capacity(self.nodes.len());
         let mut final_caps = Vec::with_capacity(self.nodes.len());
-        for node in &self.nodes {
-            turnaround.merge(&node.turnaround);
-            oscillation.merge(&node.oscillation);
-            for _ in node.pending.iter() {
+        for i in 0..self.nodes.len() {
+            turnaround.merge(&self.nodes.turnaround[i]);
+            oscillation.merge(&self.nodes.oscillation[i]);
+            for _ in self.nodes.pending[i].iter() {
                 turnaround.record_unanswered();
             }
-            finished.push(node.rapl.device().finished_at());
-            final_caps.push(node.cap());
+            finished.push(self.nodes.rapl[i].device().finished_at());
+            final_caps.push(self.nodes.cap(i));
         }
         RunReport {
             system: self.cfg.system,

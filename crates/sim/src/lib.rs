@@ -31,6 +31,8 @@ pub mod faults;
 pub mod ledger;
 pub mod node;
 pub mod report;
+pub mod shard;
+pub mod soa;
 pub mod trace;
 
 pub use cluster::{node_seed, ClusterSim, ClusterSimBuilder};
@@ -38,4 +40,6 @@ pub use config::{ClusterConfig, DiscoveryStrategy, SystemKind};
 pub use discovery::choose_peer;
 pub use faults::{FaultAction, FaultScript};
 pub use report::RunReport;
+pub use shard::{ShardReport, ShardedConfig, ShardedSim};
+pub use soa::NodeTable;
 pub use trace::{ClusterTrace, TraceSample};

@@ -1,14 +1,13 @@
-//! Per-node simulation state.
-
-use std::collections::HashMap;
+//! Per-node simulation state: the manager automaton.
+//!
+//! The rest of what used to live here as a per-node `SimNode` struct —
+//! RAPL domain, RNG stream, pending-request map, metrics collectors and
+//! the live-tick watermark — is stored column-wise in
+//! [`NodeTable`](crate::soa::NodeTable), the struct-of-arrays layout the
+//! hot path walks.
 
 use penelope_core::NodeEngine;
-use penelope_metrics::{OscillationStats, TurnaroundStats};
-use penelope_power::{PowerInterface, SimulatedRapl};
 use penelope_slurm::{ServerQueue, SlurmClient};
-use penelope_testkit::rng::TestRng;
-use penelope_units::{NodeId, Power, SimTime};
-use penelope_workload::WorkloadState;
 
 /// The power manager running on a node.
 #[derive(Debug)]
@@ -42,140 +41,9 @@ pub enum Manager {
 // conformance harness) keep compiling unchanged.
 pub use penelope_core::initial_rr_cursor;
 
-/// One simulated cluster node: hardware model + manager + RNG + metrics.
-#[derive(Debug)]
-pub struct SimNode {
-    /// The node's identity.
-    pub id: NodeId,
-    /// Simulated RAPL domain over the node's workload.
-    pub rapl: SimulatedRapl<WorkloadState>,
-    /// The power manager.
-    pub manager: Manager,
-    /// Per-node deterministic RNG stream.
-    pub rng: TestRng,
-    /// Outstanding requests: seq → send time (for turnaround metrics).
-    pub pending: HashMap<u64, SimTime>,
-    /// Completed round-trip times.
-    pub turnaround: TurnaroundStats,
-    /// Whether the workload's completion has been observed.
-    pub finished_seen: bool,
-    /// The cap this node was initially assigned.
-    pub initial_cap: Power,
-    /// Cap-trajectory oscillation collector (fed once per tick).
-    pub oscillation: OscillationStats,
-    /// Index of the server this SLURM client currently addresses
-    /// (failover bumps it; 0 = primary).
-    pub active_server: usize,
-    /// Consecutive unanswered requests to the current server.
-    pub server_timeouts: u8,
-    /// When this node's *live* tick chain fires next. A tick arriving at
-    /// any other time belongs to a superseded chain (a pre-crash tick
-    /// racing a restart-spawned one) and is dropped, so a node never
-    /// double-ticks per period across a kill/restart round-trip.
-    pub next_tick_at: SimTime,
-}
-
-impl SimNode {
-    /// The cap the node's manager currently wants enforced.
-    pub fn cap(&self) -> Power {
-        match &self.manager {
-            Manager::Fair => self.rapl.cap(),
-            Manager::Penelope { engine, .. } => engine.cap(),
-            Manager::Slurm { client } => client.cap(),
-        }
-    }
-
-    /// Power cached in the node's local pool (zero for Fair/SLURM).
-    pub fn pooled(&self) -> Power {
-        match &self.manager {
-            Manager::Penelope { engine, .. } => engine.pool().available(),
-            _ => Power::ZERO,
-        }
-    }
-
-    /// Power this node holds in total (cap + pool) — what leaves the
-    /// system if it crashes.
-    pub fn holdings(&self) -> Power {
-        self.cap() + self.pooled()
-    }
-
-    /// How far the node's cap sits above its initial assignment (the
-    /// redistribution level metric counts this on hungry nodes).
-    pub fn gain_over_initial(&self) -> Power {
-        self.cap().saturating_sub(self.initial_cap)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use penelope_core::{EngineConfig, NodeParams};
-    use penelope_power::RaplConfig;
-    use penelope_slurm::{ServerQueue, ServiceModel};
-    use penelope_trace::SharedObserver;
-    use penelope_units::PowerRange;
-    use penelope_workload::{PerfModel, Phase, Profile};
-
-    fn w(x: u64) -> Power {
-        Power::from_watts_u64(x)
-    }
-
-    fn node(manager: Manager) -> SimNode {
-        let profile = Profile::new(
-            "t",
-            vec![Phase::new(w(100), 1.0)],
-            PerfModel::new(w(60), 1.0),
-        );
-        SimNode {
-            id: NodeId::new(0),
-            rapl: SimulatedRapl::new(
-                penelope_workload::WorkloadState::new(profile),
-                w(160),
-                RaplConfig::default(),
-            ),
-            manager,
-            rng: TestRng::seed_from_u64(0),
-            pending: Default::default(),
-            turnaround: Default::default(),
-            finished_seen: false,
-            initial_cap: w(160),
-            oscillation: OscillationStats::new(),
-            active_server: 0,
-            server_timeouts: 0,
-            next_tick_at: SimTime::ZERO,
-        }
-    }
-
-    #[test]
-    fn fair_node_reports_rapl_cap_and_no_pool() {
-        let n = node(Manager::Fair);
-        assert_eq!(n.cap(), w(160));
-        assert_eq!(n.pooled(), Power::ZERO);
-        assert_eq!(n.holdings(), w(160));
-        assert_eq!(n.gain_over_initial(), Power::ZERO);
-    }
-
-    #[test]
-    fn penelope_node_holdings_include_pool() {
-        let params = NodeParams {
-            safe_range: PowerRange::from_watts(80, 300),
-            ..NodeParams::default()
-        };
-        let mut engine = NodeEngine::new(
-            NodeId::new(0),
-            2,
-            EngineConfig::new(params),
-            w(160),
-            SharedObserver::noop(),
-        );
-        engine.pool_mut().deposit(w(25));
-        let n = node(Manager::Penelope {
-            engine,
-            queue: ServerQueue::new(ServiceModel::default(), 16),
-        });
-        assert_eq!(n.pooled(), w(25));
-        assert_eq!(n.holdings(), w(185));
-    }
 
     #[test]
     fn initial_rr_cursor_never_points_at_self() {
@@ -188,14 +56,5 @@ mod tests {
                 }
             }
         }
-    }
-
-    #[test]
-    fn gain_over_initial_saturates_at_zero() {
-        let mut n = node(Manager::Fair);
-        n.initial_cap = w(200); // cap (160) below initial
-        assert_eq!(n.gain_over_initial(), Power::ZERO);
-        n.initial_cap = w(100);
-        assert_eq!(n.gain_over_initial(), w(60));
     }
 }
