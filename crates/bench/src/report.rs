@@ -13,6 +13,46 @@ use crate::json::Json;
 /// Schema identifier written into every report; bump on breaking changes.
 pub const BENCH_SCHEMA: &str = "penelope-bench/v1";
 
+/// Grant round-trip tail-latency block for sweeps that measure one (the
+/// daemon soak). Optional in the JSON — like `shards`, old baselines and
+/// new reports stay mutually readable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GrantRtt {
+    /// Completed request→grant round trips measured.
+    pub samples: u64,
+    /// Median round trip, wall-clock nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile round trip, wall-clock nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th-percentile round trip, wall-clock nanoseconds.
+    pub p999_ns: u64,
+}
+
+impl GrantRtt {
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("samples".to_string(), Json::Num(self.samples as f64)),
+            ("p50_ns".to_string(), Json::Num(self.p50_ns as f64)),
+            ("p99_ns".to_string(), Json::Num(self.p99_ns as f64)),
+            ("p999_ns".to_string(), Json::Num(self.p999_ns as f64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, String> {
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("grant_rtt missing integer {k:?}"))
+        };
+        Ok(GrantRtt {
+            samples: field("samples")?,
+            p50_ns: field("p50_ns")?,
+            p99_ns: field("p99_ns")?,
+            p999_ns: field("p999_ns")?,
+        })
+    }
+}
+
 /// Wall-clock measurements for one sweep (frequency, scale or nominal).
 #[derive(Clone, Debug, PartialEq)]
 pub struct SweepTiming {
@@ -32,6 +72,10 @@ pub struct SweepTiming {
     /// single-queue sweeps). Optional in the JSON, so old baselines and
     /// new reports stay mutually readable.
     pub shards: Option<usize>,
+    /// Grant round-trip percentiles for sweeps that measure end-to-end
+    /// request latency (the daemon soak); `None` for pure-throughput
+    /// sweeps. Optional in the JSON, same compatibility rule as `shards`.
+    pub grant_rtt: Option<GrantRtt>,
 }
 
 impl SweepTiming {
@@ -45,12 +89,19 @@ impl SweepTiming {
             wall_s,
             serial_wall_s,
             shards: None,
+            grant_rtt: None,
         }
     }
 
     /// Tag the row with the shard count a sharded-engine sweep used.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = Some(shards);
+        self
+    }
+
+    /// Tag the row with a grant round-trip latency distribution.
+    pub fn with_grant_rtt(mut self, rtt: GrantRtt) -> Self {
+        self.grant_rtt = Some(rtt);
         self
     }
 
@@ -102,6 +153,9 @@ impl SweepTiming {
         if let Some(shards) = self.shards {
             fields.push(("shards".to_string(), Json::Num(shards as f64)));
         }
+        if let Some(rtt) = self.grant_rtt {
+            fields.push(("grant_rtt".to_string(), rtt.to_json()));
+        }
         fields.extend([
             // Derived fields are redundant but make the artifact readable
             // without a calculator; `from_json` ignores them.
@@ -134,6 +188,7 @@ impl SweepTiming {
                 .as_f64()
                 .ok_or("serial_wall_s must be a number")?,
             shards: v.get("shards").and_then(Json::as_u64).map(|s| s as usize),
+            grant_rtt: v.get("grant_rtt").map(GrantRtt::from_json).transpose()?,
         })
     }
 }
@@ -304,6 +359,7 @@ mod tests {
                     wall_s: 0.5,
                     serial_wall_s: 1.6,
                     shards: None,
+                    grant_rtt: None,
                 },
                 SweepTiming {
                     name: "nominal".to_string(),
@@ -313,6 +369,7 @@ mod tests {
                     wall_s: 0.3,
                     serial_wall_s: 0.9,
                     shards: None,
+                    grant_rtt: None,
                 },
             ],
         }
@@ -339,6 +396,29 @@ mod tests {
         // The untagged sweep omits the key entirely, so pre-shards
         // baselines parse unchanged (covered by report_round_trips).
         assert_eq!(back.sweeps[1].shards, None);
+    }
+
+    #[test]
+    fn grant_rtt_field_round_trips_and_stays_optional() {
+        let mut r = sample();
+        r.sweeps[0] = r.sweeps[0].clone().with_grant_rtt(GrantRtt {
+            samples: 4321,
+            p50_ns: 180_000,
+            p99_ns: 950_000,
+            p999_ns: 2_400_000,
+        });
+        let text = r.to_json();
+        assert!(text.contains("\"grant_rtt\""), "{text}");
+        assert!(text.contains("\"p999_ns\":2400000"), "{text}");
+        let back = BenchReport::from_json(&text).expect("round-trip");
+        assert_eq!(back, r);
+        assert_eq!(back.sweeps[0].grant_rtt.unwrap().samples, 4321);
+        // The untagged sweep omits the key, so pre-rtt baselines parse
+        // unchanged.
+        assert_eq!(back.sweeps[1].grant_rtt, None);
+        // A malformed block fails loudly instead of parsing as absent.
+        let bad = text.replace("\"p99_ns\":950000,", "");
+        assert!(BenchReport::from_json(&bad).is_err());
     }
 
     #[test]

@@ -6,6 +6,15 @@
 //! datagrams into [`EngineInput`]s, execute [`EngineOutput`]s as UDP
 //! sends and RAPL writes, and keep a node-id → socket-address table so
 //! engine-level peer ids resolve to real endpoints.
+//!
+//! All sends go through the [`DatagramSocket`] shim, so a test can slot a
+//! deterministic fault plane (`penelope_net::FaultySocket`) under a live
+//! daemon. An injected drop comes back as [`SendStatus::Dropped`]: the
+//! daemon *knows* the datagram never left, emits `MsgDropped` (or
+//! `AckDropped`), and — for grants — feeds `delivered = false` into the
+//! engine so the amount is escrowed as undelivered and reclaimed at the
+//! deadline instead of leaking. A real OS send error is different news
+//! and is counted separately as `send_failed`.
 
 use std::collections::HashMap;
 use std::io;
@@ -21,6 +30,7 @@ use penelope_core::{
     EngineConfig, EngineInput, EngineOutput, GrantAck, NodeEngine, PeerMsg, PowerGrant,
     PowerRequest,
 };
+use penelope_net::shim::{DatagramSocket, SendStatus};
 use penelope_power::{CappedDevice, ConstantDevice, LinuxRapl, PowerInterface, SimulatedRapl};
 use penelope_testkit::rng::TestRng;
 use penelope_trace::{
@@ -103,10 +113,26 @@ pub struct DaemonHandle {
     net_thread: JoinHandle<()>,
     engine: Arc<Mutex<NodeEngine>>,
     counters: Arc<CounterObserver>,
+    node: NodeId,
     /// Status samples (`status_every` > 0) arrive here.
     pub status_rx: Receiver<DaemonStatus>,
     /// The address the daemon actually bound (useful with port 0).
     pub local_addr: std::net::SocketAddr,
+}
+
+/// Lock one of the daemon's shared tables, turning a poisoned mutex (a
+/// sibling thread panicked while holding it) into a panic that names the
+/// table and the node — diagnosable, unlike the bare `PoisonError` the
+/// old `.lock().unwrap()` produced.
+fn lock_table<'a, T>(m: &'a Mutex<T>, table: &str, node: NodeId) -> std::sync::MutexGuard<'a, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(_) => panic!(
+            "daemon node {}: {table} table mutex poisoned — \
+             a daemon thread panicked while holding it; see the first panic above",
+            node.index()
+        ),
+    }
 }
 
 impl DaemonHandle {
@@ -121,7 +147,7 @@ impl DaemonHandle {
     /// this to prove an ack from a *rebound* requester address still
     /// releases the node-keyed entry.
     pub fn escrow_len(&self) -> usize {
-        self.engine.lock().unwrap().escrow_len()
+        lock_table(&self.engine, "engine", self.node).escrow_len()
     }
 
     /// Signal shutdown and collect the final summary.
@@ -129,7 +155,7 @@ impl DaemonHandle {
         self.shutdown.store(true, Ordering::Relaxed);
         let iterations = self.decider_thread.join().expect("decider thread");
         self.net_thread.join().expect("net thread");
-        let engine = self.engine.lock().unwrap();
+        let engine = lock_table(&self.engine, "engine", self.node);
         let pool = engine.pool();
         DaemonSummary {
             iterations,
@@ -226,7 +252,7 @@ fn resolve_src(
     next_extern: &mut u32,
 ) -> NodeId {
     {
-        let table = peer_addrs.lock().unwrap();
+        let table = lock_table(peer_addrs, "addrs", me);
         if let Some(j) = table.iter().position(|a| *a == src) {
             if j != me.index() {
                 return NodeId::new(j as u32);
@@ -249,6 +275,16 @@ pub fn run_daemon(cfg: DaemonConfig) -> io::Result<DaemonHandle> {
 /// Start a daemon on a pre-bound socket (tests bind port 0 first so peers
 /// can learn each other's real ports before launch).
 pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Result<DaemonHandle> {
+    run_daemon_with_shim(cfg, Arc::new(socket))
+}
+
+/// Start a daemon on any [`DatagramSocket`] — a plain [`UdpSocket`] or a
+/// `penelope_net::FaultySocket` injecting deterministic loss under the
+/// live daemon. Both daemon threads share the one shim.
+pub fn run_daemon_with_shim(
+    cfg: DaemonConfig,
+    socket: Arc<dyn DatagramSocket>,
+) -> io::Result<DaemonHandle> {
     let local_addr = socket.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     // Grants are forwarded with their source address so the decider can
@@ -309,7 +345,7 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
     };
 
     // --- Network thread: serves peer requests, forwards grants. ---------
-    let net_socket = socket.try_clone()?;
+    let net_socket = Arc::clone(&socket);
     net_socket.set_read_timeout(Some(Duration::from_millis(10)))?;
     let net_stop = Arc::clone(&shutdown);
     let net_obs = obs.clone();
@@ -332,7 +368,7 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
             // lost, and re-crediting the pool then would mint power. (The
             // engine credits back only known-undelivered entries, which a
             // UDP sender essentially never has.)
-            net_engine.lock().unwrap().handle(
+            lock_table(&net_engine, "engine", me).handle(
                 sweep_now,
                 EngineInput::SweepEscrow,
                 &mut rng,
@@ -364,13 +400,13 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                             // outgoing requests follow a rebound peer to
                             // its new port.
                             if id != me && id.index() < cluster_size {
-                                net_addrs.lock().unwrap()[id.index()] = src;
+                                lock_table(&net_addrs, "addrs", me)[id.index()] = src;
                             }
                             id
                         }
                         None => resolve_src(src, me, &net_addrs, &mut extern_ids, &mut next_extern),
                     };
-                    let mut eng = net_engine.lock().unwrap();
+                    let mut eng = lock_table(&net_engine, "engine", me);
                     eng.handle(
                         now,
                         EngineInput::Msg {
@@ -405,8 +441,16 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                                     digest,
                                 }
                                 .encode();
-                                let _ = net_socket.send_to(&reply, src);
-                                net_obs.emit(|| stamp(now, EventKind::MsgSent { dst, carried }));
+                                match net_socket.send_to(&reply, src) {
+                                    Ok(SendStatus::Sent) => net_obs
+                                        .emit(|| stamp(now, EventKind::MsgSent { dst, carried })),
+                                    Ok(SendStatus::Dropped) => net_obs.emit(|| {
+                                        stamp(now, EventKind::MsgDropped { dst, carried })
+                                    }),
+                                    Err(_) => {
+                                        net_obs.emit(|| stamp(now, EventKind::SendFailed { dst }))
+                                    }
+                                }
                             }
                             EngineOutput::SendGrant {
                                 dst,
@@ -414,26 +458,49 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                                 amount,
                                 seq: gseq,
                             } => {
-                                let delivered = if let PeerMsg::Grant(g, digest) = msg {
+                                let status = if let PeerMsg::Grant(g, digest) = msg {
                                     let reply = WireMsg::Grant {
                                         seq: g.seq,
                                         amount: g.amount,
                                         digest,
                                     }
                                     .encode();
-                                    net_socket.send_to(&reply, src).is_ok()
+                                    net_socket.send_to(&reply, src)
                                 } else {
-                                    false
+                                    // Unreachable: SendGrant always wraps
+                                    // a Grant. Treat as known-undelivered.
+                                    Ok(SendStatus::Dropped)
                                 };
-                                net_obs.emit(|| {
-                                    stamp(
-                                        now,
-                                        EventKind::MsgSent {
-                                            dst,
-                                            carried: amount,
-                                        },
-                                    )
-                                });
+                                // The ledger follows the shim's knowledge:
+                                // only a datagram the network actually
+                                // took departs the granter. A known drop
+                                // (or a failed send) keeps the amount
+                                // escrowed as undelivered, to be
+                                // reclaimed at the deadline.
+                                let delivered = matches!(status, Ok(SendStatus::Sent));
+                                match status {
+                                    Ok(SendStatus::Sent) => net_obs.emit(|| {
+                                        stamp(
+                                            now,
+                                            EventKind::MsgSent {
+                                                dst,
+                                                carried: amount,
+                                            },
+                                        )
+                                    }),
+                                    Ok(SendStatus::Dropped) => net_obs.emit(|| {
+                                        stamp(
+                                            now,
+                                            EventKind::MsgDropped {
+                                                dst,
+                                                carried: amount,
+                                            },
+                                        )
+                                    }),
+                                    Err(_) => {
+                                        net_obs.emit(|| stamp(now, EventKind::SendFailed { dst }))
+                                    }
+                                }
                                 eng.handle(
                                     now,
                                     EngineInput::GrantOutcome {
@@ -464,7 +531,7 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                     // harmless.
                     let src_id =
                         resolve_src(src, me, &net_addrs, &mut extern_ids, &mut next_extern);
-                    net_engine.lock().unwrap().handle(
+                    lock_table(&net_engine, "engine", me).handle(
                         now,
                         EngineInput::Msg {
                             src: src_id,
@@ -494,13 +561,13 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
         let mut rng = TestRng::seed_from_u64(local_addr.port() as u64 ^ 0xDAE0_0DAE);
         let mut outputs: Vec<EngineOutput> = Vec::new();
         let mut iterations = 0u64;
-        hardware.set_cap(decider_engine.lock().unwrap().cap());
+        hardware.set_cap(lock_table(&decider_engine, "engine", me).cap());
         while !decider_stop.load(Ordering::Relaxed) {
             let iter_start = Instant::now();
             iterations += 1;
             let now = SimTime::from_nanos(origin.elapsed().as_nanos().min(u64::MAX as u128) as u64);
             let reading = hardware.read_power();
-            decider_engine.lock().unwrap().handle(
+            lock_table(&decider_engine, "engine", me).handle(
                 now,
                 EngineInput::Tick { reading },
                 &mut rng,
@@ -522,17 +589,34 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                             from: Some(me),
                         }
                         .encode();
-                        let target = decider_addrs.lock().unwrap()[dst.index()];
-                        let _ = decider_socket.send_to(&wire, target);
-                        decider_obs.emit(|| {
-                            stamp(
-                                now,
-                                EventKind::MsgSent {
-                                    dst,
-                                    carried: Power::ZERO,
-                                },
-                            )
-                        });
+                        let target = lock_table(&decider_addrs, "addrs", me)[dst.index()];
+                        match decider_socket.send_to(&wire, target) {
+                            Ok(SendStatus::Sent) => decider_obs.emit(|| {
+                                stamp(
+                                    now,
+                                    EventKind::MsgSent {
+                                        dst,
+                                        carried: Power::ZERO,
+                                    },
+                                )
+                            }),
+                            Ok(SendStatus::Dropped) => decider_obs.emit(|| {
+                                stamp(
+                                    now,
+                                    EventKind::MsgDropped {
+                                        dst,
+                                        carried: Power::ZERO,
+                                    },
+                                )
+                            }),
+                            Err(_) => {
+                                decider_obs.emit(|| stamp(now, EventKind::SendFailed { dst }))
+                            }
+                        }
+                        // A dropped request still opens the wait window:
+                        // the requester cannot know its datagram died, so
+                        // it blocks out the timeout exactly as a lossy
+                        // network would make it.
                         await_seq = Some(req.seq);
                     }
                     _ => {}
@@ -563,7 +647,7 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                             // grant from an unknown address still pays
                             // out.
                             let gid = {
-                                let table = decider_addrs.lock().unwrap();
+                                let table = lock_table(&decider_addrs, "addrs", me);
                                 table
                                     .iter()
                                     .position(|a| *a == gsrc)
@@ -580,7 +664,7 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                                     },
                                 )
                             });
-                            decider_engine.lock().unwrap().handle(
+                            lock_table(&decider_engine, "engine", me).handle(
                                 now2,
                                 EngineInput::Msg {
                                     src: gid,
@@ -605,16 +689,32 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                                             digest: d,
                                         }
                                         .encode();
-                                        let _ = decider_socket.send_to(&ack, gsrc);
-                                        decider_obs.emit(|| {
-                                            stamp(
-                                                now2,
-                                                EventKind::MsgSent {
-                                                    dst,
-                                                    carried: Power::ZERO,
-                                                },
-                                            )
-                                        });
+                                        // A dropped ack conserves power
+                                        // (the amount already landed in
+                                        // our cap; the granter's escrow
+                                        // entry simply expires without
+                                        // credit) — but it must be
+                                        // visible in the trace.
+                                        match decider_socket.send_to(&ack, gsrc) {
+                                            Ok(SendStatus::Sent) => decider_obs.emit(|| {
+                                                stamp(
+                                                    now2,
+                                                    EventKind::MsgSent {
+                                                        dst,
+                                                        carried: Power::ZERO,
+                                                    },
+                                                )
+                                            }),
+                                            Ok(SendStatus::Dropped) => decider_obs.emit(|| {
+                                                stamp(
+                                                    now2,
+                                                    EventKind::AckDropped { dst, seq: a.seq },
+                                                )
+                                            }),
+                                            Err(_) => decider_obs.emit(|| {
+                                                stamp(now2, EventKind::SendFailed { dst })
+                                            }),
+                                        }
                                     }
                                     _ => {}
                                 }
@@ -635,7 +735,7 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
                 // per-node cut, so its lifetime counters always balance
                 // even while the net thread is granting.
                 let (cap, pool, pool_deposited, pool_granted, pool_drained) = {
-                    let eng = decider_engine.lock().unwrap();
+                    let eng = lock_table(&decider_engine, "engine", me);
                     let p = eng.pool();
                     (
                         eng.cap(),
@@ -667,6 +767,7 @@ pub fn run_daemon_with_socket(cfg: DaemonConfig, socket: UdpSocket) -> io::Resul
         net_thread,
         engine,
         counters,
+        node: me,
         status_rx,
         local_addr,
     })

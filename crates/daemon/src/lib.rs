@@ -29,8 +29,13 @@
 
 pub mod config;
 pub mod daemon;
+pub mod multiplex;
 pub mod wire;
 
 pub use config::{DaemonConfig, DaemonConfigBuilder, PowerBackend};
-pub use daemon::{run_daemon, run_daemon_with_socket, DaemonHandle, DaemonStatus, DaemonSummary};
+pub use daemon::{
+    run_daemon, run_daemon_with_shim, run_daemon_with_socket, DaemonHandle, DaemonStatus,
+    DaemonSummary,
+};
+pub use multiplex::{run_multiplexed, GrantRttStats, MuxConfig, MuxSummary};
 pub use wire::WireMsg;

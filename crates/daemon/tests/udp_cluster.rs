@@ -81,6 +81,21 @@ fn power_shifts_over_real_udp() {
         "budget exceeded: {total} > {}",
         w(3 * 160)
     );
+    // Fault-free loopback cluster: every datagram handed to the OS must
+    // have been accepted. A non-zero send_failed here means the daemon is
+    // silently discarding traffic again.
+    for (i, s) in summaries.iter().enumerate() {
+        assert_eq!(
+            s.counters.count("send_failed"),
+            0,
+            "node {i} had failed sends in a fault-free run"
+        );
+        assert_eq!(
+            s.counters.count("msg_dropped"),
+            0,
+            "node {i} reported injected drops with no fault plane installed"
+        );
+    }
 }
 
 #[test]

@@ -15,6 +15,11 @@
 //! Both are generic over the message type, so the Penelope peer protocol and
 //! the SLURM client/server protocol share one substrate — mirroring how both
 //! systems ran over the same Ethernet in the paper's testbed.
+//!
+//! A third flavour serves the one substrate that uses *real* sockets: the
+//! [`shim`] module wraps a UDP socket in a [`DatagramSocket`] trait with a
+//! deterministic fault plane ([`FaultySocket`]), so the daemon's lossy
+//! conformance sweeps run on actual datagrams.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +27,7 @@
 pub mod envelope;
 pub mod fault;
 pub mod latency;
+pub mod shim;
 pub mod simnet;
 pub mod stats;
 pub mod threadnet;
@@ -29,6 +35,7 @@ pub mod threadnet;
 pub use envelope::Envelope;
 pub use fault::FaultPlane;
 pub use latency::LatencyModel;
+pub use shim::{DatagramSocket, FaultConfig, FaultySocket, SendStatus};
 pub use simnet::{RouteOutcome, SimNet};
 pub use stats::NetStats;
 pub use threadnet::{ThreadEndpoint, ThreadNet};

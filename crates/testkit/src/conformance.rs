@@ -278,6 +278,21 @@ pub struct SubstrateRun {
     /// Total power accounted at the end, including drained in-flight
     /// remnants — the quantity that must equal the initial budget.
     pub final_total: Power,
+    /// Messages the substrate's fault plane actually dropped over the
+    /// whole run (`None` = the substrate does not count). Under a fault
+    /// spec with a non-zero drop rate, `Some(0)` is a
+    /// [`Invariant::NonVacuousLoss`] violation: the substrate accepted a
+    /// drop rate it never honored, so its "lossy" coverage proved
+    /// nothing — exactly how the UDP daemon leg once shipped silently
+    /// lossless lossy sweeps.
+    pub injected_drops: Option<u64>,
+    /// Messages the substrate attempted to send over the whole run
+    /// (delivered + dropped; `None` = not counted). Used to judge whether
+    /// `injected_drops == Some(0)` is honest randomness or a dead fault
+    /// plane: at drop rate `p` over `n` attempts an honest plane drops
+    /// zero with probability `(1-p)^n ≤ e^(-np)`, so zero drops is only
+    /// flagged when `n·p` is large enough to make that implausible.
+    pub send_attempts: Option<u64>,
 }
 
 /// A substrate that can execute a conformance scenario.
@@ -311,6 +326,10 @@ pub enum Invariant {
     /// partition matrix), not by [`check_run`]: snapshots do not carry
     /// suspicion state.
     ConvergenceBound,
+    /// A scenario requesting message loss ran with zero observed drops on
+    /// a substrate that counts them: the fault plane was never wired in,
+    /// and every loss-tolerance conclusion from the run is vacuous.
+    NonVacuousLoss,
 }
 
 /// One invariant violation, locatable and reproducible.
@@ -442,6 +461,36 @@ pub fn check_run(scenario: &Scenario, run: &SubstrateRun) -> Vec<Violation> {
                     ),
                 ));
             }
+        }
+    }
+
+    // A lossy scenario that observably dropped nothing proved nothing:
+    // loss-tolerance coverage is only real if the fault plane actually
+    // fired. Zero drops is legitimate randomness when the expected count
+    // `n·p` is small (a 5 % rate over a few dozen messages often drops
+    // nothing), so the check only fires once `n·p ≥ 20` — an honest
+    // fault plane drops zero there with probability ≤ e⁻²⁰. A substrate
+    // that counts drops but not attempts gets the strict reading: it
+    // found zero and cannot show the traffic was thin.
+    let drop_rate = scenario.fault.drop_rate();
+    if drop_rate > 0.0 && run.injected_drops == Some(0) {
+        let vacuous = match run.send_attempts {
+            Some(attempts) => attempts as f64 * drop_rate >= 20.0,
+            None => true,
+        };
+        if vacuous {
+            out.push(violation(
+                Invariant::NonVacuousLoss,
+                scenario.periods,
+                None,
+                format!(
+                    "fault {:?} requests message loss but the substrate injected zero drops \
+                     over {} send attempts — the lossy coverage is vacuous",
+                    scenario.fault,
+                    run.send_attempts
+                        .map_or_else(|| "uncounted".into(), |n| n.to_string()),
+                ),
+            ));
         }
     }
 
@@ -760,6 +809,8 @@ mod tests {
             final_caps: vec![watts(160), watts(160)],
             final_alive: vec![true, true],
             final_total: watts(total),
+            injected_drops: None,
+            send_attempts: None,
         }
     }
 
@@ -863,6 +914,59 @@ mod tests {
             "{v:?}"
         );
         assert!(!v.iter().any(|v| v.invariant == Invariant::ZeroSum));
+    }
+
+    #[test]
+    fn vacuous_lossy_run_is_flagged() {
+        let mut sc = scenario();
+        sc.fault = FaultSpec::Lossy { drop_permille: 200 };
+        let snap = Snapshot {
+            period: 0,
+            consistent_cut: true,
+            in_flight: Power::ZERO,
+            lost: Power::ZERO,
+            nodes: vec![node(0, 160, 0, 0, 0), node(1, 160, 0, 0, 0)],
+        };
+        // A substrate that counts drops but not attempts and counted
+        // zero: the lossy run never demonstrably injected loss — flag it.
+        let mut run = run_of(vec![snap], 320);
+        run.injected_drops = Some(0);
+        let v = check_run(&sc, &run);
+        assert!(
+            v.iter().any(|v| v.invariant == Invariant::NonVacuousLoss),
+            "{v:?}"
+        );
+        // Zero drops over heavy traffic is a dead fault plane (expected
+        // 500 · 0.2 = 100 drops), flagged with the attempt count.
+        run.send_attempts = Some(500);
+        let v = check_run(&sc, &run);
+        assert!(
+            v.iter()
+                .any(|v| v.invariant == Invariant::NonVacuousLoss && v.detail.contains("500")),
+            "{v:?}"
+        );
+        // Zero drops over thin traffic is honest randomness (expected
+        // 40 · 0.2 = 8 < 20): no violation.
+        run.send_attempts = Some(40);
+        assert!(check_run(&sc, &run)
+            .iter()
+            .all(|v| v.invariant != Invariant::NonVacuousLoss));
+        // Real drops pass; so does a substrate that does not count.
+        run.send_attempts = None;
+        run.injected_drops = Some(7);
+        assert!(check_run(&sc, &run)
+            .iter()
+            .all(|v| v.invariant != Invariant::NonVacuousLoss));
+        run.injected_drops = None;
+        assert!(check_run(&sc, &run)
+            .iter()
+            .all(|v| v.invariant != Invariant::NonVacuousLoss));
+        // And a fault-free scenario never triggers the guard.
+        sc.fault = FaultSpec::None;
+        run.injected_drops = Some(0);
+        assert!(check_run(&sc, &run)
+            .iter()
+            .all(|v| v.invariant != Invariant::NonVacuousLoss));
     }
 
     #[test]

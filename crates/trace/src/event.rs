@@ -227,10 +227,20 @@ pub enum EventKind {
         /// The suspected peer being probed.
         peer: NodeId,
     },
+    /// A datagram send failed at the OS socket layer (`send_to` returned
+    /// an error). Transport-level, and distinct from
+    /// [`EventKind::MsgDropped`]: a dropped message models network loss
+    /// the fault plane *injected*, while a failed send means the host
+    /// refused to take the datagram at all (unroutable peer, full
+    /// buffers). Fault-free runs assert this counter stays zero.
+    SendFailed {
+        /// Intended destination.
+        dst: NodeId,
+    },
 }
 
 /// Number of distinct [`EventKind`] variants (size of per-kind counters).
-pub const KIND_COUNT: usize = 24;
+pub const KIND_COUNT: usize = 25;
 
 impl EventKind {
     /// Dense index of the variant, `0..KIND_COUNT` (counter bucket).
@@ -260,6 +270,7 @@ impl EventKind {
             EventKind::SuspicionGossiped { .. } => 21,
             EventKind::SuspicionRefuted { .. } => 22,
             EventKind::PeerProbed { .. } => 23,
+            EventKind::SendFailed { .. } => 24,
         }
     }
 
@@ -288,6 +299,7 @@ impl EventKind {
                 | EventKind::NodeRestarted { .. }
                 | EventKind::SuspicionGossiped { .. }
                 | EventKind::SuspicionRefuted { .. }
+                | EventKind::SendFailed { .. }
         )
     }
 }
@@ -318,6 +330,7 @@ pub const KIND_NAMES: [&str; KIND_COUNT] = [
     "suspicion_gossiped",
     "suspicion_refuted",
     "peer_probed",
+    "send_failed",
 ];
 
 /// One protocol event: what happened, where, and when.
@@ -457,6 +470,7 @@ impl TraceEvent {
                 num(&mut s, "peer", u64::from(peer.raw()));
                 num(&mut s, "via", u64::from(via.raw()));
             }
+            EventKind::SendFailed { dst } => num(&mut s, "dst", u64::from(dst.raw())),
         }
         s.push('}');
         s

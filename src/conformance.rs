@@ -30,14 +30,24 @@ use std::time::Duration;
 use penelope_core::{
     EngineConfig, EngineInput, EngineOutput, NodeEngine, PeerMsg, PowerGrant, SuspicionDigest,
 };
-use penelope_net::ThreadNet;
+use penelope_net::{FaultConfig, FaultySocket, ThreadNet};
 use penelope_power::{PowerInterface, SimulatedRapl};
 use penelope_sim::{node_seed, ClusterConfig, ClusterSim, FaultAction, FaultScript, SystemKind};
 use penelope_testkit::conformance::{
     FaultSpec, NodeSnapshot, PhaseSpec, Scenario, Snapshot, Substrate, SubstrateRun, WorkloadSpec,
 };
 use penelope_testkit::rng::{Rng, TestRng};
-use penelope_trace::{EventKind, SharedObserver, TraceEvent};
+use penelope_trace::{
+    CounterObserver, CounterSnapshot, EventKind, FanoutObserver, SharedObserver, TraceEvent,
+};
+
+/// Total messages a substrate's transport attempted over a run: delivered
+/// sends plus everything the fault plane dropped (acks included). Feeds
+/// `SubstrateRun::send_attempts`, the traffic-volume evidence behind the
+/// NonVacuousLoss statistical guard.
+fn send_attempts(counted: &CounterSnapshot) -> u64 {
+    counted.count("msg_sent") + counted.count("msg_dropped") + counted.count("ack_dropped")
+}
 use penelope_units::{NodeId, Power, PowerRange, SimDuration, SimTime};
 use penelope_workload::{PerfModel, Phase, Profile, WorkloadState};
 
@@ -163,7 +173,12 @@ impl SimSubstrate {
         scenario: &Scenario,
         observer: SharedObserver,
     ) -> Result<SubstrateRun, String> {
-        cfg.observer = observer;
+        // Fan a drop counter in next to the caller's observer, so the run
+        // reports how often the fault plane actually fired (the
+        // NonVacuousLoss guard's evidence).
+        let drop_counters = Arc::new(CounterObserver::new());
+        cfg.observer =
+            FanoutObserver::pair(observer, SharedObserver::from(Arc::clone(&drop_counters)));
         let mut sim = ClusterSim::new(cfg, profiles_for(scenario));
         match scenario.fault {
             FaultSpec::KillNode { node, at_period } => {
@@ -309,12 +324,15 @@ impl SimSubstrate {
         let final_total = end.accounted_live() + end.lost;
         let final_alive: Vec<bool> = end.nodes.iter().map(|n| n.alive).collect();
         let report = sim.finish();
+        let counted = drop_counters.snapshot();
         Ok(SubstrateRun {
             substrate: "sim".into(),
             snapshots,
             final_caps: report.final_caps,
             final_alive,
             final_total,
+            injected_drops: Some(counted.count("msg_dropped") + counted.count("ack_dropped")),
+            send_attempts: Some(send_attempts(&counted)),
         })
     }
 }
@@ -381,6 +399,12 @@ impl LockstepRuntime {
     ) -> Result<SubstrateRun, String> {
         let n = scenario.nodes;
         let cfg = sim_config(scenario);
+        // Same drop accounting as the sim adapter: the node threads emit
+        // MsgDropped/AckDropped when their loss streams fire, and the
+        // counter rides next to the caller's observer.
+        let drop_counters = Arc::new(CounterObserver::new());
+        let observer =
+            FanoutObserver::pair(observer, SharedObserver::from(Arc::clone(&drop_counters)));
         let (net, endpoints) = ThreadNet::<PeerMsg>::new(n);
         let shared = Arc::new(Shared {
             engines: (0..n)
@@ -595,12 +619,15 @@ impl LockstepRuntime {
 
         let end = snapshot_shared(&shared, scenario.periods);
         let final_total = end.accounted_live() + end.lost;
+        let counted = drop_counters.snapshot();
         Ok(SubstrateRun {
             substrate: "runtime".into(),
             final_caps: end.nodes.iter().map(|r| r.cap).collect(),
             final_alive: end.nodes.iter().map(|r| r.alive).collect(),
             snapshots,
             final_total,
+            injected_drops: Some(counted.count("msg_dropped") + counted.count("ack_dropped")),
+            send_attempts: Some(send_attempts(&counted)),
         })
     }
 }
@@ -1073,7 +1100,8 @@ impl Substrate for UdpDaemonSubstrate {
     }
 
     fn run(&self, scenario: &Scenario) -> Result<SubstrateRun, String> {
-        use penelope_daemon::{run_daemon_with_socket, DaemonConfig, PowerBackend};
+        use penelope_daemon::{run_daemon_with_shim, DaemonConfig, PowerBackend};
+        use penelope_net::DatagramSocket;
         use std::net::UdpSocket;
 
         if matches!(
@@ -1100,6 +1128,49 @@ impl Substrate for UdpDaemonSubstrate {
             .map(|s| s.local_addr())
             .collect::<std::io::Result<_>>()
             .map_err(|e| format!("local_addr: {e}"))?;
+
+        // The scenario's message-loss rate, honored on *real datagrams*
+        // by slotting each daemon's socket behind the deterministic
+        // FaultySocket shim. (Before the shim existed this was silently
+        // ignored, and every "lossy" daemon run was lossless.)
+        let drop_permille = match scenario.fault {
+            FaultSpec::Lossy { drop_permille } => drop_permille,
+            FaultSpec::KillRestart { drop_permille, .. } => drop_permille,
+            _ => 0,
+        };
+        // Per-node fault streams reuse the lockstep substrate's dedicated
+        // seed lane (u64::MAX - 3 - i): disjoint from every protocol
+        // stream, so injecting loss never perturbs a protocol draw. Peers
+        // register in logical node order, which pins direction slot →
+        // fault stream across runs even though the ephemeral ports
+        // differ — same seed, same drop schedule, bit-identical.
+        let shimmed = |i: usize, socket: UdpSocket| -> Arc<dyn DatagramSocket> {
+            if drop_permille == 0 {
+                Arc::new(socket)
+            } else {
+                let shim = FaultySocket::new(
+                    socket,
+                    FaultConfig::lossy(
+                        node_seed(scenario.seed, u64::MAX - 3 - i as u64),
+                        drop_permille,
+                    ),
+                );
+                for (j, a) in addrs.iter().enumerate() {
+                    if j != i {
+                        shim.register_peer(*a);
+                    }
+                }
+                Arc::new(shim)
+            }
+        };
+        // Fault-plane drops and send attempts observed across all daemons
+        // (including killed incarnations), for the NonVacuousLoss guard.
+        let mut injected_drops = 0u64;
+        let mut attempts = 0u64;
+        let drops_of = |s: &penelope_daemon::DaemonSummary| {
+            s.counters.count("msg_dropped") + s.counters.count("ack_dropped")
+        };
+        let attempts_of = |s: &penelope_daemon::DaemonSummary| send_attempts(&s.counters);
 
         // One config construction shared by the initial spawn and the
         // churn restart path: a restarted daemon is a brand-new process on
@@ -1146,7 +1217,7 @@ impl Substrate for UdpDaemonSubstrate {
         let mut handles = Vec::with_capacity(n);
         for (i, socket) in sockets.into_iter().enumerate() {
             handles.push(Some(
-                run_daemon_with_socket(mk_cfg(i, scenario.budget_per_node, 0), socket)
+                run_daemon_with_shim(mk_cfg(i, scenario.budget_per_node, 0), shimmed(i, socket))
                     .map_err(|e| format!("daemon {i}: {e}"))?,
             ));
         }
@@ -1178,6 +1249,8 @@ impl Substrate for UdpDaemonSubstrate {
                 let idx = node as usize;
                 if handles[idx].is_some() {
                     let summary = handles[idx].take().expect("alive").stop();
+                    injected_drops += drops_of(&summary);
+                    attempts += attempts_of(&summary);
                     stashed_seq = summary.next_seq;
                     lost = lost + summary.final_cap + summary.final_pool;
                     final_caps[idx] = summary.final_cap;
@@ -1212,8 +1285,11 @@ impl Substrate for UdpDaemonSubstrate {
                         let socket = UdpSocket::bind(addrs[idx])
                             .map_err(|e| format!("rebind daemon {idx}: {e}"))?;
                         handles[idx] = Some(
-                            run_daemon_with_socket(mk_cfg(idx, readmitted, stashed_seq), socket)
-                                .map_err(|e| format!("daemon {idx} restart: {e}"))?,
+                            run_daemon_with_shim(
+                                mk_cfg(idx, readmitted, stashed_seq),
+                                shimmed(idx, socket),
+                            )
+                            .map_err(|e| format!("daemon {idx} restart: {e}"))?,
                         );
                         dead_rows[idx] = None;
                         final_alive[idx] = true;
@@ -1254,6 +1330,8 @@ impl Substrate for UdpDaemonSubstrate {
         for (i, h) in handles.into_iter().enumerate() {
             if let Some(h) = h {
                 let summary = h.stop();
+                injected_drops += drops_of(&summary);
+                attempts += attempts_of(&summary);
                 final_caps[i] = summary.final_cap;
                 // Live holdings at the quiescent end.
                 final_total = final_total + summary.final_cap + summary.final_pool;
@@ -1270,6 +1348,8 @@ impl Substrate for UdpDaemonSubstrate {
             final_caps,
             final_alive,
             final_total,
+            injected_drops: Some(injected_drops),
+            send_attempts: Some(attempts),
         })
     }
 }

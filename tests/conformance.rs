@@ -154,6 +154,8 @@ impl Substrate for DoubleApplyBug {
             final_caps: vec![donor_cap, taker_cap],
             final_alive: vec![true, true],
             final_total: donor_cap + taker_cap + pool.available(),
+            injected_drops: None,
+            send_attempts: None,
         })
     }
 }

@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use penelope::conformance::{lossy_scenario, LockstepRuntime, SimSubstrate};
+use penelope::conformance::{lossy_scenario, LockstepRuntime, SimSubstrate, UdpDaemonSubstrate};
 use penelope_testkit::conformance::{check_run, Scenario, Substrate};
 use penelope_trace::{EventKind, RingBufferObserver, SharedObserver};
 
@@ -146,6 +146,61 @@ fn lossy_lockstep_actually_drops_and_escrows() {
         .count();
     assert!(dropped > 0, "no messages dropped at 50% loss");
     assert!(escrowed > 0, "no grants escrowed at 50% loss");
+}
+
+#[test]
+fn daemon_lossy_leg_drops_real_datagrams_and_loses_no_power() {
+    // The daemon substrate used to *silently ignore* the scenario's drop
+    // rate — every "lossy" daemon run was lossless. Now the FaultySocket
+    // shim drops real loopback datagrams, so this leg must show
+    // non-vacuous drop counts while still conserving power: a grant the
+    // shim reports dropped is escrowed as undelivered and reclaimed at
+    // the deadline, so nothing is ever booked as lost.
+    //
+    // Bit-identical replay of the *drop schedule* per seed is pinned in
+    // penelope-net's shim tests; here the wall clock decides how many
+    // datagrams consume that schedule, so we assert the invariants and
+    // non-vacuousness rather than an exact count.
+    let scenario = lossy_scenario(0x5EED_DAE0, 200, 12);
+    let run = UdpDaemonSubstrate
+        .run(&scenario)
+        .expect("daemon lossy leg runs");
+
+    let violations = check_run(&scenario, &run);
+    assert!(
+        violations.is_empty(),
+        "daemon violated invariants on {} (seed {:#x}): {violations:#?}",
+        scenario.name,
+        scenario.seed
+    );
+
+    let drops = run
+        .injected_drops
+        .expect("the daemon substrate counts injected drops");
+    assert!(
+        drops >= 1,
+        "vacuous lossy daemon run: shim injected no drops at 200‰"
+    );
+
+    // Zero lost power under pure message loss: nothing died, so nothing
+    // may be retired — on any snapshot.
+    for snap in &run.snapshots {
+        assert!(
+            snap.lost.is_zero(),
+            "daemon booked {:?} lost at period {} under pure loss",
+            snap.lost,
+            snap.period
+        );
+    }
+    // Conservation on the free-running substrate: grants in flight at
+    // shutdown may undercount the total, but it can never exceed the
+    // budget.
+    assert!(
+        run.final_total <= scenario.cluster_budget(),
+        "daemon minted power under loss: {:?} > {:?}",
+        run.final_total,
+        scenario.cluster_budget()
+    );
 }
 
 #[test]
