@@ -52,6 +52,7 @@ use crate::config::NodeParams;
 use crate::decider::{DeciderStats, LocalDecider, TickAction};
 use crate::discovery::{choose_peer, initial_rr_cursor, DiscoveryStrategy, EngineRng};
 use crate::escrow::{EscrowState, GrantEscrow};
+use crate::policy::DeciderPolicy;
 use crate::pool::PowerPool;
 use crate::protocol::{GrantAck, PeerMsg, PowerGrant, PowerRequest};
 
@@ -229,6 +230,17 @@ pub struct NodeEngine {
     decider: LocalDecider,
     pool: PowerPool,
     escrow: GrantEscrow<NodeId>,
+    /// Granter-side late-duplicate guard: the highest request `seq` each
+    /// requester has *acknowledged a grant for*. An escrow entry is
+    /// released the moment its ack lands, so a duplicate request delayed
+    /// past the ack (retransmit + reordering) finds no escrow entry and
+    /// would be served — and debited — a second time; the requester's own
+    /// dedup then discards the second grant, and the second debit would
+    /// vanish from the system unaccounted. Requester seqs are strictly
+    /// monotone (within a life and across rebirths, via the seq-epoch
+    /// floor), so anything at or below this watermark is a duplicate of a
+    /// completed exchange and gets a zero-grant reminder instead.
+    acked_floor: std::collections::HashMap<NodeId, u64>,
     rr_cursor: u32,
     last_success: Option<NodeId>,
     obs: SharedObserver,
@@ -259,6 +271,7 @@ impl NodeEngine {
             decider,
             pool: PowerPool::new(cfg.node.pool),
             escrow: GrantEscrow::new(),
+            acked_floor: std::collections::HashMap::new(),
             rr_cursor: initial_rr_cursor(id.raw(), cluster_size as u32),
             last_success: None,
             obs_on: observer.enabled(),
@@ -432,6 +445,7 @@ impl NodeEngine {
                 .with_observer(self.id, self.obs.clone());
         self.pool = PowerPool::new(self.cfg.node.pool);
         self.escrow = GrantEscrow::new();
+        self.acked_floor.clear();
         self.last_success = None;
     }
 
@@ -542,6 +556,7 @@ impl NodeEngine {
             dst,
             urgent,
             alpha,
+            bid,
             seq,
         } = action
         {
@@ -558,6 +573,7 @@ impl NodeEngine {
                     from: self.id,
                     urgent,
                     alpha,
+                    bid,
                     seq,
                 }),
                 carried: Power::ZERO,
@@ -569,6 +585,30 @@ impl NodeEngine {
     /// retransmit idempotence: an escrow hit means this (requester, seq)
     /// was already served — re-send the escrowed amount, never re-debit.
     fn on_request(&mut self, now: SimTime, req: PowerRequest, out: &mut Vec<EngineOutput>) {
+        // Late-duplicate guard: this (requester, seq) already completed a
+        // full grant/ack exchange (the ack released its escrow entry), so
+        // a copy arriving now — a retransmit delayed past the ack — must
+        // not be served afresh. A zero-grant reminder unblocks the
+        // requester if it somehow still waits (its dedup discards it
+        // otherwise).
+        if self
+            .acked_floor
+            .get(&req.from)
+            .is_some_and(|&floor| req.seq <= floor)
+        {
+            out.push(EngineOutput::Send {
+                dst: req.from,
+                msg: PeerMsg::Grant(
+                    PowerGrant {
+                        amount: Power::ZERO,
+                        seq: req.seq,
+                    },
+                    self.decider.make_digest(),
+                ),
+                carried: Power::ZERO,
+            });
+            return;
+        }
         if let Some(entry) = self.escrow.get(req.from, req.seq).copied() {
             match entry.state {
                 EscrowState::Undelivered => {
@@ -606,7 +646,16 @@ impl NodeEngine {
             return;
         }
         let urgency_before = self.pool.local_urgency();
-        let amount = self.pool.handle_request(req.urgent, req.alpha);
+        let amount = match self.cfg.node.decider.policy {
+            // Bid-carrying requests are priced, not rationed: the pool's
+            // scarcity ask decides, and the urgency flag is never touched.
+            // A zero bid (an urgency/predictive peer in a mixed cluster)
+            // falls through to Algorithm 2.
+            DeciderPolicy::Market(m) if !req.bid.is_zero() => {
+                self.pool.handle_bid(req.bid, req.alpha, &m)
+            }
+            _ => self.pool.handle_request(req.urgent, req.alpha),
+        };
         let urgency_after = self.pool.local_urgency();
         self.emit(now, || EventKind::RequestServed {
             requester: req.from,
@@ -718,6 +767,14 @@ impl NodeEngine {
             }
             return;
         }
+        // A redelivered copy of an already-applied grant (the granter
+        // re-sends its escrowed amount when a retransmitted request races
+        // the original) resolves nothing: the first delivery did. The
+        // decider discards it below either way; suppressing the Resolved
+        // echo keeps turnaround folds from double-counting the exchange.
+        // The ack is still worth re-sending — the duplicate implies the
+        // granter has not seen our ack yet.
+        let redelivery = !g.amount.is_zero() && self.decider.is_applied_seq(g.seq);
         let _ = self.decider.on_grant(now, g.seq, g.amount, &mut self.pool);
         out.push(EngineOutput::Actuate {
             cap: self.decider.cap(),
@@ -731,10 +788,12 @@ impl NodeEngine {
         } else {
             self.last_success = Some(src);
         }
-        out.push(EngineOutput::Resolved {
-            seq: g.seq,
-            amount: g.amount,
-        });
+        if !redelivery {
+            out.push(EngineOutput::Resolved {
+                seq: g.seq,
+                amount: g.amount,
+            });
+        }
         // Commit the transfer: the granter holds the amount in escrow
         // until this ack lands (zero grants debit nothing and are never
         // escrowed, so nothing to acknowledge).
@@ -763,6 +822,11 @@ impl NodeEngine {
             // carrying accounting weight on the granter.
             debug_assert_eq!(entry.state, EscrowState::AwaitingAck);
         }
+        // Remember the exchange as completed whether or not the entry was
+        // still escrowed (a duplicated ack may land after expiry): any
+        // later copy of the request must not be served afresh.
+        let floor = self.acked_floor.entry(src).or_insert(0);
+        *floor = (*floor).max(a.seq);
     }
 
     /// An escrow entry expired: if it is still known undelivered the

@@ -46,6 +46,7 @@ pub mod discovery;
 pub mod engine;
 pub mod escrow;
 pub mod fair;
+pub mod policy;
 pub mod pool;
 pub mod protocol;
 
@@ -55,6 +56,7 @@ pub use discovery::{choose_peer, initial_rr_cursor, DiscoveryStrategy, EngineRng
 pub use engine::{EngineConfig, EngineInput, EngineOutput, NodeEngine};
 pub use escrow::{EscrowEntry, EscrowState, GrantEscrow};
 pub use fair::fair_assignment;
+pub use policy::{DeciderPolicy, MarketConfig, PredictiveConfig};
 pub use pool::PowerPool;
 pub use protocol::{
     GrantAck, PeerMsg, PowerGrant, PowerRequest, SuspicionDigest, SuspicionEntry,

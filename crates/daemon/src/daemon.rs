@@ -392,6 +392,7 @@ pub fn run_daemon_with_shim(
                     urgent,
                     alpha,
                     from,
+                    bid,
                 }) => {
                     let src_id = match from {
                         Some(id) => {
@@ -415,6 +416,7 @@ pub fn run_daemon_with_shim(
                                 from: src_id,
                                 urgent,
                                 alpha,
+                                bid,
                                 seq,
                             }),
                         },
@@ -587,6 +589,7 @@ pub fn run_daemon_with_shim(
                             urgent: req.urgent,
                             alpha: req.alpha,
                             from: Some(me),
+                            bid: req.bid,
                         }
                         .encode();
                         let target = lock_table(&decider_addrs, "addrs", me)[dst.index()];

@@ -354,6 +354,7 @@ impl Mux {
                         urgent: req.urgent,
                         alpha: req.alpha,
                         from: Some(me),
+                        bid: req.bid,
                     };
                     // Stamp before the syscall so the sample covers the
                     // full kernel round trip. A dropped request still
@@ -445,10 +446,12 @@ impl Mux {
                 urgent,
                 alpha,
                 from,
+                bid,
             } => PeerMsg::Request(PowerRequest {
                 from: from.unwrap_or(src),
                 urgent,
                 alpha,
+                bid,
                 seq,
             }),
             WireMsg::Grant {
@@ -575,6 +578,7 @@ mod tests {
             urgent: true,
             alpha: w(30),
             from: Some(NodeId::new(3)),
+            bid: Power::ZERO,
         };
         let buf = frame(NodeId::new(9), NodeId::new(3), &msg);
         let (dst, src, back) = deframe(&buf).expect("frame decodes");

@@ -8,12 +8,15 @@
 //! rebinding to a new port (the address identifies the *socket*, the id
 //! identifies the *node*).
 //!
-//! Two versions coexist. Version `0x01` is the original layout; version
+//! Three versions coexist. Version `0x01` is the original layout; version
 //! `0x02` appends a suspicion-digest section to grants and acks (so
 //! liveness gossip can piggyback on protocol traffic) and a sender-id
-//! section to requests. A sender emits `0x01` whenever it has nothing to
-//! add — the common fault-free grant/ack is byte-identical to the old
-//! format — and receivers accept both versions of every kind.
+//! section to requests; version `0x03` further appends a bid section to
+//! requests (market-policy deciders price their demand — see
+//! `DeciderPolicy::Market`). A sender emits the lowest version that
+//! carries everything it has to say — the common fault-free grant/ack is
+//! byte-identical to the old format, and a zero bid never pays the v3
+//! bytes — and receivers accept every version of every kind.
 //!
 //! ```text
 //! v1 Request: [0x01, 0x00, seq: u64, urgent: u8, alpha_mw: u64]  (19 bytes)
@@ -25,7 +28,16 @@
 //! v2 Ack:     v1 body, then digest                               (≤67 bytes)
 //! digest:     [incarnation: u64, count: u8,
 //!              count × (peer: u32, incarnation: u64)]
+//!
+//! v3 Request: v2 body, then bid_mw: u64                          (31 bytes)
 //! ```
+//!
+//! A bidding request must name its sender: the granter keys escrow and
+//! ack bookkeeping by node id, and an anonymous bid would break both.
+//! [`WireMsg::encode`] therefore downgrades a non-zero bid with no `from`
+//! to v2, dropping the bid (the daemon stamps `from` on every outbound
+//! request, so this is a defence against hand-built messages, not a path
+//! real traffic takes).
 //!
 //! The digest's leading `incarnation` is the *sender's own*; entries name
 //! third-party peers the sender currently suspects. `count` above
@@ -41,6 +53,9 @@ pub const WIRE_VERSION: u8 = 0x01;
 
 /// Protocol version byte for messages carrying a suspicion digest.
 pub const WIRE_VERSION_DIGEST: u8 = 0x02;
+
+/// Protocol version byte for requests carrying a non-zero bid.
+pub const WIRE_VERSION_BID: u8 = 0x03;
 
 const KIND_REQUEST: u8 = 0x00;
 const KIND_GRANT: u8 = 0x01;
@@ -70,6 +85,10 @@ pub enum WireMsg {
         /// different port can still retransmit, be deduplicated, and ack.
         /// `None` on v1 datagrams from older senders.
         from: Option<NodeId>,
+        /// The price this requester attaches to its demand (v3 only;
+        /// zero under the urgency and predictive policies, which keep
+        /// the v1/v2 formats on the wire).
+        bid: Power,
     },
     /// A pool's grant in response.
     Grant {
@@ -133,6 +152,9 @@ impl WireMsg {
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(MAX_WIRE_LEN);
         let version = match self {
+            WireMsg::Request {
+                from: Some(_), bid, ..
+            } if !bid.is_zero() => WIRE_VERSION_BID,
             WireMsg::Grant {
                 digest: Some(_), ..
             }
@@ -149,6 +171,7 @@ impl WireMsg {
                 urgent,
                 alpha,
                 from,
+                bid,
             } => {
                 buf.push(KIND_REQUEST);
                 buf.extend_from_slice(&seq.to_le_bytes());
@@ -156,6 +179,9 @@ impl WireMsg {
                 buf.extend_from_slice(&alpha.milliwatts().to_le_bytes());
                 if let Some(id) = from {
                     buf.extend_from_slice(&id.raw().to_le_bytes());
+                }
+                if version == WIRE_VERSION_BID {
+                    buf.extend_from_slice(&bid.milliwatts().to_le_bytes());
                 }
             }
             WireMsg::Grant {
@@ -188,7 +214,8 @@ impl WireMsg {
             return Err(WireError::Truncated);
         }
         let version = buf[0];
-        if version != WIRE_VERSION && version != WIRE_VERSION_DIGEST {
+        if version != WIRE_VERSION && version != WIRE_VERSION_DIGEST && version != WIRE_VERSION_BID
+        {
             return Err(WireError::BadVersion(version));
         }
         let u64_at = |off: usize| -> Result<u64, WireError> {
@@ -242,11 +269,17 @@ impl WireMsg {
                 } else {
                     Some(NodeId::new(u32_at(19)?))
                 };
+                let bid = if version == WIRE_VERSION_BID {
+                    Power::from_milliwatts(u64_at(23)?)
+                } else {
+                    Power::ZERO
+                };
                 Ok(WireMsg::Request {
                     seq,
                     urgent,
                     alpha,
                     from,
+                    bid,
                 })
             }
             KIND_GRANT => {
@@ -298,6 +331,7 @@ mod tests {
                 urgent,
                 alpha: w(57),
                 from: None,
+                bid: Power::ZERO,
             };
             let bytes = msg.encode();
             assert_eq!(bytes.len(), 19);
@@ -313,6 +347,7 @@ mod tests {
             urgent: true,
             alpha: w(30),
             from: Some(NodeId::new(7)),
+            bid: Power::ZERO,
         };
         let bytes = msg.encode();
         assert_eq!(bytes[0], WIRE_VERSION_DIGEST);
@@ -321,6 +356,69 @@ mod tests {
         // A v2 request truncated to the v1 body must not silently decode
         // without its id section.
         assert_eq!(WireMsg::decode(&bytes[..19]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bidding_request_roundtrips_as_v3() {
+        let msg = WireMsg::Request {
+            seq: 42,
+            urgent: false,
+            alpha: w(30),
+            from: Some(NodeId::new(7)),
+            bid: Power::from_milliwatts(1_017),
+        };
+        let bytes = msg.encode();
+        assert_eq!(bytes[0], WIRE_VERSION_BID);
+        assert_eq!(bytes.len(), 31);
+        assert_eq!(WireMsg::decode(&bytes), Ok(msg));
+        // Any strict prefix of the bid section must fail, not decode as
+        // a v3 request with a mangled bid.
+        for cut in 23..31 {
+            assert_eq!(WireMsg::decode(&bytes[..cut]), Err(WireError::Truncated));
+        }
+    }
+
+    #[test]
+    fn zero_bid_requests_stay_on_the_old_wire_bytes() {
+        // The urgency and predictive policies always bid zero; their
+        // datagrams must be indistinguishable from the pre-market format.
+        let bytes = WireMsg::Request {
+            seq: 9,
+            urgent: true,
+            alpha: w(12),
+            from: Some(NodeId::new(3)),
+            bid: Power::ZERO,
+        }
+        .encode();
+        assert_eq!(bytes[0], WIRE_VERSION_DIGEST);
+        assert_eq!(bytes.len(), 23);
+    }
+
+    #[test]
+    fn anonymous_bid_downgrades_to_v2_semantics() {
+        // A non-zero bid with no sender id cannot be expressed on the
+        // wire; the encoder drops the bid rather than emit an
+        // unattributable v3 datagram.
+        let bytes = WireMsg::Request {
+            seq: 5,
+            urgent: false,
+            alpha: w(8),
+            from: None,
+            bid: w(2),
+        }
+        .encode();
+        assert_eq!(bytes[0], WIRE_VERSION);
+        assert_eq!(bytes.len(), 19);
+        assert_eq!(
+            WireMsg::decode(&bytes),
+            Ok(WireMsg::Request {
+                seq: 5,
+                urgent: false,
+                alpha: w(8),
+                from: None,
+                bid: Power::ZERO,
+            })
+        );
     }
 
     #[test]
@@ -465,6 +563,7 @@ mod tests {
             urgent: true,
             alpha: w(1),
             from: None,
+            bid: Power::ZERO,
         }
         .encode();
         bytes.truncate(12);
@@ -478,6 +577,7 @@ mod tests {
             urgent: true,
             alpha: Power::MAX,
             from: Some(NodeId::new(u32::MAX)),
+            bid: Power::MAX,
         };
         assert!(r.encode().len() <= MAX_WIRE_LEN);
         let g = WireMsg::Grant {
@@ -546,12 +646,14 @@ mod fuzz {
                     urgent,
                     alpha: Power::from_milliwatts(mw),
                     from: None,
+                    bid: Power::ZERO,
                 },
                 3 => WireMsg::Request {
                     seq,
                     urgent,
                     alpha: Power::from_milliwatts(mw),
                     from: Some(NodeId::new((mw >> 16) as u32)),
+                    bid: Power::from_milliwatts(mw ^ seq),
                 },
                 1 => WireMsg::Grant { seq, amount: Power::from_milliwatts(mw), digest },
                 _ => WireMsg::Ack { seq, digest },

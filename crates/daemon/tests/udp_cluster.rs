@@ -174,6 +174,7 @@ fn escrow_survives_requester_rebinding_a_new_port() {
             urgent: true,
             alpha: w(30),
             from: Some(NodeId::new(1)),
+            bid: Power::ZERO,
         };
         s1.send_to(&req.encode(), daemon_addr).expect("send");
         // The daemon's own decider also sends us requests; skip them.
@@ -208,6 +209,7 @@ fn escrow_survives_requester_rebinding_a_new_port() {
         urgent: true,
         alpha: w(30),
         from: Some(NodeId::new(1)),
+        bid: Power::ZERO,
     };
     s2.send_to(&dup.encode(), daemon_addr).expect("send dup");
     // The reply is the escrow dedup answer for the already-served seq,

@@ -33,9 +33,12 @@ pub fn pair_subset(count: usize) -> Vec<(Profile, Profile)> {
     if count == all.len() {
         return all;
     }
-    let stride = all.len() as f64 / count as f64;
+    // Integer stride: `i·n/count` yields `count` distinct, monotonically
+    // increasing indices reaching into the tail of the suite. The old
+    // float version aliased adjacent picks for some counts (truncation
+    // mapped two `i`s to the same index) and never sampled the last pair.
     (0..count)
-        .map(|i| all[(i as f64 * stride) as usize].clone())
+        .map(|i| all[i * all.len() / count].clone())
         .collect()
 }
 
@@ -197,6 +200,26 @@ mod tests {
         // First pair of the full set is included, and the subset spans it.
         assert_eq!(s[0].0.name, npb::all_pairs()[0].0.name);
         assert_eq!(pair_subset(100).len(), 36);
+    }
+
+    #[test]
+    fn pair_subset_picks_are_distinct_at_every_count() {
+        let all = npb::all_pairs();
+        let name = |p: &(Profile, Profile)| format!("{}+{}", p.0.name, p.1.name);
+        for count in 1..=all.len() {
+            let s = pair_subset(count);
+            assert_eq!(s.len(), count, "count {count}");
+            let mut names: Vec<String> = s.iter().map(name).collect();
+            names.dedup();
+            assert_eq!(names.len(), count, "aliased picks at count {count}");
+        }
+        // The sample must reach the tail of the suite: at any count ≥ 2
+        // the last pick lands in the back half, and the full sweep ends
+        // on the final pair.
+        let s = pair_subset(2);
+        assert_eq!(name(&s[1]), name(&all[all.len() / 2]));
+        let s = pair_subset(all.len());
+        assert_eq!(name(s.last().unwrap()), name(all.last().unwrap()));
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! same seed, and [`oracle`] holds the differential Penelope/Fair/SLURM
 //! ordering checks from the paper's §4.2–§4.3.
 
+use penelope_core::DeciderPolicy;
 use penelope_units::{Power, PowerRange};
 use std::fmt;
 
@@ -71,6 +72,24 @@ pub enum FaultSpec {
     Lossy {
         /// Drop probability in permille (200 = 20 %).
         drop_permille: u16,
+    },
+    /// Full wire-fault plane: random loss plus duplication and delay
+    /// (reordering) on every peer link. The deterministic substrates model
+    /// only the loss leg (their transports cannot reorder); the UDP daemon
+    /// substrate honours all three on real datagrams via the socket shim,
+    /// and reports `duplicated`/`delayed` counters so the extra legs are
+    /// provably non-vacuous. No node dies: `lost` stays exactly zero, and
+    /// duplicate deliveries must be idempotent (the engine's seq dedup and
+    /// acked-floor guards are exactly what this fault shakes out).
+    LossyWire {
+        /// Drop probability in permille (200 = 20 %).
+        drop_permille: u16,
+        /// Duplication probability in permille; a copy samples its own
+        /// delay, so duplicates can overtake originals (reordering).
+        dup_permille: u16,
+        /// Upper bound of the uniform per-datagram delay, in milliseconds
+        /// (0 = no delay leg).
+        jitter_ms: u16,
     },
     /// Node churn: hard-kill one node, then restart it later in the same
     /// run, optionally under background message loss. The restarted node
@@ -157,6 +176,7 @@ impl FaultSpec {
     pub fn drop_rate(&self) -> f64 {
         match self {
             FaultSpec::Lossy { drop_permille }
+            | FaultSpec::LossyWire { drop_permille, .. }
             | FaultSpec::KillRestart { drop_permille, .. }
             | FaultSpec::Partition { drop_permille, .. }
             | FaultSpec::AsymmetricIsolate { drop_permille, .. } => {
@@ -202,6 +222,12 @@ pub struct Scenario {
     /// Relative amplitude of power-meter read noise (0 = exact meters,
     /// 0.05 = ±5% — the "noisy power" scenario).
     pub read_noise: f64,
+    /// Which [`DeciderPolicy`] every node's decider runs. The policy only
+    /// changes *when* and *how much* nodes request or shed; the shared
+    /// engine (escrow, suspicion, gossip, seq/epochs) is identical, so
+    /// every conservation invariant in [`check_run`] must hold for every
+    /// policy unchanged.
+    pub policy: DeciderPolicy,
 }
 
 impl Scenario {
@@ -293,6 +319,17 @@ pub struct SubstrateRun {
     /// zero with probability `(1-p)^n ≤ e^(-np)`, so zero drops is only
     /// flagged when `n·p` is large enough to make that implausible.
     pub send_attempts: Option<u64>,
+    /// Duplicate datagrams the fault plane injected (`None` = the
+    /// substrate's transport cannot duplicate, or does not count). Under
+    /// [`FaultSpec::LossyWire`] with a non-zero `dup_permille`, a
+    /// counting substrate reporting `Some(0)` over many sends means the
+    /// duplication leg was never wired in — the same vacuity failure mode
+    /// `injected_drops` guards for loss.
+    pub duplicated: Option<u64>,
+    /// Datagrams the fault plane held for a sampled delay before sending
+    /// (`None` = not counted). Evidence the reordering leg of
+    /// [`FaultSpec::LossyWire`] actually fired.
+    pub delayed: Option<u64>,
 }
 
 /// A substrate that can execute a conformance scenario.
@@ -787,6 +824,7 @@ mod tests {
             ],
             fault: FaultSpec::None,
             read_noise: 0.0,
+            policy: DeciderPolicy::default(),
         }
     }
 
@@ -811,6 +849,8 @@ mod tests {
             final_total: watts(total),
             injected_drops: None,
             send_attempts: None,
+            duplicated: None,
+            delayed: None,
         }
     }
 

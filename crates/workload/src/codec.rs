@@ -12,7 +12,9 @@
 //! end
 //! ```
 //!
-//! `phase` lines are `demand_milliwatts work_seconds`, in order.
+//! `phase` lines are `demand_milliwatts work_seconds`, in order. A phase
+//! carrying its own performance model (a concatenated job sequence)
+//! appends it as two extra fields: `demand_mw work idle_mw alpha`.
 
 use std::fmt;
 
@@ -54,7 +56,16 @@ pub fn format_profile(p: &Profile) -> String {
     out.push_str(&format!("idle_mw {}\n", p.perf.idle_power.milliwatts()));
     out.push_str(&format!("alpha {}\n", p.perf.alpha));
     for ph in &p.phases {
-        out.push_str(&format!("phase {} {}\n", ph.demand.milliwatts(), ph.work));
+        match ph.perf {
+            None => out.push_str(&format!("phase {} {}\n", ph.demand.milliwatts(), ph.work)),
+            Some(m) => out.push_str(&format!(
+                "phase {} {} {} {}\n",
+                ph.demand.milliwatts(),
+                ph.work,
+                m.idle_power.milliwatts(),
+                m.alpha
+            )),
+        }
     }
     out.push_str("end\n");
     out
@@ -134,7 +145,23 @@ pub fn parse_profiles(text: &str) -> Result<Vec<Profile>, CodecError> {
                 if !(work.is_finite() && work > 0.0) {
                     return Err(CodecError::BadNumber(lineno, wk.to_string()));
                 }
-                phases.push(Phase::new(Power::from_milliwatts(demand), work));
+                let mut phase = Phase::new(Power::from_milliwatts(demand), work);
+                if let Some(pi) = parts.next() {
+                    let pa = parts
+                        .next()
+                        .ok_or_else(|| CodecError::Malformed(lineno, raw.to_string()))?;
+                    let idle: u64 = pi
+                        .parse()
+                        .map_err(|_| CodecError::BadNumber(lineno, pi.to_string()))?;
+                    let alpha: f64 = pa
+                        .parse()
+                        .map_err(|_| CodecError::BadNumber(lineno, pa.to_string()))?;
+                    if !(alpha > 0.0 && alpha <= 1.0 && alpha.is_finite()) {
+                        return Err(CodecError::BadNumber(lineno, pa.to_string()));
+                    }
+                    phase = phase.with_perf(PerfModel::new(Power::from_milliwatts(idle), alpha));
+                }
+                phases.push(phase);
             }
             ("end", slot @ Some(_)) => {
                 let (name, idle, alpha, phases) = slot.take().expect("checked Some");
@@ -184,6 +211,42 @@ mod tests {
         let text = format_profiles(&suite);
         let back = parse_profiles(&text).unwrap();
         assert_eq!(back, suite);
+    }
+
+    #[test]
+    fn roundtrip_phase_perf_overrides() {
+        // A concatenated job sequence carries per-phase models; the text
+        // format must not flatten them back onto the profile header.
+        let w = Power::from_milliwatts;
+        let a = Profile::new(
+            "A",
+            vec![Phase::new(w(200_000), 10.0)],
+            PerfModel::new(w(60_000), 1.0),
+        );
+        let b = Profile::new(
+            "B",
+            vec![Phase::new(w(180_000), 5.0)],
+            PerfModel::new(w(120_000), 0.5),
+        );
+        let ab = a.then(&b);
+        let back = parse_profile(&format_profile(&ab)).unwrap();
+        assert_eq!(back, ab);
+        assert_eq!(back.phase_perf(1), b.perf);
+    }
+
+    #[test]
+    fn phase_with_bad_override_rejected() {
+        // A phase line with an idle floor but no alpha is malformed.
+        let text = "profile X\nidle_mw 1\nalpha 0.5\nphase 10 1.0 60000\nend\n";
+        assert!(matches!(
+            parse_profiles(text),
+            Err(CodecError::Malformed(4, _))
+        ));
+        let text = "profile X\nidle_mw 1\nalpha 0.5\nphase 10 1.0 60000 2.0\nend\n";
+        assert!(matches!(
+            parse_profiles(text),
+            Err(CodecError::BadNumber(4, _))
+        ));
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Diurnal (day/night) workload generation.
+//!
+//! The decider-duel experiments compare allocation policies on workloads
+//! whose demand *swings*: a forecast is only worth anything when the
+//! future differs from the present, and a market only clears when
+//! scarcity varies. This module shapes the NPB phase library with a
+//! sinusoidal day/night envelope plus seeded noise — node `i` draws its
+//! base phases from the suite, multiplies each slot's demand by
+//!
+//! ```text
+//! envelope(t) = trough + (peak − trough) · ½ · (1 − cos(2π(t/day + offset)))
+//! ```
+//!
+//! and jitters it by a per-slot noise factor. `offset` staggers the nodes
+//! so the cluster's troughs and peaks only partially overlap: some nodes
+//! are shedding into the pool while others are bidding out of it.
+//! Generation is deterministic in the seed.
+
+use penelope_testkit::rng::{Rng, TestRng};
+use penelope_units::Power;
+
+use crate::npb;
+use crate::profile::{Phase, Profile};
+
+/// Parameters of the diurnal workload family.
+#[derive(Clone, Debug)]
+pub struct DiurnalConfig {
+    /// RNG seed; node `i` derives its own stream from it.
+    pub seed: u64,
+    /// Length of one simulated day in seconds of work.
+    pub day_secs: f64,
+    /// Number of days each node's profile spans.
+    pub days: usize,
+    /// Phases ("slots") per day; each slot re-samples the envelope.
+    pub slots_per_day: usize,
+    /// Demand multiplier at the bottom of the night.
+    pub trough: f64,
+    /// Demand multiplier at midday.
+    pub peak: f64,
+    /// Fractional per-slot noise: each slot's demand is additionally
+    /// scaled by a uniform draw from `[1 − noise, 1 + noise]`.
+    pub noise: f64,
+    /// Per-node phase offset spread, as a fraction of a day: node offsets
+    /// are drawn uniformly from `[0, offset_spread)`.
+    pub offset_spread: f64,
+}
+
+impl Default for DiurnalConfig {
+    /// A compressed two-day cycle with a 2:1 midday-to-night swing, mild
+    /// noise, and nodes staggered across half a day.
+    fn default() -> Self {
+        DiurnalConfig {
+            seed: 0,
+            day_secs: 60.0,
+            days: 2,
+            slots_per_day: 12,
+            trough: 0.6,
+            peak: 1.2,
+            noise: 0.05,
+            offset_spread: 0.5,
+        }
+    }
+}
+
+impl DiurnalConfig {
+    fn validate(&self) {
+        assert!(self.day_secs > 0.0 && self.day_secs.is_finite());
+        assert!(self.days >= 1 && self.slots_per_day >= 1);
+        assert!(
+            self.trough > 0.0 && self.peak >= self.trough,
+            "need 0 < trough <= peak, got {} and {}",
+            self.trough,
+            self.peak
+        );
+        assert!((0.0..1.0).contains(&self.noise));
+        assert!((0.0..=1.0).contains(&self.offset_spread));
+    }
+}
+
+/// Generate node `node`'s profile, deterministically from the config seed.
+pub fn profile(cfg: &DiurnalConfig, node: usize) -> Profile {
+    cfg.validate();
+    let mut rng =
+        TestRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(node as u64));
+    let apps = npb::all_profiles();
+    let app = &apps[node % apps.len()];
+    let offset = rng.gen_range(0.0_f64..=1.0) * cfg.offset_spread;
+    let slots = cfg.days * cfg.slots_per_day;
+    let slot_work = cfg.day_secs / cfg.slots_per_day as f64;
+    // Demands below the perf model's idle floor stall forever under any
+    // cap; keep the trough of the swing safely above it.
+    let floor = app.perf.idle_power.milliwatts() as f64 * 1.25;
+    let phases = (0..slots)
+        .map(|s| {
+            let base = app.phases[s % app.phases.len()].demand.milliwatts() as f64;
+            let t = s as f64 / cfg.slots_per_day as f64 + offset;
+            let envelope = cfg.trough
+                + (cfg.peak - cfg.trough) * 0.5 * (1.0 - (2.0 * std::f64::consts::PI * t).cos());
+            let jitter = 1.0 + cfg.noise * rng.gen_range(-1.0_f64..=1.0);
+            let demand = (base * envelope * jitter).max(floor);
+            Phase::new(Power::from_milliwatts(demand.round() as u64), slot_work)
+        })
+        .collect();
+    Profile::new(format!("diurnal-{}-{node}", app.name), phases, app.perf)
+}
+
+/// A whole cluster's worth of staggered diurnal profiles.
+pub fn cluster(cfg: &DiurnalConfig, nodes: usize) -> Vec<Profile> {
+    (0..nodes).map(|i| profile(cfg, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed_and_node() {
+        let cfg = DiurnalConfig::default();
+        assert_eq!(profile(&cfg, 3), profile(&cfg, 3));
+        assert_ne!(profile(&cfg, 3), profile(&cfg, 4));
+        let other = DiurnalConfig {
+            seed: 1,
+            ..DiurnalConfig::default()
+        };
+        assert_ne!(profile(&cfg, 3), profile(&other, 3));
+    }
+
+    #[test]
+    fn shape_matches_config() {
+        let cfg = DiurnalConfig::default();
+        let p = profile(&cfg, 0);
+        assert_eq!(p.phases.len(), cfg.days * cfg.slots_per_day);
+        let total = p.nominal_runtime_secs();
+        assert!((total - cfg.day_secs * cfg.days as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn demand_actually_swings_day_to_night() {
+        // The whole point: peak demand must sit well above trough demand,
+        // or every policy degenerates to the static case.
+        let cfg = DiurnalConfig {
+            noise: 0.0,
+            ..DiurnalConfig::default()
+        };
+        for node in 0..9 {
+            let p = profile(&cfg, node);
+            let lo = p
+                .phases
+                .iter()
+                .map(|ph| ph.demand)
+                .min()
+                .unwrap()
+                .as_watts();
+            let hi = p.peak_demand().as_watts();
+            assert!(hi > lo * 1.3, "node {node}: flat swing {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn demand_stays_above_the_idle_floor() {
+        let cfg = DiurnalConfig {
+            trough: 0.05,
+            ..DiurnalConfig::default()
+        };
+        for node in 0..9 {
+            let p = profile(&cfg, node);
+            for ph in &p.phases {
+                assert!(
+                    ph.demand > p.perf.idle_power,
+                    "node {node} slot below idle: {}",
+                    ph.demand
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_are_staggered() {
+        // With a spread, different nodes on the same base app peak in
+        // different slots.
+        let cfg = DiurnalConfig {
+            noise: 0.0,
+            offset_spread: 0.5,
+            ..DiurnalConfig::default()
+        };
+        let apps = npb::all_profiles().len();
+        let argmax = |p: &Profile| {
+            p.phases
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, ph)| ph.demand)
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        // Nodes 0 and 9 share a base app (suite cycles); offsets differ.
+        let a = profile(&cfg, 0);
+        let b = profile(&cfg, apps);
+        assert_ne!(argmax(&a), argmax(&b), "stagger had no effect");
+    }
+
+    #[test]
+    fn cluster_covers_the_suite() {
+        let v = cluster(&DiurnalConfig::default(), 12);
+        assert_eq!(v.len(), 12);
+        assert!(v[0].name.starts_with("diurnal-"));
+        assert_ne!(v[0].name, v[1].name);
+    }
+
+    #[test]
+    #[should_panic(expected = "trough")]
+    fn inverted_envelope_rejected() {
+        let cfg = DiurnalConfig {
+            trough: 1.5,
+            peak: 0.5,
+            ..DiurnalConfig::default()
+        };
+        let _ = profile(&cfg, 0);
+    }
+}

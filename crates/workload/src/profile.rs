@@ -16,6 +16,15 @@ pub struct Phase {
     pub demand: Power,
     /// Seconds of execution at full speed needed to finish the phase.
     pub work: f64,
+    /// Cap→performance model for this phase alone. `None` means the phase
+    /// follows the owning profile's model; `Some` overrides it — the case
+    /// a concatenated job sequence needs when the jobs were measured with
+    /// different curves.
+    #[cfg_attr(
+        feature = "serde",
+        serde(default, skip_serializing_if = "Option::is_none")
+    )]
+    pub perf: Option<PerfModel>,
 }
 
 impl Phase {
@@ -25,7 +34,19 @@ impl Phase {
             work.is_finite() && work > 0.0,
             "phase work must be positive and finite, got {work}"
         );
-        Phase { demand, work }
+        Phase {
+            demand,
+            work,
+            perf: None,
+        }
+    }
+
+    /// A copy of this phase pinned to its own performance model.
+    pub fn with_perf(self, perf: PerfModel) -> Self {
+        Phase {
+            perf: Some(perf),
+            ..self
+        }
     }
 }
 
@@ -91,18 +112,35 @@ impl Profile {
             phases: self
                 .phases
                 .iter()
-                .map(|p| Phase::new(p.demand, p.work * factor))
+                .map(|p| Phase {
+                    work: p.work * factor,
+                    ..*p
+                })
                 .collect(),
             perf: self.perf,
         }
     }
 
+    /// The performance model governing phase `idx`: the phase's own
+    /// override if it has one, the profile-level model otherwise.
+    pub fn phase_perf(&self, idx: usize) -> PerfModel {
+        self.phases
+            .get(idx)
+            .and_then(|p| p.perf)
+            .unwrap_or(self.perf)
+    }
+
     /// Concatenate another profile after this one: the back-to-back job
-    /// sequence of §4.4's "generalized environment". The combined profile
-    /// keeps this profile's performance model (jobs run on the same node).
+    /// sequence of §4.4's "generalized environment". Each appended phase
+    /// keeps `next`'s performance model (as a per-phase override when it
+    /// differs from this profile's), so a capped phase of the second job
+    /// stretches by *its* curve, not the first job's.
     pub fn then(&self, next: &Profile) -> Profile {
         let mut phases = self.phases.clone();
-        phases.extend(next.phases.iter().copied());
+        phases.extend(next.phases.iter().enumerate().map(|(i, p)| Phase {
+            perf: Some(next.phase_perf(i)).filter(|m| *m != self.perf),
+            ..*p
+        }));
         Profile {
             name: format!("{}+{}", self.name, next.name),
             phases,
@@ -114,8 +152,8 @@ impl Profile {
     /// Returns `None` if some phase can make no progress under `cap`.
     pub fn runtime_under_cap_secs(&self, cap: Power) -> Option<f64> {
         let mut total = 0.0;
-        for ph in &self.phases {
-            let rate = self.perf.rate(cap, ph.demand);
+        for (i, ph) in self.phases.iter().enumerate() {
+            let rate = self.phase_perf(i).rate(cap, ph.demand);
             if rate <= 0.0 {
                 return None;
             }
@@ -219,5 +257,62 @@ mod then_tests {
         // Associative in runtime terms.
         let abc = ab.then(&a);
         assert_eq!(abc.nominal_runtime_secs(), 17.0);
+    }
+
+    #[test]
+    fn then_carries_each_jobs_perf_model() {
+        // Job A is linear; job B has a high idle floor that makes the
+        // same cap bite much harder. The concatenation must stretch B's
+        // phase by B's curve — flattening both jobs onto A's model
+        // silently under-reports the capped runtime.
+        let w = Power::from_watts_u64;
+        let a = Profile::new(
+            "A",
+            vec![Phase::new(w(200), 10.0)],
+            PerfModel::new(w(60), 1.0),
+        );
+        let b = Profile::new(
+            "B",
+            vec![Phase::new(w(200), 10.0)],
+            PerfModel::new(w(120), 1.0),
+        );
+        let ab = a.then(&b);
+        assert_eq!(ab.phase_perf(0), a.perf);
+        assert_eq!(ab.phase_perf(1), b.perf);
+        // Under a 130 W cap: A runs at (130−60)/(200−60) = 0.5 → 20 s;
+        // B at (130−120)/(200−120) = 0.125 → 80 s.
+        let rt = ab.runtime_under_cap_secs(w(130)).unwrap();
+        assert!((rt - 100.0).abs() < 1e-9, "got {rt}");
+        // And the concatenation agrees with the jobs run separately.
+        let separate =
+            a.runtime_under_cap_secs(w(130)).unwrap() + b.runtime_under_cap_secs(w(130)).unwrap();
+        assert!((rt - separate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn then_with_matching_models_stays_override_free() {
+        let w = Power::from_watts_u64;
+        let perf = PerfModel::new(w(60), 1.0);
+        let a = Profile::new("A", vec![Phase::new(w(100), 5.0)], perf);
+        let b = Profile::new("B", vec![Phase::new(w(200), 7.0)], perf);
+        assert!(a.then(&b).phases.iter().all(|p| p.perf.is_none()));
+    }
+
+    #[test]
+    fn scaled_preserves_phase_perf_overrides() {
+        let w = Power::from_watts_u64;
+        let a = Profile::new(
+            "A",
+            vec![Phase::new(w(200), 10.0)],
+            PerfModel::new(w(60), 1.0),
+        );
+        let b = Profile::new(
+            "B",
+            vec![Phase::new(w(200), 10.0)],
+            PerfModel::new(w(120), 1.0),
+        );
+        let half = a.then(&b).scaled(0.5);
+        assert_eq!(half.phase_perf(1), b.perf);
+        assert_eq!(half.phases[1].work, 5.0);
     }
 }

@@ -96,7 +96,11 @@ impl CappedDevice for WorkloadState {
                 break;
             }
             let phase = self.profile.phases[self.phase_idx];
-            let rate = self.profile.perf.rate(effective_cap, phase.demand) * (1.0 - self.overhead);
+            let rate = self
+                .profile
+                .phase_perf(self.phase_idx)
+                .rate(effective_cap, phase.demand)
+                * (1.0 - self.overhead);
             let draw = phase.demand.min(effective_cap);
             if rate <= 0.0 {
                 // Stalled: burns the cap without progressing.
@@ -180,6 +184,29 @@ mod tests {
         st.advance(SimTime::ZERO, SimTime::from_secs(1000), w(150));
         let simulated = st.finished_at().unwrap().as_secs_f64();
         assert!((simulated - analytic).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concatenated_jobs_advance_by_their_own_perf_models() {
+        // `then` stamps the second job's phases with its own model; the
+        // integrator must honour it, matching the analytic runtime.
+        let a = Profile::new(
+            "A",
+            vec![Phase::new(w(200), 10.0)],
+            PerfModel::new(w(60), 1.0),
+        );
+        let b = Profile::new(
+            "B",
+            vec![Phase::new(w(200), 10.0)],
+            PerfModel::new(w(120), 1.0),
+        );
+        let ab = a.then(&b);
+        let analytic = ab.runtime_under_cap_secs(w(130)).unwrap();
+        assert!((analytic - 100.0).abs() < 1e-9);
+        let mut st = WorkloadState::new(ab);
+        st.advance(SimTime::ZERO, SimTime::from_secs(1000), w(130));
+        let simulated = st.finished_at().unwrap().as_secs_f64();
+        assert!((simulated - analytic).abs() < 1e-6, "got {simulated}");
     }
 
     #[test]

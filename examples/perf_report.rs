@@ -18,7 +18,7 @@
 //! throughput drop, default `0.2` (20 %).
 
 use penelope::experiments::parallel::CellStats;
-use penelope::experiments::{churn, nominal, parallel, scale, scale_mega, Effort};
+use penelope::experiments::{churn, duel, nominal, parallel, scale, scale_mega, Effort};
 use penelope::prelude::{
     npb, ClusterConfig, ClusterSim, FaultAction, FaultScript, Power, SimTime, SystemKind,
 };
@@ -175,6 +175,27 @@ fn main() {
         wall,
         serial_wall,
     ));
+
+    // Decider duel: urgency vs predictive vs market on identical seeded
+    // diurnal traces. The policy seam's enum dispatch sits on the hottest
+    // per-tick path, so a slowdown in any policy's tick cost lands here;
+    // the repeat run must reproduce the first bit-for-bit (scoreboard
+    // included), which also pins duel determinism into the perf gate.
+    let duel_seed = 0x00E1_0DE1u64;
+    let (serial, serial_wall) = time(|| duel::run_seeded(effort, duel_seed));
+    let (rerun, wall) = time(|| duel::run_seeded(effort, duel_seed));
+    matches &= rerun == serial;
+    let mut duel_stats = CellStats::default();
+    for e in &rerun.entries {
+        duel_stats.absorb(e.sim_events, e.sim_secs);
+    }
+    sweeps.push(SweepTiming::from_stats(
+        "decider_duel",
+        &duel_stats,
+        wall,
+        serial_wall,
+    ));
+    print!("{}", rerun.render());
 
     // Mega-scale sweep: the sharded engine at 10^5+ nodes. The repeat run
     // must reproduce the first bit-for-bit — and because the sharded

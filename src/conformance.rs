@@ -28,7 +28,8 @@ use std::sync::{Arc, Barrier, Mutex};
 use std::time::Duration;
 
 use penelope_core::{
-    EngineConfig, EngineInput, EngineOutput, NodeEngine, PeerMsg, PowerGrant, SuspicionDigest,
+    DeciderPolicy, EngineConfig, EngineInput, EngineOutput, NodeEngine, PeerMsg, PowerGrant,
+    SuspicionDigest,
 };
 use penelope_net::{FaultConfig, FaultySocket, ThreadNet};
 use penelope_power::{PowerInterface, SimulatedRapl};
@@ -99,6 +100,11 @@ pub fn sim_config(scenario: &Scenario) -> ClusterConfig {
     cfg.rapl.safe_range = scenario.safe;
     cfg.rapl.read_noise_std = scenario.read_noise;
     cfg.node.decider.period = PERIOD;
+    // The scenario's decider policy: urgency, predictive or market. Only
+    // the tick-time request/shed shape changes; the engine (escrow,
+    // suspicion, gossip, seq/epochs) is identical across policies, which
+    // is exactly what the conformance invariants verify.
+    cfg.node.decider.policy = scenario.policy;
     // Jitterless ticks: all substrates tick at exact period boundaries,
     // which keeps the per-node RNG streams aligned across substrates.
     cfg.tick_jitter = SimDuration::ZERO;
@@ -109,6 +115,7 @@ pub fn sim_config(scenario: &Scenario) -> ClusterConfig {
     if matches!(
         scenario.fault,
         FaultSpec::Lossy { .. }
+            | FaultSpec::LossyWire { .. }
             | FaultSpec::KillRestart { .. }
             | FaultSpec::Partition { .. }
             | FaultSpec::AsymmetricIsolate { .. }
@@ -187,7 +194,11 @@ impl SimSubstrate {
                     NodeId::new(node),
                 ));
             }
-            FaultSpec::Lossy { .. } => {
+            // The simulator's transport delivers in order and exactly
+            // once, so only the loss leg of LossyWire is representable;
+            // duplication and reordering are exercised on the daemon
+            // substrate, where real datagrams pass through the shim.
+            FaultSpec::Lossy { .. } | FaultSpec::LossyWire { .. } => {
                 sim.install_faults(&FaultScript::none().at(
                     SimTime::ZERO,
                     FaultAction::SetDropRate(scenario.fault.drop_rate()),
@@ -333,6 +344,9 @@ impl SimSubstrate {
             final_total,
             injected_drops: Some(counted.count("msg_dropped") + counted.count("ack_dropped")),
             send_attempts: Some(send_attempts(&counted)),
+            // The DES transport cannot duplicate or reorder.
+            duplicated: None,
+            delayed: None,
         })
     }
 }
@@ -628,6 +642,9 @@ impl LockstepRuntime {
             final_total,
             injected_drops: Some(counted.count("msg_dropped") + counted.count("ack_dropped")),
             send_attempts: Some(send_attempts(&counted)),
+            // The thread-net delivers in order, exactly once.
+            duplicated: None,
+            delayed: None,
         })
     }
 }
@@ -1133,10 +1150,27 @@ impl Substrate for UdpDaemonSubstrate {
         // by slotting each daemon's socket behind the deterministic
         // FaultySocket shim. (Before the shim existed this was silently
         // ignored, and every "lossy" daemon run was lossless.)
-        let drop_permille = match scenario.fault {
-            FaultSpec::Lossy { drop_permille } => drop_permille,
-            FaultSpec::KillRestart { drop_permille, .. } => drop_permille,
-            _ => 0,
+        let (drop_permille, dup_permille, jitter_ms) = match scenario.fault {
+            FaultSpec::Lossy { drop_permille } => (drop_permille, 0, 0),
+            FaultSpec::LossyWire {
+                drop_permille,
+                dup_permille,
+                jitter_ms,
+            } => (drop_permille, dup_permille, jitter_ms),
+            FaultSpec::KillRestart { drop_permille, .. } => (drop_permille, 0, 0),
+            _ => (0, 0, 0),
+        };
+        let fault_config = |i: usize| FaultConfig {
+            seed: node_seed(scenario.seed, u64::MAX - 3 - i as u64),
+            drop_permille,
+            dup_permille,
+            // The latency model's nanoseconds are read as wall-clock time
+            // by the shim; a jittered uniform delay lets duplicates and
+            // slow originals overtake later sends (real reordering).
+            latency: (jitter_ms > 0).then(|| penelope_net::LatencyModel::Uniform {
+                lo: SimDuration::ZERO,
+                hi: SimDuration::from_millis(u64::from(jitter_ms)),
+            }),
         };
         // Per-node fault streams reuse the lockstep substrate's dedicated
         // seed lane (u64::MAX - 3 - i): disjoint from every protocol
@@ -1144,25 +1178,28 @@ impl Substrate for UdpDaemonSubstrate {
         // register in logical node order, which pins direction slot →
         // fault stream across runs even though the ephemeral ports
         // differ — same seed, same drop schedule, bit-identical.
-        let shimmed = |i: usize, socket: UdpSocket| -> Arc<dyn DatagramSocket> {
-            if drop_permille == 0 {
-                Arc::new(socket)
-            } else {
-                let shim = FaultySocket::new(
-                    socket,
-                    FaultConfig::lossy(
-                        node_seed(scenario.seed, u64::MAX - 3 - i as u64),
-                        drop_permille,
-                    ),
-                );
-                for (j, a) in addrs.iter().enumerate() {
-                    if j != i {
-                        shim.register_peer(*a);
+        let shim_active = drop_permille > 0 || dup_permille > 0 || jitter_ms > 0;
+        // Returns the socket to hand the daemon plus (when the fault plane
+        // is active) a second handle onto the shim, kept so the run can
+        // report the shim's lifetime dup/delay counters after shutdown.
+        let shimmed =
+            |i: usize, socket: UdpSocket| -> (Arc<dyn DatagramSocket>, Option<Arc<FaultySocket>>) {
+                if !shim_active {
+                    (Arc::new(socket), None)
+                } else {
+                    let shim = Arc::new(FaultySocket::new(socket, fault_config(i)));
+                    for (j, a) in addrs.iter().enumerate() {
+                        if j != i {
+                            shim.register_peer(*a);
+                        }
                     }
+                    (Arc::clone(&shim) as Arc<dyn DatagramSocket>, Some(shim))
                 }
-                Arc::new(shim)
-            }
-        };
+            };
+        // One live shim handle per node, plus the handles of killed
+        // incarnations (their counters still count toward the run).
+        let mut shims: Vec<Option<Arc<FaultySocket>>> = vec![None; n];
+        let mut retired_shims: Vec<Arc<FaultySocket>> = Vec::new();
         // Fault-plane drops and send attempts observed across all daemons
         // (including killed incarnations), for the NonVacuousLoss guard.
         let mut injected_drops = 0u64;
@@ -1194,6 +1231,7 @@ impl Substrate for UdpDaemonSubstrate {
                     decider: penelope_core::DeciderConfig {
                         period: SimDuration::from_millis(DAEMON_PERIOD_MS),
                         response_timeout: SimDuration::from_millis(DAEMON_PERIOD_MS / 2),
+                        policy: scenario.policy,
                         ..Default::default()
                     },
                     pool: penelope_core::PoolConfig::default(),
@@ -1216,8 +1254,10 @@ impl Substrate for UdpDaemonSubstrate {
 
         let mut handles = Vec::with_capacity(n);
         for (i, socket) in sockets.into_iter().enumerate() {
+            let (sock, shim) = shimmed(i, socket);
+            shims[i] = shim;
             handles.push(Some(
-                run_daemon_with_shim(mk_cfg(i, scenario.budget_per_node, 0), shimmed(i, socket))
+                run_daemon_with_shim(mk_cfg(i, scenario.budget_per_node, 0), sock)
                     .map_err(|e| format!("daemon {i}: {e}"))?,
             ));
         }
@@ -1284,12 +1324,14 @@ impl Substrate for UdpDaemonSubstrate {
                         lost -= readmitted;
                         let socket = UdpSocket::bind(addrs[idx])
                             .map_err(|e| format!("rebind daemon {idx}: {e}"))?;
+                        let (sock, shim) = shimmed(idx, socket);
+                        if let Some(old) = shims[idx].take() {
+                            retired_shims.push(old);
+                        }
+                        shims[idx] = shim;
                         handles[idx] = Some(
-                            run_daemon_with_shim(
-                                mk_cfg(idx, readmitted, stashed_seq),
-                                shimmed(idx, socket),
-                            )
-                            .map_err(|e| format!("daemon {idx} restart: {e}"))?,
+                            run_daemon_with_shim(mk_cfg(idx, readmitted, stashed_seq), sock)
+                                .map_err(|e| format!("daemon {idx} restart: {e}"))?,
                         );
                         dead_rows[idx] = None;
                         final_alive[idx] = true;
@@ -1342,6 +1384,16 @@ impl Substrate for UdpDaemonSubstrate {
         // it *under*count.
         final_total += lost;
 
+        // Fold every shim incarnation's lifetime counters into the run's
+        // dup/delay evidence (drops are already counted by the daemons,
+        // which observe `SendStatus::Dropped` directly).
+        let (mut duplicated, mut delayed) = (0u64, 0u64);
+        for shim in shims.iter().flatten().chain(retired_shims.iter()) {
+            let stats = shim.stats();
+            duplicated += stats.duplicated;
+            delayed += stats.delayed;
+        }
+
         Ok(SubstrateRun {
             substrate: "daemon".into(),
             snapshots,
@@ -1350,6 +1402,8 @@ impl Substrate for UdpDaemonSubstrate {
             final_total,
             injected_drops: Some(injected_drops),
             send_attempts: Some(attempts),
+            duplicated: shim_active.then_some(duplicated),
+            delayed: shim_active.then_some(delayed),
         })
     }
 }
@@ -1396,6 +1450,7 @@ pub fn nominal_scenario(seed: u64) -> Scenario {
         workloads: mixed_workloads(),
         fault: FaultSpec::None,
         read_noise: 0.0,
+        policy: DeciderPolicy::default(),
     }
 }
 
@@ -1415,6 +1470,7 @@ pub fn node_fault_scenario(seed: u64) -> Scenario {
             at_period: 4,
         },
         read_noise: 0.0,
+        policy: DeciderPolicy::default(),
     }
 }
 
@@ -1431,6 +1487,7 @@ pub fn noisy_power_scenario(seed: u64) -> Scenario {
         workloads: mixed_workloads(),
         fault: FaultSpec::None,
         read_noise: 0.05,
+        policy: DeciderPolicy::default(),
     }
 }
 
@@ -1449,7 +1506,61 @@ pub fn lossy_scenario(seed: u64, drop_permille: u16, periods: u64) -> Scenario {
         workloads: mixed_workloads(),
         fault: FaultSpec::Lossy { drop_permille },
         read_noise: 0.0,
+        policy: DeciderPolicy::default(),
     }
+}
+
+/// Full wire-fault scenario: loss plus duplication plus delay-reordering
+/// on every link. On the daemon substrate all three legs run on real
+/// datagrams through the socket shim; the deterministic substrates model
+/// the loss leg only. Nothing dies, so `lost` must stay exactly zero and
+/// every duplicate delivery must be absorbed idempotently.
+pub fn lossy_wire_scenario(
+    seed: u64,
+    drop_permille: u16,
+    dup_permille: u16,
+    jitter_ms: u16,
+    periods: u64,
+) -> Scenario {
+    Scenario {
+        name: format!("lossy-wire-{drop_permille}d-{dup_permille}u-{jitter_ms}ms"),
+        seed,
+        nodes: 4,
+        budget_per_node: watts(160),
+        safe: PowerRange::from_watts(80, 300),
+        periods,
+        workloads: mixed_workloads(),
+        fault: FaultSpec::LossyWire {
+            drop_permille,
+            dup_permille,
+            jitter_ms,
+        },
+        read_noise: 0.0,
+        policy: DeciderPolicy::default(),
+    }
+}
+
+/// A scenario under a non-default decider policy: the nominal mixed
+/// workload (or, with loss, the lossy workload) re-run with every node's
+/// decider swapped to `policy`. The engine underneath is unchanged, so
+/// all conservation invariants must hold for any policy — and for a
+/// deterministic substrate pair, the protocol streams must still match
+/// event for event.
+pub fn policy_scenario(
+    seed: u64,
+    policy: DeciderPolicy,
+    drop_permille: u16,
+    periods: u64,
+) -> Scenario {
+    let mut s = if drop_permille == 0 {
+        nominal_scenario(seed)
+    } else {
+        lossy_scenario(seed, drop_permille, periods)
+    };
+    s.name = format!("{}-{}", s.name, policy.name());
+    s.periods = periods;
+    s.policy = policy;
+    s
 }
 
 /// Node-churn scenario: node 1 crashes at the start of period 3 and
@@ -1474,6 +1585,7 @@ pub fn churn_scenario(seed: u64, drop_permille: u16, periods: u64) -> Scenario {
             drop_permille,
         },
         read_noise: 0.0,
+        policy: DeciderPolicy::default(),
     }
 }
 
@@ -1497,6 +1609,7 @@ pub fn partition_scenario(seed: u64, drop_permille: u16, periods: u64) -> Scenar
             drop_permille,
         },
         read_noise: 0.0,
+        policy: DeciderPolicy::default(),
     }
 }
 
@@ -1520,6 +1633,7 @@ pub fn asymmetric_partition_scenario(seed: u64, drop_permille: u16, periods: u64
             drop_permille,
         },
         read_noise: 0.0,
+        policy: DeciderPolicy::default(),
     }
 }
 
@@ -1541,6 +1655,7 @@ pub fn flapping_scenario(seed: u64, periods: u64) -> Scenario {
             heal_at_period: 9,
         },
         read_noise: 0.0,
+        policy: DeciderPolicy::default(),
     }
 }
 
@@ -1564,5 +1679,6 @@ pub fn partition_churn_scenario(seed: u64, periods: u64) -> Scenario {
             heal_at_period: 9,
         },
         read_noise: 0.0,
+        policy: DeciderPolicy::default(),
     }
 }

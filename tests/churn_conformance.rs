@@ -28,6 +28,7 @@ use penelope::conformance::{
     churn_scenario, profile_from_spec, sim_config, LockstepRuntime, SimSubstrate,
     UdpDaemonSubstrate,
 };
+use penelope_core::DeciderPolicy;
 use penelope_net::LatencyModel;
 use penelope_sim::{ClusterSim, DiscoveryStrategy, FaultScript};
 use penelope_testkit::conformance::{
@@ -216,6 +217,7 @@ fn direct_scenario(seed: u64, name: &str, hungry: &[usize]) -> Scenario {
         workloads,
         fault: FaultSpec::None,
         read_noise: 0.0,
+        policy: DeciderPolicy::default(),
     }
 }
 

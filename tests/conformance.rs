@@ -12,6 +12,7 @@ use penelope::conformance::{
     UdpDaemonSubstrate,
 };
 use penelope::units::Power;
+use penelope_core::DeciderPolicy;
 use penelope_testkit::conformance::{
     check_run, run_conformance, DivergenceBound, FaultSpec, Invariant, NodeSnapshot, PhaseSpec,
     Scenario, Snapshot, Substrate, SubstrateRun, WorkloadSpec,
@@ -156,6 +157,8 @@ impl Substrate for DoubleApplyBug {
             final_total: donor_cap + taker_cap + pool.available(),
             injected_drops: None,
             send_attempts: None,
+            duplicated: None,
+            delayed: None,
         })
     }
 }
@@ -177,6 +180,7 @@ fn injected_double_grant_bug_is_caught_with_reproducing_seed() {
         }],
         fault: FaultSpec::None,
         read_noise: 0.0,
+        policy: DeciderPolicy::default(),
     };
     let run = DoubleApplyBug.run(&scenario).expect("bug substrate runs");
     let violations = check_run(&scenario, &run);
@@ -225,6 +229,7 @@ fn conformance_report_renders_failures_readably() {
         }],
         fault: FaultSpec::None,
         read_noise: 0.0,
+        policy: DeciderPolicy::default(),
     };
     let bug = DoubleApplyBug;
     let substrates: [&dyn Substrate; 1] = [&bug];

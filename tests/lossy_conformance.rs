@@ -12,7 +12,9 @@
 
 use std::sync::Arc;
 
-use penelope::conformance::{lossy_scenario, LockstepRuntime, SimSubstrate, UdpDaemonSubstrate};
+use penelope::conformance::{
+    lossy_scenario, lossy_wire_scenario, LockstepRuntime, SimSubstrate, UdpDaemonSubstrate,
+};
 use penelope_testkit::conformance::{check_run, Scenario, Substrate};
 use penelope_trace::{EventKind, RingBufferObserver, SharedObserver};
 
@@ -201,6 +203,84 @@ fn daemon_lossy_leg_drops_real_datagrams_and_loses_no_power() {
         run.final_total,
         scenario.cluster_budget()
     );
+}
+
+#[test]
+fn daemon_wire_faults_duplicate_delay_and_still_conserve() {
+    // The reorder/duplication legs of the socket shim, previously never
+    // exercised by any conformance scenario: 10 % loss, 15 % duplication,
+    // up to 5 ms of per-datagram delay (so copies and slow originals
+    // overtake later sends). Duplicate grants must be absorbed
+    // idempotently — the engine's seq dedup plus the granter-side
+    // acked-floor guard — and duplicate requests must never double-grant,
+    // so the run must conserve power like any other lossy run.
+    let scenario = lossy_wire_scenario(0x5EED_D0B1, 100, 150, 5, 12);
+    let run = UdpDaemonSubstrate
+        .run(&scenario)
+        .expect("daemon wire-fault leg runs");
+
+    let violations = check_run(&scenario, &run);
+    assert!(
+        violations.is_empty(),
+        "daemon violated invariants on {} (seed {:#x}): {violations:#?}",
+        scenario.name,
+        scenario.seed
+    );
+
+    // Non-vacuity: all three fault legs must have actually fired. Before
+    // these counters existed a mis-wired shim could silently run the
+    // "reordering" sweep over a perfectly behaved wire.
+    let duplicated = run
+        .duplicated
+        .expect("the daemon substrate counts shim duplications");
+    let delayed = run
+        .delayed
+        .expect("the daemon substrate counts shim delays");
+    let drops = run.injected_drops.expect("drop counting");
+    assert!(
+        duplicated >= 1,
+        "vacuous duplication leg: shim duplicated nothing at 150‰"
+    );
+    assert!(delayed >= 1, "vacuous delay leg: shim delayed nothing");
+    assert!(drops >= 1, "vacuous loss leg: shim dropped nothing at 100‰");
+
+    // Pure wire faults kill nobody: nothing may ever be booked lost, and
+    // duplicated grants must not mint power.
+    for snap in &run.snapshots {
+        assert!(
+            snap.lost.is_zero(),
+            "daemon booked {:?} lost at period {} under wire faults",
+            snap.lost,
+            snap.period
+        );
+    }
+    assert!(
+        run.final_total <= scenario.cluster_budget(),
+        "daemon minted power under duplication: {:?} > {:?}",
+        run.final_total,
+        scenario.cluster_budget()
+    );
+}
+
+#[test]
+fn sim_and_lockstep_run_the_loss_leg_of_wire_faults() {
+    // The deterministic substrates cannot reorder or duplicate, but they
+    // must still honor the loss leg of a LossyWire spec (and conserve
+    // exactly, as for plain Lossy).
+    let scenario = lossy_wire_scenario(0x5EED_D0B2, 200, 150, 5, 12);
+    for substrate in [&SimSubstrate as &dyn Substrate, &LockstepRuntime] {
+        assert_zero_peer_loss(&scenario, substrate);
+        let run = substrate.run(&scenario).expect("runs");
+        assert!(
+            run.injected_drops.expect("counted") >= 1,
+            "{} ran the loss leg vacuously",
+            substrate.name()
+        );
+        // Honest reporting: these transports cannot duplicate, and must
+        // say so rather than report a fake zero.
+        assert_eq!(run.duplicated, None);
+        assert_eq!(run.delayed, None);
+    }
 }
 
 #[test]

@@ -41,6 +41,7 @@ use penelope::conformance::{
     asymmetric_partition_scenario, flapping_scenario, partition_churn_scenario, partition_scenario,
     profile_from_spec, sim_config, LockstepRuntime, SimSubstrate,
 };
+use penelope_core::DeciderPolicy;
 use penelope_sim::{ClusterSim, FaultAction, FaultScript};
 use penelope_testkit::conformance::{
     check_run, FaultSpec, PhaseSpec, Scenario, Substrate, WorkloadSpec,
@@ -98,6 +99,7 @@ fn all_hungry_scenario(
         }],
         fault,
         read_noise: 0.0,
+        policy: DeciderPolicy::default(),
     }
 }
 

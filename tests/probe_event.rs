@@ -13,6 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use penelope::conformance::{profile_from_spec, sim_config};
+use penelope_core::DeciderPolicy;
 use penelope_runtime::{RuntimeConfig, ThreadedCluster};
 use penelope_sim::{ClusterSim, FaultScript};
 use penelope_testkit::conformance::{FaultSpec, PhaseSpec, Scenario, WorkloadSpec};
@@ -45,6 +46,7 @@ fn scenario(seed: u64) -> Scenario {
         workloads,
         fault: FaultSpec::None,
         read_noise: 0.0,
+        policy: DeciderPolicy::default(),
     }
 }
 

@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use penelope::conformance::{LockstepRuntime, SimSubstrate};
 use penelope::prelude::*;
+use penelope_core::DeciderPolicy;
 use penelope_testkit::conformance::{FaultSpec, PhaseSpec, Scenario, WorkloadSpec};
 use penelope_testkit::events::{
     check_grant_served_pairing, check_urgency_alternation, normalize_protocol,
@@ -64,6 +65,7 @@ fn ideal_scenario(seed: u64) -> Scenario {
         ],
         fault: FaultSpec::None,
         read_noise: 0.0,
+        policy: DeciderPolicy::default(),
     }
 }
 
